@@ -1,0 +1,187 @@
+//! Criterion micro-benchmarks of the reproduction's hot paths: the
+//! control-plane algorithms (squishy packing, latency-split DP, prefix
+//! hashing) that run every epoch, and the data-plane primitives (queue
+//! pulls, event-engine ops) that run per request.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use nexus::prelude::*;
+use nexus_model::find_prefix_groups;
+use nexus_profile::{BatchingProfile, Micros};
+use nexus_runtime::{DropPolicy, Request, RequestId, SessionQueue};
+use nexus_scheduler::{optimize_latency_split, squishy_bin_packing, QueryDag, QueryStage};
+use nexus_simgpu::EventQueue;
+
+fn sessions(n: u32) -> Vec<SessionSpec> {
+    (0..n)
+        .map(|i| {
+            let alpha = 0.3 + f64::from(i % 7) * 0.4;
+            let beta = 2.0 + f64::from(i % 11) * 3.0;
+            SessionSpec::new(
+                SessionId(i),
+                BatchingProfile::from_linear_ms(alpha, beta, 64),
+                Micros::from_millis(60 + u64::from(i % 8) * 30),
+                5.0 + f64::from(i % 13) * 40.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_squishy(c: &mut Criterion) {
+    let small = sessions(16);
+    let large = sessions(128);
+    c.bench_function("squishy_bin_packing/16_sessions", |b| {
+        b.iter(|| squishy_bin_packing(black_box(&small), 11 << 30))
+    });
+    c.bench_function("squishy_bin_packing/128_sessions", |b| {
+        b.iter(|| squishy_bin_packing(black_box(&large), 11 << 30))
+    });
+}
+
+fn bench_query_dp(c: &mut Criterion) {
+    let dag = QueryDag::new(vec![
+        QueryStage {
+            name: "det".into(),
+            profile: BatchingProfile::from_linear_ms(9.0, 38.0, 32),
+            children: vec![(1, 1.5), (2, 0.5)],
+        },
+        QueryStage {
+            name: "rec1".into(),
+            profile: BatchingProfile::from_linear_ms(1.2, 5.3, 64),
+            children: vec![(3, 1.0)],
+        },
+        QueryStage {
+            name: "rec2".into(),
+            profile: BatchingProfile::from_linear_ms(0.8, 4.0, 64),
+            children: vec![],
+        },
+        QueryStage {
+            name: "ocr".into(),
+            profile: BatchingProfile::from_linear_ms(0.05, 0.3, 128),
+            children: vec![],
+        },
+    ]);
+    for segments in [50u32, 200] {
+        c.bench_function(&format!("latency_split_dp/{segments}_segments"), |b| {
+            b.iter(|| {
+                optimize_latency_split(
+                    black_box(&dag),
+                    Micros::from_millis(400),
+                    500.0,
+                    segments,
+                )
+            })
+        });
+    }
+}
+
+fn bench_prefix_detection(c: &mut Criterion) {
+    let base = nexus_model::zoo::resnet50();
+    let variants: Vec<_> = (1..=32u64)
+        .map(|v| base.specialize(format!("v{v}"), 1 + (v % 3) as usize, v))
+        .collect();
+    let refs: Vec<_> = variants.iter().collect();
+    c.bench_function("prefix_groups/32_variants", |b| {
+        b.iter(|| find_prefix_groups(black_box(&refs)))
+    });
+    c.bench_function("schema_specialize", |b| {
+        b.iter(|| base.specialize("bench", 1, 99))
+    });
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let profile = BatchingProfile::from_linear_ms(1.0, 10.0, 32);
+    let fill = |n: u64| {
+        let mut q = SessionQueue::new();
+        for i in 0..n {
+            q.push(Request {
+                id: RequestId(i),
+                session: SessionId(0),
+                arrival: Micros::from_micros(i * 500),
+                deadline: Micros::from_micros(i * 500 + 100_000),
+                query: None,
+            });
+        }
+        q
+    };
+    c.bench_function("queue_pull/early_64_queued", |b| {
+        b.iter_batched(
+            || fill(64),
+            |mut q| {
+                q.pull(
+                    Micros::from_millis(40),
+                    16,
+                    &profile,
+                    DropPolicy::Early,
+                    Micros::ZERO,
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("queue_pull/lazy_64_queued", |b| {
+        b.iter_batched(
+            || fill(64),
+            |mut q| {
+                q.pull(
+                    Micros::from_millis(40),
+                    16,
+                    &profile,
+                    DropPolicy::Lazy,
+                    Micros::ZERO,
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.push(Micros::from_micros((i * 7919) % 100_000 + 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_end_to_end_sim(c: &mut Criterion) {
+    // One short cluster simulation per iteration — the composed hot path.
+    c.bench_function("cluster_sim/traffic_2s_4gpu", |b| {
+        b.iter(|| {
+            nexus::run_once(
+                SystemConfig::nexus().with_static_allocation(),
+                GPU_GTX1080TI,
+                4,
+                vec![TrafficClass::new(
+                    nexus_workload::apps::traffic(),
+                    ArrivalKind::Uniform,
+                    black_box(100.0),
+                )],
+                1,
+                Micros::from_millis(500),
+                Micros::from_secs(2),
+            )
+            .queries_finished
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_squishy,
+        bench_query_dp,
+        bench_prefix_detection,
+        bench_dispatch,
+        bench_event_engine,
+        bench_end_to_end_sim
+);
+criterion_main!(benches);

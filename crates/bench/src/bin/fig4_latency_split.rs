@@ -1,0 +1,105 @@
+//! Regenerates Figures 3 and 4: the X→Y pipeline latency-split study of
+//! §4.2 — average throughput per GPU for the three split plans at
+//! γ ∈ {0.1, 1, 10}, plus the split the §6.2 optimizer actually picks.
+//!
+//! Usage: `cargo run -p bench --bin fig4_latency_split`
+
+use bench::{print_table, write_json, Args};
+use nexus_profile::{BatchingProfile, Micros};
+use nexus_scheduler::{optimize_latency_split, pipeline_avg_throughput, QueryDag};
+
+fn model_x() -> BatchingProfile {
+    BatchingProfile::from_anchors(&[
+        (4, Micros::from_millis(20)),
+        (6, Micros::from_millis(24)),
+        (9, Micros::from_millis(30)),
+    ])
+}
+
+fn model_y() -> BatchingProfile {
+    BatchingProfile::from_anchors(&[
+        (6, Micros::from_millis(20)),
+        (10, Micros::from_millis(25)),
+        (15, Micros::from_millis(30)),
+    ])
+}
+
+fn main() {
+    let args = Args::parse(0);
+
+    // Fig. 3: the per-budget throughputs.
+    let rows: Vec<Vec<String>> = [40u64, 50, 60]
+        .into_iter()
+        .map(|budget| {
+            let b = Micros::from_millis(budget);
+            vec![
+                format!("{budget}"),
+                format!("{:.0}", model_x().max_throughput_for_slo(b).unwrap()),
+                format!("{:.0}", model_y().max_throughput_for_slo(b).unwrap()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 3: per-GPU throughput at each latency budget",
+        &["budget (ms)", "X req/s", "Y req/s"],
+        &rows,
+    );
+
+    // Fig. 4: average throughput of the three split plans at each γ.
+    let plans = [(40u64, 60u64), (50, 50), (60, 40)];
+    let gammas = [0.1, 1.0, 10.0];
+    let mut out = Vec::new();
+    let rows: Vec<Vec<String>> = plans
+        .iter()
+        .map(|&(bx, by)| {
+            let tx = model_x()
+                .max_throughput_for_slo(Micros::from_millis(bx))
+                .unwrap();
+            let ty = model_y()
+                .max_throughput_for_slo(Micros::from_millis(by))
+                .unwrap();
+            let mut row = vec![format!("{bx}"), format!("{by}")];
+            for &g in &gammas {
+                let avg = pipeline_avg_throughput(tx, ty, g);
+                out.push((bx, by, g, avg));
+                row.push(format!("{avg:.1}"));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 4: average throughput (req/s) per latency split and γ",
+        &["X (ms)", "Y (ms)", "γ=0.1", "γ=1", "γ=10"],
+        &rows,
+    );
+
+    // What the §6.2 optimizer picks per γ.
+    let picks: Vec<Vec<String>> = gammas
+        .iter()
+        .map(|&g| {
+            let dag = QueryDag::pipeline(
+                vec![("X".into(), model_x()), ("Y".into(), model_y())],
+                &[g],
+            );
+            let split =
+                optimize_latency_split(&dag, Micros::from_millis(100), 1_000.0, 100)
+                    .expect("feasible");
+            vec![
+                format!("{g}"),
+                format!("{}", split.budgets[0]),
+                format!("{}", split.budgets[1]),
+                format!("{:.2}", split.gpus),
+            ]
+        })
+        .collect();
+    print_table(
+        "§6.2 optimizer's chosen split per γ (1000 req/s, 100 ms SLO)",
+        &["γ", "X budget", "Y budget", "est. GPUs"],
+        &picks,
+    );
+    println!(
+        "\nPaper's point: each plan wins at a different γ — (40,60) at γ=0.1 is \
+         worst at γ=10 and vice versa; no universal best split exists."
+    );
+    write_json(&args, &out);
+}

@@ -1,0 +1,105 @@
+//! Run an arbitrary workload configuration from a JSON file — the generic
+//! entry point for exploring deployments without writing Rust.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin simulate -- --workload workloads/sample.json
+//!       [--trace trace.json] [--out result.json]
+
+use std::path::PathBuf;
+
+use bench::workload_file::WorkloadFile;
+use nexus::prelude::*;
+use nexus_runtime::{ClusterSim, SimConfig};
+
+fn main() {
+    let mut workload_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => workload_path = it.next().map(PathBuf::from),
+            "--trace" => trace_path = it.next().map(PathBuf::from),
+            "--out" => out_path = it.next().map(PathBuf::from),
+            other => panic!(
+                "unknown argument {other:?} \
+                 (usage: --workload FILE [--trace FILE] [--out FILE])"
+            ),
+        }
+    }
+    let workload_path = workload_path.expect("--workload FILE is required");
+    let json = std::fs::read_to_string(&workload_path).expect("readable workload file");
+    let w = WorkloadFile::from_json(&json).expect("valid workload JSON");
+
+    let device = w.device_type().expect("known device");
+    let system = w.system_config().expect("known system");
+    let classes = w.classes().expect("known apps");
+    let warmup = nexus_profile::Micros::from_secs((w.secs / 4).clamp(2, 10));
+    let horizon = nexus_profile::Micros::from_secs(w.secs) + warmup;
+
+    println!(
+        "simulating {:?}: {} app stream(s), {} {} GPUs, system {}, {}s measured",
+        workload_path,
+        classes.len(),
+        w.gpus,
+        device.name,
+        system.name,
+        w.secs
+    );
+    let result = ClusterSim::new(
+        SimConfig {
+            system,
+            device,
+            max_gpus: w.gpus,
+            seed: w.seed.unwrap_or(42),
+            horizon,
+            warmup,
+            trace_capacity: if trace_path.is_some() { 2_000_000 } else { 0 },
+        },
+        classes,
+    )
+    .run();
+
+    println!("queries finished : {}", result.queries_finished);
+    println!("goodput          : {:.1} q/s", result.query_goodput);
+    println!("query bad rate   : {:.3}%", result.query_bad_rate * 100.0);
+    println!("mean GPUs        : {:.1}", result.mean_gpus);
+    println!("GPU utilization  : {:.0}%", result.gpu_utilization * 100.0);
+    let mut sessions: Vec<_> = result.metrics.sessions().collect();
+    sessions.sort_by_key(|(id, _)| id.0);
+    println!("\nper-session:");
+    for (id, m) in sessions {
+        println!(
+            "  {id}: arrived={} good={} late={} dropped={} p50={} p99={}",
+            m.arrived,
+            m.good,
+            m.late,
+            m.dropped,
+            m.latency_quantile(0.5).map_or("-".into(), |l| l.to_string()),
+            m.latency_quantile(0.99).map_or("-".into(), |l| l.to_string()),
+        );
+    }
+
+    if let (Some(path), Some(trace)) = (&trace_path, &result.trace) {
+        std::fs::write(path, serde_json::to_string(trace).expect("serializable"))
+            .expect("writable trace path");
+        println!(
+            "\n(wrote {} trace events to {}, {} truncated)",
+            trace.events().len(),
+            path.display(),
+            trace.truncated
+        );
+    }
+    if let Some(path) = &out_path {
+        let summary = serde_json::json!({
+            "queries_finished": result.queries_finished,
+            "query_goodput": result.query_goodput,
+            "query_bad_rate": result.query_bad_rate,
+            "mean_gpus": result.mean_gpus,
+            "gpu_utilization": result.gpu_utilization,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap())
+            .expect("writable --out path");
+        println!("(wrote {})", path.display());
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates Table 1: DNN execution latencies and peak-speed cost lower
+//! bounds per 1000 invocations across device classes.
+//!
+//! Usage: `cargo run -p bench --bin table1 [--out table1.json]`
+
+use bench::{print_table, write_json, Args};
+use nexus_profile::cost::table1;
+
+fn main() {
+    let args = Args::parse(0);
+    let rows = table1();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.0}", r.cpu_latency_ms),
+                if r.gpu_latency_ms < 0.1 {
+                    "<0.1".to_string()
+                } else if r.gpu_latency_ms < 1.0 {
+                    "<1".to_string()
+                } else {
+                    format!("{:.1}", r.gpu_latency_ms)
+                },
+                format!("${:.4}", r.cpu_cost_per_1k),
+                format!("${:.4}", r.tpu_cost_per_1k),
+                format!("${:.4}", r.gpu_cost_per_1k),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: DNN execution latencies and peak-speed costs per 1000 invocations",
+        &[
+            "model",
+            "CPU lat (ms)",
+            "GPU lat (ms)",
+            "CPU cost",
+            "TPU cost",
+            "GPU cost",
+        ],
+        &table,
+    );
+    let advantage = rows[2].cpu_cost_per_1k / rows[2].gpu_cost_per_1k;
+    println!(
+        "\nGPU peak-cost advantage over CPU: {advantage:.1}x (paper: ~34x); \
+         ResNet-class CPU latency {:.0} ms rules out live SLOs (paper: 1130 ms).",
+        rows[2].cpu_latency_ms
+    );
+    write_json(&args, &rows);
+}

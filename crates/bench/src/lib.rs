@@ -1,0 +1,223 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4). This library provides the common pieces: a tiny CLI
+//! (`--seed`, `--secs`, `--quick`, `--out`), an aligned-table printer, JSON
+//! series output, and workload builders shared across experiments.
+
+pub mod workload_file;
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use nexus::prelude::*;
+use nexus_profile::Micros;
+
+/// Common command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// RNG seed (`--seed N`).
+    pub seed: u64,
+    /// Measured seconds per simulation (`--secs N`).
+    pub secs: u64,
+    /// Quick mode: shorter runs, fewer search iterations (`--quick`).
+    pub quick: bool,
+    /// Optional JSON output path (`--out FILE`).
+    pub out: Option<PathBuf>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, with experiment-appropriate defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(default_secs: u64) -> Args {
+        let mut args = Args {
+            seed: 42,
+            secs: default_secs,
+            quick: false,
+            out: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer")
+                }
+                "--secs" => {
+                    args.secs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--secs needs an integer")
+                }
+                "--quick" => args.quick = true,
+                "--out" => {
+                    args.out = Some(PathBuf::from(it.next().expect("--out needs a path")))
+                }
+                other => panic!(
+                    "unknown argument {other:?} (supported: --seed N --secs N --quick --out FILE)"
+                ),
+            }
+        }
+        if args.quick {
+            args.secs = args.secs.min(10);
+        }
+        args
+    }
+
+    /// The simulation horizon for this run.
+    pub fn horizon(&self) -> Micros {
+        Micros::from_secs(self.secs + self.warmup_secs())
+    }
+
+    /// Warm-up excluded from measurement.
+    pub fn warmup(&self) -> Micros {
+        Micros::from_secs(self.warmup_secs())
+    }
+
+    fn warmup_secs(&self) -> u64 {
+        (self.secs / 4).clamp(2, 10)
+    }
+
+    /// Throughput-search settings scaled to quick mode.
+    pub fn search(&self, hi: f64) -> ThroughputSearch {
+        ThroughputSearch {
+            target_bad_rate: 0.01,
+            lo: 1.0,
+            hi,
+            iters: if self.quick { 7 } else { 10 },
+        }
+    }
+}
+
+/// Prints an aligned table: a header row, then rows of cells.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    println!("{line}");
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        println!("{line}");
+    }
+}
+
+/// Writes a serializable result to `--out` (if given) as pretty JSON.
+pub fn write_json<T: Serialize>(args: &Args, value: &T) {
+    if let Some(path) = &args.out {
+        let json = serde_json::to_string_pretty(value).expect("serializable result");
+        std::fs::write(path, json).expect("writable --out path");
+        println!("(wrote {})", path.display());
+    }
+}
+
+/// Traffic classes for the game case study (§7.3.1) at a total frame rate.
+pub fn game_classes(rate: f64) -> Vec<TrafficClass> {
+    vec![TrafficClass::new(
+        nexus_workload::apps::game(),
+        ArrivalKind::Uniform,
+        rate,
+    )]
+}
+
+/// The game case study reduced to its ResNet-50 stage only. §7.3.1: "To be
+/// maximally fair to them, we allow the two baselines to invoke just the
+/// ResNet model" — both Clipper and TF Serving collapse on the tiny LeNet.
+pub fn game_resnet_only_classes(rate: f64) -> Vec<TrafficClass> {
+    let mut app = nexus_workload::apps::game();
+    app.stages[0].children.clear();
+    app.stages.truncate(1);
+    vec![TrafficClass::new(app, ArrivalKind::Uniform, rate)]
+}
+
+/// Traffic classes for the traffic-monitoring case study (§7.3.2).
+pub fn traffic_classes(rate: f64) -> Vec<TrafficClass> {
+    vec![TrafficClass::new(
+        nexus_workload::apps::traffic(),
+        ArrivalKind::Uniform,
+        rate,
+    )]
+}
+
+/// The ablation ladder of Fig. 10/11. §7.3.1: "we additively turn off
+/// prefix batching (PB), squishy scheduling (SS), early drop (ED), and
+/// overlapped processing (OL)" — each rung disables one MORE feature than
+/// the previous. `qa_instead_of_pb` selects the traffic figure's first rung
+/// (-QA) over the game figure's (-PB).
+pub fn ablation_ladder(qa_instead_of_pb: bool) -> Vec<(&'static str, SystemConfig)> {
+    let mut step = SystemConfig::nexus();
+    let mut ladder = vec![
+        ("tf-serving", SystemConfig::tf_serving()),
+        ("clipper", SystemConfig::clipper()),
+        ("nexus", step.clone()),
+    ];
+    if qa_instead_of_pb {
+        step.query_analysis = false;
+        ladder.push(("-QA", step.clone()));
+    } else {
+        step.prefix_batching = false;
+        ladder.push(("-PB", step.clone()));
+    }
+    step.scheduler = SchedulerPolicy::BatchOblivious;
+    ladder.push(("-SS", step.clone()));
+    step.drop_policy = DropPolicy::Lazy;
+    ladder.push(("-ED", step.clone()));
+    step.overlap = false;
+    ladder.push(("-OL", step.clone()));
+    ladder
+}
+
+/// A Fig.5/Fig.9 synthetic profile: optimal throughput 500 req/s at a
+/// 100 ms SLO, parameterized by α (§4.3: "Given the fixed throughput, the
+/// fixed cost of β reduces as we increase α").
+///
+/// Construction: the SLO-max batch is `B = 25` with `ℓ(B) = 50 ms`
+/// (worst-case `2ℓ(B) = SLO`), so `B/ℓ(B) = 500` req/s; `β = (2 − α)·25`.
+pub fn alpha_profile(alpha_ms: f64) -> nexus_profile::BatchingProfile {
+    assert!((0.0..2.0).contains(&alpha_ms), "α must be below 2 ms");
+    let beta_ms = (2.0 - alpha_ms) * 25.0;
+    nexus_profile::BatchingProfile::from_linear_ms(alpha_ms, beta_ms, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_profile_has_designed_optimum() {
+        for alpha in [1.0, 1.4, 1.8] {
+            let p = alpha_profile(alpha);
+            let b = p.max_batch_for_slo(Micros::from_millis(100));
+            assert_eq!(b, 25, "α={alpha}");
+            let t = p.throughput(b);
+            assert!((t - 500.0).abs() < 1.0, "α={alpha}: t={t}");
+        }
+    }
+
+    #[test]
+    fn ladder_has_seven_rungs() {
+        assert_eq!(ablation_ladder(false).len(), 7);
+        let labels: Vec<_> = ablation_ladder(true).iter().map(|x| x.0).collect();
+        assert!(labels.contains(&"-QA"));
+        assert!(!labels.contains(&"-PB"));
+    }
+}

@@ -1,0 +1,189 @@
+//! JSON workload configurations for the `simulate` binary: describe a
+//! deployment (apps, rates, arrival shapes, cluster, system) in a file and
+//! run it without writing Rust.
+
+use serde::{Deserialize, Serialize};
+
+use nexus::prelude::*;
+use nexus_profile::{Micros, GPU_GTX1080TI, GPU_K80, GPU_V100};
+use nexus_workload::apps;
+
+/// One application stream in a workload file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppEntry {
+    /// Table 4 application name (`game`, `traffic`, `traffic_rush`,
+    /// `dance`, `bb`, `bike`, `amber`, `logo`).
+    pub app: String,
+    /// Offered root rate, frames/second.
+    pub rate: f64,
+    /// `uniform` (default) or `poisson`.
+    #[serde(default)]
+    pub arrival: Option<String>,
+    /// Multiplies the app's latency SLO (e.g. 2.0 on K80-class devices).
+    #[serde(default)]
+    pub slo_scale: Option<f64>,
+    /// Piecewise rate modulation: `[seconds, factor]` pairs.
+    #[serde(default)]
+    pub modulation: Vec<(f64, f64)>,
+}
+
+/// A complete workload configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadFile {
+    /// Cluster size.
+    pub gpus: u32,
+    /// Device type: `gtx1080ti` (default), `k80`, or `v100`.
+    #[serde(default)]
+    pub device: Option<String>,
+    /// System: `nexus` (default), `nexus-batch`, `clipper`, `tf-serving`,
+    /// `nexus-parallel`, or an ablation (`-PB`, `-SS`, `-ED`, `-OL`, `-QA`).
+    #[serde(default)]
+    pub system: Option<String>,
+    /// Measured seconds (warm-up is added on top).
+    pub secs: u64,
+    /// RNG seed.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Epoch seconds (default 30; 0 = static allocation).
+    #[serde(default)]
+    pub epoch_secs: Option<u64>,
+    /// The application streams.
+    pub apps: Vec<AppEntry>,
+}
+
+/// Errors from interpreting a workload file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError(pub String);
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workload config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl WorkloadFile {
+    /// Parses a JSON workload description.
+    pub fn from_json(json: &str) -> Result<Self, WorkloadError> {
+        serde_json::from_str(json).map_err(|e| WorkloadError(e.to_string()))
+    }
+
+    /// The device type named by the config.
+    pub fn device_type(&self) -> Result<nexus_profile::DeviceType, WorkloadError> {
+        match self.device.as_deref().unwrap_or("gtx1080ti") {
+            "gtx1080ti" => Ok(GPU_GTX1080TI),
+            "k80" => Ok(GPU_K80),
+            "v100" => Ok(GPU_V100),
+            other => Err(WorkloadError(format!("unknown device {other:?}"))),
+        }
+    }
+
+    /// The system configuration named by the config.
+    pub fn system_config(&self) -> Result<SystemConfig, WorkloadError> {
+        let mut cfg = match self.system.as_deref().unwrap_or("nexus") {
+            "nexus" => SystemConfig::nexus(),
+            "nexus-batch" => SystemConfig::nexus_batch_mode(),
+            "clipper" => SystemConfig::clipper(),
+            "tf-serving" => SystemConfig::tf_serving(),
+            "nexus-parallel" => SystemConfig::nexus_parallel(),
+            "-PB" => SystemConfig::nexus_no_pb(),
+            "-SS" => SystemConfig::nexus_no_ss(),
+            "-ED" => SystemConfig::nexus_no_ed(),
+            "-OL" => SystemConfig::nexus_no_ol(),
+            "-QA" => SystemConfig::nexus_no_qa(),
+            other => return Err(WorkloadError(format!("unknown system {other:?}"))),
+        };
+        match self.epoch_secs {
+            Some(0) => cfg = cfg.with_static_allocation(),
+            Some(s) => cfg = cfg.with_epoch(Micros::from_secs(s)),
+            None => {}
+        }
+        Ok(cfg)
+    }
+
+    /// Builds the traffic classes.
+    pub fn classes(&self) -> Result<Vec<TrafficClass>, WorkloadError> {
+        self.apps
+            .iter()
+            .map(|entry| {
+                let mut app = match entry.app.as_str() {
+                    "game" => apps::game(),
+                    "traffic" => apps::traffic(),
+                    "traffic_rush" => apps::traffic_rush_hour(),
+                    "dance" => apps::dance(),
+                    "bb" => apps::bb(),
+                    "bike" => apps::bike(),
+                    "amber" => apps::amber(),
+                    "logo" => apps::logo(),
+                    other => {
+                        return Err(WorkloadError(format!("unknown app {other:?}")))
+                    }
+                };
+                if let Some(scale) = entry.slo_scale {
+                    if !(scale.is_finite() && scale > 0.0) {
+                        return Err(WorkloadError("slo_scale must be positive".into()));
+                    }
+                    app.slo = app.slo.scale(scale);
+                }
+                let arrival = match entry.arrival.as_deref().unwrap_or("uniform") {
+                    "uniform" => ArrivalKind::Uniform,
+                    "poisson" => ArrivalKind::Poisson,
+                    other => {
+                        return Err(WorkloadError(format!("unknown arrival {other:?}")))
+                    }
+                };
+                let modulation = entry
+                    .modulation
+                    .iter()
+                    .map(|&(secs, factor)| (Micros::from_secs_f64(secs), factor))
+                    .collect();
+                Ok(TrafficClass::new(app, arrival, entry.rate).with_modulation(modulation))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = include_str!("../../../workloads/sample.json");
+
+    #[test]
+    fn sample_workload_parses() {
+        let w = WorkloadFile::from_json(SAMPLE).expect("sample parses");
+        assert_eq!(w.gpus, 16);
+        assert!(w.device_type().is_ok());
+        assert!(w.system_config().is_ok());
+        let classes = w.classes().expect("apps resolve");
+        assert_eq!(classes.len(), w.apps.len());
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let bad = r#"{"gpus": 4, "secs": 5, "apps": [{"app": "nope", "rate": 1.0}]}"#;
+        let w = WorkloadFile::from_json(bad).unwrap();
+        assert!(w.classes().is_err());
+        let bad_sys = r#"{"gpus": 4, "secs": 5, "system": "zork", "apps": []}"#;
+        assert!(WorkloadFile::from_json(bad_sys)
+            .unwrap()
+            .system_config()
+            .is_err());
+    }
+
+    #[test]
+    fn slo_scale_applies() {
+        let json = r#"{"gpus": 4, "secs": 5,
+            "apps": [{"app": "traffic", "rate": 10.0, "slo_scale": 2.0}]}"#;
+        let classes = WorkloadFile::from_json(json).unwrap().classes().unwrap();
+        assert_eq!(classes[0].app.slo, Micros::from_millis(800));
+    }
+
+    #[test]
+    fn epoch_zero_means_static() {
+        let json = r#"{"gpus": 4, "secs": 5, "epoch_secs": 0, "apps": []}"#;
+        let cfg = WorkloadFile::from_json(json).unwrap().system_config().unwrap();
+        assert_eq!(cfg.epoch, Micros::MAX);
+    }
+}

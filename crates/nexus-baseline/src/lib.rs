@@ -1,0 +1,269 @@
+//! Baseline schedulers for the comparisons of §7.
+//!
+//! Clipper and TensorFlow Serving "assume cluster scheduling and latency
+//! SLOs for DNN invocations are handled externally", so the paper furnishes
+//! a *batch-oblivious scheduler*: each model/SLO gets a share of the cluster
+//! proportional to its request rate and inversely proportional to its
+//! maximum single-node throughput, with no duty-cycle or batch-size
+//! reasoning when co-locating models (§7.2). This crate implements that
+//! baseline against the same [`SessionSpec`]/[`Allocation`] interfaces as
+//! the squishy scheduler, so the runtime can swap them (the -SS ablation).
+
+use nexus_profile::Micros;
+use nexus_scheduler::{Allocation, GpuPlan, PlanEntry, SessionSpec};
+
+/// Batch-oblivious proportional-share scheduling.
+///
+/// §7.2: the baseline "greedily allocates to each model/SLO a share of the
+/// *cluster* proportional to its request rate and inversely proportional to
+/// its maximum single-node throughput" — so the whole cluster of
+/// `total_gpus` is divided by demand shares (`rate / T`, with `T` the best
+/// single-node throughput at the largest batch with `2ℓ(b) ≤ SLO`). Whole-
+/// GPU allocations get dedicated nodes; fractional remainders are packed
+/// first-fit-decreasing by fraction, ignoring how co-located sessions'
+/// batches interact within a shared node — precisely the obliviousness the
+/// Fig. 16 comparison measures.
+pub fn batch_oblivious(
+    sessions: &[SessionSpec],
+    gpu_memory: u64,
+    total_gpus: u32,
+) -> Allocation {
+    let mut alloc = Allocation::default();
+    // (spec index, fraction) remainders to pack.
+    let mut fractions: Vec<(usize, f64)> = Vec::new();
+
+    // Total demand, for scaling shares to the cluster size.
+    let mut demands: Vec<f64> = vec![0.0; sessions.len()];
+    let mut total_demand = 0.0;
+    for (idx, s) in sessions.iter().enumerate() {
+        if s.rate <= 0.0 || s.profile.memory_bytes() > gpu_memory || s.max_batch() == 0 {
+            continue;
+        }
+        let batch = s.max_batch();
+        let t = f64::from(batch) / s.profile.latency(batch).as_secs_f64();
+        demands[idx] = s.rate / t;
+        total_demand += demands[idx];
+    }
+    // Spread the cluster proportionally, but never allocate more than 4×
+    // a session's demand (idle replicas beyond that add nothing).
+    let scale = if total_demand > 0.0 {
+        (f64::from(total_gpus) / total_demand).clamp(1.0, 4.0)
+    } else {
+        1.0
+    };
+
+    for (idx, s) in sessions.iter().enumerate() {
+        if s.rate <= 0.0 {
+            continue;
+        }
+        if s.profile.memory_bytes() > gpu_memory {
+            alloc.infeasible.push(s.id);
+            continue;
+        }
+        let batch = s.max_batch();
+        if batch == 0 {
+            alloc.infeasible.push(s.id);
+            continue;
+        }
+        let exec = s.profile.latency(batch);
+        let t = f64::from(batch) / exec.as_secs_f64();
+        let demand = demands[idx] * scale;
+        let whole = demand.floor() as u32;
+        for _ in 0..whole {
+            alloc.plans.push(GpuPlan {
+                duty_cycle: exec,
+                entries: vec![PlanEntry {
+                    session: s.id,
+                    batch,
+                    exec_latency: exec,
+                }],
+                saturated: true,
+                occupancy: 1.0,
+                memory_bytes: s.profile.memory_bytes(),
+            });
+        }
+        let frac = demand - f64::from(whole);
+        if frac > 1e-9 {
+            fractions.push((idx, frac));
+        }
+        debug_assert!(t > 0.0);
+    }
+
+    // First-fit decreasing on the fractional shares.
+    fractions.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("fractions are finite")
+            .then(sessions[a.0].id.cmp(&sessions[b.0].id))
+    });
+    struct Bin {
+        load: f64,
+        memory: u64,
+        members: Vec<usize>,
+    }
+    let mut bins: Vec<Bin> = Vec::new();
+    for &(idx, frac) in &fractions {
+        let mem = sessions[idx].profile.memory_bytes();
+        let slot = bins
+            .iter_mut()
+            .find(|b| b.load + frac <= 1.0 + 1e-9 && b.memory + mem <= gpu_memory);
+        match slot {
+            Some(bin) => {
+                bin.load += frac;
+                bin.memory += mem;
+                bin.members.push(idx);
+            }
+            None => bins.push(Bin {
+                load: frac,
+                memory: mem,
+                members: vec![idx],
+            }),
+        }
+    }
+
+    for bin in bins {
+        let entries: Vec<PlanEntry> = bin
+            .members
+            .iter()
+            .map(|&idx| {
+                let s = &sessions[idx];
+                let batch = s.max_batch();
+                PlanEntry {
+                    session: s.id,
+                    batch,
+                    exec_latency: s.profile.latency(batch),
+                }
+            })
+            .collect();
+        // A shared node round-robins full batches; its cycle is the sum of
+        // batch latencies. The baseline does not check this against SLOs —
+        // that is its defining blindness.
+        let duty_cycle: Micros = entries.iter().map(|e| e.exec_latency).sum();
+        alloc.plans.push(GpuPlan {
+            duty_cycle,
+            entries,
+            saturated: false,
+            occupancy: bin.load.min(1.0),
+            memory_bytes: bin.memory,
+        });
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_profile::BatchingProfile;
+    use nexus_scheduler::{squishy_bin_packing, SessionId};
+
+    const GPU_MEM: u64 = 11 << 30;
+
+    fn session(id: u32, alpha: f64, beta: f64, slo_ms: u64, rate: f64) -> SessionSpec {
+        SessionSpec::new(
+            SessionId(id),
+            BatchingProfile::from_linear_ms(alpha, beta, 64),
+            Micros::from_millis(slo_ms),
+            rate,
+        )
+    }
+
+    #[test]
+    fn saturated_demand_gets_whole_gpus() {
+        let s = session(0, 1.0, 10.0, 200, 1_000.0);
+        // B: 2ℓ(b) ≤ 200 ⇒ ℓ(b) ≤ 100 ⇒ b = 64 (ℓ = 74 ms); T ≈ 865 req/s.
+        // Cluster of 1: shares are not scaled up (scale clamps at 1).
+        let alloc = batch_oblivious(&[s], GPU_MEM, 1);
+        let whole = alloc.plans.iter().filter(|p| p.saturated).count();
+        assert_eq!(whole, 1);
+        assert_eq!(alloc.gpu_count(), 2); // 1 whole + 1 fractional
+    }
+
+    #[test]
+    fn fractional_sessions_share_nodes_obliviously() {
+        // Three sessions each needing ~0.3 GPU land on one node even though
+        // their combined duty cycle may violate SLOs — the baseline cannot
+        // see that.
+        let sessions: Vec<SessionSpec> = (0..3)
+            .map(|i| session(i, 1.0, 10.0, 150, 230.0))
+            .collect();
+        // With a cluster no bigger than the demand, all three land on one
+        // node.
+        let alloc = batch_oblivious(&sessions, GPU_MEM, 1);
+        assert_eq!(alloc.gpu_count(), 1);
+        assert_eq!(alloc.plans[0].entries.len(), 3);
+    }
+
+    #[test]
+    fn squishy_respects_slos_where_oblivious_does_not() {
+        // The defining difference (§4.1/Fig. 16): under tight SLOs the
+        // oblivious packer may co-locate sessions whose shared cycle breaks
+        // the SLO; squishy never does.
+        let sessions: Vec<SessionSpec> = (0..4)
+            .map(|i| session(i, 1.0, 12.0, 100, 150.0))
+            .collect();
+        let squishy = squishy_bin_packing(&sessions, GPU_MEM);
+        for plan in &squishy.plans {
+            let exec_total: Micros = plan.entries.iter().map(|e| e.exec_latency).sum();
+            for e in &plan.entries {
+                let worst = if plan.saturated {
+                    e.exec_latency * 2
+                } else {
+                    plan.duty_cycle + e.exec_latency
+                };
+                assert!(worst <= Micros::from_millis(100));
+            }
+            assert!(plan.saturated || exec_total <= plan.duty_cycle);
+        }
+        let oblivious = batch_oblivious(&sessions, GPU_MEM, 1);
+        let violates = oblivious.plans.iter().any(|plan| {
+            plan.entries.iter().any(|e| {
+                !plan.saturated && plan.duty_cycle + e.exec_latency > Micros::from_millis(100)
+            })
+        });
+        assert!(violates, "oblivious baseline should overpack this mix");
+    }
+
+    #[test]
+    fn infeasible_sessions_flagged() {
+        let s = session(0, 10.0, 60.0, 100, 50.0); // 2ℓ(1) = 140 > 100
+        let alloc = batch_oblivious(&[s], GPU_MEM, 8);
+        assert_eq!(alloc.infeasible, vec![SessionId(0)]);
+    }
+
+    #[test]
+    fn memory_respected_when_packing_fractions() {
+        let mem = 6u64 << 30;
+        let mut sessions = Vec::new();
+        for i in 0..2 {
+            let profile = BatchingProfile::from_linear_ms(1.0, 10.0, 64)
+                .with_memory_bytes(4 << 30);
+            sessions.push(SessionSpec::new(
+                SessionId(i),
+                profile,
+                Micros::from_millis(200),
+                100.0,
+            ));
+        }
+        let alloc = batch_oblivious(&sessions, mem, 1);
+        assert_eq!(alloc.gpu_count(), 2);
+    }
+
+    #[test]
+    fn zero_rate_ignored() {
+        let s = session(0, 1.0, 10.0, 200, 0.0);
+        let alloc = batch_oblivious(&[s], GPU_MEM, 8);
+        assert_eq!(alloc.gpu_count(), 0);
+    }
+
+    #[test]
+    fn spare_cluster_capacity_is_spread() {
+        // §7.2: shares are of the *cluster*. Demand ≈ 1.2 GPUs on an
+        // 8-GPU cluster spreads (capped at 4× demand).
+        let s = session(0, 1.0, 10.0, 200, 1_000.0);
+        let alloc = batch_oblivious(&[s], GPU_MEM, 8);
+        assert!(
+            alloc.gpu_count() >= 4,
+            "expected spreading, got {}",
+            alloc.gpu_count()
+        );
+    }
+}

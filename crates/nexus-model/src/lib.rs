@@ -1,0 +1,23 @@
+//! Model schemas, prefix detection, and the model database for the Nexus
+//! reproduction.
+//!
+//! This crate is the management plane's view of models: typed layer chains
+//! with stable fingerprints ([`schema::ModelSchema`]), transfer-learning
+//! specialization, prefix-group detection and the prefix-batched execution
+//! cost model ([`prefix`]), and the model database (§5) that ties schemas to
+//! measured batching profiles.
+
+pub mod database;
+pub mod hashfn;
+pub mod layer;
+pub mod prefix;
+pub mod schema;
+pub mod zoo;
+
+#[cfg(test)]
+mod proptests;
+
+pub use database::{DatabaseError, ModelDatabase, ModelId, StoredModel};
+pub use layer::{Layer, LayerKind};
+pub use prefix::{find_prefix_groups, unshared_memory, PrefixGroup, PrefixPlan};
+pub use schema::ModelSchema;

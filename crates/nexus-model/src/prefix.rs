@@ -1,0 +1,337 @@
+//! Prefix-batching: detecting shared model prefixes and costing their
+//! batched execution.
+//!
+//! §6.3 "Prefix Batching": transfer-learned variants differ only in their
+//! last layer(s). Nexus loads the shared prefix once, executes it as a
+//! single large batch, and then runs the small per-variant suffixes
+//! sequentially on their sub-batches. This module finds the groups (via the
+//! schema prefix hashes) and derives the execution-cost and memory model the
+//! simulator and scheduler use.
+
+use serde::{Deserialize, Serialize};
+
+use nexus_profile::{BatchingProfile, Micros};
+
+use crate::schema::ModelSchema;
+
+/// Fixed kernel-launch overhead of executing one variant suffix, in
+/// microseconds. Suffixes are one or a few FC layers; their invocation cost
+/// is a couple of kernel launches.
+pub const SUFFIX_LAUNCH_OVERHEAD_US: f64 = 50.0;
+
+/// Per-runtime framework context, mirroring
+/// `ModelSpec::runtime_memory_bytes`. A prefix-batched group shares ONE
+/// runtime context across all its variants — that is where the Fig. 15(b)
+/// memory win comes from.
+const WORKSPACE_BYTES: u64 = 1024 * 1024 * 1024;
+
+/// A set of models sharing a common prefix of `prefix_len` layers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixGroup {
+    /// Number of shared leading layers.
+    pub prefix_len: usize,
+    /// Fingerprint of the shared prefix.
+    pub prefix_hash: u64,
+    /// Indices (into the caller's slice) of the member models.
+    pub members: Vec<usize>,
+}
+
+/// Finds maximal groups of models sharing a prefix, deepest prefixes first.
+///
+/// Each model joins at most one group (the deepest available); models that
+/// share nothing with anyone are not in any group. This mirrors the model
+/// database's ingest-time comparison of sub-tree hashes.
+///
+/// # Examples
+///
+/// ```
+/// use nexus_model::{find_prefix_groups, zoo};
+///
+/// let base = zoo::resnet50();
+/// let game1 = base.specialize("resnet50-game1", 1, 1);
+/// let game2 = base.specialize("resnet50-game2", 1, 2);
+/// let groups = find_prefix_groups(&[&base, &game1, &game2]);
+/// assert_eq!(groups.len(), 1);
+/// assert_eq!(groups[0].members, vec![0, 1, 2]);
+/// assert_eq!(groups[0].prefix_len, base.num_layers() - 1);
+/// ```
+pub fn find_prefix_groups(schemas: &[&ModelSchema]) -> Vec<PrefixGroup> {
+    use std::collections::HashMap;
+
+    let max_depth = schemas.iter().map(|s| s.num_layers()).max().unwrap_or(0);
+    let mut grouped = vec![false; schemas.len()];
+    let mut groups = Vec::new();
+    for depth in (1..=max_depth).rev() {
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, schema) in schemas.iter().enumerate() {
+            if !grouped[i] && schema.num_layers() >= depth {
+                buckets
+                    .entry(schema.prefix_hash(depth))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        let mut new_groups: Vec<PrefixGroup> = buckets
+            .into_iter()
+            .filter(|(_, members)| members.len() >= 2)
+            .map(|(prefix_hash, members)| PrefixGroup {
+                prefix_len: depth,
+                prefix_hash,
+                members,
+            })
+            .collect();
+        // Sort for deterministic output (HashMap iteration order is not).
+        new_groups.sort_by_key(|g| g.members[0]);
+        for g in &new_groups {
+            for &m in &g.members {
+                grouped[m] = true;
+            }
+        }
+        groups.extend(new_groups);
+    }
+    groups.sort_by_key(|g| g.members[0]);
+    groups
+}
+
+/// Cost model for executing a prefix group as one batched prefix plus
+/// sequential per-variant suffixes.
+///
+/// Derived from the base model's batching profile `ℓ(b) = α·b + β` by
+/// splitting `α` proportionally to the FLOPs in prefix vs. suffix. The
+/// batch-invocation overhead `β` is paid once by the prefix (it covers input
+/// assembly and the long kernel sequence); each suffix adds only its small
+/// launch overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefixPlan {
+    /// Shared leading layers.
+    pub prefix_len: usize,
+    /// Marginal per-input prefix cost, microseconds.
+    pub prefix_alpha_us: f64,
+    /// Fixed prefix invocation cost, microseconds.
+    pub prefix_beta_us: f64,
+    /// Marginal per-input suffix cost, microseconds.
+    pub suffix_alpha_us: f64,
+    /// Fixed per-suffix-invocation cost, microseconds.
+    pub suffix_beta_us: f64,
+    /// Resident bytes of the shared prefix (weights + workspace).
+    pub prefix_memory_bytes: u64,
+    /// Resident bytes of one variant's suffix weights.
+    pub suffix_memory_bytes: u64,
+}
+
+impl PrefixPlan {
+    /// Builds the plan for variants of `base` sharing `prefix_len` layers,
+    /// given the base model's measured profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len` is zero or not smaller than the layer count.
+    pub fn new(base: &ModelSchema, profile: &BatchingProfile, prefix_len: usize) -> Self {
+        assert!(
+            prefix_len >= 1 && prefix_len < base.num_layers(),
+            "prefix_len must leave a non-empty suffix"
+        );
+        let fit = profile.fit_linear();
+        let frac = base.prefix_flops_fraction(prefix_len);
+        PrefixPlan {
+            prefix_len,
+            prefix_alpha_us: fit.alpha_us * frac,
+            prefix_beta_us: fit.beta_us,
+            suffix_alpha_us: fit.alpha_us * (1.0 - frac),
+            suffix_beta_us: SUFFIX_LAUNCH_OVERHEAD_US,
+            prefix_memory_bytes: base.prefix_param_bytes(prefix_len)
+                + base.prefix_param_bytes(prefix_len) / 5
+                + WORKSPACE_BYTES,
+            suffix_memory_bytes: base.suffix_param_bytes(prefix_len),
+        }
+    }
+
+    /// GPU latency of one prefix-batched round: the shared prefix runs once
+    /// over all inputs, then each variant's suffix runs on its sub-batch.
+    pub fn batch_latency(&self, sub_batches: &[u32]) -> Micros {
+        let total: u32 = sub_batches.iter().sum();
+        if total == 0 {
+            return Micros::ZERO;
+        }
+        let mut us = self.prefix_beta_us + self.prefix_alpha_us * f64::from(total);
+        for &b in sub_batches {
+            if b > 0 {
+                us += self.suffix_beta_us + self.suffix_alpha_us * f64::from(b);
+            }
+        }
+        Micros::from_micros(us.round() as u64)
+    }
+
+    /// A batching profile for the *combined* prefix-batched execution with
+    /// `variants` equally-loaded variants: entry `b` is the latency of
+    /// executing `b` total inputs spread evenly over the variants.
+    ///
+    /// This is what the squishy scheduler consumes for a prefix-merged
+    /// session (§5: "Combine two or more models that share a prefix and
+    /// latency SLO into a new prefix-batched model").
+    pub fn merged_profile(&self, variants: u32, max_batch: u32) -> BatchingProfile {
+        assert!(variants >= 1);
+        let mut lat = Vec::with_capacity(max_batch as usize);
+        for b in 1..=max_batch {
+            // Spread b inputs over the variants as evenly as possible.
+            let per = b / variants;
+            let extra = b % variants;
+            let mut subs = Vec::with_capacity(variants as usize);
+            for v in 0..variants {
+                let s = per + u32::from(v < extra);
+                if s > 0 {
+                    subs.push(s);
+                }
+            }
+            lat.push(self.batch_latency(&subs));
+        }
+        nexus_profile::repair_table(&mut lat);
+        BatchingProfile::new(lat)
+            .expect("merged prefix profile is valid")
+            .with_memory_bytes(self.memory_for_variants(variants as usize))
+    }
+
+    /// Resident GPU memory for the prefix plus `variants` suffixes.
+    pub fn memory_for_variants(&self, variants: usize) -> u64 {
+        self.prefix_memory_bytes + self.suffix_memory_bytes * variants as u64
+    }
+}
+
+/// Memory needed to host `variants` copies of the full model *without*
+/// prefix batching (each variant fully resident), for the Fig. 15(b)
+/// comparison.
+pub fn unshared_memory(base: &ModelSchema, variants: usize) -> u64 {
+    let full = base.total_param_bytes() + base.total_param_bytes() / 5 + WORKSPACE_BYTES;
+    full * variants as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use nexus_profile::catalog::RESNET50;
+
+    fn base_and_variants(n: usize) -> Vec<ModelSchema> {
+        let base = zoo::resnet50();
+        let mut out = vec![base.clone()];
+        for v in 1..n {
+            out.push(base.specialize(format!("resnet50-v{v}"), 1, v as u64));
+        }
+        out
+    }
+
+    #[test]
+    fn groups_variants_at_deepest_shared_prefix() {
+        let models = base_and_variants(4);
+        let refs: Vec<&ModelSchema> = models.iter().collect();
+        let groups = find_prefix_groups(&refs);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.members.len(), 4);
+        assert_eq!(g.prefix_len, models[0].num_layers() - 1);
+    }
+
+    #[test]
+    fn unrelated_models_form_no_group() {
+        let a = zoo::resnet50();
+        let b = zoo::inception4();
+        let groups = find_prefix_groups(&[&a, &b]);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn mixed_population_groups_only_relatives() {
+        let base = zoo::resnet50();
+        let v1 = base.specialize("v1", 1, 1);
+        let v2 = base.specialize("v2", 1, 2);
+        let loner = zoo::darknet53();
+        let groups = find_prefix_groups(&[&base, &loner, &v1, &v2]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn deeper_groups_win_over_shallow() {
+        let base = zoo::resnet50();
+        // v1/v2 retrain 1 layer (share len n-1); v3 retrains 3 layers
+        // (shares only len n-3 with the others).
+        let v1 = base.specialize("v1", 1, 1);
+        let v2 = base.specialize("v2", 1, 2);
+        let v3 = base.specialize("v3", 3, 3);
+        let n = base.num_layers();
+        let groups = find_prefix_groups(&[&v1, &v2, &v3]);
+        // v1+v2 group at depth n-1; v3 is left alone (its depth-(n-3) match
+        // is already consumed).
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].prefix_len, n - 1);
+        assert_eq!(groups[0].members, vec![0, 1]);
+    }
+
+    #[test]
+    fn prefix_plan_latency_splits_compute() {
+        let base = zoo::resnet50();
+        let profile = RESNET50.profile_1080ti();
+        let n = base.num_layers();
+        let plan = PrefixPlan::new(&base, &profile, n - 1);
+        // One variant at batch b costs about the same as the full model.
+        let full = profile.latency(8);
+        let split = plan.batch_latency(&[8]);
+        let rel = (split.as_micros() as f64 - full.as_micros() as f64).abs()
+            / full.as_micros() as f64;
+        assert!(
+            rel < 0.05,
+            "single-variant prefix execution should cost about the full model"
+        );
+    }
+
+    #[test]
+    fn prefix_batching_beats_separate_small_batches() {
+        // 4 variants with 8 inputs each: one prefix batch of 32 vs four
+        // separate batches of 8.
+        let base = zoo::resnet50();
+        let profile = RESNET50.profile_1080ti();
+        let n = base.num_layers();
+        let plan = PrefixPlan::new(&base, &profile, n - 1);
+        let shared = plan.batch_latency(&[8, 8, 8, 8]);
+        let separate = profile.latency(8) * 4;
+        assert!(
+            shared < separate,
+            "prefix batching {shared} should beat separate {separate}"
+        );
+    }
+
+    #[test]
+    fn merged_profile_is_valid_and_batchier() {
+        let base = zoo::resnet50();
+        let profile = RESNET50.profile_1080ti();
+        let n = base.num_layers();
+        let plan = PrefixPlan::new(&base, &profile, n - 1);
+        let merged = plan.merged_profile(4, 32);
+        assert_eq!(merged.max_batch(), 32);
+        // Throughput at batch 32 spread over 4 variants still beats four
+        // separate batch-8 executions.
+        let merged_tp = merged.throughput(32);
+        let separate_tp = 32.0 / (profile.latency(8) * 4).as_secs_f64();
+        assert!(merged_tp > separate_tp);
+    }
+
+    #[test]
+    fn memory_scales_with_suffix_only() {
+        let base = zoo::resnet50();
+        let profile = RESNET50.profile_1080ti();
+        let n = base.num_layers();
+        let plan = PrefixPlan::new(&base, &profile, n - 1);
+        let m2 = plan.memory_for_variants(2);
+        let m10 = plan.memory_for_variants(10);
+        let growth = (m10 - m2) as f64 / m2 as f64;
+        assert!(
+            growth < 0.25,
+            "adding 8 one-layer variants grew memory {growth:.2}"
+        );
+        // Without sharing, memory grows 5× from 2 to 10 variants.
+        assert_eq!(
+            unshared_memory(&base, 10),
+            unshared_memory(&base, 2) * 5
+        );
+    }
+}

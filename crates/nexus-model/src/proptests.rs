@@ -1,0 +1,125 @@
+//! Property-based tests for schema hashing and prefix detection.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::layer::{Layer, LayerKind};
+use crate::prefix::find_prefix_groups;
+use crate::schema::ModelSchema;
+
+fn arb_layer(seed: u32) -> Layer {
+    // Deterministic layer variety from a seed.
+    let kind = match seed % 5 {
+        0 => LayerKind::Conv {
+            out_channels: 16 + seed % 64,
+            kernel: 1 + seed % 5,
+            stride: 1 + seed % 2,
+        },
+        1 => LayerKind::Fc {
+            out_features: 10 + seed % 1000,
+        },
+        2 => LayerKind::Pool {
+            window: 2 + seed % 3,
+        },
+        3 => LayerKind::ResidualBlock {
+            out_channels: 32 + seed % 512,
+        },
+        _ => LayerKind::Softmax {
+            classes: 2 + seed % 100,
+        },
+    };
+    Layer::new(kind, u64::from(seed % 997) * 1_000, f64::from(seed % 97) / 10.0)
+}
+
+fn arb_schema() -> impl Strategy<Value = ModelSchema> {
+    prop::collection::vec(0u32..10_000, 2..12)
+        .prop_map(|seeds| {
+            let layers = seeds.into_iter().map(arb_layer).collect();
+            ModelSchema::new("m", layers)
+        })
+}
+
+proptest! {
+    /// Prefix hashes agree exactly up to the common prefix and disagree
+    /// beyond it, for any schema and any specialization depth.
+    #[test]
+    fn specialization_prefix_boundary(
+        schema in arb_schema(),
+        retrain in 1usize..6,
+        version in 1u64..1_000,
+    ) {
+        prop_assume!(retrain < schema.num_layers());
+        let variant = schema.specialize("v", retrain, version);
+        let shared = schema.num_layers() - retrain;
+        prop_assert_eq!(schema.common_prefix_len(&variant), shared);
+        for len in 1..=shared {
+            prop_assert_eq!(schema.prefix_hash(len), variant.prefix_hash(len));
+        }
+        for len in shared + 1..=schema.num_layers() {
+            prop_assert_ne!(schema.prefix_hash(len), variant.prefix_hash(len));
+        }
+    }
+
+    /// `common_prefix_len` is symmetric and bounded by both lengths.
+    #[test]
+    fn common_prefix_symmetric(a in arb_schema(), b in arb_schema()) {
+        let ab = a.common_prefix_len(&b);
+        prop_assert_eq!(ab, b.common_prefix_len(&a));
+        prop_assert!(ab <= a.num_layers().min(b.num_layers()));
+    }
+
+    /// Parameter and FLOP accounting splits always add up, at every depth.
+    #[test]
+    fn accounting_partitions(schema in arb_schema()) {
+        for len in 0..=schema.num_layers() {
+            prop_assert_eq!(
+                schema.prefix_param_bytes(len) + schema.suffix_param_bytes(len),
+                schema.total_param_bytes()
+            );
+            let f = schema.prefix_gflops(len) + schema.suffix_gflops(len);
+            prop_assert!((f - schema.total_gflops()).abs() < 1e-9);
+        }
+    }
+
+    /// Prefix grouping is sound: every reported group's members genuinely
+    /// share a prefix of the reported depth, an unrelated schema never
+    /// joins relatives, and each model lands in at most one group.
+    #[test]
+    fn grouping_is_sound(
+        schema in arb_schema(),
+        versions in prop::collection::vec(1u64..500, 1..6),
+        unrelated in arb_schema(),
+    ) {
+        prop_assume!(schema.num_layers() >= 3);
+        prop_assume!(schema.common_prefix_len(&unrelated) == 0);
+        let variants: Vec<ModelSchema> = versions
+            .iter()
+            .map(|&v| schema.specialize(format!("v{v}"), 1, v))
+            .collect();
+        let mut all: Vec<&ModelSchema> = vec![&schema, &unrelated];
+        all.extend(variants.iter());
+        let groups = find_prefix_groups(&all);
+        // Relatives exist, so at least one group forms.
+        prop_assert!(!groups.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            prop_assert!(g.members.len() >= 2);
+            for &m in &g.members {
+                prop_assert!(seen.insert(m), "model {m} in two groups");
+                prop_assert!(m != 1, "unrelated schema grouped");
+                prop_assert!(all[m].num_layers() >= g.prefix_len);
+                prop_assert_eq!(all[m].prefix_hash(g.prefix_len), g.prefix_hash);
+            }
+            // Pairwise shared prefixes are at least the group depth.
+            for i in 0..g.members.len() {
+                for j in i + 1..g.members.len() {
+                    prop_assert!(
+                        all[g.members[i]].common_prefix_len(all[g.members[j]])
+                            >= g.prefix_len
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Catalog of the DNN models used in the paper's evaluation, with batching
+//! profiles calibrated to the published timings.
+//!
+//! Calibration methodology (documented per DESIGN.md §2): the paper gives
+//! batch-size-1 GPU latencies for its models (Table 1, §7.3.1, §7.3.2) and
+//! reports that batching improves throughput 4.7–13.3× at batch 32 (§2.2).
+//! Both facts are captured by a linear profile `ℓ(b) = α·b + β` where
+//!
+//! * `α` is the compute-bound marginal cost: the model's forward-pass FLOPs
+//!   divided by the device's sustained large-batch throughput (85% of peak —
+//!   dense batched GEMMs run near peak), and
+//! * `β` is whatever remains of the measured batch-1 latency, i.e. the
+//!   fixed kernel-launch / memory-stall overhead that batching amortizes.
+//!
+//! Profiles for devices other than the GTX 1080Ti (on which the paper's
+//! batch-1 numbers were measured) scale `β` by the ratio of effective
+//! sustained throughputs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::{DeviceType, GPU_GTX1080TI};
+use crate::profile::BatchingProfile;
+use crate::time::Micros;
+
+/// Static description of a DNN model sufficient to derive its batching
+/// profile on any [`DeviceType`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name as used throughout the paper, e.g. `"resnet50"`.
+    pub name: &'static str,
+    /// Forward-pass compute per input, in GFLOPs.
+    pub gflops: f64,
+    /// Weight size in bytes (drives GPU memory use and load time).
+    pub weight_bytes: u64,
+    /// Measured batch-1 GPU latency on a GTX 1080Ti, in milliseconds.
+    pub base_latency_ms: f64,
+    /// Measured CPU (c5.large) latency in milliseconds, where the paper
+    /// reports one (Table 1); `None` otherwise.
+    pub cpu_latency_ms: Option<f64>,
+    /// Default CPU pre-processing per input (decode/resize/pack).
+    pub preprocess_ms: f64,
+    /// Default CPU post-processing per input.
+    pub postprocess_ms: f64,
+    /// Largest batch size the profiler measures for this model.
+    pub max_batch: u32,
+}
+
+/// Fraction of peak FLOPS sustained by large batched GEMM/conv kernels.
+const SUSTAINED_FRACTION: f64 = 0.85;
+
+/// PCIe-class bandwidth used to estimate model load time.
+const LOAD_BANDWIDTH_BYTES_PER_SEC: f64 = 8.0e9;
+
+/// Fixed driver/allocator overhead of loading any model.
+const LOAD_FIXED_MS: f64 = 200.0;
+
+/// Per-resident-model framework context: CUDA context, cuDNN workspace,
+/// and allocator slack.
+pub const CONTEXT_BYTES: u64 = 1024 * 1024 * 1024;
+
+impl ModelSpec {
+    /// Marginal per-input batch cost on `device`, in milliseconds.
+    ///
+    /// `gflops / TFLOPS` conveniently yields milliseconds directly.
+    pub fn alpha_ms(&self, device: &DeviceType) -> f64 {
+        self.gflops / (SUSTAINED_FRACTION * device.peak_tflops)
+    }
+
+    /// Fixed invocation overhead on `device`, in milliseconds.
+    ///
+    /// Calibrated so that `α + β` equals the measured batch-1 latency on the
+    /// GTX 1080Ti, scaled to other devices by sustained-throughput ratio.
+    /// A floor keeps `β` positive for compute-dominated models.
+    pub fn beta_ms(&self, device: &DeviceType) -> f64 {
+        let scale = GPU_GTX1080TI.effective_tflops / device.effective_tflops;
+        let base = self.base_latency_ms * scale - self.alpha_ms(device);
+        base.max(0.05)
+    }
+
+    /// GPU memory held while the model is fully resident: weights, an
+    /// activation-workspace allowance, and the framework's per-model GPU
+    /// context (CUDA context + cuDNN workspace — several hundred MB per
+    /// process for Caffe/TF-era frameworks; this is what makes unshared
+    /// variant hosting exhaust an 11 GiB GPU within ~9 ResNet-50 variants,
+    /// Fig. 15(b)).
+    pub fn runtime_memory_bytes(&self) -> u64 {
+        self.weight_bytes + self.weight_bytes / 5 + CONTEXT_BYTES
+    }
+
+    /// Time to load the model onto a GPU (fixed overhead + weight transfer),
+    /// matching §2.2's "hundreds of milliseconds to seconds".
+    pub fn load_time(&self) -> Micros {
+        let transfer_s = self.weight_bytes as f64 / LOAD_BANDWIDTH_BYTES_PER_SEC;
+        Micros::from_millis_f64(LOAD_FIXED_MS + transfer_s * 1_000.0)
+    }
+
+    /// Derives the batching profile of this model on `device`.
+    pub fn profile_on(&self, device: &DeviceType) -> BatchingProfile {
+        BatchingProfile::from_linear_ms(
+            self.alpha_ms(device),
+            self.beta_ms(device),
+            self.max_batch,
+        )
+        .with_preprocess(Micros::from_millis_f64(self.preprocess_ms))
+        .with_postprocess(Micros::from_millis_f64(self.postprocess_ms))
+        .with_memory_bytes(self.runtime_memory_bytes())
+        .with_load_time(self.load_time())
+    }
+
+    /// Profile on the paper's 16-GPU case-study device (GTX 1080Ti).
+    pub fn profile_1080ti(&self) -> BatchingProfile {
+        self.profile_on(&GPU_GTX1080TI)
+    }
+}
+
+const MIB: u64 = 1 << 20;
+
+/// LeNet-5 digit recognizer (Table 1; specialized per game in §7.3.1).
+pub const LENET5: ModelSpec = ModelSpec {
+    name: "lenet5",
+    gflops: 0.004,
+    weight_bytes: 2 * MIB,
+    base_latency_ms: 0.09,
+    cpu_latency_ms: Some(6.0),
+    preprocess_ms: 0.4,
+    postprocess_ms: 0.05,
+    max_batch: 128,
+};
+
+/// Compact VGG-7 (Table 1).
+pub const VGG7: ModelSpec = ModelSpec {
+    name: "vgg7",
+    gflops: 0.6,
+    weight_bytes: 30 * MIB,
+    base_latency_ms: 0.9,
+    cpu_latency_ms: Some(44.0),
+    preprocess_ms: 2.0,
+    postprocess_ms: 0.1,
+    max_batch: 64,
+};
+
+/// ResNet-50 object recognizer (Table 1; icon recognition in §7.3.1).
+pub const RESNET50: ModelSpec = ModelSpec {
+    name: "resnet50",
+    gflops: 7.7,
+    weight_bytes: 98 * MIB,
+    base_latency_ms: 6.2,
+    cpu_latency_ms: Some(1_130.0),
+    preprocess_ms: 6.0,
+    postprocess_ms: 0.2,
+    max_batch: 64,
+};
+
+/// Inception-V4 (Table 1).
+pub const INCEPTION4: ModelSpec = ModelSpec {
+    name: "inception4",
+    gflops: 24.6,
+    weight_bytes: 163 * MIB,
+    base_latency_ms: 7.0,
+    cpu_latency_ms: Some(2_110.0),
+    preprocess_ms: 6.0,
+    postprocess_ms: 0.2,
+    max_batch: 64,
+};
+
+/// Darknet-53 (Table 1).
+pub const DARKNET53: ModelSpec = ModelSpec {
+    name: "darknet53",
+    gflops: 37.1,
+    weight_bytes: 159 * MIB,
+    base_latency_ms: 26.3,
+    cpu_latency_ms: Some(7_210.0),
+    preprocess_ms: 8.0,
+    postprocess_ms: 0.3,
+    max_batch: 64,
+};
+
+/// SSD object detector (§7.3.2: 47 ms at batch 1, invoked on every frame).
+pub const SSD: ModelSpec = ModelSpec {
+    name: "ssd",
+    gflops: 88.0,
+    weight_bytes: 105 * MIB,
+    base_latency_ms: 47.0,
+    cpu_latency_ms: None,
+    preprocess_ms: 8.0,
+    postprocess_ms: 1.0,
+    max_batch: 32,
+};
+
+/// VGG-Face recognizer (§7.3.2). The paper reports no batch-1 latency for
+/// it; 9 ms is in line with cuDNN-era VGG-16 on a GTX 1080Ti.
+pub const VGG_FACE: ModelSpec = ModelSpec {
+    name: "vgg_face",
+    gflops: 31.0,
+    weight_bytes: 528 * MIB,
+    base_latency_ms: 9.0,
+    cpu_latency_ms: None,
+    preprocess_ms: 3.0,
+    postprocess_ms: 0.2,
+    max_batch: 48,
+};
+
+/// GoogleNet car make/model classifier (§7.3.2: 4.2 ms at batch 1).
+pub const GOOGLENET_CAR: ModelSpec = ModelSpec {
+    name: "googlenet_car",
+    gflops: 3.0,
+    weight_bytes: 28 * MIB,
+    base_latency_ms: 4.2,
+    cpu_latency_ms: None,
+    preprocess_ms: 3.0,
+    postprocess_ms: 0.1,
+    max_batch: 64,
+};
+
+/// Inception-V3, the model used in the multiplexing and query-analysis
+/// micro-benchmarks (Fig. 14, Fig. 17).
+pub const INCEPTION3: ModelSpec = ModelSpec {
+    name: "inception3",
+    gflops: 11.4,
+    weight_bytes: 92 * MIB,
+    base_latency_ms: 6.5,
+    cpu_latency_ms: None,
+    preprocess_ms: 6.0,
+    postprocess_ms: 0.2,
+    max_batch: 64,
+};
+
+/// All catalogued models.
+pub const ALL_MODELS: [&ModelSpec; 9] = [
+    &LENET5,
+    &VGG7,
+    &RESNET50,
+    &INCEPTION4,
+    &DARKNET53,
+    &SSD,
+    &VGG_FACE,
+    &GOOGLENET_CAR,
+    &INCEPTION3,
+];
+
+/// The five models of Table 1, in row order.
+pub const TABLE1_MODELS: [&ModelSpec; 5] =
+    [&LENET5, &VGG7, &RESNET50, &INCEPTION4, &DARKNET53];
+
+/// Looks up a catalogued model by name.
+pub fn by_name(name: &str) -> Option<&'static ModelSpec> {
+    ALL_MODELS.iter().copied().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{GPU_K80, GPU_V100};
+
+    #[test]
+    fn batch1_latency_matches_paper_on_1080ti() {
+        for (spec, expect_ms) in [
+            (&RESNET50, 6.2),
+            (&INCEPTION4, 7.0),
+            (&DARKNET53, 26.3),
+            (&SSD, 47.0),
+            (&GOOGLENET_CAR, 4.2),
+        ] {
+            let p = spec.profile_1080ti();
+            let got = p.latency(1).as_millis_f64();
+            assert!(
+                (got - expect_ms).abs() / expect_ms < 0.03,
+                "{}: batch-1 latency {got:.2}ms, paper says {expect_ms}ms",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn lenet_batch1_is_sub_100us_class() {
+        // Table 1: LeNet GPU latency "<0.1 ms".
+        let p = LENET5.profile_1080ti();
+        assert!(p.latency(1).as_millis_f64() <= 0.1);
+    }
+
+    #[test]
+    fn batch32_speedup_in_paper_range() {
+        // §2.2: 4.7–13.3× throughput gain at batch 32 for VGG/ResNet/
+        // Inception-class models. Allow a modestly wider band. (VGG-Face is
+        // compute-dominated in our calibration and gains less.)
+        for spec in [&RESNET50, &INCEPTION3, &VGG7] {
+            let p = spec.profile_1080ti();
+            let speedup = p.throughput(32) / p.throughput(1);
+            assert!(
+                (3.0..16.0).contains(&speedup),
+                "{}: batch-32 speedup {speedup:.1} outside expected range",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn load_times_are_hundreds_of_ms() {
+        // §2.2: "loading models into memory can cost hundreds of
+        // milliseconds to seconds".
+        for spec in ALL_MODELS {
+            let ms = spec.load_time().as_millis_f64();
+            assert!((200.0..2_000.0).contains(&ms), "{}: {ms}ms", spec.name);
+        }
+    }
+
+    #[test]
+    fn profiles_scale_across_devices() {
+        // A K80 is slower than a 1080Ti which is slower than a V100 at the
+        // same batch size.
+        for spec in ALL_MODELS {
+            let b = 8;
+            let k80 = spec.profile_on(&GPU_K80).latency(b);
+            let ti = spec.profile_on(&GPU_GTX1080TI).latency(b);
+            let v100 = spec.profile_on(&GPU_V100).latency(b);
+            assert!(k80 > ti, "{}: K80 should be slower", spec.name);
+            assert!(ti > v100, "{}: V100 should be faster", spec.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("resnet50").unwrap().name, "resnet50");
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn memory_fits_on_case_study_gpu() {
+        // All models individually fit on an 11 GiB 1080Ti.
+        for spec in ALL_MODELS {
+            assert!(spec.runtime_memory_bytes() < GPU_GTX1080TI.memory_bytes);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Batching profiles, device catalog, model catalog, cost model, and the
+//! management-plane profiler for the Nexus reproduction.
+//!
+//! This crate is the foundation of the workspace: everything the scheduler
+//! and simulator know about a model's performance flows through a
+//! [`BatchingProfile`], exactly as in the paper (§2.2, Eq. 1), where every
+//! scheduling decision consumes the measured latency table `ℓ(b)`.
+
+pub mod catalog;
+pub mod cost;
+pub mod gpu;
+pub mod profile;
+pub mod profiler;
+pub mod time;
+
+#[cfg(test)]
+mod proptests;
+
+pub use catalog::{by_name, ModelSpec, ALL_MODELS, TABLE1_MODELS};
+pub use gpu::{DeviceType, ALL_DEVICES, CPU_C5, GPU_GTX1080TI, GPU_K80, GPU_V100, TPU_V2};
+pub use profile::{repair_table, BatchingProfile, LinearFit, ProfileError};
+pub use profiler::{profile_model, BatchRunner, ProfilerConfig};
+pub use time::Micros;

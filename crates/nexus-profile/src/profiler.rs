@@ -1,0 +1,192 @@
+//! The management-plane profiler.
+//!
+//! §5: "A profiler measures the execution latency and memory use for
+//! different batch sizes when the models are uploaded to Nexus." The
+//! profiler is generic over a [`BatchRunner`] so it can drive either the
+//! simulated GPU (in this reproduction) or, in principle, a real device.
+
+use crate::profile::{repair_table, BatchingProfile, ProfileError};
+use crate::time::Micros;
+
+/// Anything that can execute one batch of a fixed model and report how long
+/// it took.
+///
+/// Implementations must be *warm*: the model is already loaded, so the
+/// reported latency excludes load time (the profiler records load time
+/// separately via [`BatchRunner::load_cost`]).
+pub trait BatchRunner {
+    /// Executes one batch of `batch` inputs and returns its latency.
+    fn run_batch(&mut self, batch: u32) -> Micros;
+
+    /// GPU memory held by the loaded model.
+    fn memory_bytes(&self) -> u64;
+
+    /// One-time model load cost.
+    fn load_cost(&self) -> Micros;
+
+    /// Per-item CPU pre-processing cost.
+    fn preprocess_per_item(&self) -> Micros {
+        Micros::ZERO
+    }
+
+    /// Per-item CPU post-processing cost.
+    fn postprocess_per_item(&self) -> Micros {
+        Micros::ZERO
+    }
+}
+
+/// Configuration for a profiling run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilerConfig {
+    /// Largest batch size to measure.
+    pub max_batch: u32,
+    /// Repetitions per batch size; the median is recorded, making the
+    /// profile robust to a noisy runner.
+    pub repetitions: u32,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            max_batch: 64,
+            repetitions: 5,
+        }
+    }
+}
+
+/// Measures a batching profile by sweeping batch sizes on `runner`.
+///
+/// The raw medians are post-processed into a valid profile: latencies are
+/// made non-decreasing (isotonic in batch size) and per-item latency
+/// non-increasing, which absorbs measurement noise that would otherwise
+/// violate the scheduler's assumptions.
+pub fn profile_model<R: BatchRunner>(
+    runner: &mut R,
+    config: ProfilerConfig,
+) -> Result<BatchingProfile, ProfileError> {
+    assert!(config.max_batch >= 1, "max_batch must be at least 1");
+    assert!(config.repetitions >= 1, "repetitions must be at least 1");
+    let mut medians = Vec::with_capacity(config.max_batch as usize);
+    for b in 1..=config.max_batch {
+        let mut samples: Vec<Micros> = (0..config.repetitions)
+            .map(|_| runner.run_batch(b))
+            .collect();
+        samples.sort_unstable();
+        medians.push(samples[samples.len() / 2]);
+    }
+    repair_table(&mut medians);
+    Ok(BatchingProfile::new(medians)?
+        .with_memory_bytes(runner.memory_bytes())
+        .with_load_time(runner.load_cost())
+        .with_preprocess(runner.preprocess_per_item())
+        .with_postprocess(runner.postprocess_per_item()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic synthetic runner with optional injected noise.
+    struct FakeRunner {
+        alpha_us: u64,
+        beta_us: u64,
+        noise: Vec<i64>,
+        calls: usize,
+    }
+
+    impl BatchRunner for FakeRunner {
+        fn run_batch(&mut self, batch: u32) -> Micros {
+            let base = self.alpha_us * u64::from(batch) + self.beta_us;
+            let jitter = if self.noise.is_empty() {
+                0
+            } else {
+                self.noise[self.calls % self.noise.len()]
+            };
+            self.calls += 1;
+            Micros::from_micros((base as i64 + jitter).max(1) as u64)
+        }
+
+        fn memory_bytes(&self) -> u64 {
+            42_000_000
+        }
+
+        fn load_cost(&self) -> Micros {
+            Micros::from_millis(300)
+        }
+    }
+
+    #[test]
+    fn recovers_linear_profile_exactly_without_noise() {
+        let mut runner = FakeRunner {
+            alpha_us: 1_000,
+            beta_us: 5_000,
+            noise: vec![],
+            calls: 0,
+        };
+        let p = profile_model(&mut runner, ProfilerConfig::default()).unwrap();
+        assert_eq!(p.max_batch(), 64);
+        assert_eq!(p.latency(1), Micros::from_micros(6_000));
+        assert_eq!(p.latency(32), Micros::from_micros(37_000));
+        assert_eq!(p.memory_bytes(), 42_000_000);
+        assert_eq!(p.load_time(), Micros::from_millis(300));
+    }
+
+    #[test]
+    fn median_filters_outliers() {
+        // One wild sample out of five per batch size must not distort the
+        // profile.
+        let mut runner = FakeRunner {
+            alpha_us: 1_000,
+            beta_us: 5_000,
+            noise: vec![0, 0, 500_000, 0, 0],
+            calls: 0,
+        };
+        let p = profile_model(
+            &mut runner,
+            ProfilerConfig {
+                max_batch: 16,
+                repetitions: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.latency(1), Micros::from_micros(6_000));
+        assert_eq!(p.latency(16), Micros::from_micros(21_000));
+    }
+
+    #[test]
+    fn noisy_measurements_yield_valid_profile() {
+        let mut runner = FakeRunner {
+            alpha_us: 100,
+            beta_us: 2_000,
+            noise: vec![-800, 900, -350, 420, 77, -600, 1_000],
+            calls: 0,
+        };
+        // BatchingProfile::new validates monotonicity internally, so the
+        // profiler succeeding is itself the assertion.
+        let p = profile_model(
+            &mut runner,
+            ProfilerConfig {
+                max_batch: 32,
+                repetitions: 3,
+            },
+        )
+        .unwrap();
+        for b in 2..=32 {
+            assert!(p.latency(b) >= p.latency(b - 1));
+            assert!(p.throughput(b) >= p.throughput(b - 1) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn repair_table_fixes_dips_and_spikes() {
+        let mut lat = vec![
+            Micros::from_micros(100),
+            Micros::from_micros(90),  // dip: slower batch measured faster
+            Micros::from_micros(400), // spike: throughput would drop
+        ];
+        repair_table(&mut lat);
+        assert_eq!(lat[1], Micros::from_micros(100));
+        // Capped at ℓ(2)·3/2 = 150.
+        assert_eq!(lat[2], Micros::from_micros(150));
+    }
+}

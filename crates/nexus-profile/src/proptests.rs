@@ -1,0 +1,95 @@
+//! Property-based tests for profile invariants.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::profile::{repair_table, BatchingProfile};
+use crate::time::Micros;
+
+proptest! {
+    /// `repair_table` always yields a table that satisfies both §6.1
+    /// assumptions, whatever garbage goes in.
+    #[test]
+    fn repair_yields_valid_profile(raw in prop::collection::vec(0u64..500_000, 1..64)) {
+        let mut lat: Vec<Micros> = raw.into_iter().map(Micros::from_micros).collect();
+        repair_table(&mut lat);
+        let p = BatchingProfile::new(lat).expect("repaired table is valid");
+        for b in 2..=p.max_batch() {
+            prop_assert!(p.latency(b) >= p.latency(b - 1));
+            prop_assert!(p.throughput(b) + 1e-9 >= p.throughput(b - 1));
+        }
+    }
+
+    /// Repair never *lowers* an entry below its predecessor and keeps the
+    /// first entry unchanged (modulo the zero fix-up).
+    #[test]
+    fn repair_preserves_first_entry(raw in prop::collection::vec(1u64..500_000, 1..64)) {
+        let original = raw.clone();
+        let mut lat: Vec<Micros> = raw.into_iter().map(Micros::from_micros).collect();
+        repair_table(&mut lat);
+        prop_assert_eq!(lat[0].as_micros(), original[0]);
+    }
+
+    /// Linear profiles: max_batch_for_slo returns the true argmax of the
+    /// 2ℓ(b) ≤ SLO predicate.
+    #[test]
+    fn max_batch_for_slo_is_argmax(
+        alpha in 10.0f64..5_000.0,
+        beta in 10.0f64..200_000.0,
+        slo_ms in 1u64..1_000,
+    ) {
+        let p = BatchingProfile::from_linear_us(alpha, beta, 64);
+        let slo = Micros::from_millis(slo_ms);
+        let b = p.max_batch_for_slo(slo);
+        if b > 0 {
+            prop_assert!(p.latency(b) * 2 <= slo);
+        }
+        if b < p.max_batch() {
+            prop_assert!(p.latency(b + 1) * 2 > slo);
+        }
+    }
+
+    /// The least-squares fit recovers linear coefficients to within
+    /// rounding error.
+    #[test]
+    fn linear_fit_recovers_coefficients(
+        alpha in 10.0f64..20_000.0,
+        beta in 10.0f64..500_000.0,
+    ) {
+        let p = BatchingProfile::from_linear_us(alpha, beta, 32);
+        let fit = p.fit_linear();
+        prop_assert!((fit.alpha_us - alpha).abs() < 1.0, "alpha {} vs {alpha}", fit.alpha_us);
+        prop_assert!((fit.beta_us - beta).abs() < 10.0, "beta {} vs {beta}", fit.beta_us);
+    }
+
+    /// The effective profile under overlap never exceeds the serialized
+    /// one, and both stay valid profiles.
+    #[test]
+    fn effective_profile_ordering(
+        alpha in 10.0f64..5_000.0,
+        beta in 10.0f64..100_000.0,
+        pre in 0u64..20_000,
+        workers in 1u32..8,
+    ) {
+        let p = BatchingProfile::from_linear_us(alpha, beta, 32)
+            .with_preprocess(Micros::from_micros(pre));
+        let overlap = p.effective(true, workers);
+        let serial = p.effective(false, workers);
+        for b in 1..=32u32 {
+            prop_assert!(overlap.latency(b) <= serial.latency(b));
+            prop_assert!(overlap.latency(b) >= p.latency(b).min(serial.latency(b)));
+        }
+    }
+
+    /// Micros round-trips and saturating arithmetic never panic over the
+    /// practical range.
+    #[test]
+    fn micros_arithmetic_total(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (x, y) = (Micros(a), Micros(b));
+        prop_assert_eq!(x + y, Micros(a + b));
+        prop_assert_eq!(x.saturating_sub(y).as_micros(), a.saturating_sub(b));
+        prop_assert_eq!(x.max(y).as_micros(), a.max(b));
+        prop_assert_eq!(x.min(y).as_micros(), a.min(b));
+    }
+}

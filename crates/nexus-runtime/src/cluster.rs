@@ -1,0 +1,1278 @@
+//! The cluster simulation: frontends, backends, and the control loop
+//! composed over the discrete-event engine.
+//!
+//! This is the reproduction's equivalent of the paper's deployed system
+//! (§5): root requests arrive at a distributed frontend, are routed by the
+//! routing table to backends, queued per session, executed in batched
+//! round-robin duty cycles (or uncoordinated parallel containers for the
+//! baselines), spawn child stage requests per the application dataflow, and
+//! are tracked to per-request and per-query terminal states. An epoch tick
+//! re-runs the global scheduler on observed rates and migrates sessions,
+//! charging model-load delays (§6.1 incremental scheduling).
+
+use nexus_profile::{BatchingProfile, DeviceType, Micros};
+use nexus_scheduler::{assign_plans, SessionId};
+use nexus_simgpu::{EventQueue, ResidentKey, SimGpu};
+use nexus_workload::{poisson_sample, rng_for, ArrivalGen, GammaSpec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::SystemConfig;
+use crate::control::{plan, ControlPlan, TrafficClass};
+use crate::dispatch::SessionQueue;
+use crate::metrics::ClusterMetrics;
+use crate::request::{QueryId, QueryTracker, Request, RequestId, RequestOutcome};
+use crate::trace::{Trace, TraceEvent};
+
+/// Cluster simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The serving system under test.
+    pub system: SystemConfig,
+    /// GPU device type of every backend.
+    pub device: DeviceType,
+    /// Cluster size cap.
+    pub max_gpus: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Root arrivals are generated in `[0, horizon)`.
+    pub horizon: Micros,
+    /// Measurements consider queries arriving in `[warmup, horizon)`.
+    pub warmup: Micros,
+    /// Maximum trace events to capture (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+/// Summary of one simulation run.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Request-level bad rate within the measurement window.
+    pub request_bad_rate: f64,
+    /// Query-level bad rate (dropped or past-deadline) for queries arriving
+    /// in the window.
+    pub query_bad_rate: f64,
+    /// Good queries per second completed for window arrivals.
+    pub query_goodput: f64,
+    /// Queries arriving in the window that reached a terminal state.
+    pub queries_finished: u64,
+    /// Mean allocated GPUs over the run.
+    pub mean_gpus: f64,
+    /// Aggregate GPU busy time divided by allocated GPU-seconds.
+    pub gpu_utilization: f64,
+    /// Full per-session and timeline metrics.
+    pub metrics: ClusterMetrics,
+    /// Captured execution trace, when enabled.
+    pub trace: Option<Trace>,
+}
+
+enum Event {
+    RootArrival {
+        class: usize,
+    },
+    Wake {
+        backend: usize,
+        slot: usize,
+        /// Deployment generation the event belongs to; stale events from
+        /// before an epoch reallocation are ignored.
+        gen: u64,
+    },
+    BatchDone {
+        backend: usize,
+        slot: usize,
+        requests: Vec<Request>,
+        gen: u64,
+    },
+    EpochTick,
+}
+
+/// A session slot within a backend.
+struct Slot {
+    session: SessionId,
+    target_batch: u32,
+    /// How long the oldest request may wait for batch-mates before the
+    /// slot serves anyway — the plan's duty cycle (§4.1: a request waits at
+    /// most one duty cycle before its session's next batch).
+    gather_limit: Micros,
+    /// Duty-cycle time owed to co-located sessions each round; bounds how
+    /// far the early-drop window may grow beyond the planned batch.
+    reserve: Micros,
+    /// Profile used for forced-start timing. Under uncoordinated execution
+    /// this is pessimistically interference-stretched: a container that
+    /// waits until the last safe moment computed from its solo latency is
+    /// late whenever a peer happens to be concurrent.
+    timing: BatchingProfile,
+    /// Profile used for pull sizing and wake planning. Under uncoordinated
+    /// execution this is pessimistically stretched by the worst-case
+    /// interference (a container cannot know how busy its peers will be).
+    profile: BatchingProfile,
+    /// Unstretched effective profile; actual execution duration scales
+    /// this by the interference of the *actually concurrent* peers.
+    base: BatchingProfile,
+    queue: SessionQueue,
+    busy: bool,
+    /// Per-slot phase-jitter state: each round serves `target − (state %
+    /// span)` instead of exactly `target`, so replicas of one session
+    /// drift out of phase instead of emitting synchronized downstream
+    /// bursts (deterministic SplitMix64 stream).
+    jitter_state: u64,
+}
+
+struct Backend {
+    slots: Vec<Slot>,
+    cursor: usize,
+    busy: bool,
+    available_at: Micros,
+    armed_wake: Micros,
+    /// The simulated device: enforces that resident models fit in memory
+    /// (the plan promised it; the device checks it) and accounts busy time.
+    gpu: SimGpu,
+}
+
+impl Backend {
+    fn slot_of(&self, session: SessionId) -> Option<usize> {
+        self.slots.iter().position(|s| s.session == session)
+    }
+}
+
+/// Smooth weighted-round-robin router state per session.
+///
+/// WRR keeps replica loads balanced to within one request — random
+/// splitting would transiently overload saturated replicas. The phase-lock
+/// that perfect interleaving would cause (every replica's batch filling at
+/// the same instant, emitting synchronized downstream bursts) is broken at
+/// the backends instead, by jittering effective batch sizes.
+struct Route {
+    targets: Vec<(usize, f64)>, // (backend, weight)
+    credits: Vec<f64>,
+}
+
+impl Route {
+    fn pick(&mut self, _rng: &mut StdRng) -> Option<usize> {
+        if self.targets.is_empty() {
+            return None;
+        }
+        let total: f64 = self.targets.iter().map(|t| t.1).sum();
+        let mut best = 0;
+        for i in 0..self.targets.len() {
+            self.credits[i] += self.targets[i].1;
+            if self.credits[i] > self.credits[best] {
+                best = i;
+            }
+        }
+        self.credits[best] -= total;
+        Some(self.targets[best].0)
+    }
+}
+
+/// Outcome of inspecting one slot during a service scan.
+enum SlotDecision {
+    /// Queue empty or not yet worth serving.
+    Skip,
+    /// Not ready; a wake should be armed at this time.
+    NotReady(Micros),
+    /// A pull happened.
+    Pulled {
+        session: SessionId,
+        batch: Vec<Request>,
+        dropped: Vec<Request>,
+        duration: Micros,
+        /// Expiry of the oldest survivor if the batch came back empty.
+        pending_expiry: Option<Micros>,
+    },
+}
+
+/// The cluster simulator.
+pub struct ClusterSim {
+    cfg: SimConfig,
+    classes: Vec<TrafficClass>,
+    control: ControlPlan,
+    backends: Vec<Backend>,
+    /// Routing state per frontend: `routes[frontend][session]`.
+    routes: Vec<Vec<Route>>,
+    next_frontend: usize,
+    /// (class, stage) → session ids (one per variant; single when merged).
+    stage_sessions: Vec<Vec<Vec<SessionId>>>,
+    variant_cursor: Vec<Vec<usize>>,
+    events: EventQueue<Event>,
+    arrivals: Vec<ArrivalGen>,
+    arrival_rng: Vec<StdRng>,
+    gamma_rng: StdRng,
+    route_rng: StdRng,
+    tracker: QueryTracker,
+    metrics: ClusterMetrics,
+    next_request: u64,
+    epoch_arrivals: Vec<u64>,
+    epoch_started: Micros,
+    est_rates: Vec<f64>,
+    /// Rates the current deployment was planned for; re-planning is skipped
+    /// while observations stay close to them (§5: reconfiguration is
+    /// rate-limited to prevent oscillation).
+    planned_rates: Vec<f64>,
+    /// When the deployment was last replaced.
+    last_replan: Micros,
+    gpu_seconds_allocated: f64,
+    last_alloc_change: Micros,
+    generation: u64,
+    trace: Option<Trace>,
+}
+
+impl ClusterSim {
+    /// Builds a simulator for `classes` under `cfg`.
+    pub fn new(cfg: SimConfig, classes: Vec<TrafficClass>) -> Self {
+        let est_rates: Vec<f64> = classes.iter().map(|c| c.rate).collect();
+        let control = plan(
+            &classes,
+            &cfg.system,
+            &cfg.device,
+            cfg.max_gpus,
+            Some(&est_rates),
+        );
+        let backends = build_backends(&control, &cfg.system, &cfg.device);
+        let routes = build_frontends(&control, cfg.system.frontends);
+        let stage_sessions = index_sessions(&classes, &control);
+        let variant_cursor = classes
+            .iter()
+            .map(|c| vec![0usize; c.app.stages.len()])
+            .collect();
+        let mut events = EventQueue::new();
+        let mut arrivals = Vec::new();
+        let mut arrival_rng = Vec::new();
+        for (ci, class) in classes.iter().enumerate() {
+            let mut gen = ArrivalGen::new(class.arrival, class.rate)
+                .with_modulation(class.modulation.clone());
+            let mut rng = rng_for(cfg.seed, ci as u64);
+            if let Some(t) = gen.next_arrival(cfg.horizon, &mut rng) {
+                events.push(t, Event::RootArrival { class: ci });
+            }
+            arrivals.push(gen);
+            arrival_rng.push(rng);
+        }
+        if cfg.system.epoch != Micros::MAX && cfg.system.epoch < cfg.horizon {
+            // §5: epochs are typically 30–60 s, but large workload changes
+            // trigger early, with a 10 s minimum period — so the controller
+            // *observes* every min(epoch, 10 s).
+            let tick = cfg.system.epoch.min(Micros::from_secs(10));
+            events.push(tick, Event::EpochTick);
+        }
+        let mut metrics = ClusterMetrics::new(Micros::from_secs(1));
+        metrics.record_allocation(Micros::ZERO, control.allocation.gpu_count() as u32);
+        let gamma_rng = rng_for(cfg.seed, 0xFA_0000);
+        let route_rng = rng_for(cfg.seed, 0xFB_0000);
+        let n_classes = classes.len();
+        let cfg2_trace = cfg.trace_capacity;
+        ClusterSim {
+            cfg,
+            classes,
+            control,
+            backends,
+            routes,
+            next_frontend: 0,
+            stage_sessions,
+            variant_cursor,
+            events,
+            arrivals,
+            arrival_rng,
+            gamma_rng,
+            route_rng,
+            tracker: QueryTracker::new(),
+            metrics,
+            next_request: 0,
+            epoch_arrivals: vec![0; n_classes],
+            epoch_started: Micros::ZERO,
+            planned_rates: est_rates.clone(),
+            last_replan: Micros::ZERO,
+            est_rates,
+            gpu_seconds_allocated: 0.0,
+            last_alloc_change: Micros::ZERO,
+            generation: 0,
+            trace: (cfg2_trace > 0).then(|| Trace::new(cfg2_trace)),
+        }
+    }
+
+    /// The initial control plan (for inspection in tests/benches).
+    pub fn control_plan(&self) -> &ControlPlan {
+        &self.control
+    }
+
+    /// Runs to completion and summarizes.
+    pub fn run(mut self) -> SimResult {
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                Event::RootArrival { class } => self.on_root_arrival(now, class),
+                Event::Wake { backend, slot, gen } => {
+                    if gen == self.generation {
+                        self.on_wake(now, backend, slot);
+                    }
+                }
+                Event::BatchDone {
+                    backend,
+                    slot,
+                    requests,
+                    gen,
+                } => self.on_batch_done(now, backend, slot, requests, gen),
+                Event::EpochTick => self.on_epoch(now),
+            }
+        }
+        self.summarize()
+    }
+
+    fn on_root_arrival(&mut self, now: Micros, class: usize) {
+        // Schedule the subsequent arrival.
+        if let Some(t) = {
+            let gen = &mut self.arrivals[class];
+            gen.next_arrival(self.cfg.horizon, &mut self.arrival_rng[class])
+        } {
+            self.events.push(t.max(now), Event::RootArrival { class });
+        }
+
+        self.epoch_arrivals[class] += 1;
+        let slo = self.classes[class].app.slo;
+        let query = self.tracker.open(now, now + slo);
+        let budget = self.control.budgets[class][0];
+        self.submit(now, class, 0, query, now + budget.min(slo));
+    }
+
+    /// Creates and routes one stage request.
+    fn submit(
+        &mut self,
+        now: Micros,
+        class: usize,
+        stage: usize,
+        query: QueryId,
+        deadline: Micros,
+    ) {
+        let variants = &self.stage_sessions[class][stage];
+        let vi = self.variant_cursor[class][stage] % variants.len();
+        self.variant_cursor[class][stage] += 1;
+        let session = variants[vi];
+        let req = Request {
+            id: RequestId(self.next_request),
+            session,
+            arrival: now,
+            deadline,
+            query: Some(query),
+        };
+        self.next_request += 1;
+        self.metrics.record_arrival(session, now);
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Arrival {
+                t: now,
+                request: req.id.0,
+                session,
+            });
+        }
+        let fe = self.next_frontend;
+        self.next_frontend = (self.next_frontend + 1) % self.routes.len();
+        match self.routes[fe][session.0 as usize].pick(&mut self.route_rng) {
+            Some(backend) => {
+                let slot = self.backends[backend]
+                    .slot_of(session)
+                    .expect("route targets host the session");
+                self.backends[backend].slots[slot].queue.push(req);
+                self.arm(now, backend, slot);
+            }
+            None => {
+                // No replica (infeasible or capacity-capped): admission
+                // control rejects at the frontend.
+                self.metrics.record_drop(session, now);
+                if let Some(tr) = &mut self.trace {
+                    tr.push(TraceEvent::Drop {
+                        t: now,
+                        request: req.id.0,
+                        session,
+                    });
+                }
+                self.tracker.record(query, RequestOutcome::Dropped(now));
+            }
+        }
+    }
+
+    /// Arms a wake for the backend (coordinated) or slot (uncoordinated).
+    fn arm(&mut self, now: Micros, backend: usize, slot: usize) {
+        let coordinated = self.cfg.system.coordinated;
+        let b = &mut self.backends[backend];
+        let t = now.max(b.available_at);
+        let gen = self.generation;
+        if coordinated {
+            if !b.busy && b.armed_wake > t {
+                b.armed_wake = t;
+                self.events.push(
+                    t,
+                    Event::Wake {
+                        backend,
+                        slot: usize::MAX,
+                        gen,
+                    },
+                );
+            }
+        } else if slot < b.slots.len() && !b.slots[slot].busy {
+            self.events.push(t, Event::Wake { backend, slot, gen });
+        }
+    }
+
+    fn on_wake(&mut self, now: Micros, backend: usize, slot: usize) {
+        if self.cfg.system.coordinated {
+            self.backends[backend].armed_wake = Micros::MAX;
+            self.serve_coordinated(now, backend);
+        } else {
+            self.serve_slot(now, backend, slot);
+        }
+    }
+
+    /// Inspects slot `si` of `backend`: readiness check and pull.
+    fn inspect_slot(&mut self, now: Micros, backend: usize, si: usize) -> SlotDecision {
+        let policy = self.cfg.system.drop_policy;
+        let slot = &mut self.backends[backend].slots[si];
+        if slot.queue.is_empty() || slot.busy {
+            return SlotDecision::Skip;
+        }
+        let queued = slot.queue.len() as u32;
+        // Jittered readiness threshold (phase decorrelation).
+        let span = (slot.target_batch / 6).max(1);
+        let eff_target = slot.target_batch - (slot.jitter_state % u64::from(span)) as u32;
+        if queued < eff_target {
+            // Wait for batch-mates, but no longer than one duty cycle past
+            // the oldest arrival and never past the latest safe start.
+            let gather_until = slot
+                .queue
+                .oldest_arrival()
+                .map_or(Micros::MAX, |a| a + slot.gather_limit);
+            let f = forced_start(slot).min(gather_until);
+            if now < f {
+                return SlotDecision::NotReady(f);
+            }
+        }
+        // The GPU scheduler executes the *planned* batch sizes (§6.3); an
+        // infinite reserve pins the early-drop window to the plan. Bursty
+        // child stages survive because their deadlines inherit ancestor
+        // slack, not because batches balloon.
+        slot.jitter_state = nexus_workload::splitmix64(slot.jitter_state);
+        let pull = slot.queue.pull(
+            now,
+            slot.target_batch,
+            &slot.profile,
+            policy,
+            Micros::MAX,
+        );
+        let duration = if pull.batch.is_empty() {
+            Micros::ZERO
+        } else {
+            slot.profile.latency_clamped(pull.batch.len() as u32)
+        };
+        let pending_expiry = if pull.batch.is_empty() {
+            slot.queue.oldest_deadline()
+        } else {
+            None
+        };
+        SlotDecision::Pulled {
+            session: slot.session,
+            batch: pull.batch,
+            dropped: pull.dropped,
+            duration,
+            pending_expiry,
+        }
+    }
+
+    fn record_drops(&mut self, now: Micros, session: SessionId, dropped: Vec<Request>) {
+        for r in dropped {
+            self.metrics.record_drop(session, now);
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::Drop {
+                    t: now,
+                    request: r.id.0,
+                    session,
+                });
+            }
+            if let Some(q) = r.query {
+                self.tracker.record(q, RequestOutcome::Dropped(now));
+            }
+        }
+    }
+
+    /// Round-robin service: find the first ready slot from the cursor and
+    /// execute one batch exclusively.
+    fn serve_coordinated(&mut self, now: Micros, backend: usize) {
+        {
+            let b = &self.backends[backend];
+            if b.busy {
+                return;
+            }
+            if now < b.available_at {
+                let t = b.available_at;
+                let gen = self.generation;
+                let b = &mut self.backends[backend];
+                if b.armed_wake > t {
+                    b.armed_wake = t;
+                    self.events.push(
+                        t,
+                        Event::Wake {
+                            backend,
+                            slot: usize::MAX,
+                            gen,
+                        },
+                    );
+                }
+                return;
+            }
+        }
+        let n = self.backends[backend].slots.len();
+        if n == 0 {
+            return;
+        }
+        let cursor = self.backends[backend].cursor;
+        let mut earliest_wake: Option<Micros> = None;
+        for k in 0..n {
+            let si = (cursor + k) % n;
+            match self.inspect_slot(now, backend, si) {
+                SlotDecision::Skip => {}
+                SlotDecision::NotReady(f) => {
+                    earliest_wake = Some(earliest_wake.map_or(f, |e: Micros| e.min(f)));
+                }
+                SlotDecision::Pulled {
+                    session,
+                    batch,
+                    dropped,
+                    duration,
+                    pending_expiry,
+                } => {
+                    self.record_drops(now, session, dropped);
+                    if !batch.is_empty() {
+                        if let Some(tr) = &mut self.trace {
+                            tr.push(TraceEvent::Batch {
+                                t: now,
+                                backend,
+                                session,
+                                size: batch.len() as u32,
+                                duration,
+                            });
+                        }
+                        let b = &mut self.backends[backend];
+                        b.busy = true;
+                        b.cursor = (si + 1) % n;
+                        b.gpu.execute(now, duration, batch.len() as u32);
+                        let gen = self.generation;
+                        self.events.push(
+                            now + duration,
+                            Event::BatchDone {
+                                backend,
+                                slot: si,
+                                requests: batch,
+                                gen,
+                            },
+                        );
+                        return;
+                    }
+                    if let Some(expiry) = pending_expiry {
+                        // Lazy-held requests: revisit at their expiry.
+                        let f = expiry.max(now + Micros(1));
+                        earliest_wake =
+                            Some(earliest_wake.map_or(f, |e: Micros| e.min(f)));
+                    }
+                }
+            }
+        }
+        if let Some(f) = earliest_wake {
+            let gen = self.generation;
+            let b = &mut self.backends[backend];
+            if b.armed_wake > f {
+                b.armed_wake = f;
+                self.events.push(
+                    f,
+                    Event::Wake {
+                        backend,
+                        slot: usize::MAX,
+                        gen,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Uncoordinated (container) service of one slot.
+    fn serve_slot(&mut self, now: Micros, backend: usize, slot: usize) {
+        if slot >= self.backends[backend].slots.len() {
+            return;
+        }
+        if now < self.backends[backend].available_at {
+            let t = self.backends[backend].available_at;
+            let gen = self.generation;
+            self.events.push(t, Event::Wake { backend, slot, gen });
+            return;
+        }
+        match self.inspect_slot(now, backend, slot) {
+            SlotDecision::Skip => {}
+            SlotDecision::NotReady(f) => {
+                let gen = self.generation;
+                self.events
+                    .push(f.max(now), Event::Wake { backend, slot, gen });
+            }
+            SlotDecision::Pulled {
+                session,
+                batch,
+                dropped,
+                duration: _,
+                pending_expiry,
+            } => {
+                self.record_drops(now, session, dropped);
+                if !batch.is_empty() {
+                    let trace_size = batch.len() as u32;
+                    let b = &mut self.backends[backend];
+                    // Interference from the peers that are executing right
+                    // now (including ourselves): an idle co-located
+                    // container costs nothing.
+                    let concurrent =
+                        1 + b.slots.iter().filter(|s| s.busy).count();
+                    let factor = self.cfg.system.interference.slowdown(concurrent);
+                    let duration = b.slots[slot]
+                        .base
+                        .latency_clamped(batch.len() as u32)
+                        .scale(factor);
+                    b.slots[slot].busy = true;
+                    // Fair-share accounting: concurrent containers
+                    // time-share the device.
+                    b.gpu.accrue_shared(
+                        duration / concurrent as u64,
+                        batch.len() as u32,
+                    );
+                    if let Some(tr) = &mut self.trace {
+                        tr.push(TraceEvent::Batch {
+                            t: now,
+                            backend,
+                            session,
+                            size: trace_size,
+                            duration,
+                        });
+                    }
+                    let gen = self.generation;
+                    self.events.push(
+                        now + duration,
+                        Event::BatchDone {
+                            backend,
+                            slot,
+                            requests: batch,
+                            gen,
+                        },
+                    );
+                } else if let Some(expiry) = pending_expiry {
+                    let gen = self.generation;
+                    self.events.push(
+                        expiry.max(now + Micros(1)),
+                        Event::Wake { backend, slot, gen },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_batch_done(
+        &mut self,
+        now: Micros,
+        backend: usize,
+        slot: usize,
+        requests: Vec<Request>,
+        gen: u64,
+    ) {
+        for req in requests {
+            let good = now <= req.deadline;
+            self.metrics
+                .record_completion(req.session, req.arrival, now, good);
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::Completion {
+                    t: now,
+                    request: req.id.0,
+                    session: req.session,
+                    latency: now - req.arrival,
+                    good,
+                });
+            }
+            if let Some(query) = req.query {
+                let s = &self.control.sessions[req.session.0 as usize];
+                let (class, stage) = (s.class, s.stage);
+                let children: Vec<(usize, GammaSpec)> =
+                    self.classes[class].app.stages[stage].children.clone();
+                for (child, gamma) in children {
+                    let count = sample_gamma(gamma, &mut self.gamma_rng);
+                    if count > 0 {
+                        self.tracker.add_outstanding(query, count);
+                        // The child's window is its cumulative budget offset
+                        // from the query arrival — slack left by ancestors
+                        // finishing early is inherited, the query SLO is the
+                        // only hard wall.
+                        let q_arrival =
+                            self.tracker.arrival(query).unwrap_or(now);
+                        let q_deadline =
+                            self.tracker.deadline(query).unwrap_or(Micros::MAX);
+                        let offset = self.stage_offset(class, child);
+                        let deadline = (q_arrival + offset).min(q_deadline).max(now);
+                        for _ in 0..count {
+                            self.submit(now, class, child, query, deadline);
+                        }
+                    }
+                }
+                self.tracker.record(query, RequestOutcome::Completed(now));
+            }
+        }
+        // A stale generation means the deployment was replaced while this
+        // batch executed; the work still counted, but the backend state it
+        // referred to is gone.
+        if gen != self.generation {
+            return;
+        }
+        if self.cfg.system.coordinated {
+            self.backends[backend].busy = false;
+            self.serve_coordinated(now, backend);
+        } else {
+            self.backends[backend].slots[slot].busy = false;
+            self.serve_slot(now, backend, slot);
+        }
+    }
+
+    /// Cumulative deadline offset of a stage (same for all its variants).
+    fn stage_offset(&self, class: usize, stage: usize) -> Micros {
+        let sid = self.stage_sessions[class][stage][0];
+        self.control.sessions[sid.0 as usize].deadline_offset
+    }
+
+    fn on_epoch(&mut self, now: Micros) {
+        // Observe per-class rates over the elapsed epoch.
+        let epoch_secs = (now - self.epoch_started).as_secs_f64();
+        if epoch_secs > 0.0 {
+            for (ci, count) in self.epoch_arrivals.iter_mut().enumerate() {
+                let observed = *count as f64 / epoch_secs;
+                let prev = self.est_rates[ci] / 1.1;
+                // React immediately to increases, decay slowly on
+                // decreases, provision 10% headroom.
+                let blended = if observed > prev {
+                    observed
+                } else {
+                    0.5 * prev + 0.5 * observed
+                };
+                self.est_rates[ci] = blended * 1.1;
+                *count = 0;
+            }
+        }
+        self.epoch_started = now;
+
+        // Reconfigure when the workload moved materially (early trigger) or
+        // a full epoch elapsed; otherwise skip — swapping deployments costs
+        // model loads and queue migrations, and the paper rate-limits
+        // reconfiguration for exactly this reason.
+        let tick = self.cfg.system.epoch.min(Micros::from_secs(10));
+        let significant = self
+            .est_rates
+            .iter()
+            .zip(&self.planned_rates)
+            .any(|(&now_r, &planned)| {
+                let base = planned.max(1.0);
+                (now_r - planned).abs() / base > 0.15
+            });
+        let epoch_elapsed = now - self.last_replan >= self.cfg.system.epoch;
+        if !significant && !epoch_elapsed {
+            if now + tick < self.cfg.horizon {
+                self.events.push(now + tick, Event::EpochTick);
+            }
+            return;
+        }
+        self.last_replan = now;
+        self.planned_rates = self.est_rates.clone();
+
+        // Account allocated GPU-seconds under the *old* allocation.
+        self.gpu_seconds_allocated += (now - self.last_alloc_change).as_secs_f64()
+            * self.control.allocation.gpu_count() as f64;
+        self.last_alloc_change = now;
+
+        let next = plan(
+            &self.classes,
+            &self.cfg.system,
+            &self.cfg.device,
+            self.cfg.max_gpus,
+            Some(&self.est_rates),
+        );
+        let assignment =
+            assign_plans(&self.control.allocation.plans, &next.allocation.plans);
+        let mut new_backends = build_backends(&next, &self.cfg.system, &self.cfg.device);
+        // Charge model-load delay on backends that must load new models.
+        for (ni, nb) in new_backends.iter_mut().enumerate() {
+            let mut max_load = Micros::ZERO;
+            for slot in &nb.slots {
+                let resident = assignment.backend_for[ni].is_some_and(|pi| {
+                    self.backends[pi].slot_of(slot.session).is_some()
+                });
+                if !resident {
+                    let load = next.sessions[slot.session.0 as usize]
+                        .exec_profile
+                        .load_time();
+                    max_load = max_load.max(load);
+                }
+            }
+            // Phase stagger matters only for brand-new backends; reused
+            // ones already drifted out of phase and must not go dark for a
+            // duty cycle at every reconfiguration.
+            let stagger = if assignment.backend_for[ni].is_some() {
+                Micros::ZERO
+            } else {
+                nb.available_at
+            };
+            nb.available_at = now + max_load + stagger;
+        }
+        // Queues stay with backends that keep hosting their session (no
+        // disruption); only requests whose host changed migrate.
+        for (ni, nb) in new_backends.iter_mut().enumerate() {
+            if let Some(pi) = assignment.backend_for[ni] {
+                for slot in nb.slots.iter_mut() {
+                    if let Some(psi) = self.backends[pi].slot_of(slot.session) {
+                        for r in self.backends[pi].slots[psi].queue.drain() {
+                            slot.queue.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        let mut orphans: Vec<Request> = Vec::new();
+        for b in &mut self.backends {
+            for slot in &mut b.slots {
+                orphans.extend(slot.queue.drain());
+            }
+        }
+        self.generation += 1;
+        self.routes = build_frontends(&next, self.cfg.system.frontends);
+        self.backends = new_backends;
+        self.control = next;
+        for req in orphans {
+            let fe = self.next_frontend;
+            self.next_frontend = (self.next_frontend + 1) % self.routes.len();
+            match self.routes[fe][req.session.0 as usize].pick(&mut self.route_rng) {
+                Some(backend) => {
+                    let slot = self.backends[backend]
+                        .slot_of(req.session)
+                        .expect("routed sessions are hosted");
+                    self.backends[backend].slots[slot].queue.push(req);
+                }
+                None => {
+                    self.metrics.record_drop(req.session, now);
+                    if let Some(q) = req.query {
+                        self.tracker.record(q, RequestOutcome::Dropped(now));
+                    }
+                }
+            }
+        }
+        self.metrics
+            .record_allocation(now, self.control.allocation.gpu_count() as u32);
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Reallocation {
+                t: now,
+                gpus: self.control.allocation.gpu_count() as u32,
+                model_loads: assignment.model_loads,
+            });
+        }
+        // Wake everything to pick up the new schedule.
+        for backend in 0..self.backends.len() {
+            if self.cfg.system.coordinated {
+                self.arm(now, backend, usize::MAX);
+            } else {
+                for slot in 0..self.backends[backend].slots.len() {
+                    self.arm(now, backend, slot);
+                }
+            }
+        }
+        if now + tick < self.cfg.horizon {
+            self.events.push(now + tick, Event::EpochTick);
+        }
+    }
+
+    fn summarize(mut self) -> SimResult {
+        let end = self.events.now().max(self.cfg.horizon);
+        // Flush requests still queued at the end of the run: they are
+        // terminally unserved.
+        let mut leftovers: Vec<Request> = Vec::new();
+        for b in &mut self.backends {
+            for slot in &mut b.slots {
+                leftovers.extend(slot.queue.drain());
+            }
+        }
+        for req in leftovers {
+            self.metrics.record_drop(req.session, end);
+            if let Some(q) = req.query {
+                self.tracker.record(q, RequestOutcome::Dropped(end));
+            }
+        }
+        self.gpu_seconds_allocated += (end - self.last_alloc_change).as_secs_f64()
+            * self.control.allocation.gpu_count() as f64;
+
+        let window_start = self.cfg.warmup;
+        let window_end = self.cfg.horizon;
+        let window_secs = (window_end - window_start).as_secs_f64().max(1e-9);
+
+        let mut finished = 0u64;
+        let mut bad = 0u64;
+        for q in self.tracker.finished() {
+            if q.arrival >= window_start && q.arrival < window_end {
+                finished += 1;
+                if !q.good {
+                    bad += 1;
+                }
+            }
+        }
+        let query_bad_rate = if finished == 0 {
+            0.0
+        } else {
+            bad as f64 / finished as f64
+        };
+
+        let busy_total: u64 = self
+            .backends
+            .iter()
+            .map(|b| b.gpu.busy_total().as_micros())
+            .sum();
+        let mean_gpus = self.gpu_seconds_allocated / end.as_secs_f64().max(1e-9);
+        let gpu_utilization = if self.gpu_seconds_allocated > 0.0 {
+            ((busy_total as f64 / 1e6) / self.gpu_seconds_allocated).min(1.0)
+        } else {
+            0.0
+        };
+
+        SimResult {
+            request_bad_rate: self.metrics.bad_rate_in(window_start, window_end),
+            query_bad_rate,
+            query_goodput: (finished - bad) as f64 / window_secs,
+            queries_finished: finished,
+            mean_gpus,
+            gpu_utilization,
+            metrics: self.metrics,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Latest time a slot can start its next batch without missing the oldest
+/// request's deadline.
+fn forced_start(slot: &Slot) -> Micros {
+    // The dispatcher may serve the whole queue in one batch (bursts), so
+    // the latest safe start accounts for that larger execution, using the
+    // timing profile (interference-pessimistic for containers) — and for
+    // the worst case that every co-located session's batch gets in line
+    // first (the peer reserve).
+    let n = (slot.queue.len() as u32).max(1);
+    let deadline = slot.queue.oldest_deadline().unwrap_or(Micros::MAX);
+    deadline
+        .saturating_sub(slot.timing.latency_clamped(n))
+        .saturating_sub(slot.reserve)
+}
+
+/// Samples a fan-out count (stochastic rounding for fractional fixed γ).
+fn sample_gamma(gamma: GammaSpec, rng: &mut StdRng) -> u32 {
+    match gamma {
+        GammaSpec::Fixed(g) => {
+            let base = g.floor();
+            let frac = g - base;
+            base as u32 + u32::from(rng.gen::<f64>() < frac)
+        }
+        GammaSpec::Poisson(g) => poisson_sample(rng, g),
+    }
+}
+
+fn build_backends(
+    control: &ControlPlan,
+    system: &SystemConfig,
+    device: &nexus_profile::DeviceType,
+) -> Vec<Backend> {
+    let n = control.allocation.plans.len().max(1) as u64;
+    control
+        .allocation
+        .plans
+        .iter()
+        .enumerate()
+        .map(|(bi, p)| {
+            // Load every hosted model onto the simulated device; the
+            // squishy memory constraint guarantees this fits, and the
+            // device enforces it.
+            let mut gpu = SimGpu::new(*device);
+            for e in &p.entries {
+                let session = &control.sessions[e.session.0 as usize];
+                gpu.load(
+                    ResidentKey(u64::from(e.session.0)),
+                    session.exec_profile.memory_bytes(),
+                    session.exec_profile.load_time(),
+                    Micros::ZERO,
+                )
+                .expect("scheduler guarantees plans fit device memory");
+            }
+            let slots = p
+                .entries
+                .iter()
+                .map(|e| {
+                    let session = &control.sessions[e.session.0 as usize];
+                    // Containers size batches by the latency they observe
+                    // when running alone (they cannot predict peer
+                    // activity); the *execution* pays for whatever peers
+                    // are actually concurrent; *timing* decisions hedge for
+                    // the worst case. Coordinated backends never interfere,
+                    // so sizing, timing, and execution agree.
+                    let exec = session.exec_profile.clone();
+                    let k = p.entries.len();
+                    let (timing, gather_limit, reserve) = if system.coordinated {
+                        let own = e.exec_latency;
+                        (
+                            exec.clone(),
+                            p.duty_cycle,
+                            p.duty_cycle.saturating_sub(own),
+                        )
+                    } else {
+                        (
+                            system.interference.stretched_profile(&exec, k),
+                            p.duty_cycle.min(session.budget / 2),
+                            Micros::ZERO,
+                        )
+                    };
+                    Slot {
+                        session: e.session,
+                        target_batch: e.batch.max(1),
+                        gather_limit,
+                        reserve,
+                        timing,
+                        profile: exec.clone(),
+                        base: exec,
+                        queue: SessionQueue::new(),
+                        busy: false,
+                        jitter_state: (bi as u64) << 32 | e.session.0 as u64,
+                    }
+                })
+                .collect();
+            // Stagger backend start phases across one duty cycle:
+            // replicas of a saturated session otherwise phase-lock and dump
+            // synchronized downstream bursts every cycle.
+            let stagger =
+                Micros::from_micros(p.duty_cycle.as_micros() * bi as u64 / n);
+            Backend {
+                slots,
+                cursor: 0,
+                busy: false,
+                available_at: stagger,
+                armed_wake: Micros::MAX,
+                gpu,
+            }
+        })
+        .collect()
+}
+
+fn build_routes(control: &ControlPlan) -> Vec<Route> {
+    control
+        .routes
+        .iter()
+        .map(|targets| Route {
+            targets: targets.iter().map(|t| (t.backend, t.weight)).collect(),
+            credits: vec![0.0; targets.len()],
+        })
+        .collect()
+}
+
+/// One routing table per frontend replica; frontends start with offset
+/// credits so their round-robin positions interleave rather than march in
+/// lockstep.
+fn build_frontends(control: &ControlPlan, frontends: u32) -> Vec<Vec<Route>> {
+    (0..frontends.max(1))
+        .map(|fe| {
+            let mut routes = build_routes(control);
+            for r in &mut routes {
+                let n = r.targets.len();
+                if n > 1 {
+                    for (i, c) in r.credits.iter_mut().enumerate() {
+                        *c = -(((i + fe as usize) % n) as f64) * 1e-6;
+                    }
+                }
+            }
+            routes
+        })
+        .collect()
+}
+
+/// Indexes sessions by (class, stage) for request routing.
+fn index_sessions(
+    classes: &[TrafficClass],
+    control: &ControlPlan,
+) -> Vec<Vec<Vec<SessionId>>> {
+    let mut idx: Vec<Vec<Vec<SessionId>>> = classes
+        .iter()
+        .map(|c| vec![Vec::new(); c.app.stages.len()])
+        .collect();
+    for s in &control.sessions {
+        idx[s.class][s.stage].push(s.id);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use nexus_profile::GPU_GTX1080TI;
+    use nexus_workload::{apps, ArrivalKind};
+
+    fn sim(system: SystemConfig, rate: f64, gpus: u32, seed: u64) -> SimResult {
+        let classes = vec![TrafficClass::new(
+            apps::traffic(),
+            ArrivalKind::Uniform,
+            rate,
+        )];
+        ClusterSim::new(
+            SimConfig {
+                system: system.with_static_allocation(),
+                device: GPU_GTX1080TI,
+                max_gpus: gpus,
+                seed,
+                horizon: Micros::from_secs(20),
+                warmup: Micros::from_secs(5),
+                trace_capacity: 0,
+            },
+            classes,
+        )
+        .run()
+    }
+
+    #[test]
+    fn nexus_serves_moderate_load_cleanly() {
+        let r = sim(SystemConfig::nexus(), 100.0, 16, 1);
+        assert!(r.queries_finished > 1_000, "finished={}", r.queries_finished);
+        assert!(
+            r.query_bad_rate < 0.01,
+            "bad rate {} too high",
+            r.query_bad_rate
+        );
+        // Goodput ≈ offered rate.
+        assert!(
+            (r.query_goodput - 100.0).abs() / 100.0 < 0.05,
+            "goodput={}",
+            r.query_goodput
+        );
+    }
+
+    #[test]
+    fn overload_is_shed_not_hidden() {
+        // Far beyond 2 GPUs' capacity: bad rate must rise substantially.
+        let r = sim(SystemConfig::nexus(), 2_000.0, 2, 2);
+        assert!(
+            r.query_bad_rate > 0.3,
+            "expected heavy shedding, got {}",
+            r.query_bad_rate
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = sim(SystemConfig::nexus(), 150.0, 16, 7);
+        let b = sim(SystemConfig::nexus(), 150.0, 16, 7);
+        assert_eq!(a.queries_finished, b.queries_finished);
+        assert_eq!(a.query_bad_rate, b.query_bad_rate);
+        assert_eq!(a.metrics.bad_rate(), b.metrics.bad_rate());
+    }
+
+    #[test]
+    fn nexus_outperforms_clipper_baseline() {
+        // At a load Nexus handles cleanly, the Clipper-like baseline (lazy
+        // drop, interfering containers, serialized CPU) degrades.
+        let rate = 260.0;
+        let nexus = sim(SystemConfig::nexus(), rate, 8, 3);
+        let clipper = sim(SystemConfig::clipper(), rate, 8, 3);
+        assert!(
+            nexus.query_bad_rate < clipper.query_bad_rate + 1e-9,
+            "nexus {} vs clipper {}",
+            nexus.query_bad_rate,
+            clipper.query_bad_rate
+        );
+        assert!(nexus.query_goodput >= clipper.query_goodput * 0.99);
+    }
+
+    #[test]
+    fn epoch_loop_adapts_to_rate_increase() {
+        // Start under-provisioned estimate, workload triples mid-run; the
+        // epoch controller must grow the allocation.
+        let classes = vec![TrafficClass::new(
+            apps::traffic(),
+            ArrivalKind::Poisson,
+            60.0,
+        )
+        .with_modulation(vec![
+            (Micros::ZERO, 1.0),
+            (Micros::from_secs(30), 3.0),
+        ])];
+        let result = ClusterSim::new(
+            SimConfig {
+                system: SystemConfig::nexus().with_epoch(Micros::from_secs(10)),
+                device: GPU_GTX1080TI,
+                max_gpus: 32,
+                seed: 5,
+                horizon: Micros::from_secs(90),
+                warmup: Micros::from_secs(10),
+                trace_capacity: 0,
+            },
+            classes,
+        )
+        .run();
+        let tl = result.metrics.timeline();
+        let early = tl[25].gpus_allocated;
+        let late = tl[70].gpus_allocated;
+        assert!(
+            late > early,
+            "allocation should grow with load: {early} -> {late}"
+        );
+        // After adaptation the system still serves most queries.
+        assert!(result.query_bad_rate < 0.15, "bad={}", result.query_bad_rate);
+    }
+
+    #[test]
+    fn multiple_frontends_match_single_frontend_quality() {
+        let run = |frontends: u32| {
+            let classes = vec![TrafficClass::new(
+                apps::traffic(),
+                ArrivalKind::Uniform,
+                300.0,
+            )];
+            ClusterSim::new(
+                SimConfig {
+                    system: SystemConfig::nexus()
+                        .with_frontends(frontends)
+                        .with_static_allocation(),
+                    device: GPU_GTX1080TI,
+                    max_gpus: 12,
+                    seed: 4,
+                    horizon: Micros::from_secs(15),
+                    warmup: Micros::from_secs(4),
+                    trace_capacity: 0,
+                },
+                classes,
+            )
+            .run()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(one.query_bad_rate < 0.01, "1 fe: {}", one.query_bad_rate);
+        assert!(four.query_bad_rate < 0.01, "4 fe: {}", four.query_bad_rate);
+        // Same offered traffic; similar goodput.
+        assert!((one.query_goodput - four.query_goodput).abs() < 10.0);
+    }
+
+    #[test]
+    fn single_stage_app_without_children_completes() {
+        // game has a two-stage tree; use a pruned single-stage app to cover
+        // the no-children path.
+        let mut app = apps::game();
+        app.stages[0].children.clear();
+        app.stages.truncate(1);
+        let classes = vec![TrafficClass::new(app, ArrivalKind::Uniform, 500.0)];
+        let r = ClusterSim::new(
+            SimConfig {
+                system: SystemConfig::nexus().with_static_allocation(),
+                device: GPU_GTX1080TI,
+                max_gpus: 8,
+                seed: 9,
+                horizon: Micros::from_secs(10),
+                warmup: Micros::from_secs(2),
+                trace_capacity: 0,
+            },
+            classes,
+        )
+        .run();
+        assert!(r.queries_finished > 3_000);
+        assert!(r.query_bad_rate < 0.02, "bad={}", r.query_bad_rate);
+    }
+}

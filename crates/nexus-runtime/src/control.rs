@@ -1,0 +1,485 @@
+//! The control plane: turns application traffic classes into schedulable
+//! sessions and a routed deployment (§5, "epoch scheduling").
+//!
+//! Per epoch the global scheduler (1) splits each query's latency SLO
+//! across its stages (§6.2), (2) merges specialized variants that share a
+//! prefix and SLO into prefix-batched sessions (§6.3), and (3) runs squishy
+//! bin packing (§6.1) to allocate GPUs. The output is a [`ControlPlan`]:
+//! the session table, the GPU plans, and the routing table the frontends
+//! consult.
+
+use nexus_model::{zoo, PrefixPlan};
+use nexus_profile::{BatchingProfile, DeviceType, Micros};
+use nexus_scheduler::{
+    even_latency_split, optimize_latency_split, squishy_bin_packing, Allocation, QueryDag,
+    QueryStage, SessionId, SessionSpec,
+};
+
+use nexus_workload::{AppSpec, ArrivalKind};
+
+use crate::config::{SchedulerPolicy, SystemConfig};
+
+/// Segments used to discretize latency-split DPs.
+const SPLIT_SEGMENTS: u32 = 50;
+
+/// One stream of application queries offered to the cluster.
+#[derive(Debug, Clone)]
+pub struct TrafficClass {
+    /// Display name.
+    pub name: String,
+    /// The application template (stages, γ, variants, SLO).
+    pub app: AppSpec,
+    /// Arrival process of root frames.
+    pub arrival: ArrivalKind,
+    /// Mean root request rate, req/s.
+    pub rate: f64,
+    /// Piecewise-constant rate modulation (`(from, factor)`).
+    pub modulation: Vec<(Micros, f64)>,
+}
+
+impl TrafficClass {
+    /// Wraps an application at a given offered rate.
+    pub fn new(app: AppSpec, arrival: ArrivalKind, rate: f64) -> Self {
+        TrafficClass {
+            name: app.name.to_string(),
+            app,
+            arrival,
+            rate,
+            modulation: Vec::new(),
+        }
+    }
+
+    /// Adds rate modulation.
+    pub fn with_modulation(mut self, modulation: Vec<(Micros, f64)>) -> Self {
+        self.modulation = modulation;
+        self
+    }
+}
+
+/// A session as the runtime executes it.
+#[derive(Debug, Clone)]
+pub struct RuntimeSession {
+    /// Scheduler identity.
+    pub id: SessionId,
+    /// Owning traffic class (index into the class list).
+    pub class: usize,
+    /// Stage within the class's app.
+    pub stage: usize,
+    /// Variant index (0-based; always 0 for prefix-merged sessions).
+    pub variant: u32,
+    /// Number of variant-split siblings of this stage (1 if merged/single).
+    pub variant_count: u32,
+    /// Effective execution profile (CPU folded in; prefix-merged for PB).
+    pub exec_profile: BatchingProfile,
+    /// Per-invocation latency budget (the stage's SLO split).
+    pub budget: Micros,
+    /// Deadline offset from query arrival (prefix sum of budgets).
+    pub deadline_offset: Micros,
+    /// Estimated request rate used at the last scheduling round.
+    pub est_rate: f64,
+}
+
+/// Routing target: a backend hosting the session, with its planned share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteTarget {
+    /// Backend (plan) index.
+    pub backend: usize,
+    /// Planned service rate on that backend (req/s), used as routing
+    /// weight.
+    pub weight: f64,
+}
+
+/// Everything the data plane needs for one epoch.
+#[derive(Debug, Clone)]
+pub struct ControlPlan {
+    /// Session table; `sessions[i].id == SessionId(i)`.
+    pub sessions: Vec<RuntimeSession>,
+    /// GPU plans from the scheduler.
+    pub allocation: Allocation,
+    /// Routing table per session id.
+    pub routes: Vec<Vec<RouteTarget>>,
+    /// Latency budgets per (class, stage) for inspection.
+    pub budgets: Vec<Vec<Micros>>,
+}
+
+/// Builds the session table for `classes` (static part: profiles, splits,
+/// variants). `rates` overrides per-class root rates (e.g. observed rates
+/// at an epoch boundary); pass `None` to use the spec rates.
+pub fn build_sessions(
+    classes: &[TrafficClass],
+    cfg: &SystemConfig,
+    device: &DeviceType,
+    rates: Option<&[f64]>,
+) -> (Vec<RuntimeSession>, Vec<Vec<Micros>>) {
+    let mut sessions = Vec::new();
+    let mut all_budgets = Vec::new();
+    for (ci, class) in classes.iter().enumerate() {
+        let root_rate = rates.map_or(class.rate, |r| r[ci]);
+        let budgets = stage_budgets(class, cfg, device, root_rate);
+        let offsets = deadline_offsets(&class.app, &budgets);
+        let stage_rates = class.app.stage_rates(root_rate);
+        for (si, stage) in class.app.stages.iter().enumerate() {
+            let spec = nexus_profile::by_name(&stage.model).expect("catalog model");
+            let base = spec.profile_on(device);
+            let merged = cfg.prefix_batching && stage.variants > 1;
+            if merged {
+                let schema = zoo::by_name(&stage.model).expect("zoo model");
+                let plan = PrefixPlan::new(&schema, &base, schema.num_layers() - 1);
+                let profile = plan
+                    .merged_profile(stage.variants, base.max_batch())
+                    .with_preprocess(base.preprocess_per_item())
+                    .with_postprocess(base.postprocess_per_item())
+                    .with_load_time(base.load_time());
+                sessions.push(RuntimeSession {
+                    id: SessionId(sessions.len() as u32),
+                    class: ci,
+                    stage: si,
+                    variant: 0,
+                    variant_count: 1,
+                    exec_profile: profile.effective(cfg.overlap, cfg.cpu_workers),
+                    budget: budgets[si],
+                    deadline_offset: offsets[si],
+                    est_rate: stage_rates[si],
+                });
+            } else {
+                let v = stage.variants.max(1);
+                for variant in 0..v {
+                    sessions.push(RuntimeSession {
+                        id: SessionId(sessions.len() as u32),
+                        class: ci,
+                        stage: si,
+                        variant,
+                        variant_count: v,
+                        exec_profile: base.effective(cfg.overlap, cfg.cpu_workers),
+                        budget: budgets[si],
+                        deadline_offset: offsets[si],
+                        est_rate: stage_rates[si] / f64::from(v),
+                    });
+                }
+            }
+        }
+        all_budgets.push(budgets);
+    }
+    (sessions, all_budgets)
+}
+
+/// Splits a class's SLO across its stages (§6.2), falling back to an even
+/// split when the optimizer finds no feasible plan or QA is ablated.
+fn stage_budgets(
+    class: &TrafficClass,
+    cfg: &SystemConfig,
+    device: &DeviceType,
+    root_rate: f64,
+) -> Vec<Micros> {
+    let dag = class_dag(class, cfg, device);
+    if cfg.query_analysis {
+        if let Some(split) =
+            optimize_latency_split(&dag, class.app.slo, root_rate.max(1.0), SPLIT_SEGMENTS)
+        {
+            return split.budgets;
+        }
+    }
+    even_latency_split(&dag, class.app.slo).budgets
+}
+
+/// Latency stretch the split DP applies to non-root stages: their arrivals
+/// come in parent-batch-sized clumps, so their queueing tail is roughly
+/// twice the smooth-arrival worst case the DP would otherwise assume.
+/// Planning them at 2× latency buys the burst margin.
+const CHILD_BURST_MARGIN: f64 = 2.0;
+
+/// The scheduler-facing DAG of a class (effective profiles, mean γ).
+fn class_dag(class: &TrafficClass, cfg: &SystemConfig, device: &DeviceType) -> QueryDag {
+    let stages = class
+        .app
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(si, stage)| {
+            let spec = nexus_profile::by_name(&stage.model).expect("catalog model");
+            let mut profile = spec
+                .profile_on(device)
+                .effective(cfg.overlap, cfg.cpu_workers);
+            if si > 0 {
+                profile = stretch_profile(&profile, CHILD_BURST_MARGIN);
+            }
+            QueryStage {
+                name: stage.model.clone(),
+                profile,
+                children: stage
+                    .children
+                    .iter()
+                    .map(|&(c, g)| (c, g.mean()))
+                    .collect(),
+            }
+        })
+        .collect();
+    QueryDag::new(stages)
+}
+
+/// Scales every entry of a latency table by `factor`.
+fn stretch_profile(p: &BatchingProfile, factor: f64) -> BatchingProfile {
+    let mut lat: Vec<Micros> = (1..=p.max_batch())
+        .map(|b| p.latency(b).scale(factor))
+        .collect();
+    nexus_profile::repair_table(&mut lat);
+    BatchingProfile::new(lat).expect("scaled table stays valid")
+}
+
+/// Squishy packing spread over the available cluster: if the demand-sized
+/// allocation leaves GPUs idle, the most-loaded plans are *replicated*
+/// onto the spare GPUs (capped at 4× the demand-sized count). Replication
+/// keeps every duty-cycle/SLO guarantee intact while splitting each
+/// session's arrivals over more queues — burst headroom for free. At the
+/// saturation point no GPUs are spare and this is plain squishy packing.
+fn squishy_spread(
+    specs: &[SessionSpec],
+    gpu_memory: u64,
+    max_gpus: u32,
+    spread_factor: f64,
+) -> Allocation {
+    let mut alloc = squishy_bin_packing(specs, gpu_memory);
+    let cap = (max_gpus as usize)
+        .min((alloc.gpu_count() as f64 * spread_factor).floor() as usize);
+    if alloc.gpu_count() >= cap || alloc.plans.is_empty() {
+        return alloc;
+    }
+    let rate_of = |id: SessionId| -> f64 {
+        specs
+            .iter()
+            .find(|s| s.id == id)
+            .map_or(0.0, |s| s.rate)
+    };
+    while alloc.plans.len() < cap {
+        // Replicas hosting each session, across all plans.
+        let mut hosts: std::collections::HashMap<SessionId, u32> =
+            std::collections::HashMap::new();
+        for p in &alloc.plans {
+            for e in &p.entries {
+                *hosts.entry(e.session).or_insert(0) += 1;
+            }
+        }
+        // Offered load per replica of each plan; replicate the hottest.
+        let (mut best, mut best_load) = (0usize, -1.0f64);
+        for (i, p) in alloc.plans.iter().enumerate() {
+            let load: f64 = p
+                .entries
+                .iter()
+                .map(|e| rate_of(e.session) / f64::from(hosts[&e.session]))
+                .sum();
+            if load > best_load {
+                best_load = load;
+                best = i;
+            }
+        }
+        let clone = alloc.plans[best].clone();
+        alloc.plans.push(clone);
+    }
+    alloc
+}
+
+/// Deadline offsets: the prefix sum of budgets from the root to each stage.
+fn deadline_offsets(app: &AppSpec, budgets: &[Micros]) -> Vec<Micros> {
+    let mut offsets = vec![Micros::ZERO; app.stages.len()];
+    offsets[0] = budgets[0];
+    for (i, stage) in app.stages.iter().enumerate() {
+        for &(c, _) in &stage.children {
+            offsets[c] = offsets[i] + budgets[c];
+        }
+    }
+    offsets
+}
+
+/// Runs the configured scheduler and assembles the full [`ControlPlan`],
+/// capping the allocation at `max_gpus` (highest-occupancy plans win; the
+/// data plane drops traffic that lost its replicas — admission control).
+pub fn plan(
+    classes: &[TrafficClass],
+    cfg: &SystemConfig,
+    device: &DeviceType,
+    max_gpus: u32,
+    rates: Option<&[f64]>,
+) -> ControlPlan {
+    let (sessions, budgets) = build_sessions(classes, cfg, device, rates);
+    let specs: Vec<SessionSpec> = sessions
+        .iter()
+        .map(|s| {
+            SessionSpec::new(s.id, s.exec_profile.clone(), s.budget, s.est_rate)
+        })
+        .collect();
+    let mut allocation = match cfg.scheduler {
+        SchedulerPolicy::Squishy => {
+            squishy_spread(&specs, device.memory_bytes, max_gpus, cfg.spread_factor)
+        }
+        SchedulerPolicy::BatchOblivious => {
+            nexus_baseline::batch_oblivious(&specs, device.memory_bytes, max_gpus)
+        }
+    };
+    if allocation.plans.len() > max_gpus as usize {
+        // Keep the most productive plans, but cover every session with at
+        // least one replica first — dropping a session's only plan rejects
+        // 100% of its traffic and dooms every query through that stage.
+        let mut order: Vec<usize> = (0..allocation.plans.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (&allocation.plans[a], &allocation.plans[b]);
+            pb.occupancy
+                .partial_cmp(&pa.occupancy)
+                .expect("finite occupancy")
+                .then(a.cmp(&b))
+        });
+        let mut covered: std::collections::HashSet<SessionId> =
+            std::collections::HashSet::new();
+        let mut keep: Vec<usize> = Vec::with_capacity(max_gpus as usize);
+        let mut rest: Vec<usize> = Vec::new();
+        for i in order {
+            let plan = &allocation.plans[i];
+            let covers_new = plan.entries.iter().any(|e| !covered.contains(&e.session));
+            if covers_new && keep.len() < max_gpus as usize {
+                for e in &plan.entries {
+                    covered.insert(e.session);
+                }
+                keep.push(i);
+            } else {
+                rest.push(i);
+            }
+        }
+        for i in rest {
+            if keep.len() >= max_gpus as usize {
+                break;
+            }
+            keep.push(i);
+        }
+        keep.sort_unstable();
+        allocation.plans = keep
+            .into_iter()
+            .map(|i| allocation.plans[i].clone())
+            .collect();
+    }
+
+    let mut routes: Vec<Vec<RouteTarget>> = vec![Vec::new(); sessions.len()];
+    for (bi, p) in allocation.plans.iter().enumerate() {
+        for e in &p.entries {
+            routes[e.session.0 as usize].push(RouteTarget {
+                backend: bi,
+                weight: f64::from(e.batch) / p.duty_cycle.as_secs_f64(),
+            });
+        }
+    }
+
+    ControlPlan {
+        sessions,
+        allocation,
+        routes,
+        budgets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_profile::GPU_GTX1080TI;
+    use nexus_workload::apps;
+
+    fn class(rate: f64) -> TrafficClass {
+        TrafficClass::new(apps::traffic(), ArrivalKind::Uniform, rate)
+    }
+
+    #[test]
+    fn budgets_fit_slo_along_paths() {
+        let cfg = SystemConfig::nexus();
+        let classes = vec![class(200.0)];
+        let (sessions, budgets) = build_sessions(&classes, &cfg, &GPU_GTX1080TI, None);
+        assert_eq!(budgets[0].len(), 3);
+        // Both paths (ssd→car, ssd→face) fit 400 ms.
+        assert!(budgets[0][0] + budgets[0][1] <= Micros::from_millis(400));
+        assert!(budgets[0][0] + budgets[0][2] <= Micros::from_millis(400));
+        // Deadline offsets are cumulative.
+        let root = sessions.iter().find(|s| s.stage == 0).unwrap();
+        let leaf = sessions.iter().find(|s| s.stage == 1).unwrap();
+        assert_eq!(root.deadline_offset, budgets[0][0]);
+        assert_eq!(leaf.deadline_offset, budgets[0][0] + budgets[0][1]);
+    }
+
+    #[test]
+    fn qa_gives_detector_more_budget_than_even_split() {
+        // §7.3.2: QA allocates 345 of 400 ms to SSD; even split gives 200.
+        let classes = vec![class(200.0)];
+        let with_qa = build_sessions(&classes, &SystemConfig::nexus(), &GPU_GTX1080TI, None).1;
+        let without =
+            build_sessions(&classes, &SystemConfig::nexus_no_qa(), &GPU_GTX1080TI, None).1;
+        assert!(
+            with_qa[0][0] > without[0][0],
+            "QA budget {} should exceed even {}",
+            with_qa[0][0],
+            without[0][0]
+        );
+        assert_eq!(without[0][0], Micros::from_millis(200));
+    }
+
+    #[test]
+    fn prefix_batching_merges_variants() {
+        let cfg = SystemConfig::nexus();
+        let classes = vec![TrafficClass::new(apps::game(), ArrivalKind::Uniform, 100.0)];
+        let (merged, _) = build_sessions(&classes, &cfg, &GPU_GTX1080TI, None);
+        // game: resnet50 ×20 variants + lenet ×20, merged to 2 sessions.
+        assert_eq!(merged.len(), 2);
+        let (split, _) =
+            build_sessions(&classes, &SystemConfig::nexus_no_pb(), &GPU_GTX1080TI, None);
+        assert_eq!(split.len(), 40);
+        // Split variants share the stage rate.
+        let split_rate: f64 = split
+            .iter()
+            .filter(|s| s.stage == 0)
+            .map(|s| s.est_rate)
+            .sum();
+        let merged_rate = merged.iter().find(|s| s.stage == 0).unwrap().est_rate;
+        assert!((split_rate - merged_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_produces_routes_for_scheduled_sessions() {
+        let cfg = SystemConfig::nexus();
+        let classes = vec![class(100.0)];
+        let plan = plan(&classes, &cfg, &GPU_GTX1080TI, 16, None);
+        assert!(plan.allocation.gpu_count() > 0);
+        assert!(plan.allocation.gpu_count() <= 16);
+        for s in &plan.sessions {
+            if s.est_rate > 0.0 && !plan.allocation.infeasible.contains(&s.id) {
+                assert!(
+                    !plan.routes[s.id.0 as usize].is_empty(),
+                    "session {} unrouted",
+                    s.id
+                );
+            }
+        }
+        // Route weights approximately cover the session rate.
+        for s in &plan.sessions {
+            let w: f64 = plan.routes[s.id.0 as usize].iter().map(|r| r.weight).sum();
+            assert!(
+                w + 1e-6 >= s.est_rate,
+                "{}: weight {w} < rate {}",
+                s.id,
+                s.est_rate
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_cap_truncates_allocation() {
+        let cfg = SystemConfig::nexus();
+        let classes = vec![class(5_000.0)];
+        let capped = plan(&classes, &cfg, &GPU_GTX1080TI, 4, None);
+        assert_eq!(capped.allocation.gpu_count(), 4);
+        let free = plan(&classes, &cfg, &GPU_GTX1080TI, 1_000, None);
+        assert!(free.allocation.gpu_count() > 4);
+    }
+
+    #[test]
+    fn rate_override_rescales_sessions() {
+        let cfg = SystemConfig::nexus();
+        let classes = vec![class(100.0)];
+        let (low, _) = build_sessions(&classes, &cfg, &GPU_GTX1080TI, Some(&[50.0]));
+        let (high, _) = build_sessions(&classes, &cfg, &GPU_GTX1080TI, Some(&[500.0]));
+        assert!(high[0].est_rate > low[0].est_rate * 9.0);
+    }
+}

@@ -1,0 +1,436 @@
+//! Batch-aware dispatch: per-session queues with lazy or early drop
+//! (§4.3, §6.3 "Adaptive Batching").
+//!
+//! *Lazy drop* (Clipper's policy): drop a request only once its deadline
+//! has already passed, and size the batch by the time budget of the oldest
+//! queued request. Under bursty arrivals this degenerates into small,
+//! inefficient batches (Fig. 5).
+//!
+//! *Early drop* (Nexus): slide a window of the scheduler-chosen batch size
+//! through the queue; stop at the first request whose remaining budget
+//! covers the batched execution of its whole window, and drop everything
+//! older (Fig. 9).
+
+use std::collections::VecDeque;
+
+use nexus_profile::{BatchingProfile, Micros};
+
+use crate::request::Request;
+
+/// Admission/batching policy of a session queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Clipper-style: drop only already-expired requests.
+    Lazy,
+    /// Nexus-style sliding-window early drop.
+    Early,
+    /// Never drop (TensorFlow-Serving-like; late requests still count bad).
+    None,
+    /// Batch-application mode (§5): never drop, but *deprioritize* —
+    /// requests that can still meet their deadline are served first;
+    /// already-doomed ones run only when nothing fresh is waiting.
+    Deprioritize,
+}
+
+/// Result of pulling a batch from a queue.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchPull {
+    /// Requests to execute now (possibly empty).
+    pub batch: Vec<Request>,
+    /// Requests dropped by admission control.
+    pub dropped: Vec<Request>,
+}
+
+/// A per-session FIFO with batch-aware admission control.
+#[derive(Debug, Default)]
+pub struct SessionQueue {
+    pending: VecDeque<Request>,
+}
+
+impl SessionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        SessionQueue::default()
+    }
+
+    /// Enqueues an arriving request.
+    pub fn push(&mut self, req: Request) {
+        self.pending.push_back(req);
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Arrival-to-deadline slack of the oldest request, if any.
+    pub fn oldest_deadline(&self) -> Option<Micros> {
+        self.pending.front().map(|r| r.deadline)
+    }
+
+    /// Arrival time of the oldest request, if any.
+    pub fn oldest_arrival(&self) -> Option<Micros> {
+        self.pending.front().map(|r| r.arrival)
+    }
+
+    /// Removes and returns all queued requests (used when sessions migrate
+    /// between backends at an epoch boundary).
+    pub fn drain(&mut self) -> Vec<Request> {
+        self.pending.drain(..).collect()
+    }
+
+    /// Pulls the next batch at time `now` under `policy`.
+    ///
+    /// `target_batch` is the scheduler-assigned batch size; `exec` maps a
+    /// batch size to the *completion* latency the batch would experience
+    /// (the effective profile, including non-overlapped CPU stages).
+    /// `reserve` is duty-cycle time owed to co-located sessions each round;
+    /// the early policy grows its window beyond the target only into slack
+    /// that is not reserved for peers.
+    pub fn pull(
+        &mut self,
+        now: Micros,
+        target_batch: u32,
+        exec: &BatchingProfile,
+        policy: DropPolicy,
+        reserve: Micros,
+    ) -> BatchPull {
+        debug_assert!(target_batch >= 1);
+        match policy {
+            DropPolicy::None => self.pull_none(target_batch),
+            DropPolicy::Lazy => self.pull_lazy(now, target_batch, exec),
+            DropPolicy::Early => self.pull_early(now, target_batch, exec, reserve),
+            DropPolicy::Deprioritize => self.pull_deprioritize(now, target_batch, exec),
+        }
+    }
+
+    /// Batch-application pull: like the early-drop window scan, but doomed
+    /// requests are *skipped over* instead of dropped; they are served
+    /// (late) only when no fresh window exists.
+    fn pull_deprioritize(
+        &mut self,
+        now: Micros,
+        target_batch: u32,
+        exec: &BatchingProfile,
+    ) -> BatchPull {
+        let len = self.pending.len();
+        // Find the first request that can absorb its window, as early drop
+        // does, but without discarding the prefix.
+        for i in 0..len {
+            let window = target_batch.min((len - i) as u32);
+            let finish = now + exec.latency_clamped(window.max(1));
+            if self.pending[i].deadline >= finish {
+                if i == 0 {
+                    let batch = self.pending.drain(..window as usize).collect();
+                    return BatchPull {
+                        batch,
+                        dropped: Vec::new(),
+                    };
+                }
+                // Serve the fresh window; the doomed prefix stays queued at
+                // lower priority.
+                let batch = self
+                    .pending
+                    .drain(i..i + window as usize)
+                    .collect();
+                return BatchPull {
+                    batch,
+                    dropped: Vec::new(),
+                };
+            }
+        }
+        // Nothing fresh: work through the backlog FIFO (late but served).
+        let n = (len as u32).min(target_batch);
+        BatchPull {
+            batch: self.pending.drain(..n as usize).collect(),
+            dropped: Vec::new(),
+        }
+    }
+
+    fn pull_none(&mut self, target_batch: u32) -> BatchPull {
+        let n = (self.pending.len() as u32).min(target_batch);
+        BatchPull {
+            batch: self.pending.drain(..n as usize).collect(),
+            dropped: Vec::new(),
+        }
+    }
+
+    fn pull_lazy(&mut self, now: Micros, _target_batch: u32, exec: &BatchingProfile) -> BatchPull {
+        let mut dropped = Vec::new();
+        // Drop requests that have already missed their deadline — including
+        // those that cannot possibly complete anymore (remaining budget
+        // below even a batch-of-one execution).
+        let min_exec = exec.latency_clamped(1);
+        while let Some(front) = self.pending.front() {
+            if front.deadline < now + min_exec {
+                dropped.push(self.pending.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        // Size the batch by the oldest survivor's remaining budget alone
+        // (Clipper has no scheduler-assigned batch size).
+        let mut batch = Vec::new();
+        if let Some(front) = self.pending.front() {
+            let budget = front.deadline - now;
+            let n = exec
+                .max_batch_within(budget)
+                .min(self.pending.len() as u32)
+                .max(1);
+            batch = self.pending.drain(..n as usize).collect();
+        }
+        BatchPull { batch, dropped }
+    }
+
+    fn pull_early(
+        &mut self,
+        now: Micros,
+        target_batch: u32,
+        exec: &BatchingProfile,
+        reserve: Micros,
+    ) -> BatchPull {
+        // Slide the window: find the first index i such that request i can
+        // absorb the execution latency of the window starting at i. The
+        // window is at least the scheduler's batch size, but grows to what
+        // request i's budget — minus the duty-cycle time reserved for
+        // co-located sessions — can absorb: upstream stages emit children
+        // in parent-batch-sized bursts, and serving a burst in one larger
+        // batch is more efficient, but it must not starve peers.
+        let len = self.pending.len();
+        let mut start = None;
+        for i in 0..len {
+            let budget = self.pending[i]
+                .deadline
+                .saturating_sub(now)
+                .saturating_sub(reserve);
+            let absorbable = exec.max_batch_within(budget);
+            let window = target_batch.max(absorbable).min((len - i) as u32);
+            let finish = now + exec.latency_clamped(window.max(1));
+            if window >= 1 && self.pending[i].deadline >= finish {
+                start = Some((i, window));
+                break;
+            }
+        }
+        match start {
+            Some((i, window)) => {
+                let dropped: Vec<Request> = self.pending.drain(..i).collect();
+                let batch: Vec<Request> =
+                    self.pending.drain(..window as usize).collect();
+                BatchPull { batch, dropped }
+            }
+            None => {
+                // No request can make it even alone: drop everything that
+                // could never complete from `now`.
+                let mut dropped = Vec::new();
+                while let Some(front) = self.pending.front() {
+                    if front.deadline < now + exec.latency_clamped(1) {
+                        dropped.push(self.pending.pop_front().expect("front exists"));
+                    } else {
+                        break;
+                    }
+                }
+                BatchPull {
+                    batch: Vec::new(),
+                    dropped,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Request, RequestId};
+    use nexus_scheduler::SessionId;
+
+    fn ms(v: u64) -> Micros {
+        Micros::from_millis(v)
+    }
+
+    fn req(id: u64, arrival_ms: u64, deadline_ms: u64) -> Request {
+        Request {
+            id: RequestId(id),
+            session: SessionId(0),
+            arrival: ms(arrival_ms),
+            deadline: ms(deadline_ms),
+            query: None,
+        }
+    }
+
+    /// ℓ(b) = 2b + 10 ms.
+    fn profile() -> BatchingProfile {
+        BatchingProfile::from_linear_ms(2.0, 10.0, 32)
+    }
+
+    #[test]
+    fn none_policy_takes_up_to_target() {
+        let mut q = SessionQueue::new();
+        for i in 0..10 {
+            q.push(req(i, 0, 1)); // long expired — still served
+        }
+        let pull = q.pull(ms(100), 4, &profile(), DropPolicy::None, ms(0));
+        assert_eq!(pull.batch.len(), 4);
+        assert!(pull.dropped.is_empty());
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn lazy_drops_only_expired() {
+        let mut q = SessionQueue::new();
+        q.push(req(0, 0, 50)); // expired at t=60
+        q.push(req(1, 10, 70));
+        q.push(req(2, 20, 80));
+        let pull = q.pull(ms(60), 8, &profile(), DropPolicy::Lazy, ms(0));
+        // r0 expired outright; r1 has 10 ms budget, below ℓ(1) = 12 ms, so
+        // it can never complete and is dropped too.
+        assert_eq!(pull.dropped.len(), 2);
+        // r2 has 20 ms budget: ℓ(b) ≤ 20 ⇒ batch of 1.
+        assert_eq!(pull.batch.len(), 1);
+        assert_eq!(pull.batch[0].id, RequestId(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn lazy_sizes_batch_by_oldest_budget() {
+        let mut q = SessionQueue::new();
+        for i in 0..20 {
+            q.push(req(i, 0, 100));
+        }
+        // Budget 40 ms at t=60: ℓ(b) ≤ 40 ⇒ b ≤ 15.
+        let pull = q.pull(ms(60), 32, &profile(), DropPolicy::Lazy, ms(0));
+        assert_eq!(pull.batch.len(), 15);
+    }
+
+    #[test]
+    fn lazy_ignores_scheduler_target() {
+        // Clipper has no scheduler-assigned batch size: it takes whatever
+        // the oldest budget can absorb.
+        let mut q = SessionQueue::new();
+        for i in 0..20 {
+            q.push(req(i, 0, 500));
+        }
+        let pull = q.pull(ms(0), 8, &profile(), DropPolicy::Lazy, ms(0));
+        assert_eq!(pull.batch.len(), 20);
+    }
+
+    #[test]
+    fn early_drop_skips_doomed_head() {
+        // Head requests are too close to their deadline to be executed in a
+        // full window; early drop sacrifices them to keep batches big.
+        let mut q = SessionQueue::new();
+        q.push(req(0, 0, 25)); // needs ℓ(8)=26 > 25-0 budget at t=0
+        q.push(req(1, 0, 27));
+        for i in 2..10 {
+            q.push(req(i, 0, 200));
+        }
+        let pull = q.pull(ms(0), 8, &profile(), DropPolicy::Early, ms(0));
+        // Window at i=0 is 8 ⇒ finish 26 > 25: drop r0. At i=1 window 8 ⇒
+        // finish 26 ≤ 27: take 8 from r1.
+        assert_eq!(pull.dropped.len(), 1);
+        assert_eq!(pull.batch.len(), 8);
+        assert_eq!(pull.batch[0].id, RequestId(1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn deprioritize_serves_fresh_window_first() {
+        let mut q = SessionQueue::new();
+        q.push(req(0, 0, 5)); // doomed: ℓ(1)=12 > 5
+        q.push(req(1, 0, 8)); // doomed
+        for i in 2..8 {
+            q.push(req(i, 0, 200)); // fresh
+        }
+        let pull = q.pull(ms(0), 4, &profile(), DropPolicy::Deprioritize, ms(0));
+        assert!(pull.dropped.is_empty(), "never drops");
+        assert_eq!(pull.batch.len(), 4);
+        assert_eq!(pull.batch[0].id, RequestId(2), "fresh window first");
+        // The doomed head survives for later low-priority service.
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.oldest_deadline(), Some(ms(5)));
+    }
+
+    #[test]
+    fn deprioritize_drains_backlog_when_nothing_fresh() {
+        let mut q = SessionQueue::new();
+        for i in 0..6 {
+            q.push(req(i, 0, 1)); // all doomed
+        }
+        let pull = q.pull(ms(50), 4, &profile(), DropPolicy::Deprioritize, ms(0));
+        assert_eq!(pull.batch.len(), 4);
+        assert_eq!(pull.batch[0].id, RequestId(0), "backlog is FIFO");
+        assert!(pull.dropped.is_empty());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn deprioritize_conserves_requests() {
+        let mut q = SessionQueue::new();
+        for i in 0..10 {
+            q.push(req(i, 0, (i % 3) * 100 + 5));
+        }
+        let total = q.len();
+        let pull = q.pull(ms(20), 8, &profile(), DropPolicy::Deprioritize, ms(0));
+        assert_eq!(pull.batch.len() + q.len(), total);
+    }
+
+    #[test]
+    fn early_drop_on_empty_queue_is_noop() {
+        let mut q = SessionQueue::new();
+        let pull = q.pull(ms(0), 8, &profile(), DropPolicy::Early, ms(0));
+        assert!(pull.batch.is_empty() && pull.dropped.is_empty());
+    }
+
+    #[test]
+    fn early_keeps_feasible_head() {
+        let mut q = SessionQueue::new();
+        for i in 0..4 {
+            q.push(req(i, 0, 100));
+        }
+        let pull = q.pull(ms(0), 8, &profile(), DropPolicy::Early, ms(0));
+        // Window = min(8, 4) = 4, finish = 18 ≤ 100: take all four.
+        assert!(pull.dropped.is_empty());
+        assert_eq!(pull.batch.len(), 4);
+    }
+
+    #[test]
+    fn early_drops_hopeless_requests_when_nothing_fits() {
+        let mut q = SessionQueue::new();
+        q.push(req(0, 0, 5)); // can never run: ℓ(1)=12
+        q.push(req(1, 0, 11));
+        let pull = q.pull(ms(0), 4, &profile(), DropPolicy::Early, ms(0));
+        assert!(pull.batch.is_empty());
+        assert_eq!(pull.dropped.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn early_beats_lazy_on_average_batch_size_under_burst() {
+        // A burst of tight-deadline requests: lazy serves the oldest in
+        // tiny batches; early sacrifices a few head requests and runs a
+        // full window.
+        let build = || {
+            let mut q = SessionQueue::new();
+            for i in 0..16 {
+                // Deadlines stagger: oldest have little slack left.
+                q.push(req(i, 0, 24 + i * 4));
+            }
+            q
+        };
+        let mut lazy_q = build();
+        let lazy = lazy_q.pull(ms(0), 16, &profile(), DropPolicy::Lazy, ms(0));
+        let mut early_q = build();
+        let early = early_q.pull(ms(0), 16, &profile(), DropPolicy::Early, ms(0));
+        assert!(
+            early.batch.len() > lazy.batch.len(),
+            "early {} vs lazy {}",
+            early.batch.len(),
+            lazy.batch.len()
+        );
+    }
+}

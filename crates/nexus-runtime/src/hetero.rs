@@ -1,0 +1,267 @@
+//! Heterogeneous clusters: serving across pools of different device types.
+//!
+//! The paper deploys on homogeneous clusters (16× GTX 1080Ti, 100× K80);
+//! mixed fleets are the natural next step and a listed extension
+//! (DESIGN.md §5). The approach here keeps the paper's machinery intact:
+//! each device pool runs its own control plane and data plane, and a
+//! placement pass assigns whole traffic classes to pools by *cost
+//! effectiveness* — the estimated GPU-seconds a class needs on a device,
+//! weighted by the device's hourly price.
+
+use nexus_profile::{DeviceType, Micros};
+
+use crate::cluster::{ClusterSim, SimConfig, SimResult};
+use crate::config::SystemConfig;
+use crate::control::{build_sessions, TrafficClass};
+
+/// One homogeneous slice of a mixed fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct DevicePool {
+    /// Device type of every GPU in the pool.
+    pub device: DeviceType,
+    /// Pool size.
+    pub gpus: u32,
+}
+
+/// A placement of traffic classes onto pools.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// `pool_of[class_index]` = pool index.
+    pub pool_of: Vec<usize>,
+    /// Estimated GPU demand per pool after placement.
+    pub pool_demand: Vec<f64>,
+}
+
+/// Estimated GPU demand (GPU-seconds per second) of a class on a device:
+/// the sum of its sessions' peak-throughput demands under their SLO splits.
+pub fn class_demand(
+    class: &TrafficClass,
+    cfg: &SystemConfig,
+    device: &DeviceType,
+) -> f64 {
+    let (sessions, _) = build_sessions(
+        std::slice::from_ref(class),
+        cfg,
+        device,
+        None,
+    );
+    sessions
+        .iter()
+        .filter_map(|s| {
+            s.exec_profile
+                .max_throughput_for_slo(s.budget)
+                .map(|t| s.est_rate / t)
+        })
+        .sum()
+}
+
+/// Places classes onto pools: classes are taken in decreasing demand order
+/// and assigned to the pool where their *dollar cost* (demand × hourly
+/// price) is lowest among pools with remaining estimated capacity; if no
+/// pool has room, the least-loaded pool (relative to size) takes it.
+pub fn place_classes(
+    classes: &[TrafficClass],
+    cfg: &SystemConfig,
+    pools: &[DevicePool],
+) -> Placement {
+    assert!(!pools.is_empty(), "need at least one pool");
+    // Demand of every class on every pool's device.
+    let demand: Vec<Vec<f64>> = classes
+        .iter()
+        .map(|c| pools.iter().map(|p| class_demand(c, cfg, &p.device)).collect())
+        .collect();
+    let mut order: Vec<usize> = (0..classes.len()).collect();
+    order.sort_by(|&a, &b| {
+        demand[b][0]
+            .partial_cmp(&demand[a][0])
+            .expect("finite demand")
+    });
+
+    let mut pool_demand = vec![0.0f64; pools.len()];
+    let mut pool_of = vec![0usize; classes.len()];
+    for ci in order {
+        // Candidate pools that can still fit the class (infeasible-on-
+        // device classes have infinite/zero-throughput demand; skip pools
+        // where demand is not finite or the class cannot run at all).
+        // Prefer the cheapest pool with room; if none has room, the one
+        // that ends up least (relatively) overloaded.
+        let mut best: Option<(usize, (u8, f64))> = None;
+        for (pi, pool) in pools.iter().enumerate() {
+            let d = demand[ci][pi];
+            if !d.is_finite() {
+                continue;
+            }
+            let load_after = (pool_demand[pi] + d) / f64::from(pool.gpus);
+            let fits = load_after <= 1.0;
+            let score = if fits {
+                (0u8, d * pool.device.hourly_price_usd)
+            } else {
+                (1u8, load_after)
+            };
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((pi, score));
+            }
+        }
+        let pi = best.map_or(0, |(pi, _)| pi);
+        pool_of[ci] = pi;
+        pool_demand[pi] += demand[ci][pi];
+    }
+    Placement {
+        pool_of,
+        pool_demand,
+    }
+}
+
+/// Outcome of a heterogeneous run: one result per pool plus the placement.
+#[derive(Debug)]
+pub struct HeteroResult {
+    /// The placement used.
+    pub placement: Placement,
+    /// Per-pool simulation results (pools with no classes are skipped as
+    /// `None`).
+    pub pools: Vec<Option<SimResult>>,
+}
+
+impl HeteroResult {
+    /// Fleet-wide query bad rate (weighted by finished queries).
+    pub fn query_bad_rate(&self) -> f64 {
+        let (mut bad, mut total) = (0.0, 0u64);
+        for r in self.pools.iter().flatten() {
+            bad += r.query_bad_rate * r.queries_finished as f64;
+            total += r.queries_finished;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            bad / total as f64
+        }
+    }
+
+    /// Fleet-wide good queries per second.
+    pub fn query_goodput(&self) -> f64 {
+        self.pools.iter().flatten().map(|r| r.query_goodput).sum()
+    }
+}
+
+/// Runs a mixed fleet: places classes, then simulates each pool with its
+/// own control and data plane.
+pub fn run_heterogeneous(
+    system: &SystemConfig,
+    pools: &[DevicePool],
+    classes: Vec<TrafficClass>,
+    seed: u64,
+    warmup: Micros,
+    horizon: Micros,
+) -> HeteroResult {
+    let placement = place_classes(&classes, system, pools);
+    let mut per_pool: Vec<Vec<TrafficClass>> = vec![Vec::new(); pools.len()];
+    for (ci, class) in classes.into_iter().enumerate() {
+        per_pool[placement.pool_of[ci]].push(class);
+    }
+    let results = per_pool
+        .into_iter()
+        .enumerate()
+        .map(|(pi, classes)| {
+            if classes.is_empty() {
+                return None;
+            }
+            Some(
+                ClusterSim::new(
+                    SimConfig {
+                        system: system.clone(),
+                        device: pools[pi].device,
+                        max_gpus: pools[pi].gpus,
+                        seed: seed.wrapping_add(pi as u64),
+                        horizon,
+                        warmup,
+                        trace_capacity: 0,
+                    },
+                    classes,
+                )
+                .run(),
+            )
+        })
+        .collect();
+    HeteroResult {
+        placement,
+        pools: results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_profile::{GPU_GTX1080TI, GPU_K80};
+    use nexus_workload::{apps, ArrivalKind};
+
+    fn pools() -> Vec<DevicePool> {
+        vec![
+            DevicePool {
+                device: GPU_GTX1080TI,
+                gpus: 8,
+            },
+            DevicePool {
+                device: GPU_K80,
+                gpus: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn demand_is_higher_on_slower_devices() {
+        let cfg = SystemConfig::nexus();
+        let class = TrafficClass::new(apps::traffic(), ArrivalKind::Uniform, 100.0);
+        let fast = class_demand(&class, &cfg, &GPU_GTX1080TI);
+        let slow = class_demand(&class, &cfg, &GPU_K80);
+        assert!(slow > fast * 1.5, "K80 demand {slow} vs 1080Ti {fast}");
+    }
+
+    #[test]
+    fn tight_slo_classes_land_on_the_fast_pool() {
+        let cfg = SystemConfig::nexus();
+        // game's 50 ms SLO is brutal on a K80; traffic's 400 ms is fine.
+        let classes = vec![
+            TrafficClass::new(apps::game(), ArrivalKind::Uniform, 800.0),
+            TrafficClass::new(apps::traffic(), ArrivalKind::Uniform, 80.0),
+        ];
+        let placement = place_classes(&classes, &cfg, &pools());
+        assert_eq!(placement.pool_of[0], 0, "game needs the 1080Ti pool");
+    }
+
+    #[test]
+    fn heterogeneous_fleet_serves_within_slo() {
+        let classes = vec![
+            TrafficClass::new(apps::game(), ArrivalKind::Uniform, 600.0),
+            TrafficClass::new(apps::traffic(), ArrivalKind::Uniform, 60.0),
+            TrafficClass::new(apps::dance(), ArrivalKind::Uniform, 20.0),
+        ];
+        let result = run_heterogeneous(
+            &SystemConfig::nexus().with_static_allocation(),
+            &pools(),
+            classes,
+            3,
+            Micros::from_secs(3),
+            Micros::from_secs(12),
+        );
+        assert!(result.query_goodput() > 500.0);
+        assert!(
+            result.query_bad_rate() < 0.03,
+            "fleet bad rate {}",
+            result.query_bad_rate()
+        );
+        // Both pools were used or at least one carried everything.
+        assert!(result.pools.iter().flatten().count() >= 1);
+    }
+
+    #[test]
+    fn placement_balances_by_capacity() {
+        let cfg = SystemConfig::nexus();
+        // Many medium classes: the second pool must receive some.
+        let classes: Vec<TrafficClass> = (0..6)
+            .map(|_| TrafficClass::new(apps::traffic(), ArrivalKind::Uniform, 300.0))
+            .collect();
+        let placement = place_classes(&classes, &cfg, &pools());
+        let on_fast = placement.pool_of.iter().filter(|&&p| p == 0).count();
+        assert!(on_fast < 6, "overflow should spill to the second pool");
+    }
+}

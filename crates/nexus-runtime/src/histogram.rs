@@ -1,0 +1,244 @@
+//! A compact log-bucketed latency histogram.
+//!
+//! Long simulations record millions of completion latencies; storing every
+//! sample (as the naive per-session vector does) costs memory and makes
+//! quantiles O(n log n). This histogram uses logarithmic buckets with ~2%
+//! relative resolution in O(1) per record and O(buckets) per quantile —
+//! the standard shape of HDR-style histograms, sized for microsecond
+//! latencies up to minutes.
+
+use serde::{Deserialize, Serialize};
+
+use nexus_profile::Micros;
+
+/// Buckets per power of two (controls relative error ≈ 1/SUB_BUCKETS).
+const SUB_BUCKETS: u64 = 32;
+/// Values below this are recorded exactly (one bucket per microsecond).
+const LINEAR_LIMIT: u64 = 64;
+/// Total bucket count: linear region + log region up to 2^40 µs (~12 days).
+const LOG_RANGE_BITS: u64 = 40;
+const BUCKETS: usize = (LINEAR_LIMIT + (LOG_RANGE_BITS - 6) * SUB_BUCKETS) as usize + 1;
+
+/// A log-bucketed histogram of [`Micros`] values.
+///
+/// # Examples
+///
+/// ```
+/// use nexus_profile::Micros;
+/// use nexus_runtime::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in 1..=100u64 {
+///     h.record(Micros::from_millis(ms));
+/// }
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!((p50.as_millis_f64() - 50.0).abs() / 50.0 < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    min: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Maps a microsecond value to its bucket index.
+fn bucket_of(us: u64) -> usize {
+    if us < LINEAR_LIMIT {
+        return us as usize;
+    }
+    // Position within the log region: exponent ≥ 6 (since us ≥ 64).
+    let exp = 63 - us.leading_zeros() as u64; // floor(log2(us)) ≥ 6
+    let exp = exp.min(LOG_RANGE_BITS - 1);
+    // Sub-bucket from the bits below the leading one.
+    let sub = if exp >= 5 {
+        ((us >> (exp - 5)) & (SUB_BUCKETS - 1)).min(SUB_BUCKETS - 1)
+    } else {
+        0
+    };
+    let idx = LINEAR_LIMIT + (exp - 6) * SUB_BUCKETS + sub;
+    (idx as usize).min(BUCKETS - 1)
+}
+
+/// Representative (upper-edge) value of a bucket, inverse of [`bucket_of`].
+fn bucket_value(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR_LIMIT {
+        return idx;
+    }
+    let off = idx - LINEAR_LIMIT;
+    let exp = off / SUB_BUCKETS + 6;
+    let sub = off % SUB_BUCKETS;
+    // Reconstruct the lowest value mapping into this bucket, then take the
+    // bucket's midpoint for a low-bias representative.
+    let base = 1u64 << exp;
+    let step = base / SUB_BUCKETS; // exp ≥ 6 ⇒ step ≥ 2
+    base + sub * step + step / 2
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: Micros) {
+        let us = v.as_micros();
+        self.counts[bucket_of(us)] += 1;
+        self.total += 1;
+        self.max = self.max.max(us);
+        self.min = self.min.min(us);
+        self.sum += u128::from(us);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded value, if any.
+    pub fn max(&self) -> Option<Micros> {
+        (self.total > 0).then(|| Micros::from_micros(self.max))
+    }
+
+    /// Exact minimum recorded value, if any.
+    pub fn min(&self) -> Option<Micros> {
+        (self.total > 0).then(|| Micros::from_micros(self.min))
+    }
+
+    /// Exact mean of recorded values, if any.
+    pub fn mean(&self) -> Option<Micros> {
+        (self.total > 0)
+            .then(|| Micros::from_micros((self.sum / u128::from(self.total)) as u64))
+    }
+
+    /// The `q`-quantile (nearest-rank over buckets), within ~3% relative
+    /// error, clamped to the exact min/max.
+    pub fn quantile(&self, q: f64) -> Option<Micros> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        if rank >= self.total {
+            return Some(Micros::from_micros(self.max));
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let v = bucket_value(i).clamp(self.min, self.max);
+                return Some(Micros::from_micros(v));
+            }
+        }
+        Some(Micros::from_micros(self.max))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_none());
+        assert!(h.max().is_none());
+        assert!(h.mean().is_none());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for us in [0u64, 1, 5, 10, 63] {
+            h.record(Micros::from_micros(us));
+        }
+        assert_eq!(h.min(), Some(Micros::from_micros(0)));
+        assert_eq!(h.max(), Some(Micros::from_micros(63)));
+        assert_eq!(h.quantile(0.0), Some(Micros::from_micros(0)));
+        assert_eq!(h.quantile(1.0), Some(Micros::from_micros(63)));
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100_000u64 {
+            h.record(Micros::from_micros(i));
+        }
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let got = h.quantile(q).unwrap().as_micros() as f64;
+            let want = 100_000.0 * q;
+            assert!(
+                (got - want).abs() / want < 0.05,
+                "q={q}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(Micros::from_micros(v));
+        }
+        assert_eq!(h.mean(), Some(Micros::from_micros(25)));
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        for us in (64u64..1_000_000_000).step_by(7_919) {
+            let idx = bucket_of(us);
+            let back = bucket_value(idx) as f64;
+            let err = (back - us as f64).abs() / us as f64;
+            assert!(err < 0.05, "us={us}, back={back}, err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 1..=500u64 {
+            a.record(Micros::from_micros(i));
+            b.record(Micros::from_micros(i + 500));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1_000);
+        assert_eq!(a.max(), Some(Micros::from_micros(1_000)));
+        let p50 = a.quantile(0.5).unwrap().as_micros() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50={p50}");
+    }
+
+    #[test]
+    fn huge_values_clamp_into_last_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Micros::from_secs(100_000_000)); // far beyond the range
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(0.5).is_some());
+    }
+}

@@ -1,0 +1,33 @@
+//! The Nexus data plane and control loop: request dispatch with early/lazy
+//! drop (§4.3, §6.3), duty-cycle backend execution with GPU multiplexing
+//! and CPU/GPU overlap, weighted routing, epoch-based re-scheduling (§5),
+//! and the event-driven cluster simulation composing it all.
+
+pub mod cluster;
+pub mod config;
+pub mod control;
+pub mod dispatch;
+pub mod hetero;
+pub mod histogram;
+pub mod metrics;
+pub mod request;
+pub mod live;
+pub mod singlenode;
+pub mod trace;
+
+#[cfg(test)]
+mod proptests;
+
+pub use cluster::{ClusterSim, SimConfig, SimResult};
+pub use config::{SchedulerPolicy, SystemConfig};
+pub use control::{build_sessions, plan, ControlPlan, RouteTarget, RuntimeSession, TrafficClass};
+pub use dispatch::{BatchPull, DropPolicy, SessionQueue};
+pub use hetero::{place_classes, run_heterogeneous, DevicePool, HeteroResult, Placement};
+pub use histogram::LatencyHistogram;
+pub use metrics::{ClusterMetrics, SessionMetrics, TimelineBucket};
+pub use live::{run_live, LiveConfig, LiveOutcome, LiveSession, LiveSessionOutcome};
+pub use singlenode::{fit_shared_batches, simulate_node, NodeConfig, NodeOutcome, NodeSession, NodeSessionStats};
+pub use trace::{Trace, TraceEvent};
+pub use request::{
+    FinishedQuery, QueryId, QueryTracker, Request, RequestId, RequestOutcome,
+};

@@ -1,0 +1,303 @@
+//! Run metrics: per-session counters, latency distributions, and the
+//! time-bucketed series behind Fig. 13.
+
+use std::collections::HashMap;
+
+use nexus_profile::Micros;
+use nexus_scheduler::SessionId;
+
+use crate::histogram::LatencyHistogram;
+
+/// Counters for one session.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionMetrics {
+    /// Requests that entered the frontend.
+    pub arrived: u64,
+    /// Requests completed within their deadline.
+    pub good: u64,
+    /// Requests completed after their deadline.
+    pub late: u64,
+    /// Requests dropped by admission control.
+    pub dropped: u64,
+    /// Completion latencies (arrival → finish), log-bucketed (~2% relative
+    /// resolution — long runs record millions of samples).
+    latencies: LatencyHistogram,
+}
+
+impl SessionMetrics {
+    /// Fraction of terminal requests that were late or dropped.
+    pub fn bad_rate(&self) -> f64 {
+        let total = self.good + self.late + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            (self.late + self.dropped) as f64 / total as f64
+        }
+    }
+
+    /// The `q`-quantile completion latency (0 ≤ q ≤ 1), within the
+    /// histogram's ~3% relative resolution, if any request completed.
+    pub fn latency_quantile(&self, q: f64) -> Option<Micros> {
+        self.latencies.quantile(q)
+    }
+
+    /// Mean completion latency, if any request completed.
+    pub fn latency_mean(&self) -> Option<Micros> {
+        self.latencies.mean()
+    }
+
+    /// The full latency histogram.
+    pub fn latencies(&self) -> &LatencyHistogram {
+        &self.latencies
+    }
+}
+
+/// One bucket of the run timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimelineBucket {
+    /// Requests arriving in this bucket.
+    pub arrivals: u64,
+    /// Requests reaching a good terminal state in this bucket.
+    pub good: u64,
+    /// Requests reaching a bad terminal state (late or dropped).
+    pub bad: u64,
+    /// GPUs allocated at the end of this bucket.
+    pub gpus_allocated: u32,
+}
+
+/// Aggregated metrics for one simulation run.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    per_session: HashMap<SessionId, SessionMetrics>,
+    timeline: Vec<TimelineBucket>,
+    bucket_width: Micros,
+    gpus_allocated: u32,
+}
+
+impl ClusterMetrics {
+    /// Creates metrics with the given timeline bucket width (e.g. 1 s).
+    pub fn new(bucket_width: Micros) -> Self {
+        assert!(bucket_width > Micros::ZERO);
+        ClusterMetrics {
+            bucket_width,
+            ..ClusterMetrics::default()
+        }
+    }
+
+    fn bucket_mut(&mut self, t: Micros) -> &mut TimelineBucket {
+        let idx = (t.as_micros() / self.bucket_width.as_micros()) as usize;
+        if idx >= self.timeline.len() {
+            let fill = TimelineBucket {
+                gpus_allocated: self.gpus_allocated,
+                ..TimelineBucket::default()
+            };
+            self.timeline.resize(idx + 1, fill);
+        }
+        &mut self.timeline[idx]
+    }
+
+    /// Records a request arrival.
+    pub fn record_arrival(&mut self, session: SessionId, t: Micros) {
+        self.per_session.entry(session).or_default().arrived += 1;
+        self.bucket_mut(t).arrivals += 1;
+    }
+
+    /// Records a completion; `good` is deadline attainment.
+    pub fn record_completion(
+        &mut self,
+        session: SessionId,
+        arrival: Micros,
+        finish: Micros,
+        good: bool,
+    ) {
+        let m = self.per_session.entry(session).or_default();
+        if good {
+            m.good += 1;
+        } else {
+            m.late += 1;
+        }
+        m.latencies.record(finish - arrival);
+        let b = self.bucket_mut(finish);
+        if good {
+            b.good += 1;
+        } else {
+            b.bad += 1;
+        }
+    }
+
+    /// Records a drop.
+    pub fn record_drop(&mut self, session: SessionId, t: Micros) {
+        self.per_session.entry(session).or_default().dropped += 1;
+        self.bucket_mut(t).bad += 1;
+    }
+
+    /// Records the current cluster allocation size (applies to this and all
+    /// later buckets until changed).
+    pub fn record_allocation(&mut self, t: Micros, gpus: u32) {
+        self.gpus_allocated = gpus;
+        self.bucket_mut(t).gpus_allocated = gpus;
+    }
+
+    /// Per-session metrics.
+    pub fn session(&self, id: SessionId) -> Option<&SessionMetrics> {
+        self.per_session.get(&id)
+    }
+
+    /// All sessions seen.
+    pub fn sessions(&self) -> impl Iterator<Item = (&SessionId, &SessionMetrics)> {
+        self.per_session.iter()
+    }
+
+    /// The timeline series.
+    pub fn timeline(&self) -> &[TimelineBucket] {
+        &self.timeline
+    }
+
+    /// Overall request-level bad rate.
+    pub fn bad_rate(&self) -> f64 {
+        let (mut bad, mut total) = (0u64, 0u64);
+        for m in self.per_session.values() {
+            bad += m.late + m.dropped;
+            total += m.good + m.late + m.dropped;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        }
+    }
+
+    /// Overall good throughput in requests/second over `[from, to)`
+    /// (counts good completions in the window).
+    pub fn goodput(&self, from: Micros, to: Micros) -> f64 {
+        assert!(to > from);
+        let (fb, tb) = (
+            (from.as_micros() / self.bucket_width.as_micros()) as usize,
+            (to.as_micros() / self.bucket_width.as_micros()) as usize,
+        );
+        let good: u64 = self
+            .timeline
+            .iter()
+            .take(tb.min(self.timeline.len()))
+            .skip(fb)
+            .map(|b| b.good)
+            .sum();
+        good as f64 / (to - from).as_secs_f64()
+    }
+
+    /// Request-level bad rate restricted to terminal events in
+    /// `[from, to)` — used to exclude warm-up from measurements.
+    pub fn bad_rate_in(&self, from: Micros, to: Micros) -> f64 {
+        let (fb, tb) = (
+            (from.as_micros() / self.bucket_width.as_micros()) as usize,
+            (to.as_micros() / self.bucket_width.as_micros()) as usize,
+        );
+        let (mut bad, mut total) = (0u64, 0u64);
+        for b in self.timeline.iter().take(tb.min(self.timeline.len())).skip(fb) {
+            bad += b.bad;
+            total += b.good + b.bad;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Micros {
+        Micros::from_millis(v)
+    }
+
+    #[test]
+    fn counters_and_bad_rate() {
+        let mut m = ClusterMetrics::new(Micros::from_secs(1));
+        let s = SessionId(0);
+        for i in 0..10 {
+            m.record_arrival(s, ms(i * 10));
+        }
+        for i in 0..7 {
+            m.record_completion(s, ms(i * 10), ms(i * 10 + 40), true);
+        }
+        m.record_completion(s, ms(70), ms(200), false);
+        m.record_drop(s, ms(80));
+        m.record_drop(s, ms(90));
+        let sm = m.session(s).unwrap();
+        assert_eq!(sm.arrived, 10);
+        assert_eq!(sm.good, 7);
+        assert_eq!(sm.late, 1);
+        assert_eq!(sm.dropped, 2);
+        assert!((sm.bad_rate() - 0.3).abs() < 1e-12);
+        assert!((m.bad_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        let mut m = ClusterMetrics::new(Micros::from_secs(1));
+        let s = SessionId(1);
+        for i in 1..=100u64 {
+            m.record_completion(s, Micros::ZERO, ms(i), true);
+        }
+        let sm = m.session(s).unwrap();
+        let close = |got: Micros, want: Micros| {
+            let (g, w) = (got.as_micros() as f64, want.as_micros() as f64);
+            (g - w).abs() / w < 0.05
+        };
+        assert!(close(sm.latency_quantile(0.5).unwrap(), ms(50)));
+        assert!(close(sm.latency_quantile(0.99).unwrap(), ms(99)));
+        assert_eq!(sm.latency_quantile(1.0).unwrap(), ms(100));
+        assert!(close(sm.latency_mean().unwrap(), Micros::from_micros(50_500)));
+    }
+
+    #[test]
+    fn timeline_buckets_fill_and_carry_allocation() {
+        let mut m = ClusterMetrics::new(Micros::from_secs(1));
+        let s = SessionId(0);
+        m.record_allocation(Micros::ZERO, 4);
+        m.record_arrival(s, Micros::from_secs_f64(0.5));
+        m.record_arrival(s, Micros::from_secs_f64(2.5));
+        m.record_allocation(Micros::from_secs_f64(2.9), 6);
+        m.record_arrival(s, Micros::from_secs_f64(3.5));
+        let tl = m.timeline();
+        assert_eq!(tl[0].arrivals, 1);
+        assert_eq!(tl[2].arrivals, 1);
+        assert_eq!(tl[3].arrivals, 1);
+        assert_eq!(tl[0].gpus_allocated, 4);
+        // The fill between events carries the allocation at fill time.
+        assert_eq!(tl[1].gpus_allocated, 4);
+        assert_eq!(tl[2].gpus_allocated, 6);
+        assert_eq!(tl[3].gpus_allocated, 6);
+    }
+
+    #[test]
+    fn goodput_and_windowed_bad_rate() {
+        let mut m = ClusterMetrics::new(Micros::from_secs(1));
+        let s = SessionId(0);
+        // 5 good completions per second for 10 s.
+        for sec in 0..10u64 {
+            for k in 0..5u64 {
+                let t = Micros::from_secs(sec) + ms(k * 100);
+                m.record_completion(s, t.saturating_sub(ms(20)), t, true);
+            }
+        }
+        // One bad event in second 3.
+        m.record_drop(s, Micros::from_secs(3) + ms(1));
+        let gp = m.goodput(Micros::from_secs(2), Micros::from_secs(8));
+        assert!((gp - 5.0).abs() < 1e-9, "gp={gp}");
+        let br = m.bad_rate_in(Micros::from_secs(3), Micros::from_secs(4));
+        assert!((br - 1.0 / 6.0).abs() < 1e-9);
+        let br_clean = m.bad_rate_in(Micros::from_secs(5), Micros::from_secs(8));
+        assert_eq!(br_clean, 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = ClusterMetrics::new(Micros::from_secs(1));
+        assert_eq!(m.bad_rate(), 0.0);
+        assert_eq!(m.goodput(Micros::ZERO, Micros::from_secs(1)), 0.0);
+    }
+}

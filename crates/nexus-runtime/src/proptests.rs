@@ -1,0 +1,163 @@
+//! Property-based tests for the data-plane primitives: requests are
+//! conserved through every dispatch policy, and query tracking closes.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use nexus_profile::{BatchingProfile, Micros};
+use nexus_scheduler::SessionId;
+
+use crate::dispatch::{DropPolicy, SessionQueue};
+use crate::request::{QueryTracker, Request, RequestId, RequestOutcome};
+
+fn arb_requests(n: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    // (arrival offset us, slack us) per request.
+    prop::collection::vec((0u64..200_000, 1_000u64..300_000), 1..n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conservation: every request pushed is either still queued, in the
+    /// batch, or dropped — none invented, none lost — for every policy and
+    /// pull time.
+    #[test]
+    fn pull_conserves_requests(
+        reqs in arb_requests(40),
+        now_us in 0u64..500_000,
+        target in 1u32..32,
+        policy_idx in 0usize..4,
+        reserve_us in 0u64..100_000,
+    ) {
+        let policy = [
+            DropPolicy::None,
+            DropPolicy::Lazy,
+            DropPolicy::Early,
+            DropPolicy::Deprioritize,
+        ][policy_idx];
+        let profile = BatchingProfile::from_linear_ms(1.0, 8.0, 32);
+        let mut q = SessionQueue::new();
+        let mut arrivals = reqs.clone();
+        arrivals.sort_by_key(|&(a, _)| a);
+        for (i, &(arrival, slack)) in arrivals.iter().enumerate() {
+            q.push(Request {
+                id: RequestId(i as u64),
+                session: SessionId(0),
+                arrival: Micros::from_micros(arrival),
+                deadline: Micros::from_micros(arrival + slack),
+                query: None,
+            });
+        }
+        let total = q.len();
+        let pull = q.pull(
+            Micros::from_micros(now_us),
+            target,
+            &profile,
+            policy,
+            Micros::from_micros(reserve_us),
+        );
+        prop_assert_eq!(pull.batch.len() + pull.dropped.len() + q.len(), total);
+        // No duplicates across the three sets.
+        let mut seen = std::collections::HashSet::new();
+        for r in pull.batch.iter().chain(&pull.dropped).chain(q.drain().iter()) {
+            prop_assert!(seen.insert(r.id), "request {:?} duplicated", r.id);
+        }
+    }
+
+    /// Early drop never serves a batch its head cannot absorb: the batch's
+    /// execution finishes by the first batched request's deadline.
+    #[test]
+    fn early_batches_meet_head_deadline(
+        reqs in arb_requests(40),
+        now_us in 0u64..500_000,
+        target in 1u32..32,
+    ) {
+        let profile = BatchingProfile::from_linear_ms(1.0, 8.0, 32);
+        let mut q = SessionQueue::new();
+        let mut arrivals = reqs.clone();
+        arrivals.sort_by_key(|&(a, _)| a);
+        for (i, &(arrival, slack)) in arrivals.iter().enumerate() {
+            q.push(Request {
+                id: RequestId(i as u64),
+                session: SessionId(0),
+                arrival: Micros::from_micros(arrival),
+                deadline: Micros::from_micros(arrival + slack),
+                query: None,
+            });
+        }
+        let now = Micros::from_micros(now_us);
+        let pull = q.pull(now, target, &profile, DropPolicy::Early, Micros::ZERO);
+        if let Some(head) = pull.batch.first() {
+            let finish = now + profile.latency_clamped(pull.batch.len() as u32);
+            prop_assert!(head.deadline >= finish);
+        }
+    }
+
+    /// FIFO order is preserved within the batch and within the survivors.
+    #[test]
+    fn pull_preserves_fifo(
+        n in 1usize..50,
+        now_us in 0u64..200_000,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            DropPolicy::None,
+            DropPolicy::Lazy,
+            DropPolicy::Early,
+            DropPolicy::Deprioritize,
+        ][policy_idx];
+        let profile = BatchingProfile::from_linear_ms(0.5, 4.0, 32);
+        let mut q = SessionQueue::new();
+        for i in 0..n as u64 {
+            q.push(Request {
+                id: RequestId(i),
+                session: SessionId(0),
+                arrival: Micros::from_micros(i * 100),
+                deadline: Micros::from_micros(i * 100 + 150_000),
+                query: None,
+            });
+        }
+        let pull = q.pull(Micros::from_micros(now_us), 8, &profile, policy, Micros::ZERO);
+        let ids: Vec<u64> = pull.batch.iter().map(|r| r.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(ids, sorted);
+    }
+
+    /// Query tracking closes exactly once per query with consistent
+    /// goodness: good iff no drop and last completion ≤ deadline.
+    #[test]
+    fn query_tracker_closes_consistently(
+        outcomes in prop::collection::vec((0u64..300_000u64, prop::bool::ANY), 1..12),
+        deadline_us in 50_000u64..250_000,
+    ) {
+        let mut t = QueryTracker::new();
+        let q = t.open(Micros::ZERO, Micros::from_micros(deadline_us));
+        t.add_outstanding(q, outcomes.len() as u32 - 1);
+        let mut finished = None;
+        let mut any_drop = false;
+        let mut last = Micros::ZERO;
+        for (i, &(at, dropped)) in outcomes.iter().enumerate() {
+            let when = Micros::from_micros(at);
+            let outcome = if dropped {
+                any_drop = true;
+                RequestOutcome::Dropped(when)
+            } else {
+                if when > last { last = when; }
+                RequestOutcome::Completed(when)
+            };
+            let res = t.record(q, outcome);
+            if i + 1 < outcomes.len() {
+                prop_assert!(res.is_none(), "closed early");
+            } else {
+                finished = res;
+            }
+        }
+        let fin = finished.expect("closed exactly at the last record");
+        let expect_good = !any_drop
+            && outcomes.iter().all(|&(at, _)| at <= deadline_us);
+        prop_assert_eq!(fin.good, expect_good);
+        prop_assert_eq!(t.live_count(), 0);
+    }
+}

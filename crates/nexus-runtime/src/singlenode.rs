@@ -1,0 +1,537 @@
+//! Single-GPU micro-simulation used by the dispatch and multiplexing
+//! studies (Fig. 5, Fig. 9, Fig. 14, Fig. 15).
+//!
+//! Unlike the full [`cluster`](crate::cluster) simulation, this fixes one
+//! GPU and a handful of sessions with explicit profiles, which is exactly
+//! the shape of the paper's micro-benchmarks: lazy-vs-early drop on a
+//! synthetic profile, k copies of Inception multiplexed on one GPU, and
+//! prefix-batched variant serving.
+
+use nexus_profile::{BatchingProfile, Micros};
+use nexus_simgpu::{EventQueue, InterferenceModel};
+use nexus_workload::{rng_for, ArrivalGen, ArrivalKind};
+
+use crate::dispatch::{DropPolicy, SessionQueue};
+use crate::request::{Request, RequestId};
+use nexus_scheduler::SessionId;
+
+/// One session offered to the node.
+#[derive(Debug, Clone)]
+pub struct NodeSession {
+    /// Effective batching profile (CPU folded in).
+    pub profile: BatchingProfile,
+    /// Latency SLO per request.
+    pub slo: Micros,
+    /// Offered rate, req/s.
+    pub rate: f64,
+    /// Arrival process.
+    pub arrival: ArrivalKind,
+}
+
+/// Node configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Round-robin exclusive execution (Nexus/TF) vs parallel containers
+    /// (Clipper, Nexus-parallel).
+    pub coordinated: bool,
+    /// Dispatch policy.
+    pub drop_policy: DropPolicy,
+    /// Interference model for uncoordinated execution.
+    pub interference: InterferenceModel,
+    /// Device memory; sessions that do not fit are rejected wholesale.
+    pub gpu_memory: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Arrivals generated in `[0, horizon)`.
+    pub horizon: Micros,
+    /// Measurement window starts here.
+    pub warmup: Micros,
+    /// Execute exactly the planned batch sizes (the strict §6.3 GPU
+    /// scheduler) instead of letting the dispatcher grow windows into
+    /// deadline slack. The Fig. 15 sub-batch comparison needs this.
+    pub strict_batches: bool,
+}
+
+/// Per-session counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeSessionStats {
+    /// Arrivals in the measurement window.
+    pub arrived: u64,
+    /// Completed within SLO.
+    pub good: u64,
+    /// Completed late.
+    pub late: u64,
+    /// Dropped.
+    pub dropped: u64,
+}
+
+/// Outcome of a node simulation.
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// Per-session stats (window arrivals only).
+    pub sessions: Vec<NodeSessionStats>,
+    /// Whether each session's model fit in memory.
+    pub loaded: Vec<bool>,
+    /// Fraction of window arrivals that were late or dropped.
+    pub bad_rate: f64,
+    /// Good completions per second over the window.
+    pub goodput: f64,
+    /// GPU busy fraction over the window.
+    pub utilization: f64,
+}
+
+enum Ev {
+    Arrival(usize),
+    Wake(usize),
+    Done { slot: usize, batch: Vec<Request> },
+}
+
+struct NodeSlot {
+    queue: SessionQueue,
+    target: u32,
+    gather: Micros,
+    reserve: Micros,
+    timing: nexus_profile::BatchingProfile,
+    busy: bool,
+    loaded: bool,
+}
+
+/// Fits shared round-robin batch sizes: start each session at its
+/// standalone SLO-max batch, then shrink the largest contributor until
+/// every session's worst-case latency `Σℓ(b_j) + ℓ(b_i) ≤ L_i` (or all
+/// batches hit 1 — an overloaded node that will shed).
+pub fn fit_shared_batches(sessions: &[NodeSession]) -> Vec<u32> {
+    let mut b: Vec<u32> = sessions
+        .iter()
+        .map(|s| s.profile.max_batch_for_slo(s.slo).max(1))
+        .collect();
+    loop {
+        let cycle: Micros = sessions
+            .iter()
+            .zip(&b)
+            .map(|(s, &bi)| s.profile.latency(bi))
+            .sum();
+        let violated = sessions
+            .iter()
+            .zip(&b)
+            .any(|(s, &bi)| cycle + s.profile.latency(bi) > s.slo);
+        if !violated {
+            return b;
+        }
+        // Shrink the largest batch-latency contributor that can shrink.
+        let worst = (0..sessions.len())
+            .filter(|&i| b[i] > 1)
+            .max_by_key(|&i| sessions[i].profile.latency(b[i]));
+        match worst {
+            Some(i) => b[i] -= 1,
+            None => return b, // everything at 1; overloaded
+        }
+    }
+}
+
+/// Runs the node simulation.
+///
+/// # Examples
+///
+/// ```
+/// use nexus_profile::{BatchingProfile, Micros};
+/// use nexus_runtime::{simulate_node, DropPolicy, NodeConfig, NodeSession};
+/// use nexus_workload::ArrivalKind;
+///
+/// let outcome = simulate_node(
+///     &NodeConfig {
+///         coordinated: true,
+///         drop_policy: DropPolicy::Early,
+///         interference: Default::default(),
+///         gpu_memory: 11 << 30,
+///         seed: 1,
+///         horizon: Micros::from_secs(10),
+///         warmup: Micros::from_secs(2),
+///         strict_batches: false,
+///     },
+///     &[NodeSession {
+///         profile: BatchingProfile::from_linear_ms(1.0, 8.0, 32),
+///         slo: Micros::from_millis(100),
+///         rate: 200.0,
+///         arrival: ArrivalKind::Uniform,
+///     }],
+/// );
+/// assert!(outcome.bad_rate < 0.01);
+/// ```
+pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome {
+    let n = sessions.len();
+    let batches = if cfg.coordinated {
+        fit_shared_batches(sessions)
+    } else {
+        sessions
+            .iter()
+            .map(|s| s.profile.max_batch_for_slo(s.slo).max(1))
+            .collect()
+    };
+    let duty: Micros = if cfg.coordinated {
+        sessions
+            .iter()
+            .zip(&batches)
+            .map(|(s, &b)| s.profile.latency(b))
+            .sum()
+    } else {
+        Micros::ZERO
+    };
+
+    // Memory admission: load in order until full.
+    let mut mem = 0u64;
+    let k = sessions.len().max(1);
+    let mut slots: Vec<NodeSlot> = sessions
+        .iter()
+        .zip(&batches)
+        .map(|(s, &target)| {
+            let fits = mem + s.profile.memory_bytes() <= cfg.gpu_memory;
+            if fits {
+                mem += s.profile.memory_bytes();
+            }
+            let (gather, reserve, timing) = if cfg.coordinated {
+                (
+                    duty,
+                    duty.saturating_sub(s.profile.latency_clamped(target)),
+                    s.profile.clone(),
+                )
+            } else {
+                (
+                    Micros::from_secs_f64(f64::from(target) / s.rate)
+                        .min(Micros::from_micros(s.slo.as_micros() / 2)),
+                    Micros::ZERO,
+                    cfg.interference.stretched_profile(&s.profile, k),
+                )
+            };
+            NodeSlot {
+                queue: SessionQueue::new(),
+                target,
+                gather,
+                reserve,
+                timing,
+                busy: false,
+                loaded: fits,
+            }
+        })
+        .collect();
+
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut gens: Vec<ArrivalGen> = Vec::with_capacity(n);
+    let mut rngs = Vec::with_capacity(n);
+    for (i, s) in sessions.iter().enumerate() {
+        let mut gen = ArrivalGen::new(s.arrival, s.rate);
+        let mut rng = rng_for(cfg.seed, i as u64);
+        if let Some(t) = gen.next_arrival(cfg.horizon, &mut rng) {
+            events.push(t, Ev::Arrival(i));
+        }
+        gens.push(gen);
+        rngs.push(rng);
+    }
+
+    let mut stats = vec![NodeSessionStats::default(); n];
+    let mut node_busy = false; // coordinated: whole-GPU mutex
+    let mut cursor = 0usize;
+    let mut busy_us = 0u64;
+    let mut next_req = 0u64;
+    let in_window = |t: Micros| t >= cfg.warmup && t < cfg.horizon;
+
+    // Terminal accounting for a request.
+    macro_rules! account {
+        ($stats:expr, $req:expr, $kind:ident) => {
+            if in_window($req.arrival) {
+                $stats[$req.session.0 as usize].$kind += 1;
+            }
+        };
+    }
+
+    // The service scan; returns the slot served, if any.
+    fn try_serve(
+        now: Micros,
+        slots: &mut [NodeSlot],
+        sessions: &[NodeSession],
+        cfg: &NodeConfig,
+        cursor: usize,
+        only: Option<usize>,
+        events: &mut EventQueue<Ev>,
+        stats: &mut [NodeSessionStats],
+        busy_us: &mut u64,
+        warmup: Micros,
+        horizon: Micros,
+    ) -> Option<usize> {
+        let order: Vec<usize> = match only {
+            Some(i) => vec![i],
+            None => (0..slots.len()).map(|k| (cursor + k) % slots.len()).collect(),
+        };
+        for si in order {
+            let slot = &mut slots[si];
+            if slot.busy || slot.queue.is_empty() || !slot.loaded {
+                continue;
+            }
+            let queued = slot.queue.len() as u32;
+            if queued < slot.target {
+                let oldest_arr = slot.queue.oldest_arrival().expect("non-empty");
+                let oldest_dl = slot.queue.oldest_deadline().expect("non-empty");
+                let n = queued.max(1);
+                let forced = oldest_dl
+                    .saturating_sub(slot.timing.latency_clamped(n))
+                    .saturating_sub(slot.reserve)
+                    .min(oldest_arr + slot.gather);
+                if now < forced {
+                    events.push(forced.max(now), Ev::Wake(si));
+                    continue;
+                }
+            }
+            // Under strict batching an infinite reserve pins the early-drop
+            // window to the planned batch size.
+            let reserve = if cfg.strict_batches {
+                Micros::MAX
+            } else {
+                slot.reserve
+            };
+            let pull = slot.queue.pull(
+                now,
+                slot.target,
+                &sessions[si].profile,
+                cfg.drop_policy,
+                reserve,
+            );
+            for r in pull.dropped {
+                if r.arrival >= warmup && r.arrival < horizon {
+                    stats[si].dropped += 1;
+                }
+            }
+            if pull.batch.is_empty() {
+                if let Some(expiry) = slot.queue.oldest_deadline() {
+                    events.push(expiry.max(now + Micros(1)), Ev::Wake(si));
+                }
+                continue;
+            }
+            let b = pull.batch.len() as u32;
+            let concurrent = if cfg.coordinated {
+                1
+            } else {
+                1 + slots.iter().filter(|s| s.busy).count()
+            };
+            let factor = cfg.interference.slowdown(concurrent);
+            let duration = sessions[si].profile.latency_clamped(b).scale(factor);
+            slots[si].busy = true;
+            *busy_us += duration.as_micros() / concurrent as u64;
+            events.push(
+                now + duration,
+                Ev::Done {
+                    slot: si,
+                    batch: pull.batch,
+                },
+            );
+            return Some(si);
+        }
+        None
+    }
+
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::Arrival(i) => {
+                if let Some(t) = gens[i].next_arrival(cfg.horizon, &mut rngs[i]) {
+                    events.push(t.max(now), Ev::Arrival(i));
+                }
+                if in_window(now) {
+                    stats[i].arrived += 1;
+                }
+                if !slots[i].loaded {
+                    if in_window(now) {
+                        stats[i].dropped += 1;
+                    }
+                    continue;
+                }
+                slots[i].queue.push(Request {
+                    id: RequestId(next_req),
+                    session: SessionId(i as u32),
+                    arrival: now,
+                    deadline: now + sessions[i].slo,
+                    query: None,
+                });
+                next_req += 1;
+                if cfg.coordinated {
+                    if !node_busy {
+                        if let Some(si) = try_serve(
+                            now, &mut slots, sessions, cfg, cursor, None, &mut events,
+                            &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                        ) {
+                            node_busy = true;
+                            cursor = (si + 1) % n.max(1);
+                        }
+                    }
+                } else if !slots[i].busy {
+                    let _ = try_serve(
+                        now, &mut slots, sessions, cfg, cursor, Some(i), &mut events,
+                        &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                    );
+                }
+            }
+            Ev::Wake(i) => {
+                if cfg.coordinated {
+                    if !node_busy {
+                        if let Some(si) = try_serve(
+                            now, &mut slots, sessions, cfg, cursor, None, &mut events,
+                            &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                        ) {
+                            node_busy = true;
+                            cursor = (si + 1) % n.max(1);
+                        }
+                    }
+                } else if !slots[i].busy {
+                    let _ = try_serve(
+                        now, &mut slots, sessions, cfg, cursor, Some(i), &mut events,
+                        &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                    );
+                }
+            }
+            Ev::Done { slot, batch } => {
+                for req in batch {
+                    if now <= req.deadline {
+                        account!(stats, req, good);
+                    } else {
+                        account!(stats, req, late);
+                    }
+                }
+                slots[slot].busy = false;
+                if cfg.coordinated {
+                    node_busy = false;
+                    if let Some(si) = try_serve(
+                        now, &mut slots, sessions, cfg, cursor, None, &mut events,
+                        &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                    ) {
+                        node_busy = true;
+                        cursor = (si + 1) % n.max(1);
+                    }
+                } else {
+                    let _ = try_serve(
+                        now, &mut slots, sessions, cfg, cursor, Some(slot), &mut events,
+                        &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                    );
+                }
+            }
+        }
+    }
+
+    // Requests still queued never completed.
+    for (i, slot) in slots.iter_mut().enumerate() {
+        for r in slot.queue.drain() {
+            if r.arrival >= cfg.warmup && r.arrival < cfg.horizon {
+                stats[i].dropped += 1;
+            }
+        }
+    }
+
+    let window = (cfg.horizon - cfg.warmup).as_secs_f64().max(1e-9);
+    let (mut good, mut bad) = (0u64, 0u64);
+    for s in &stats {
+        good += s.good;
+        bad += s.late + s.dropped;
+    }
+    let total = good + bad;
+    NodeOutcome {
+        loaded: slots.iter().map(|s| s.loaded).collect(),
+        sessions: stats,
+        bad_rate: if total == 0 { 0.0 } else { bad as f64 / total as f64 },
+        goodput: good as f64 / window,
+        utilization: (busy_us as f64 / 1e6 / (cfg.horizon.as_secs_f64())).min(1.0),
+        // NOTE: utilization is over the whole run, a close proxy for the
+        // window at steady state.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_profile::catalog::INCEPTION3;
+
+    fn cfg(coordinated: bool, policy: DropPolicy, seed: u64) -> NodeConfig {
+        NodeConfig {
+            coordinated,
+            drop_policy: policy,
+            interference: InterferenceModel::default(),
+            gpu_memory: 11 << 30,
+            seed,
+            horizon: Micros::from_secs(20),
+            warmup: Micros::from_secs(5),
+            strict_batches: false,
+        }
+    }
+
+    fn inception_session(rate: f64, slo_ms: u64) -> NodeSession {
+        NodeSession {
+            profile: INCEPTION3.profile_1080ti().effective(true, 4),
+            slo: Micros::from_millis(slo_ms),
+            rate,
+            arrival: ArrivalKind::Uniform,
+        }
+    }
+
+    #[test]
+    fn single_session_under_capacity_is_clean() {
+        let s = inception_session(300.0, 100);
+        let out = simulate_node(&cfg(true, DropPolicy::Early, 1), &[s]);
+        assert!(out.bad_rate < 0.01, "bad={}", out.bad_rate);
+        assert!((out.goodput - 300.0).abs() < 10.0, "goodput={}", out.goodput);
+    }
+
+    #[test]
+    fn overload_sheds_with_early_drop() {
+        // Far beyond one GPU's capacity.
+        let s = inception_session(5_000.0, 100);
+        let out = simulate_node(&cfg(true, DropPolicy::Early, 2), &[s]);
+        assert!(out.bad_rate > 0.3);
+        // But the GPU stays productive: goodput near its capacity.
+        assert!(out.goodput > 500.0, "goodput={}", out.goodput);
+        assert!(out.utilization > 0.7, "util={}", out.utilization);
+    }
+
+    #[test]
+    fn coordinated_beats_uncoordinated_on_shared_node() {
+        // Fig. 14's core claim: 3 Inception copies on one GPU at 100 ms SLO.
+        let sessions: Vec<NodeSession> =
+            (0..3).map(|_| inception_session(250.0, 100)).collect();
+        let coord = simulate_node(&cfg(true, DropPolicy::Early, 3), &sessions);
+        let uncoord = simulate_node(&cfg(false, DropPolicy::Early, 3), &sessions);
+        assert!(
+            coord.goodput > uncoord.goodput,
+            "coordinated {} vs uncoordinated {}",
+            coord.goodput,
+            uncoord.goodput
+        );
+    }
+
+    #[test]
+    fn oversized_models_are_rejected_not_crashed() {
+        let mut s = inception_session(10.0, 200);
+        s.profile = s.profile.with_memory_bytes(64 << 30);
+        let out = simulate_node(&cfg(true, DropPolicy::Early, 4), &[s]);
+        assert_eq!(out.loaded, vec![false]);
+        assert!(out.bad_rate > 0.99);
+    }
+
+    #[test]
+    fn shared_batches_respect_slos() {
+        let sessions: Vec<NodeSession> =
+            (0..3).map(|_| inception_session(100.0, 100)).collect();
+        let b = fit_shared_batches(&sessions);
+        let cycle: Micros = sessions
+            .iter()
+            .zip(&b)
+            .map(|(s, &bi)| s.profile.latency(bi))
+            .sum();
+        for (s, &bi) in sessions.iter().zip(&b) {
+            assert!(cycle + s.profile.latency(bi) <= s.slo);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sessions: Vec<NodeSession> =
+            (0..2).map(|_| inception_session(200.0, 120)).collect();
+        let a = simulate_node(&cfg(true, DropPolicy::Early, 9), &sessions);
+        let b = simulate_node(&cfg(true, DropPolicy::Early, 9), &sessions);
+        assert_eq!(a.sessions, b.sessions);
+    }
+}

@@ -1,0 +1,223 @@
+//! Execution trace capture: a bounded, serializable record of what the
+//! data plane did, for debugging and offline analysis.
+//!
+//! Tracing is off by default (`SimConfig::trace = false`); when enabled the
+//! simulator records request lifecycles, batch executions, and control-
+//! plane reallocations up to a bounded event count (oldest runs are not
+//! evicted — the bound caps memory, and hitting it is reported).
+
+use serde::{Deserialize, Serialize};
+
+use nexus_profile::Micros;
+use nexus_scheduler::SessionId;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A request entered the frontend.
+    Arrival {
+        /// Virtual time.
+        t: Micros,
+        /// Request id.
+        request: u64,
+        /// Session.
+        session: SessionId,
+    },
+    /// A batch executed on a backend.
+    Batch {
+        /// Execution start.
+        t: Micros,
+        /// Backend index.
+        backend: usize,
+        /// Session served.
+        session: SessionId,
+        /// Inputs in the batch.
+        size: u32,
+        /// Execution duration.
+        duration: Micros,
+    },
+    /// A request completed.
+    Completion {
+        /// Completion time.
+        t: Micros,
+        /// Request id.
+        request: u64,
+        /// Session.
+        session: SessionId,
+        /// Arrival-to-completion latency.
+        latency: Micros,
+        /// Whether the deadline was met.
+        good: bool,
+    },
+    /// A request was dropped.
+    Drop {
+        /// Drop time.
+        t: Micros,
+        /// Request id.
+        request: u64,
+        /// Session.
+        session: SessionId,
+    },
+    /// The control plane replaced the deployment.
+    Reallocation {
+        /// When.
+        t: Micros,
+        /// New GPU count.
+        gpus: u32,
+        /// Model loads the swap required.
+        model_loads: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> Micros {
+        match *self {
+            TraceEvent::Arrival { t, .. }
+            | TraceEvent::Batch { t, .. }
+            | TraceEvent::Completion { t, .. }
+            | TraceEvent::Drop { t, .. }
+            | TraceEvent::Reallocation { t, .. } => t,
+        }
+    }
+}
+
+/// A bounded event trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Events that arrived after the capacity was reached.
+    pub truncated: u64,
+}
+
+impl Trace {
+    /// Creates a trace bounded to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            truncated: 0,
+        }
+    }
+
+    /// Records an event (dropped and counted once full).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.truncated += 1;
+        }
+    }
+
+    /// The recorded events, in record order (equals time order — the
+    /// simulator emits monotonically).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events concerning one session.
+    pub fn for_session(&self, session: SessionId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::Arrival { session: s, .. }
+                | TraceEvent::Batch { session: s, .. }
+                | TraceEvent::Completion { session: s, .. }
+                | TraceEvent::Drop { session: s, .. } => *s == session,
+                TraceEvent::Reallocation { .. } => false,
+            })
+            .collect()
+    }
+
+    /// Mean batch size per session, from the batch events.
+    pub fn mean_batch_size(&self, session: SessionId) -> Option<f64> {
+        let sizes: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Batch {
+                    session: s, size, ..
+                } if *s == session => Some(*size),
+                _ => None,
+            })
+            .collect();
+        if sizes.is_empty() {
+            None
+        } else {
+            Some(f64::from(sizes.iter().sum::<u32>()) / sizes.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Micros {
+        Micros::from_millis(v)
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.push(TraceEvent::Arrival {
+                t: ms(i),
+                request: i,
+                session: SessionId(0),
+            });
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.truncated, 2);
+    }
+
+    #[test]
+    fn session_filter_and_batch_stats() {
+        let mut t = Trace::new(100);
+        t.push(TraceEvent::Batch {
+            t: ms(1),
+            backend: 0,
+            session: SessionId(0),
+            size: 4,
+            duration: ms(10),
+        });
+        t.push(TraceEvent::Batch {
+            t: ms(2),
+            backend: 0,
+            session: SessionId(0),
+            size: 8,
+            duration: ms(14),
+        });
+        t.push(TraceEvent::Batch {
+            t: ms(3),
+            backend: 1,
+            session: SessionId(1),
+            size: 2,
+            duration: ms(5),
+        });
+        t.push(TraceEvent::Reallocation {
+            t: ms(4),
+            gpus: 2,
+            model_loads: 1,
+        });
+        assert_eq!(t.for_session(SessionId(0)).len(), 2);
+        assert_eq!(t.mean_batch_size(SessionId(0)), Some(6.0));
+        assert_eq!(t.mean_batch_size(SessionId(9)), None);
+    }
+
+    #[test]
+    fn events_serialize_round_trip() {
+        let mut t = Trace::new(10);
+        t.push(TraceEvent::Completion {
+            t: ms(5),
+            request: 7,
+            session: SessionId(2),
+            latency: ms(4),
+            good: true,
+        });
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+}

@@ -1,0 +1,173 @@
+//! Incremental epoch-to-epoch rescheduling (§6.1, last paragraph).
+//!
+//! Re-running squishy bin packing from scratch each epoch would reshuffle
+//! models across backends and pay model-load delays (hundreds of ms each).
+//! The paper makes the algorithm incremental: sessions move only when the
+//! workload forces it. We realize this as a *plan assignment* step: the new
+//! allocation's plans are matched onto existing backends to maximize the
+//! models already resident, and the movement cost (model loads required) is
+//! reported so the control plane can account for reconfiguration delay —
+//! the source of Fig. 13's sporadic bad-rate spikes.
+
+use std::collections::HashSet;
+
+use crate::session::SessionId;
+use crate::squishy::GpuPlan;
+
+/// How a new allocation maps onto existing backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanAssignment {
+    /// `backend_for[i]` is the existing backend index reused by new plan
+    /// `i`, or `None` if the plan goes to a freshly acquired backend.
+    pub backend_for: Vec<Option<usize>>,
+    /// Existing backends not reused (to be released).
+    pub released: Vec<usize>,
+    /// Total model loads required across the cluster (sessions in a new
+    /// plan that were not already resident on the assigned backend).
+    pub model_loads: usize,
+}
+
+fn session_set(plan: &GpuPlan) -> HashSet<SessionId> {
+    plan.entries.iter().map(|e| e.session).collect()
+}
+
+/// Greedily matches new plans to previous backends, maximizing resident-
+/// model reuse (largest overlap first, ties to lower indices for
+/// determinism).
+pub fn assign_plans(prev: &[GpuPlan], next: &[GpuPlan]) -> PlanAssignment {
+    let prev_sets: Vec<HashSet<SessionId>> = prev.iter().map(session_set).collect();
+    let next_sets: Vec<HashSet<SessionId>> = next.iter().map(session_set).collect();
+
+    // All (overlap, next, prev) candidates with non-zero overlap.
+    let mut cands: Vec<(usize, usize, usize)> = Vec::new();
+    for (ni, ns) in next_sets.iter().enumerate() {
+        for (pi, ps) in prev_sets.iter().enumerate() {
+            let overlap = ns.intersection(ps).count();
+            if overlap > 0 {
+                cands.push((overlap, ni, pi));
+            }
+        }
+    }
+    cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut backend_for = vec![None; next.len()];
+    let mut prev_used = vec![false; prev.len()];
+    let mut next_done = vec![false; next.len()];
+    for (_, ni, pi) in cands {
+        if !next_done[ni] && !prev_used[pi] {
+            backend_for[ni] = Some(pi);
+            next_done[ni] = true;
+            prev_used[pi] = true;
+        }
+    }
+    // Unmatched new plans reuse any remaining idle backend (no residency
+    // benefit, but avoids acquiring a node).
+    let mut free_prev: Vec<usize> =
+        (0..prev.len()).filter(|&p| !prev_used[p]).collect();
+    for ni in 0..next.len() {
+        if !next_done[ni] {
+            if let Some(pi) = free_prev.pop() {
+                backend_for[ni] = Some(pi);
+                prev_used[pi] = true;
+                next_done[ni] = true;
+            }
+        }
+    }
+
+    let released = (0..prev.len()).filter(|&p| !prev_used[p]).collect();
+    let model_loads = next_sets
+        .iter()
+        .enumerate()
+        .map(|(ni, ns)| match backend_for[ni] {
+            Some(pi) => ns.difference(&prev_sets[pi]).count(),
+            None => ns.len(),
+        })
+        .sum();
+
+    PlanAssignment {
+        backend_for,
+        released,
+        model_loads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::squishy::PlanEntry;
+    use nexus_profile::Micros;
+
+    fn plan(sessions: &[u32]) -> GpuPlan {
+        GpuPlan {
+            duty_cycle: Micros::from_millis(100),
+            entries: sessions
+                .iter()
+                .map(|&s| PlanEntry {
+                    session: SessionId(s),
+                    batch: 4,
+                    exec_latency: Micros::from_millis(20),
+                })
+                .collect(),
+            saturated: false,
+            occupancy: 0.5,
+            memory_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn identical_allocation_needs_no_loads() {
+        let prev = vec![plan(&[0, 1]), plan(&[2])];
+        let a = assign_plans(&prev, &prev);
+        assert_eq!(a.backend_for, vec![Some(0), Some(1)]);
+        assert_eq!(a.model_loads, 0);
+        assert!(a.released.is_empty());
+    }
+
+    #[test]
+    fn best_overlap_wins() {
+        let prev = vec![plan(&[0, 1, 2]), plan(&[3, 4])];
+        let next = vec![plan(&[3]), plan(&[0, 1, 2, 5])];
+        let a = assign_plans(&prev, &next);
+        assert_eq!(a.backend_for, vec![Some(1), Some(0)]);
+        // Only session 5 needs loading.
+        assert_eq!(a.model_loads, 1);
+    }
+
+    #[test]
+    fn shrinking_workload_releases_backends() {
+        let prev = vec![plan(&[0]), plan(&[1]), plan(&[2])];
+        let next = vec![plan(&[0, 1])];
+        let a = assign_plans(&prev, &next);
+        assert_eq!(a.backend_for.len(), 1);
+        assert_eq!(a.released.len(), 2);
+        // Backend 0 already hosts session 0; session 1 must load.
+        assert_eq!(a.model_loads, 1);
+    }
+
+    #[test]
+    fn growing_workload_acquires_backends() {
+        let prev = vec![plan(&[0])];
+        let next = vec![plan(&[0]), plan(&[1]), plan(&[2])];
+        let a = assign_plans(&prev, &next);
+        assert_eq!(a.backend_for[0], Some(0));
+        // One new plan may land on... no idle backends exist, so both others
+        // are fresh.
+        assert_eq!(
+            a.backend_for.iter().filter(|b| b.is_none()).count(),
+            2
+        );
+        assert_eq!(a.model_loads, 2);
+        assert!(a.released.is_empty());
+    }
+
+    #[test]
+    fn disjoint_plans_reuse_idle_backends() {
+        let prev = vec![plan(&[0]), plan(&[1])];
+        let next = vec![plan(&[2]), plan(&[3])];
+        let a = assign_plans(&prev, &next);
+        // No overlap, but idle backends are reused rather than released.
+        assert!(a.backend_for.iter().all(|b| b.is_some()));
+        assert!(a.released.is_empty());
+        assert_eq!(a.model_loads, 2);
+    }
+}

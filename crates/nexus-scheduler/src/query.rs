@@ -1,0 +1,599 @@
+//! Complex query scheduling (§4.2, §6.2): splitting a whole-query latency
+//! SLO across the stages of a dataflow graph of model invocations.
+//!
+//! Applications submit queries like "detect objects with SSD, then recognize
+//! each detected car and face" (Fig. 8) with one end-to-end SLO. The global
+//! scheduler must derive per-model SLOs that (a) sum to at most the query
+//! SLO along every root-to-leaf path and (b) minimize the total number of
+//! GPUs, accounting for each stage's request rate — which is the root rate
+//! multiplied by the fan-out factor γ along the path (§4.2).
+//!
+//! A dynamic program over a discretized time budget solves tree-shaped
+//! dataflow graphs: `f(u, t)` = minimum GPUs to run `u`'s subtree within
+//! budget `t`, splitting `t` between `u`'s own execution window and the
+//! children's remaining budget.
+
+use serde::{Deserialize, Serialize};
+
+use nexus_profile::{BatchingProfile, Micros};
+
+/// One stage (model invocation) of a query dataflow graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryStage {
+    /// Stage name (model name, for reporting).
+    pub name: String,
+    /// Batching profile of the stage's model.
+    pub profile: BatchingProfile,
+    /// Children: `(stage index, γ)` — each invocation of this stage yields
+    /// γ invocations of the child on average (γ<1 filters, γ>1 fans out).
+    pub children: Vec<(usize, f64)>,
+}
+
+/// A tree-shaped query dataflow graph. Stage 0 is the root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryDag {
+    /// The stages; parents precede children.
+    pub stages: Vec<QueryStage>,
+}
+
+impl QueryDag {
+    /// Creates a DAG, validating tree shape (each stage except the root has
+    /// exactly one parent, children indices point forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage list is empty or not a forward-pointing tree.
+    pub fn new(stages: Vec<QueryStage>) -> Self {
+        assert!(!stages.is_empty(), "query needs at least one stage");
+        let mut indegree = vec![0usize; stages.len()];
+        for (i, stage) in stages.iter().enumerate() {
+            for &(c, gamma) in &stage.children {
+                assert!(c > i && c < stages.len(), "child index {c} invalid");
+                assert!(gamma.is_finite() && gamma >= 0.0, "invalid gamma");
+                indegree[c] += 1;
+            }
+        }
+        assert_eq!(indegree[0], 0, "root must have no parent");
+        for (i, &d) in indegree.iter().enumerate().skip(1) {
+            assert_eq!(d, 1, "stage {i} must have exactly one parent");
+        }
+        QueryDag { stages }
+    }
+
+    /// A linear pipeline `stages[0] → stages[1] → …` with the given γ per
+    /// edge.
+    pub fn pipeline(stages: Vec<(String, BatchingProfile)>, gammas: &[f64]) -> Self {
+        assert_eq!(
+            gammas.len() + 1,
+            stages.len(),
+            "need one γ per pipeline edge"
+        );
+        let n = stages.len();
+        let stages = stages
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, profile))| QueryStage {
+                name,
+                profile,
+                children: if i + 1 < n {
+                    vec![(i + 1, gammas[i])]
+                } else {
+                    vec![]
+                },
+            })
+            .collect();
+        QueryDag::new(stages)
+    }
+
+    /// Per-stage request rates when the root receives `root_rate` req/s:
+    /// rate(child) = rate(parent) · γ(edge).
+    pub fn stage_rates(&self, root_rate: f64) -> Vec<f64> {
+        let mut rates = vec![0.0; self.stages.len()];
+        rates[0] = root_rate;
+        for (i, stage) in self.stages.iter().enumerate() {
+            for &(c, gamma) in &stage.children {
+                rates[c] = rates[i] * gamma;
+            }
+        }
+        rates
+    }
+}
+
+/// Result of the latency-split optimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySplit {
+    /// Per-stage latency budgets; they sum to ≤ the query SLO along every
+    /// root-to-leaf path.
+    pub budgets: Vec<Micros>,
+    /// Estimated total GPUs (fractional) at the optimum.
+    pub gpus: f64,
+}
+
+/// Per-stage GPU demand within latency budget `k`: the stage is scheduled
+/// as a session with SLO `k`, so it runs at batch `B = argmax 2ℓ(b) ≤ k`
+/// and needs `rate / (B/ℓ(B))` GPUs. `None` if `k` is infeasible.
+fn stage_cost(profile: &BatchingProfile, rate: f64, k: Micros) -> Option<f64> {
+    if rate <= 0.0 {
+        return Some(0.0);
+    }
+    profile.max_throughput_for_slo(k).map(|t| rate / t)
+}
+
+/// Splits `slo` across the stages of `dag` to minimize estimated GPUs for
+/// a query stream of `root_rate` req/s, using a DP over budgets discretized
+/// into `segments` pieces (§6.2: "we approximate the state space of time
+/// budget with L/ε segments").
+///
+/// Returns `None` if no split can satisfy the SLO.
+///
+/// # Examples
+///
+/// ```
+/// use nexus_profile::{BatchingProfile, Micros};
+/// use nexus_scheduler::{optimize_latency_split, QueryDag};
+///
+/// let dag = QueryDag::pipeline(
+///     vec![
+///         ("detector".into(), BatchingProfile::from_linear_ms(9.0, 38.0, 32)),
+///         ("recognizer".into(), BatchingProfile::from_linear_ms(1.2, 5.3, 64)),
+///     ],
+///     &[1.5], // each detection yields 1.5 recognitions on average
+/// );
+/// let split = optimize_latency_split(&dag, Micros::from_millis(400), 200.0, 50)
+///     .expect("feasible");
+/// assert!(split.budgets[0] + split.budgets[1] <= Micros::from_millis(400));
+/// // The compute-heavy detector gets the lion's share of the budget.
+/// assert!(split.budgets[0] > split.budgets[1]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `segments` is zero.
+pub fn optimize_latency_split(
+    dag: &QueryDag,
+    slo: Micros,
+    root_rate: f64,
+    segments: u32,
+) -> Option<LatencySplit> {
+    assert!(segments >= 1, "need at least one budget segment");
+    let eps = (slo.as_micros() / u64::from(segments)).max(1);
+    let steps = (slo.as_micros() / eps) as usize;
+    let rates = dag.stage_rates(root_rate);
+    let n = dag.stages.len();
+
+    // f[u][t] = min GPUs for u's subtree within budget t·eps; u processed in
+    // reverse index order (children have larger indices than parents).
+    const INF: f64 = f64::INFINITY;
+    let mut f = vec![vec![INF; steps + 1]; n];
+    // choice[u][t] = segments assigned to u's own window at the optimum.
+    let mut choice = vec![vec![0usize; steps + 1]; n];
+
+    for u in (0..n).rev() {
+        let stage = &dag.stages[u];
+        for t in 0..=steps {
+            let mut best = INF;
+            let mut best_k = 0usize;
+            for k in 1..=t {
+                let window = Micros::from_micros(k as u64 * eps);
+                let Some(own) = stage_cost(&stage.profile, rates[u], window) else {
+                    continue;
+                };
+                let remaining = t - k;
+                let mut total = own;
+                for &(c, _) in &stage.children {
+                    total += f[c][remaining];
+                    if total.is_infinite() {
+                        break;
+                    }
+                }
+                if total < best {
+                    best = total;
+                    best_k = k;
+                }
+            }
+            f[u][t] = best;
+            choice[u][t] = best_k;
+        }
+    }
+
+    if f[0][steps].is_infinite() {
+        return None;
+    }
+
+    // Reconstruct budgets: walk the tree handing each child the remaining
+    // budget after the parent's window.
+    let mut budgets = vec![Micros::ZERO; n];
+    let mut stack = vec![(0usize, steps)];
+    while let Some((u, t)) = stack.pop() {
+        let k = choice[u][t];
+        budgets[u] = Micros::from_micros(k as u64 * eps);
+        for &(c, _) in &dag.stages[u].children {
+            stack.push((c, t - k));
+        }
+    }
+    Some(LatencySplit {
+        budgets,
+        gpus: f[0][steps],
+    })
+}
+
+/// A fork-join query: a fork subtree (root fanning out to parallel branch
+/// chains) whose outputs are joined and fed to a continuation chain — the
+/// §6.2 case the paper solves by DP "for the case of fork-join dependency
+/// graphs" while limiting its exposition to trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForkJoinQuery {
+    /// The fork part: a tree whose leaves are the join's inputs.
+    pub fork: QueryDag,
+    /// The continuation after the join, as a linear pipeline; the join
+    /// stage is its first element.
+    pub join: QueryDag,
+    /// Requests/second into the join stage per root request (typically 1:
+    /// one aggregation per frame).
+    pub join_gamma: f64,
+}
+
+/// Result of optimizing a fork-join query: budgets for the fork stages,
+/// the barrier offset at which the join may start, and budgets for the
+/// join chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForkJoinSplit {
+    /// Budgets for the fork tree's stages.
+    pub fork_budgets: Vec<Micros>,
+    /// All fork paths complete within this offset; the join starts here.
+    pub barrier: Micros,
+    /// Budgets for the join chain's stages.
+    pub join_budgets: Vec<Micros>,
+    /// Estimated total (fractional) GPUs.
+    pub gpus: f64,
+}
+
+/// Splits a fork-join query's SLO: conditions on the barrier offset `s`
+/// (discretized like the tree DP), solving the fork tree within `s` and
+/// the join chain within `L − s` independently — the decomposition is
+/// exact because every fork→leaf path must finish before the join starts.
+///
+/// Returns `None` if no barrier placement is feasible.
+pub fn optimize_fork_join(
+    query: &ForkJoinQuery,
+    slo: Micros,
+    root_rate: f64,
+    segments: u32,
+) -> Option<ForkJoinSplit> {
+    assert!(segments >= 2, "need at least two budget segments");
+    let eps = (slo.as_micros() / u64::from(segments)).max(1);
+    let join_rate = root_rate * query.join_gamma;
+    let mut best: Option<ForkJoinSplit> = None;
+    for step in 1..u64::from(segments) {
+        let barrier = Micros::from_micros(step * eps);
+        let Some(fork) = optimize_latency_split(&query.fork, barrier, root_rate, segments)
+        else {
+            continue;
+        };
+        let Some(join) =
+            optimize_latency_split(&query.join, slo - barrier, join_rate, segments)
+        else {
+            // Larger barriers only shrink the join budget further.
+            break;
+        };
+        let total = fork.gpus + join.gpus;
+        if best.as_ref().is_none_or(|b| total < b.gpus) {
+            best = Some(ForkJoinSplit {
+                fork_budgets: fork.budgets,
+                barrier,
+                join_budgets: join.budgets,
+                gpus: total,
+            });
+        }
+    }
+    best
+}
+
+/// The even-split baseline used by the Fig. 11/17 comparisons: every stage
+/// on a root-to-leaf path gets an equal share of the SLO (stages at depth d
+/// of a path with D stages get `slo / D` where D is the maximum depth below
+/// them plus their own).
+pub fn even_latency_split(dag: &QueryDag, slo: Micros) -> LatencySplit {
+    // Depth of the deepest path through each stage.
+    let n = dag.stages.len();
+    let mut below = vec![1usize; n]; // path length from u to deepest leaf
+    for u in (0..n).rev() {
+        for &(c, _) in &dag.stages[u].children {
+            below[u] = below[u].max(1 + below[c]);
+        }
+    }
+    let total_depth = below[0];
+    let share = Micros::from_micros(slo.as_micros() / total_depth as u64);
+    LatencySplit {
+        budgets: vec![share; n],
+        gpus: f64::NAN,
+    }
+}
+
+/// Average pipeline throughput per GPU for a two-stage pipeline X→Y with
+/// fan-out γ, given per-GPU stage throughputs `tx`, `ty` (§4.2:
+/// `p·TX/(p+q)` with `γ·p·TX = q·TY`).
+pub fn pipeline_avg_throughput(tx: f64, ty: f64, gamma: f64) -> f64 {
+    // p·TX/(p + q) with q = γ·p·TX/TY  ⇒  TX·TY / (TY + γ·TX).
+    tx * ty / (ty + gamma * tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Model X of Fig. 3: throughputs 200/250/300 req/s at latency budgets
+    /// 40/50/60 ms under the 2ℓ(b) ≤ budget rule.
+    fn model_x() -> BatchingProfile {
+        BatchingProfile::from_anchors(&[
+            (4, Micros::from_millis(20)),
+            (6, Micros::from_millis(24)),
+            (9, Micros::from_millis(30)),
+        ])
+    }
+
+    /// Model Y of Fig. 3: throughputs 300/400/500 req/s at 40/50/60 ms.
+    fn model_y() -> BatchingProfile {
+        BatchingProfile::from_anchors(&[
+            (6, Micros::from_millis(20)),
+            (10, Micros::from_millis(25)),
+            (15, Micros::from_millis(30)),
+        ])
+    }
+
+    fn xy_pipeline(gamma: f64) -> QueryDag {
+        QueryDag::pipeline(
+            vec![("X".into(), model_x()), ("Y".into(), model_y())],
+            &[gamma],
+        )
+    }
+
+    #[test]
+    fn fig3_profiles_match_paper_throughputs() {
+        let x = model_x();
+        for (budget_ms, want) in [(40, 200.0), (50, 250.0), (60, 300.0)] {
+            let t = x
+                .max_throughput_for_slo(Micros::from_millis(budget_ms))
+                .unwrap();
+            assert!((t - want).abs() < 1.0, "X@{budget_ms}: {t} vs {want}");
+        }
+        let y = model_y();
+        for (budget_ms, want) in [(40, 300.0), (50, 400.0), (60, 500.0)] {
+            let t = y
+                .max_throughput_for_slo(Micros::from_millis(budget_ms))
+                .unwrap();
+            assert!((t - want).abs() < 1.0, "Y@{budget_ms}: {t} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fig4_average_throughputs_reproduce() {
+        // Fig. 4 of the paper: avg throughput for splits (40,60), (50,50),
+        // (60,40) at γ ∈ {0.1, 1, 10}.
+        let cases = [
+            ((200.0, 500.0), [192.3, 142.9, 40.0]),
+            ((250.0, 400.0), [235.3, 153.8, 34.5]),
+            ((300.0, 300.0), [272.7, 150.0, 27.3]),
+        ];
+        for ((tx, ty), wants) in cases {
+            for (gamma, want) in [0.1, 1.0, 10.0].iter().zip(wants) {
+                let got = pipeline_avg_throughput(tx, ty, *gamma);
+                assert!(
+                    (got - want).abs() < 0.1,
+                    "tx={tx} ty={ty} γ={gamma}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_picks_gamma_dependent_split() {
+        // §4.2's punchline: "there is no universal best split: it depends
+        // on γ". With γ=0.1 give X more budget; with γ=10 give Y more.
+        let slo = Micros::from_millis(100);
+        let low = optimize_latency_split(&xy_pipeline(0.1), slo, 100.0, 100).unwrap();
+        let high = optimize_latency_split(&xy_pipeline(10.0), slo, 100.0, 100).unwrap();
+        assert!(
+            low.budgets[0] >= high.budgets[0],
+            "X budget should shrink as γ grows: {:?} vs {:?}",
+            low.budgets,
+            high.budgets
+        );
+    }
+
+    #[test]
+    fn optimizer_beats_or_matches_even_split() {
+        for gamma in [0.1, 1.0, 10.0] {
+            let dag = xy_pipeline(gamma);
+            let slo = Micros::from_millis(100);
+            let rate = 500.0;
+            let opt = optimize_latency_split(&dag, slo, rate, 100).unwrap();
+            let even = even_latency_split(&dag, slo);
+            let rates = dag.stage_rates(rate);
+            let even_gpus: f64 = dag
+                .stages
+                .iter()
+                .zip(&even.budgets)
+                .zip(&rates)
+                .map(|((s, &b), &r)| stage_cost(&s.profile, r, b).unwrap_or(f64::INFINITY))
+                .sum();
+            assert!(
+                opt.gpus <= even_gpus + 1e-9,
+                "γ={gamma}: opt {} > even {even_gpus}",
+                opt.gpus
+            );
+        }
+    }
+
+    #[test]
+    fn budgets_respect_slo_along_paths() {
+        let dag = xy_pipeline(1.0);
+        let slo = Micros::from_millis(100);
+        let split = optimize_latency_split(&dag, slo, 100.0, 50).unwrap();
+        assert!(split.budgets[0] + split.budgets[1] <= slo);
+        assert!(split.budgets.iter().all(|&b| b > Micros::ZERO));
+    }
+
+    #[test]
+    fn infeasible_slo_returns_none() {
+        let dag = xy_pipeline(1.0);
+        // 2·(ℓx(1)+ℓy(1)) far exceeds 10 ms.
+        assert!(optimize_latency_split(&dag, Micros::from_millis(10), 100.0, 50).is_none());
+    }
+
+    #[test]
+    fn tree_query_splits_branches_independently() {
+        // Fig. 8 shape: SSD detector feeding car and face recognizers.
+        let det = model_x();
+        let car = model_y();
+        let face = model_y();
+        let dag = QueryDag::new(vec![
+            QueryStage {
+                name: "ssd".into(),
+                profile: det,
+                children: vec![(1, 0.5), (2, 0.8)],
+            },
+            QueryStage {
+                name: "car".into(),
+                profile: car,
+                children: vec![],
+            },
+            QueryStage {
+                name: "face".into(),
+                profile: face,
+                children: vec![],
+            },
+        ]);
+        let rates = dag.stage_rates(100.0);
+        assert_eq!(rates, vec![100.0, 50.0, 80.0]);
+        let split = optimize_latency_split(&dag, Micros::from_millis(120), 100.0, 60)
+            .expect("feasible");
+        // Both root→leaf paths fit the SLO.
+        assert!(split.budgets[0] + split.budgets[1] <= Micros::from_millis(120));
+        assert!(split.budgets[0] + split.budgets[2] <= Micros::from_millis(120));
+    }
+
+    #[test]
+    fn even_split_divides_by_path_depth() {
+        let dag = xy_pipeline(1.0);
+        let even = even_latency_split(&dag, Micros::from_millis(100));
+        assert_eq!(even.budgets[0], Micros::from_millis(50));
+        assert_eq!(even.budgets[1], Micros::from_millis(50));
+    }
+
+    #[test]
+    fn finer_segments_never_hurt() {
+        let dag = xy_pipeline(1.0);
+        let slo = Micros::from_millis(100);
+        let coarse = optimize_latency_split(&dag, slo, 300.0, 10).unwrap();
+        let fine = optimize_latency_split(&dag, slo, 300.0, 200).unwrap();
+        assert!(fine.gpus <= coarse.gpus + 1e-9);
+    }
+
+    #[test]
+    fn fork_join_single_branch_matches_pipeline() {
+        // A fork with one branch and an empty continuation is just a
+        // pipeline; the conditioned optimum must match the tree DP closely
+        // (the barrier grid adds one extra discretization).
+        let fork = xy_pipeline(1.0);
+        let join = QueryDag::new(vec![QueryStage {
+            name: "agg".into(),
+            profile: model_y(),
+            children: vec![],
+        }]);
+        let q = ForkJoinQuery {
+            fork,
+            join,
+            join_gamma: 1.0,
+        };
+        let slo = Micros::from_millis(200);
+        let fj = optimize_fork_join(&q, slo, 300.0, 100).expect("feasible");
+        // Equivalent 3-stage pipeline.
+        let flat = QueryDag::pipeline(
+            vec![
+                ("X".into(), model_x()),
+                ("Y".into(), model_y()),
+                ("agg".into(), model_y()),
+            ],
+            &[1.0, 1.0],
+        );
+        let tree = optimize_latency_split(&flat, slo, 300.0, 100).expect("feasible");
+        assert!(
+            (fj.gpus - tree.gpus).abs() / tree.gpus < 0.10,
+            "fork-join {} vs pipeline {}",
+            fj.gpus,
+            tree.gpus
+        );
+    }
+
+    #[test]
+    fn fork_join_budgets_fit_slo() {
+        // Two parallel branches joined by an aggregator.
+        let fork = QueryDag::new(vec![
+            QueryStage {
+                name: "det".into(),
+                profile: model_x(),
+                children: vec![(1, 1.0), (2, 1.0)],
+            },
+            QueryStage {
+                name: "branch-a".into(),
+                profile: model_y(),
+                children: vec![],
+            },
+            QueryStage {
+                name: "branch-b".into(),
+                profile: model_y(),
+                children: vec![],
+            },
+        ]);
+        let join = QueryDag::new(vec![QueryStage {
+            name: "agg".into(),
+            profile: model_y(),
+            children: vec![],
+        }]);
+        let q = ForkJoinQuery {
+            fork,
+            join,
+            join_gamma: 1.0,
+        };
+        let slo = Micros::from_millis(250);
+        let fj = optimize_fork_join(&q, slo, 200.0, 80).expect("feasible");
+        // Every fork path fits inside the barrier.
+        assert!(fj.fork_budgets[0] + fj.fork_budgets[1] <= fj.barrier);
+        assert!(fj.fork_budgets[0] + fj.fork_budgets[2] <= fj.barrier);
+        // The continuation fits the remainder.
+        assert!(fj.join_budgets[0] <= slo - fj.barrier);
+        assert!(fj.gpus.is_finite());
+    }
+
+    #[test]
+    fn fork_join_infeasible_slo_is_none() {
+        let q = ForkJoinQuery {
+            fork: xy_pipeline(1.0),
+            join: QueryDag::new(vec![QueryStage {
+                name: "agg".into(),
+                profile: model_y(),
+                children: vec![],
+            }]),
+            join_gamma: 1.0,
+        };
+        assert!(optimize_fork_join(&q, Micros::from_millis(20), 100.0, 50).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one parent")]
+    fn non_tree_rejected() {
+        let _ = QueryDag::new(vec![
+            QueryStage {
+                name: "a".into(),
+                profile: model_x(),
+                children: vec![(1, 1.0), (1, 1.0)],
+            },
+            QueryStage {
+                name: "b".into(),
+                profile: model_y(),
+                children: vec![],
+            },
+        ]);
+    }
+}

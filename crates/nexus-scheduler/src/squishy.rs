@@ -1,0 +1,573 @@
+//! Squishy bin packing (§6.1, Algorithm 1).
+//!
+//! Packs sessions onto GPUs when task cost is "squishy" — it shrinks as
+//! tasks of the same type are batched together — under per-session latency
+//! SLOs. Two phases:
+//!
+//! 1. **ScheduleSaturate**: sessions with enough load get whole GPUs running
+//!    back-to-back batches at the largest SLO-feasible batch size
+//!    (`2·ℓ(B) ≤ L`), leaving a residual rate.
+//! 2. **ScheduleResidue**: residual loads get a per-session maximal duty
+//!    cycle (`ℓ(b) + b/r ≤ L`), are sorted by occupancy, and merged
+//!    best-fit-decreasing into shared duty cycles (Fig. 7): the smaller duty
+//!    cycle wins, batch sizes shrink proportionally, and a merge is legal if
+//!    the summed batch latencies still fit in the new duty cycle and every
+//!    session's worst-case latency `d + ℓ(b)` stays within its SLO.
+
+use serde::{Deserialize, Serialize};
+
+use nexus_profile::Micros;
+
+use crate::session::{SessionId, SessionSpec};
+
+/// One session's slot within a GPU's duty cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEntry {
+    /// The session.
+    pub session: SessionId,
+    /// Target batch size for each duty-cycle round.
+    pub batch: u32,
+    /// Batch execution latency at that size (cached for executors).
+    pub exec_latency: Micros,
+}
+
+/// Execution plan for one GPU: the sessions it hosts and the duty cycle it
+/// round-robins through.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuPlan {
+    /// Round-robin period. For saturated nodes this equals the batch
+    /// execution latency (back-to-back batches).
+    pub duty_cycle: Micros,
+    /// Sessions hosted by this GPU.
+    pub entries: Vec<PlanEntry>,
+    /// Whether this node serves a single saturated session back-to-back.
+    pub saturated: bool,
+    /// Fraction of the duty cycle occupied by batch executions.
+    pub occupancy: f64,
+    /// Total model memory resident on this GPU.
+    pub memory_bytes: u64,
+}
+
+impl GpuPlan {
+    /// Whether this plan hosts `session`.
+    pub fn hosts(&self, session: SessionId) -> bool {
+        self.entries.iter().any(|e| e.session == session)
+    }
+}
+
+/// Result of a packing run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    /// One plan per allocated GPU.
+    pub plans: Vec<GpuPlan>,
+    /// Sessions whose SLO cannot be met at any batch size (or whose model
+    /// does not fit in GPU memory) — the control plane must reject these.
+    pub infeasible: Vec<SessionId>,
+}
+
+impl Allocation {
+    /// Number of GPUs used.
+    pub fn gpu_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Mean occupancy across allocated GPUs.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.plans.is_empty() {
+            return 0.0;
+        }
+        self.plans.iter().map(|p| p.occupancy).sum::<f64>() / self.plans.len() as f64
+    }
+}
+
+/// Internal: a residual load awaiting merge.
+struct Residual {
+    session: SessionId,
+    spec_index: usize,
+    rate: f64,
+    batch: u32,
+    duty: Micros,
+    occ: f64,
+}
+
+/// Internal: a node being assembled from residual loads.
+struct Node {
+    duty: Micros,
+    members: Vec<Member>,
+    occ: f64,
+    memory: u64,
+}
+
+/// Internal: one session packed into a shared node.
+struct Member {
+    spec_index: usize,
+    batch: u32,
+    rate: f64,
+}
+
+/// How residual loads pick a node to merge into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOrder {
+    /// Best-fit decreasing: merge into the node whose occupancy ends up
+    /// highest (the paper's choice, mirroring classic BFD bin packing).
+    BestFit,
+    /// First-fit decreasing: merge into the first node that fits — the
+    /// ablation baseline for the merge-order design choice.
+    FirstFit,
+}
+
+/// Runs squishy bin packing over `sessions` for GPUs with `gpu_memory`
+/// bytes of device memory.
+///
+/// Sessions with zero rate are ignored. The returned plans list saturated
+/// nodes first, then merged residual nodes.
+///
+/// # Examples
+///
+/// ```
+/// use nexus_profile::{BatchingProfile, Micros};
+/// use nexus_scheduler::{squishy_bin_packing, SessionId, SessionSpec};
+///
+/// // Two residual sessions that fit one shared duty cycle.
+/// let profile = BatchingProfile::from_linear_ms(1.0, 8.0, 32);
+/// let sessions = vec![
+///     SessionSpec::new(SessionId(0), profile.clone(), Micros::from_millis(150), 40.0),
+///     SessionSpec::new(SessionId(1), profile, Micros::from_millis(200), 25.0),
+/// ];
+/// let alloc = squishy_bin_packing(&sessions, 11 << 30);
+/// assert_eq!(alloc.gpu_count(), 1);
+/// assert!(alloc.infeasible.is_empty());
+/// ```
+pub fn squishy_bin_packing(sessions: &[SessionSpec], gpu_memory: u64) -> Allocation {
+    squishy_bin_packing_with(sessions, gpu_memory, MergeOrder::BestFit)
+}
+
+/// [`squishy_bin_packing`] with an explicit residual merge order.
+pub fn squishy_bin_packing_with(
+    sessions: &[SessionSpec],
+    gpu_memory: u64,
+    order: MergeOrder,
+) -> Allocation {
+    let mut alloc = Allocation::default();
+    let mut residuals: Vec<Residual> = Vec::new();
+
+    // Phase 1: ScheduleSaturate.
+    for (idx, s) in sessions.iter().enumerate() {
+        if s.rate <= 0.0 {
+            continue;
+        }
+        if s.profile.memory_bytes() > gpu_memory {
+            alloc.infeasible.push(s.id);
+            continue;
+        }
+        let big_b = s.max_batch();
+        if big_b == 0 {
+            alloc.infeasible.push(s.id);
+            continue;
+        }
+        let exec = s.profile.latency(big_b);
+        let peak = f64::from(big_b) / exec.as_secs_f64();
+        let full_nodes = (s.rate / peak).floor() as u32;
+        for _ in 0..full_nodes {
+            alloc.plans.push(GpuPlan {
+                duty_cycle: exec,
+                entries: vec![PlanEntry {
+                    session: s.id,
+                    batch: big_b,
+                    exec_latency: exec,
+                }],
+                saturated: true,
+                occupancy: 1.0,
+                memory_bytes: s.profile.memory_bytes(),
+            });
+        }
+        let residual_rate = s.rate - f64::from(full_nodes) * peak;
+        if residual_rate > 1e-9 {
+            if let Some((batch, duty)) = residual_params(s, residual_rate) {
+                let occ = s.profile.latency(batch).as_micros() as f64
+                    / duty.as_micros() as f64;
+                residuals.push(Residual {
+                    session: s.id,
+                    spec_index: idx,
+                    rate: residual_rate,
+                    batch,
+                    duty,
+                    occ,
+                });
+            } else {
+                // 2·ℓ(1) ≤ L held (big_b ≥ 1) so a duty cycle always
+                // exists; this branch is unreachable but kept defensive.
+                alloc.infeasible.push(s.id);
+            }
+        }
+    }
+
+    // Phase 2: ScheduleResidue — best-fit decreasing by occupancy.
+    residuals.sort_by(|a, b| {
+        b.occ
+            .partial_cmp(&a.occ)
+            .expect("occupancies are finite")
+            .then(a.session.cmp(&b.session))
+    });
+
+    let mut nodes: Vec<Node> = Vec::new();
+    for r in &residuals {
+        let mut best: Option<(usize, Node)> = None;
+        for (ni, node) in nodes.iter().enumerate() {
+            if let Some(merged) = try_merge(node, r, sessions, gpu_memory) {
+                let better = match &best {
+                    Some((_, b)) => merged.occ > b.occ,
+                    None => true,
+                };
+                if better {
+                    best = Some((ni, merged));
+                }
+                if order == MergeOrder::FirstFit {
+                    break;
+                }
+            }
+        }
+        match best {
+            Some((ni, merged)) => nodes[ni] = merged,
+            None => nodes.push(Node {
+                duty: r.duty,
+                members: vec![Member {
+                    spec_index: r.spec_index,
+                    batch: r.batch,
+                    rate: r.rate,
+                }],
+                occ: r.occ,
+                memory: sessions[r.spec_index].profile.memory_bytes(),
+            }),
+        }
+    }
+
+    for node in nodes {
+        let entries = node
+            .members
+            .iter()
+            .map(|m| PlanEntry {
+                session: sessions[m.spec_index].id,
+                batch: m.batch,
+                exec_latency: sessions[m.spec_index].profile.latency(m.batch),
+            })
+            .collect();
+        alloc.plans.push(GpuPlan {
+            duty_cycle: node.duty,
+            entries,
+            saturated: false,
+            occupancy: node.occ,
+            memory_bytes: node.memory,
+        });
+    }
+    alloc
+}
+
+/// Chooses the residual batch size and duty cycle for a session at `rate`:
+/// the largest `b` with `ℓ(b) + d ≤ L` where `d = max(b/rate, ℓ(b))`
+/// (Algorithm 1, lines 12–15 — the `ℓ(b)` floor covers fast-arriving
+/// residuals whose batch executes longer than it gathers, where the duty
+/// cycle is execution-bound rather than gather-bound). Low-rate sessions
+/// for which even `b = 1` violates the inequality run at `b = 1` with the
+/// duty cycle capped at `L − ℓ(1)`, which preserves the worst-case bound
+/// `d + ℓ(1) ≤ L`.
+fn residual_params(s: &SessionSpec, rate: f64) -> Option<(u32, Micros)> {
+    debug_assert!(rate > 0.0);
+    let mut best: Option<(u32, Micros)> = None;
+    for b in 1..=s.profile.max_batch() {
+        let exec = s.profile.latency(b);
+        let duty = Micros::from_secs_f64(f64::from(b) / rate).max(exec);
+        if exec + duty <= s.slo {
+            best = Some((b, duty));
+        } else {
+            break;
+        }
+    }
+    if let Some((b, duty)) = best {
+        // An execution-bound duty cycle serves b/ℓ(b), which can fall short
+        // of the rate when the feasible batch is small. Such a session
+        // needs a dedicated node running back-to-back at its SLO-max batch
+        // (throughput T ≥ rate holds because saturation already peeled off
+        // whole multiples of T).
+        if f64::from(b) / duty.as_secs_f64() + 1e-9 < rate {
+            let big = s.max_batch();
+            return Some((big, s.profile.latency(big)));
+        }
+        return Some((b, duty));
+    }
+    // Low-rate fallback: batch of at most 1 per cycle, maximal cycle.
+    let exec = s.profile.latency(1);
+    if exec * 2 <= s.slo {
+        return Some((1, s.slo - exec));
+    }
+    None
+}
+
+/// Attempts to merge residual `r` into `node` (Fig. 7): the new duty cycle
+/// is the smaller of the two, member batches shrink to `ceil(d·rate)`, and
+/// the merge is legal iff the batch executions fit in the duty cycle, every
+/// member still meets its SLO, and the models fit in memory together.
+fn try_merge(
+    node: &Node,
+    r: &Residual,
+    sessions: &[SessionSpec],
+    gpu_memory: u64,
+) -> Option<Node> {
+    let memory = node.memory + sessions[r.spec_index].profile.memory_bytes();
+    if memory > gpu_memory {
+        return None;
+    }
+    let duty = node.duty.min(r.duty);
+    let mut members = Vec::with_capacity(node.members.len() + 1);
+    let mut exec_total = Micros::ZERO;
+    let candidates = node
+        .members
+        .iter()
+        .map(|m| (m.spec_index, m.rate))
+        .chain([(r.spec_index, r.rate)]);
+    for (idx, rate) in candidates {
+        let s = &sessions[idx];
+        // Shrinking the duty cycle shrinks the batch needed to sustain the
+        // member's rate: b' = ceil(d·r) ≤ b (Fig. 7).
+        let batch = ((duty.as_secs_f64() * rate).ceil() as u32).max(1);
+        if batch > s.profile.max_batch() {
+            return None;
+        }
+        let exec = s.profile.latency(batch);
+        if duty + exec > s.slo {
+            return None;
+        }
+        exec_total += exec;
+        members.push(Member {
+            spec_index: idx,
+            batch,
+            rate,
+        });
+    }
+    if exec_total > duty {
+        return None;
+    }
+    Some(Node {
+        duty,
+        members,
+        occ: exec_total.as_micros() as f64 / duty.as_micros() as f64,
+        memory,
+    })
+}
+
+/// The aggressive theoretical lower bound of §7.4: GPUs needed if every
+/// session ran at its profile's peak throughput (optimal batch, fully
+/// batchable, back-to-back execution), ignoring SLOs and packing losses.
+pub fn lower_bound_gpus(sessions: &[SessionSpec]) -> f64 {
+    sessions
+        .iter()
+        .filter(|s| s.rate > 0.0)
+        .map(|s| s.rate / s.profile.peak_throughput())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_profile::BatchingProfile;
+
+    /// Models A, B, C of Table 2 with the §4.1 SLOs.
+    fn table2_sessions(rates: [f64; 3]) -> Vec<SessionSpec> {
+        let model_a = BatchingProfile::from_anchors(&[
+            (4, Micros::from_millis(50)),
+            (8, Micros::from_millis(75)),
+            (16, Micros::from_millis(100)),
+        ]);
+        let model_b = BatchingProfile::from_anchors(&[
+            (4, Micros::from_millis(50)),
+            (8, Micros::from_millis(90)),
+            (16, Micros::from_millis(125)),
+        ]);
+        let model_c = BatchingProfile::from_anchors(&[
+            (4, Micros::from_millis(60)),
+            (8, Micros::from_millis(95)),
+            (16, Micros::from_millis(125)),
+        ]);
+        vec![
+            SessionSpec::new(SessionId(0), model_a, Micros::from_millis(200), rates[0]),
+            SessionSpec::new(SessionId(1), model_b, Micros::from_millis(250), rates[1]),
+            SessionSpec::new(SessionId(2), model_c, Micros::from_millis(250), rates[2]),
+        ]
+    }
+
+    const GPU_MEM: u64 = 11 << 30;
+
+    #[test]
+    fn saturated_workload_matches_section_4_1() {
+        // §4.1: at high rates, A runs at batch 16 (160 req/s/GPU), B and C
+        // at batch 16 (128 req/s/GPU).
+        let sessions = table2_sessions([320.0, 256.0, 128.0]);
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        assert!(alloc.infeasible.is_empty());
+        let saturated: Vec<_> = alloc.plans.iter().filter(|p| p.saturated).collect();
+        // 320/160 = 2 GPUs for A, 256/128 = 2 for B, 128/128 = 1 for C.
+        assert_eq!(saturated.len(), 5);
+        for p in &saturated {
+            assert_eq!(p.entries[0].batch, 16);
+        }
+        // No residual nodes: rates divide evenly.
+        assert_eq!(alloc.gpu_count(), 5);
+    }
+
+    #[test]
+    fn residual_workload_matches_section_4_1() {
+        // §4.1: A at 64 req/s (batch 8, duty 125 ms), B and C at 32 req/s.
+        // A and B share one GPU; C cannot fit (ℓ_C(4) = 60 ms exceeds the
+        // 50 ms slack) and gets its own.
+        let sessions = table2_sessions([64.0, 32.0, 32.0]);
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        assert!(alloc.infeasible.is_empty());
+        assert_eq!(alloc.gpu_count(), 2);
+        let ab = alloc
+            .plans
+            .iter()
+            .find(|p| p.hosts(SessionId(0)))
+            .expect("A is scheduled");
+        assert!(ab.hosts(SessionId(1)), "B co-locates with A");
+        assert!(!ab.hosts(SessionId(2)), "C cannot co-locate with A");
+        assert_eq!(ab.duty_cycle, Micros::from_millis(125));
+        let a_entry = ab.entries.iter().find(|e| e.session == SessionId(0)).unwrap();
+        assert_eq!(a_entry.batch, 8);
+        let b_entry = ab.entries.iter().find(|e| e.session == SessionId(1)).unwrap();
+        assert_eq!(b_entry.batch, 4);
+    }
+
+    #[test]
+    fn all_plans_respect_slo_and_duty_cycle_invariants() {
+        let sessions = table2_sessions([100.0, 75.0, 50.0]);
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        for plan in &alloc.plans {
+            let exec_total: Micros = plan.entries.iter().map(|e| e.exec_latency).sum();
+            if plan.saturated {
+                assert_eq!(plan.duty_cycle, exec_total);
+            } else {
+                assert!(exec_total <= plan.duty_cycle, "cycle overflows");
+            }
+            for e in &plan.entries {
+                let spec = sessions.iter().find(|s| s.id == e.session).unwrap();
+                let worst = if plan.saturated {
+                    e.exec_latency * 2
+                } else {
+                    plan.duty_cycle + e.exec_latency
+                };
+                assert!(worst <= spec.slo, "{}: SLO violated", e.session);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_serves_all_rate() {
+        // Summed planned service rate ≥ offered rate per session.
+        let sessions = table2_sessions([150.0, 90.0, 60.0]);
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        for s in &sessions {
+            let served: f64 = alloc
+                .plans
+                .iter()
+                .flat_map(|p| {
+                    p.entries.iter().filter(|e| e.session == s.id).map(|e| {
+                        f64::from(e.batch) / p.duty_cycle.as_secs_f64()
+                    })
+                })
+                .sum();
+            assert!(
+                served + 1e-6 >= s.rate,
+                "{}: served {served:.1} < rate {}",
+                s.id,
+                s.rate
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_slo_reported() {
+        let profile = BatchingProfile::from_linear_ms(1.0, 30.0, 16);
+        let sessions = vec![SessionSpec::new(
+            SessionId(7),
+            profile,
+            Micros::from_millis(40), // 2·ℓ(1) = 62 ms > 40 ms
+            10.0,
+        )];
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        assert_eq!(alloc.infeasible, vec![SessionId(7)]);
+        assert_eq!(alloc.gpu_count(), 0);
+    }
+
+    #[test]
+    fn oversized_model_reported_infeasible() {
+        let profile =
+            BatchingProfile::from_linear_ms(1.0, 5.0, 16).with_memory_bytes(2 * GPU_MEM);
+        let sessions = vec![SessionSpec::new(
+            SessionId(3),
+            profile,
+            Micros::from_millis(200),
+            10.0,
+        )];
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        assert_eq!(alloc.infeasible, vec![SessionId(3)]);
+    }
+
+    #[test]
+    fn zero_rate_sessions_use_no_gpus() {
+        let sessions = table2_sessions([0.0, 0.0, 0.0]);
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        assert_eq!(alloc.gpu_count(), 0);
+        assert!(alloc.infeasible.is_empty());
+    }
+
+    #[test]
+    fn low_rate_sessions_share_one_gpu() {
+        // Ten sessions at 1 req/s each must not occupy ten GPUs.
+        let mut sessions = Vec::new();
+        for i in 0..10 {
+            let profile = BatchingProfile::from_linear_ms(1.0, 5.0, 32);
+            sessions.push(SessionSpec::new(
+                SessionId(i),
+                profile,
+                Micros::from_millis(100),
+                1.0,
+            ));
+        }
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        assert!(alloc.infeasible.is_empty());
+        assert_eq!(alloc.gpu_count(), 1, "ten tiny sessions fit one GPU");
+    }
+
+    #[test]
+    fn memory_limits_colocation() {
+        // Two sessions that fit a duty cycle together but not in memory.
+        let mem = 6u64 << 30;
+        let profile = BatchingProfile::from_linear_ms(1.0, 5.0, 32)
+            .with_memory_bytes(4 << 30);
+        let sessions = vec![
+            SessionSpec::new(SessionId(0), profile.clone(), Micros::from_millis(200), 20.0),
+            SessionSpec::new(SessionId(1), profile, Micros::from_millis(200), 20.0),
+        ];
+        let alloc = squishy_bin_packing(&sessions, mem);
+        assert!(alloc.infeasible.is_empty());
+        assert_eq!(alloc.gpu_count(), 2, "memory forces separate GPUs");
+    }
+
+    #[test]
+    fn lower_bound_is_below_allocation() {
+        let sessions = table2_sessions([150.0, 90.0, 60.0]);
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        let lb = lower_bound_gpus(&sessions);
+        assert!(lb <= alloc.gpu_count() as f64 + 1e-9);
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn mean_occupancy_reported() {
+        let sessions = table2_sessions([64.0, 32.0, 32.0]);
+        let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+        let occ = alloc.mean_occupancy();
+        assert!(occ > 0.3 && occ <= 1.0, "occ={occ}");
+        assert_eq!(Allocation::default().mean_occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! A deterministic discrete-event engine.
+//!
+//! The entire reproduction runs in *virtual time*: events are `(time, seq,
+//! payload)` triples popped in time order with insertion order breaking
+//! ties, so a run is bit-for-bit reproducible regardless of host speed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use nexus_profile::Micros;
+
+/// An event scheduled at a virtual time.
+struct Scheduled<E> {
+    time: Micros,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic virtual-time event queue.
+///
+/// # Examples
+///
+/// ```
+/// use nexus_profile::Micros;
+/// use nexus_simgpu::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Micros::from_millis(5), "late");
+/// q.push(Micros::from_millis(1), "early");
+/// assert_eq!(q.pop(), Some((Micros::from_millis(1), "early")));
+/// assert_eq!(q.now(), Micros::from_millis(1));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: Micros,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Micros::ZERO,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Schedules `event` at absolute virtual time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — a simulation that schedules into
+    /// the past is broken and must fail loudly.
+    pub fn push(&mut self, time: Micros, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled at {time} before current time {}",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    pub fn push_after(&mut self, delay: Micros, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Micros, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.event)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Micros> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Micros(30), 3);
+        q.push(Micros(10), 1);
+        q.push(Micros(20), 2);
+        assert_eq!(q.pop(), Some((Micros(10), 1)));
+        assert_eq!(q.pop(), Some((Micros(20), 2)));
+        assert_eq!(q.pop(), Some((Micros(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(Micros(5), "first");
+        q.push(Micros(5), "second");
+        q.push(Micros(5), "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(Micros(100), ());
+        assert_eq!(q.now(), Micros::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Micros(100));
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(Micros(100), "a");
+        q.pop();
+        q.push_after(Micros(50), "b");
+        assert_eq!(q.pop(), Some((Micros(150), "b")));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Micros(10), 1);
+        q.push(Micros(40), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Micros(20), 2);
+        q.push(Micros(30), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Micros(7), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Micros(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Micros(100), ());
+        q.pop();
+        q.push(Micros(50), ());
+    }
+}

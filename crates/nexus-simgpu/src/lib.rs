@@ -1,0 +1,24 @@
+//! Deterministic discrete-event GPU cluster substrate for the Nexus
+//! reproduction.
+//!
+//! Substitutes for the paper's physical GPUs (DESIGN.md §2): a virtual-time
+//! event queue ([`EventQueue`]), simulated devices that execute batched
+//! model invocations at profile-derived latencies under memory constraints
+//! ([`SimGpu`]), the uncoordinated-sharing interference model behind the
+//! Fig. 14 comparisons ([`InterferenceModel`]), and CPU/GPU round timing
+//! with or without overlapped processing ([`round`]).
+
+pub mod engine;
+pub mod gpu;
+pub mod interference;
+pub mod round;
+pub mod runner;
+
+#[cfg(test)]
+mod proptests;
+
+pub use engine::EventQueue;
+pub use gpu::{Execution, GpuError, ResidentKey, SimGpu};
+pub use interference::InterferenceModel;
+pub use round::{max_batch_within_round, round_timing, RoundTiming, DEFAULT_CPU_WORKERS};
+pub use runner::SimBatchRunner;

@@ -1,0 +1,86 @@
+//! Property-based tests for the event engine and simulated GPU.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use nexus_profile::{BatchingProfile, Micros, GPU_GTX1080TI};
+
+use crate::engine::EventQueue;
+use crate::gpu::{ResidentKey, SimGpu};
+use crate::interference::InterferenceModel;
+
+proptest! {
+    /// The event queue is a stable priority queue: pops come out sorted by
+    /// time, ties in insertion order, and nothing is lost.
+    #[test]
+    fn event_queue_is_stable_and_lossless(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Micros::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke out of order");
+            }
+        }
+    }
+
+    /// GPU executions never overlap and busy time accumulates exactly.
+    #[test]
+    fn gpu_executions_serialize(durations in prop::collection::vec(1u64..50_000, 1..60)) {
+        let mut gpu = SimGpu::new(GPU_GTX1080TI);
+        let mut expected_busy = 0u64;
+        let mut last_finish = Micros::ZERO;
+        for &d in &durations {
+            let e = gpu.execute(Micros::ZERO, Micros::from_micros(d), 1);
+            prop_assert!(e.start >= last_finish);
+            prop_assert_eq!(e.finish, e.start + Micros::from_micros(d));
+            last_finish = e.finish;
+            expected_busy += d;
+        }
+        prop_assert_eq!(gpu.busy_total().as_micros(), expected_busy);
+        prop_assert_eq!(gpu.executions(), durations.len() as u64);
+    }
+
+    /// Memory accounting is exact through arbitrary load/unload sequences
+    /// and never exceeds capacity.
+    #[test]
+    fn gpu_memory_accounting(ops in prop::collection::vec((0u64..64, 1u64..2_000_000_000), 1..60)) {
+        let mut gpu = SimGpu::new(GPU_GTX1080TI);
+        let mut resident: std::collections::HashMap<u64, u64> = Default::default();
+        for &(key, bytes) in &ops {
+            let k = ResidentKey(key);
+            if resident.contains_key(&key) {
+                prop_assert!(gpu.unload(k).is_ok());
+                resident.remove(&key);
+            } else if gpu.load(k, bytes, Micros::ZERO, Micros::ZERO).is_ok() {
+                resident.insert(key, bytes);
+            }
+            let expect: u64 = resident.values().sum();
+            prop_assert_eq!(gpu.memory_used(), expect);
+            prop_assert!(gpu.memory_used() <= gpu.device().memory_bytes);
+        }
+    }
+
+    /// Interference slowdown is 1 for a lone model, strictly increasing in
+    /// peers, and the stretched profile stays valid.
+    #[test]
+    fn interference_monotone(overhead in 0.0f64..1.0, k in 2usize..12) {
+        let m = InterferenceModel { per_peer_overhead: overhead };
+        prop_assert_eq!(m.slowdown(1), 1.0);
+        prop_assert!(m.slowdown(k) >= m.slowdown(k - 1));
+        prop_assert!(m.slowdown(k) >= k as f64);
+        let p = BatchingProfile::from_linear_ms(1.0, 10.0, 32);
+        let s = m.stretched_profile(&p, k);
+        for b in 1..=32 {
+            prop_assert!(s.latency(b) >= p.latency(b));
+        }
+    }
+}

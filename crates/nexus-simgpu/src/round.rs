@@ -1,0 +1,150 @@
+//! Timing of one execution round: CPU pre-/post-processing vs. GPU compute,
+//! with or without overlap (the paper's "OL" technique, §6.3).
+//!
+//! A DNN task has three stages: pre-processing (CPU), forwarding (GPU), and
+//! post-processing (CPU). Nexus overlaps the CPU stages of adjacent batches
+//! with GPU execution using a worker thread pool ("it usually takes 4 to 5
+//! CPU cores to saturate GPU throughput"); the ablations disable this (-OL),
+//! serializing CPU and GPU work.
+
+use serde::{Deserialize, Serialize};
+
+use nexus_profile::{BatchingProfile, Micros};
+
+/// Default CPU worker threads per GPU (§6.3: 4–5 cores saturate a GPU).
+pub const DEFAULT_CPU_WORKERS: u32 = 4;
+
+/// How one round of batched execution occupies the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundTiming {
+    /// Wall-clock duration of the round slot (what the duty cycle spends).
+    pub round: Micros,
+    /// GPU-busy time within the round (for utilization accounting).
+    pub gpu_busy: Micros,
+    /// Offset from round start at which results are available.
+    pub completion: Micros,
+}
+
+/// Computes the timing of executing a batch of `b` inputs.
+///
+/// With `overlap` enabled, the CPU pool pre-processes the *next* batch and
+/// post-processes the *previous* one while the GPU forwards the current one,
+/// so the steady-state round is `max(gpu, cpu)`; results complete when the
+/// GPU does. Without overlap the three stages serialize.
+pub fn round_timing(
+    profile: &BatchingProfile,
+    b: u32,
+    overlap: bool,
+    cpu_workers: u32,
+) -> RoundTiming {
+    assert!(cpu_workers >= 1, "need at least one CPU worker");
+    let gpu = profile.latency(b);
+    let pre_total = profile.preprocess_per_item() * u64::from(b);
+    let post_total = profile.postprocess_per_item() * u64::from(b);
+    let pre = pre_total / u64::from(cpu_workers);
+    let post = post_total / u64::from(cpu_workers);
+    if overlap {
+        let cpu = pre + post;
+        RoundTiming {
+            round: gpu.max(cpu),
+            gpu_busy: gpu,
+            completion: gpu,
+        }
+    } else {
+        RoundTiming {
+            round: pre + gpu + post,
+            gpu_busy: gpu,
+            completion: pre + gpu + post,
+        }
+    }
+}
+
+/// The largest batch of `profile` whose *round* completion fits `limit`
+/// under the given processing mode — the overlap-aware analogue of
+/// [`BatchingProfile::max_batch_within`].
+pub fn max_batch_within_round(
+    profile: &BatchingProfile,
+    limit: Micros,
+    overlap: bool,
+    cpu_workers: u32,
+) -> u32 {
+    let mut best = 0;
+    for b in 1..=profile.max_batch() {
+        if round_timing(profile, b, overlap, cpu_workers).completion <= limit {
+            best = b;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_profile::catalog::{LENET5, RESNET50};
+
+    #[test]
+    fn overlap_hides_cpu_work_behind_gpu() {
+        // ResNet-50 at batch 16: GPU time dominates 4-worker preprocessing.
+        let p = RESNET50.profile_1080ti();
+        let t = round_timing(&p, 16, true, 4);
+        assert_eq!(t.round, p.latency(16).max(
+            (p.preprocess_per_item() * 16 + p.postprocess_per_item() * 16) / 4
+        ));
+        assert_eq!(t.completion, p.latency(16));
+    }
+
+    #[test]
+    fn serialized_round_adds_cpu_stages() {
+        let p = RESNET50.profile_1080ti();
+        let t = round_timing(&p, 8, false, 4);
+        let pre = p.preprocess_per_item() * 8 / 4;
+        let post = p.postprocess_per_item() * 8 / 4;
+        assert_eq!(t.round, pre + p.latency(8) + post);
+        assert_eq!(t.completion, t.round);
+        assert_eq!(t.gpu_busy, p.latency(8));
+    }
+
+    #[test]
+    fn overlap_matters_most_for_small_models() {
+        // §7.3.1: with tiny forwarding times and ~10 ms preprocessing,
+        // serializing CPU and GPU leaves the GPU idle most of the round.
+        let p = LENET5.profile_1080ti();
+        let b = 32;
+        let with = round_timing(&p, b, true, 4);
+        let without = round_timing(&p, b, false, 4);
+        let idle_frac = 1.0
+            - with.gpu_busy.as_micros() as f64 / without.round.as_micros() as f64;
+        assert!(
+            idle_frac > 0.5,
+            "serialized LeNet round should idle the GPU >50% ({idle_frac:.2})"
+        );
+        assert!(without.round > with.round);
+    }
+
+    #[test]
+    fn max_batch_shrinks_without_overlap() {
+        let p = RESNET50.profile_1080ti();
+        let limit = Micros::from_millis(25);
+        let with = max_batch_within_round(&p, limit, true, 4);
+        let without = max_batch_within_round(&p, limit, false, 4);
+        assert!(with > without, "with={with} without={without}");
+    }
+
+    #[test]
+    fn zero_feasible_batch_when_limit_too_tight() {
+        let p = RESNET50.profile_1080ti();
+        assert_eq!(
+            max_batch_within_round(&p, Micros::from_millis(1), true, 4),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU worker")]
+    fn zero_workers_rejected() {
+        let p = RESNET50.profile_1080ti();
+        let _ = round_timing(&p, 1, true, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for workload generation.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use nexus_profile::Micros;
+
+use crate::arrivals::{poisson_sample, ArrivalGen, ArrivalKind};
+use crate::rng::rng_for;
+use crate::zipf::{zipf_rates, zipf_weights};
+
+proptest! {
+    /// Arrivals are strictly inside the horizon and non-decreasing, for all
+    /// processes, rates, and seeds.
+    #[test]
+    fn arrivals_sorted_and_bounded(
+        kind_idx in 0usize..3,
+        rate in 0.5f64..5_000.0,
+        horizon_ms in 10u64..5_000,
+        seed in 0u64..1_000,
+    ) {
+        let kind = [
+            ArrivalKind::Uniform,
+            ArrivalKind::Poisson,
+            ArrivalKind::Mmpp { burst_factor: 3.0, calm_secs: 1.0, burst_secs: 0.5 },
+        ][kind_idx];
+        let horizon = Micros::from_millis(horizon_ms);
+        let mut rng = rng_for(seed, 0);
+        let arr = ArrivalGen::new(kind, rate).generate(horizon, &mut rng);
+        for w in arr.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        if let Some(&last) = arr.last() {
+            prop_assert!(last < horizon);
+        }
+    }
+
+    /// Uniform arrival counts are exact: `⌈rate × horizon⌉` within one.
+    #[test]
+    fn uniform_counts_are_exact(rate in 1.0f64..2_000.0, secs in 1u64..20) {
+        let mut rng = rng_for(1, 1);
+        let arr = ArrivalGen::new(ArrivalKind::Uniform, rate)
+            .generate(Micros::from_secs(secs), &mut rng);
+        let expect = rate * secs as f64;
+        // Inter-arrival gaps round to whole microseconds, drifting the
+        // count by up to ~0.1% at high rates.
+        prop_assert!(
+            (arr.len() as f64 - expect).abs() <= 2.0 + expect * 2e-3,
+            "count {} vs {expect}",
+            arr.len()
+        );
+    }
+
+    /// Poisson samples are always finite and, for λ = 0, exactly zero.
+    #[test]
+    fn poisson_sample_total(lambda in 0.0f64..500.0, seed in 0u64..500) {
+        let mut rng = rng_for(seed, 2);
+        let n = poisson_sample(&mut rng, lambda);
+        if lambda == 0.0 {
+            prop_assert_eq!(n, 0);
+        }
+        // A wildly loose sanity ceiling (mean + 20 std + slack).
+        prop_assert!(f64::from(n) < lambda + 20.0 * lambda.sqrt() + 50.0);
+    }
+
+    /// Zipf weights are a proper, monotone-decreasing distribution and the
+    /// rate split conserves the total.
+    #[test]
+    fn zipf_properties(n in 1usize..200, s in 0.0f64..3.0, total in 1.0f64..1e6) {
+        let w = zipf_weights(n, s);
+        prop_assert_eq!(w.len(), n);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12);
+        }
+        let rates = zipf_rates(n, s, total);
+        prop_assert!((rates.iter().sum::<f64>() - total).abs() < total * 1e-9);
+    }
+
+    /// Same (seed, stream) reproduces identical arrivals; different seeds
+    /// diverge for Poisson processes.
+    #[test]
+    fn arrival_determinism(seed in 0u64..1_000, rate in 10.0f64..1_000.0) {
+        let run = |s: u64| {
+            let mut rng = rng_for(s, 7);
+            ArrivalGen::new(ArrivalKind::Poisson, rate)
+                .generate(Micros::from_secs(2), &mut rng)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+        prop_assert_ne!(run(seed), run(seed.wrapping_add(1)));
+    }
+
+    /// Rate modulation conserves expected counts piecewise: doubling the
+    /// rate from halfway roughly doubles second-half arrivals.
+    #[test]
+    fn modulation_scales_counts(rate in 50.0f64..500.0) {
+        let mut rng = rng_for(3, 3);
+        let horizon = Micros::from_secs(20);
+        let arr = ArrivalGen::new(ArrivalKind::Uniform, rate)
+            .with_modulation(vec![
+                (Micros::ZERO, 1.0),
+                (Micros::from_secs(10), 2.0),
+            ])
+            .generate(horizon, &mut rng);
+        let first = arr.iter().filter(|&&t| t < Micros::from_secs(10)).count() as f64;
+        let second = arr.len() as f64 - first;
+        prop_assert!((second / first - 2.0).abs() < 0.1, "ratio {}", second / first);
+    }
+}

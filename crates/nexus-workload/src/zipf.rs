@@ -1,0 +1,78 @@
+//! Zipf-distributed per-stream request rates.
+//!
+//! §7.3.1: "The request rates of frames from the 20 games follow the
+//! Zipf-0.9 distribution" — a few hot streams dominate, with a long tail.
+
+/// Normalized Zipf weights for `n` ranks with exponent `s`:
+/// `w_i ∝ 1 / i^s`, `i = 1..=n`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `s` is negative/not finite.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n >= 1, "need at least one rank");
+    assert!(s.is_finite() && s >= 0.0, "invalid exponent {s}");
+    let raw: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(s)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// Splits `total_rate` requests/second over `n` streams Zipf-`s`.
+///
+/// # Examples
+///
+/// ```
+/// // §7.3.1: 20 game streams with Zipf-0.9 request rates.
+/// let rates = nexus_workload::zipf_rates(20, 0.9, 4_000.0);
+/// assert_eq!(rates.len(), 20);
+/// assert!(rates[0] > rates[19] * 10.0); // heavy head, long tail
+/// ```
+pub fn zipf_rates(n: usize, s: f64, total_rate: f64) -> Vec<f64> {
+    zipf_weights(n, s).into_iter().map(|w| w * total_rate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for n in [1, 5, 20, 100] {
+            let sum: f64 = zipf_weights(n, 0.9).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn weights_decrease_with_rank() {
+        let w = zipf_weights(20, 0.9);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let w = zipf_weights(10, 0.0);
+        for &x in &w {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rates_split_the_total() {
+        let rates = zipf_rates(20, 0.9, 4_000.0);
+        let sum: f64 = rates.iter().sum();
+        assert!((sum - 4_000.0).abs() < 1e-6);
+        // Zipf-0.9 over 20 ranks: top stream carries ~18% of the load.
+        assert!(rates[0] / 4_000.0 > 0.15 && rates[0] / 4_000.0 < 0.25);
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let mild = zipf_weights(20, 0.5);
+        let steep = zipf_weights(20, 1.5);
+        assert!(steep[0] > mild[0]);
+        assert!(steep[19] < mild[19]);
+    }
+}

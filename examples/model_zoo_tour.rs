@@ -1,0 +1,83 @@
+//! Management-plane tour: profile models on a simulated GPU, ingest them
+//! into the model database, specialize them by transfer learning, and watch
+//! prefix detection find the shared backbones (§5, §6.3).
+//!
+//! Run with: `cargo run --release --example model_zoo_tour`
+
+use nexus_model::{ModelDatabase, PrefixPlan};
+use nexus_profile::{profile_model, ProfilerConfig, GPU_GTX1080TI};
+use nexus_simgpu::{SimBatchRunner, SimGpu};
+
+fn main() {
+    // 1. Profile ResNet-50 the way the management plane does on upload:
+    //    sweep batch sizes on a (simulated) GPU and record ℓ(b).
+    let truth = nexus_profile::catalog::RESNET50.profile_1080ti();
+    let mut runner = SimBatchRunner::new(SimGpu::new(GPU_GTX1080TI), truth.clone())
+        .with_jitter_permille(30); // 3% measurement noise
+    let profile = profile_model(
+        &mut runner,
+        ProfilerConfig {
+            max_batch: 32,
+            repetitions: 5,
+        },
+    )
+    .expect("profiling succeeds");
+    println!("profiled resnet50 on {}:", GPU_GTX1080TI.name);
+    for b in [1u32, 4, 8, 16, 32] {
+        println!(
+            "  batch {b:>2}: {:>8}  ({:>6.1} req/s)",
+            profile.latency(b),
+            profile.throughput(b)
+        );
+    }
+    let fit = profile.fit_linear();
+    println!(
+        "  linear fit: ℓ(b) ≈ {:.2}·b + {:.2} ms\n",
+        fit.alpha_us / 1e3,
+        fit.beta_us / 1e3
+    );
+
+    // 2. Ingest the base model plus transfer-learned variants (each game
+    //    retrains only the final layer, §2.2).
+    let mut db = ModelDatabase::new();
+    let base = nexus_model::zoo::resnet50();
+    db.ingest(base.clone(), profile.clone()).unwrap();
+    for game in 1..=4u64 {
+        let variant = base.specialize(format!("resnet50-game{game}"), 1, game);
+        db.ingest(variant, profile.clone()).unwrap();
+    }
+    println!("model database: {} models ingested", db.len());
+
+    // 3. Prefix detection: the database finds the shared backbone.
+    let groups = db.prefix_groups();
+    for (group, members) in &groups {
+        println!(
+            "prefix group: {} models share {} of {} layers (hash {:016x})",
+            members.len(),
+            group.prefix_len,
+            base.num_layers(),
+            group.prefix_hash,
+        );
+    }
+
+    // 4. What prefix batching buys (§6.3): batched prefix + tiny suffixes.
+    let plan = PrefixPlan::new(&base, &profile, base.num_layers() - 1);
+    let separate = profile.latency(8) * 4;
+    let shared = plan.batch_latency(&[8, 8, 8, 8]);
+    println!(
+        "\n4 variants × batch 8: separate {separate} vs prefix-batched {shared} \
+         ({:.0}% less GPU time)",
+        (1.0 - shared.as_micros() as f64 / separate.as_micros() as f64) * 100.0
+    );
+    let unshared = nexus_model::unshared_memory(&base, 5);
+    let merged = plan.memory_for_variants(5);
+    println!(
+        "5 resident variants: unshared {:.2} GiB vs prefix-shared {:.2} GiB",
+        unshared as f64 / (1u64 << 30) as f64,
+        merged as f64 / (1u64 << 30) as f64
+    );
+
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].1.len(), 5);
+    println!("\nOK: prefix detection grouped all five variants.");
+}

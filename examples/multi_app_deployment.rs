@@ -1,0 +1,76 @@
+//! A long-running multi-application deployment, in the style of the §7.4
+//! case study: all seven Table 4 applications share a simulated GPU
+//! cluster, the workload surges mid-run, and the epoch scheduler reacts.
+//!
+//! Run with: `cargo run --release --example multi_app_deployment`
+
+use nexus::prelude::*;
+use nexus_profile::Micros;
+use nexus_workload::all_apps;
+
+// The Table 4 SLOs were written for GTX 1080Ti-class devices, so the
+// example clusters 1080Tis (the builder default); see the fig13 binary for
+// a K80 deployment with device-appropriate SLOs.
+
+fn main() {
+    let horizon = Micros::from_secs(180);
+    let surge_at = Micros::from_secs(60);
+    let calm_at = Micros::from_secs(120);
+
+    // Base rates per app, with a 2x surge in the middle third of the run.
+    let rates = [
+        ("game", 200.0),
+        ("traffic", 30.0),
+        ("dance", 20.0),
+        ("bb", 20.0),
+        ("bike", 15.0),
+        ("amber", 15.0),
+        ("logo", 10.0),
+    ];
+    let mut builder = NexusCluster::builder()
+        .gpus(48)
+        .system(SystemConfig::nexus().with_epoch(Micros::from_secs(15)))
+        .horizon_secs(180)
+        .warmup_secs(10)
+        .seed(7);
+    for app in all_apps() {
+        let rate = rates.iter().find(|(n, _)| *n == app.name).unwrap().1;
+        builder = builder.traffic_class(
+            TrafficClass::new(app, ArrivalKind::Poisson, rate).with_modulation(vec![
+                (Micros::ZERO, 1.0),
+                (surge_at, 2.0),
+                (calm_at, 1.0),
+            ]),
+        );
+    }
+    let result = builder.simulate();
+
+    println!(
+        "deployment over {}s: {} queries, bad rate {:.2}%, mean GPUs {:.1}",
+        horizon.as_secs_f64(),
+        result.queries_finished,
+        result.query_bad_rate * 100.0,
+        result.mean_gpus
+    );
+
+    // Show the epoch controller tracking the surge.
+    println!("\n  t(s)  req/s  GPUs  bad");
+    for (sec, b) in result.metrics.timeline().iter().enumerate().step_by(15) {
+        let total = b.good + b.bad;
+        let bad = if total == 0 {
+            0.0
+        } else {
+            b.bad as f64 / total as f64 * 100.0
+        };
+        println!(
+            "  {sec:>4}  {:>5}  {:>4}  {bad:.1}%",
+            b.arrivals, b.gpus_allocated
+        );
+    }
+
+    assert!(
+        result.query_bad_rate < 0.05,
+        "the epoch controller should keep the long-run bad rate low"
+    );
+    println!("\nOK: the allocation grew with the surge and shrank after it.");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: serve the paper's traffic-monitoring application on a small
+//! simulated GPU cluster and print the service-level outcome.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nexus::prelude::*;
+use nexus_workload::apps;
+
+fn main() {
+    // 8 GTX 1080Ti GPUs serving the §7.3.2 traffic pipeline: SSD object
+    // detection on every frame, detected cars to GoogleNet-car, faces to
+    // VGG-Face, all within a 400 ms end-to-end SLO.
+    let result = NexusCluster::builder()
+        .gpus(8)
+        .app(apps::traffic(), 150.0) // 150 frames/second offered
+        .horizon_secs(30)
+        .seed(1)
+        .simulate();
+
+    println!("queries finished : {}", result.queries_finished);
+    println!("goodput          : {:.1} queries/s", result.query_goodput);
+    println!("bad rate         : {:.3}%", result.query_bad_rate * 100.0);
+    println!("mean GPUs used   : {:.1}", result.mean_gpus);
+    println!("GPU utilization  : {:.0}%", result.gpu_utilization * 100.0);
+
+    // Per-session detail: each pipeline stage is its own session.
+    println!("\nper-session:");
+    let mut sessions: Vec<_> = result.metrics.sessions().collect();
+    sessions.sort_by_key(|(id, _)| id.0);
+    for (id, m) in sessions {
+        println!(
+            "  {id}: arrived={} good={} late={} dropped={} p99={}",
+            m.arrived,
+            m.good,
+            m.late,
+            m.dropped,
+            m.latency_quantile(0.99)
+                .map_or("-".to_string(), |l| l.to_string()),
+        );
+    }
+
+    assert!(
+        result.query_bad_rate < 0.01,
+        "a lightly-loaded Nexus cluster should stay within its SLO"
+    );
+    println!("\nOK: ≥99% of queries served within the 400 ms SLO.");
+}

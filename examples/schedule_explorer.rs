@@ -1,0 +1,84 @@
+//! Scheduler exploration: run squishy bin packing on a custom session mix,
+//! compare it against the batch-oblivious baseline and the exact
+//! branch-and-bound optimum, and split a query SLO with the §6.2 DP.
+//!
+//! Run with: `cargo run --release --example schedule_explorer`
+
+use nexus_baseline::batch_oblivious;
+use nexus_profile::{BatchingProfile, Micros};
+use nexus_scheduler::{
+    exact_residual_min_gpus, optimize_latency_split, squishy_bin_packing, QueryDag,
+    SessionId, SessionSpec,
+};
+
+const GPU_MEM: u64 = 11 << 30;
+
+fn main() {
+    // A small mixed workload: three model types, different SLOs and rates.
+    let profiles = [
+        ("detector", BatchingProfile::from_linear_ms(9.0, 38.0, 32)),
+        ("classifier", BatchingProfile::from_linear_ms(1.2, 5.3, 64)),
+        ("reader", BatchingProfile::from_linear_ms(0.05, 0.25, 128)),
+    ];
+    let sessions: Vec<SessionSpec> = vec![
+        SessionSpec::new(SessionId(0), profiles[0].1.clone(), Micros::from_millis(400), 120.0),
+        SessionSpec::new(SessionId(1), profiles[1].1.clone(), Micros::from_millis(100), 220.0),
+        SessionSpec::new(SessionId(2), profiles[1].1.clone(), Micros::from_millis(60), 80.0),
+        SessionSpec::new(SessionId(3), profiles[2].1.clone(), Micros::from_millis(50), 900.0),
+        SessionSpec::new(SessionId(4), profiles[2].1.clone(), Micros::from_millis(30), 300.0),
+        SessionSpec::new(SessionId(5), profiles[0].1.clone(), Micros::from_millis(300), 40.0),
+    ];
+
+    // Squishy bin packing (§6.1).
+    let squishy = squishy_bin_packing(&sessions, GPU_MEM);
+    println!("squishy bin packing: {} GPUs", squishy.gpu_count());
+    for (i, p) in squishy.plans.iter().enumerate() {
+        let entries: Vec<String> = p
+            .entries
+            .iter()
+            .map(|e| format!("s{}@b{}", e.session.0, e.batch))
+            .collect();
+        println!(
+            "  GPU {i}: duty {:>9}  occ {:>4.0}%  [{}]{}",
+            p.duty_cycle.to_string(),
+            p.occupancy * 100.0,
+            entries.join(", "),
+            if p.saturated { "  (saturated)" } else { "" },
+        );
+    }
+
+    // The batch-oblivious baseline on the same sessions and cluster size.
+    let oblivious = batch_oblivious(&sessions, GPU_MEM, squishy.gpu_count() as u32);
+    println!(
+        "\nbatch-oblivious baseline: {} GPUs; SLO-aware co-location checks: none",
+        oblivious.gpu_count()
+    );
+
+    // The exact optimum (the role CPLEX played in §6.1), small instance.
+    let exact = exact_residual_min_gpus(&sessions, GPU_MEM).expect("feasible");
+    println!(
+        "exact branch-and-bound optimum: {exact} GPUs (greedy used {})",
+        squishy.gpu_count()
+    );
+
+    // Complex-query latency splitting (§6.2): detector → classifier with
+    // fan-out 2.5, one 250 ms SLO for the whole query.
+    let dag = QueryDag::pipeline(
+        vec![
+            ("detector".into(), profiles[0].1.clone()),
+            ("classifier".into(), profiles[1].1.clone()),
+        ],
+        &[2.5],
+    );
+    let split = optimize_latency_split(&dag, Micros::from_millis(250), 150.0, 100)
+        .expect("feasible split");
+    println!(
+        "\nquery split for detector→classifier (γ=2.5, SLO 250 ms): \
+         detector {}, classifier {} (≈{:.1} GPUs)",
+        split.budgets[0], split.budgets[1], split.gpus
+    );
+
+    assert!(squishy.gpu_count() >= exact);
+    assert!(split.budgets[0] + split.budgets[1] <= Micros::from_millis(250));
+    println!("\nOK: greedy is within reach of the exact optimum and the split fits the SLO.");
+}

@@ -1,0 +1,153 @@
+//! Integration tests pinning the paper's worked examples and analytical
+//! claims — the cross-crate facts DESIGN.md promises to preserve.
+
+use nexus_profile::{BatchingProfile, Micros};
+use nexus_scheduler::{
+    pipeline_avg_throughput, reduction_from_3partition, squishy_bin_packing, fgsp_min_gpus,
+    SessionId, SessionSpec,
+};
+
+fn ms(v: u64) -> Micros {
+    Micros::from_millis(v)
+}
+
+/// Table 2 / §4.1: the residual-workload example schedules A(batch 8) and
+/// B(batch 4) into one 125 ms duty cycle and gives C its own GPU.
+#[test]
+fn section_4_1_worked_example() {
+    let model_a = BatchingProfile::from_anchors(&[(4, ms(50)), (8, ms(75)), (16, ms(100))]);
+    let model_b = BatchingProfile::from_anchors(&[(4, ms(50)), (8, ms(90)), (16, ms(125))]);
+    let model_c = BatchingProfile::from_anchors(&[(4, ms(60)), (8, ms(95)), (16, ms(125))]);
+    let sessions = vec![
+        SessionSpec::new(SessionId(0), model_a, ms(200), 64.0),
+        SessionSpec::new(SessionId(1), model_b, ms(250), 32.0),
+        SessionSpec::new(SessionId(2), model_c, ms(250), 32.0),
+    ];
+    let alloc = squishy_bin_packing(&sessions, 11 << 30);
+    assert_eq!(alloc.gpu_count(), 2);
+    let shared = alloc
+        .plans
+        .iter()
+        .find(|p| p.entries.len() == 2)
+        .expect("A and B share a GPU");
+    assert_eq!(shared.duty_cycle, ms(125));
+    assert!(shared.hosts(SessionId(0)) && shared.hosts(SessionId(1)));
+}
+
+/// Fig. 4: the average-throughput table for the X→Y pipeline reproduces to
+/// one decimal place.
+#[test]
+fn figure_4_numbers() {
+    let cases = [
+        ((200.0, 500.0), [192.3, 142.9, 40.0]),
+        ((250.0, 400.0), [235.3, 153.8, 34.5]),
+        ((300.0, 300.0), [272.7, 150.0, 27.3]),
+    ];
+    for ((tx, ty), wants) in cases {
+        for (gamma, want) in [0.1, 1.0, 10.0].iter().zip(wants) {
+            let got = pipeline_avg_throughput(tx, ty, *gamma);
+            assert!((got - want).abs() < 0.05, "tx={tx} γ={gamma}: {got}");
+        }
+    }
+}
+
+/// Appendix A: the 3-PARTITION reduction behaves as the hardness proof
+/// requires — yes-instances pack into n GPUs, no 4-task group is feasible.
+#[test]
+fn appendix_a_reduction() {
+    // Yes-instance: {1,2,3}×2 and {2,2,2}, B = 6.
+    let yes = reduction_from_3partition(&[1, 2, 3, 1, 2, 3, 2, 2, 2], 6);
+    assert_eq!(fgsp_min_gpus(&yes), Some(3));
+    // No-instance: cannot 3-partition; needs more GPUs.
+    let no = reduction_from_3partition(&[3, 3, 3, 3, 3, 3, 1, 1, 1], 6);
+    assert!(fgsp_min_gpus(&no).unwrap() > 3);
+}
+
+/// §2.2: batching amortizes the fixed cost — the catalog's ResNet-class
+/// profiles gain 3–16× at batch 32, and Table 1's cost ordering holds.
+#[test]
+fn batching_and_cost_claims() {
+    for spec in nexus_profile::TABLE1_MODELS {
+        let p = spec.profile_1080ti();
+        let gain = p.throughput(p.max_batch().min(32)) / p.throughput(1);
+        assert!(gain > 1.5, "{}: batch gain {gain:.1}", spec.name);
+    }
+    let rows = nexus_profile::cost::table1();
+    for row in &rows {
+        assert!(row.gpu_cost_per_1k < row.cpu_cost_per_1k);
+    }
+    // GPU latency orders of magnitude below CPU for the big models.
+    assert!(rows[2].cpu_latency_ms / rows[2].gpu_latency_ms > 100.0);
+}
+
+/// §6.1's merge invariants hold for random session populations: every plan
+/// fits its duty cycle and never violates a session SLO (worst case
+/// duty + ℓ(b), or 2ℓ(b) for saturated nodes).
+#[test]
+fn squishy_invariants_on_many_populations() {
+    for seed in 0..20u64 {
+        // Deterministic pseudo-random population from the seed.
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let sessions: Vec<SessionSpec> = (0..12)
+            .map(|i| {
+                let alpha = 0.2 + (next() % 30) as f64 / 10.0;
+                let beta = 1.0 + (next() % 300) as f64 / 10.0;
+                let slo = 60 + next() % 400;
+                let rate = 1.0 + (next() % 4_000) as f64 / 10.0;
+                SessionSpec::new(
+                    SessionId(i),
+                    BatchingProfile::from_linear_ms(alpha, beta, 64),
+                    ms(slo),
+                    rate,
+                )
+            })
+            .collect();
+        let alloc = squishy_bin_packing(&sessions, 11 << 30);
+        for plan in &alloc.plans {
+            let exec_total: Micros =
+                plan.entries.iter().map(|e| e.exec_latency).sum();
+            if !plan.saturated {
+                assert!(exec_total <= plan.duty_cycle, "seed {seed}: overfull");
+            }
+            for e in &plan.entries {
+                let spec = sessions.iter().find(|s| s.id == e.session).unwrap();
+                let worst = if plan.saturated {
+                    e.exec_latency * 2
+                } else {
+                    plan.duty_cycle + e.exec_latency
+                };
+                assert!(worst <= spec.slo, "seed {seed}: SLO violated");
+            }
+        }
+        // Planned service covers every scheduled session's rate.
+        for s in &sessions {
+            if alloc.infeasible.contains(&s.id) {
+                continue;
+            }
+            let served: f64 = alloc
+                .plans
+                .iter()
+                .flat_map(|p| {
+                    p.entries
+                        .iter()
+                        .filter(|e| e.session == s.id)
+                        .map(|e| f64::from(e.batch) / p.duty_cycle.as_secs_f64())
+                })
+                .sum();
+            // Duty cycles round to integer microseconds, so planned service
+            // can undershoot the float rate by a hair.
+            assert!(
+                served * 1.001 + 1e-3 >= s.rate,
+                "seed {seed}: {} underserved ({served:.1} < {:.1})",
+                s.id,
+                s.rate
+            );
+        }
+    }
+}
