@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Continuous-integration gate: everything a PR must pass.
+# Mirrors .github/workflows/ci.yml so the same checks run locally.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy =="
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "CI OK"

@@ -64,12 +64,7 @@ fn bench_query_dp(c: &mut Criterion) {
     for segments in [50u32, 200] {
         c.bench_function(&format!("latency_split_dp/{segments}_segments"), |b| {
             b.iter(|| {
-                optimize_latency_split(
-                    black_box(&dag),
-                    Micros::from_millis(400),
-                    500.0,
-                    segments,
-                )
+                optimize_latency_split(black_box(&dag), Micros::from_millis(400), 500.0, segments)
             })
         });
     }

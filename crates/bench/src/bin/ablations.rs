@@ -80,9 +80,8 @@ fn dp_segments() -> Vec<Vec<String>> {
         .into_iter()
         .map(|segments| {
             let t0 = Instant::now();
-            let split =
-                optimize_latency_split(&dag, Micros::from_millis(400), 500.0, segments)
-                    .expect("feasible");
+            let split = optimize_latency_split(&dag, Micros::from_millis(400), 500.0, segments)
+                .expect("feasible");
             let elapsed = t0.elapsed();
             vec![
                 segments.to_string(),
@@ -121,7 +120,7 @@ fn spread_factor(args: &Args) -> Vec<Vec<String>> {
 }
 
 /// 4. Interference overhead δ: the coordinated/uncoordinated goodput gap
-/// on one GPU with 3 Inception models (Fig. 14's mechanism).
+///    on one GPU with 3 Inception models (Fig. 14's mechanism).
 fn interference_delta(args: &Args) -> Vec<Vec<String>> {
     let profile = nexus_profile::catalog::INCEPTION3
         .profile_1080ti()

@@ -1,0 +1,184 @@
+//! Fault-recovery experiment: kill one GPU of a 16-GPU deployment under
+//! moderate load and measure the control plane's reaction — time to
+//! detect (heartbeats, §5's epoch loop run out-of-band), the bad-rate
+//! spike while stranded requests are retried, and the time for goodput to
+//! return to its pre-fault level after the emergency re-pack onto the 15
+//! survivors.
+//!
+//! Usage: `cargo run --release -p bench --bin fault_recovery
+//!         [--seed N] [--secs N] [--out FILE]`
+//!
+//! Writes a recovery timeline to `bench_results/fault_recovery.json`
+//! (override with `--out`).
+
+use std::fmt::Write as _;
+
+use bench::{print_table, Args};
+use nexus::prelude::*;
+use nexus_profile::{Micros, GPU_GTX1080TI};
+use nexus_workload::apps;
+
+/// The scenario's fixed timing (seconds): crash after the warm-up window,
+/// rejoin late enough to observe the recovered steady state.
+const WARMUP_S: u64 = 10;
+const FAULT_S: u64 = 15;
+const REJOIN_S: u64 = 30;
+const EPOCH_S: u64 = 10;
+
+fn main() {
+    let args = Args::parse(40);
+    let horizon = Micros::from_secs(args.secs.max(REJOIN_S + 5));
+    let warmup = Micros::from_secs(WARMUP_S);
+    let fault_at = Micros::from_secs(FAULT_S);
+
+    let classes = vec![TrafficClass::new(
+        apps::traffic(),
+        ArrivalKind::Uniform,
+        300.0,
+    )];
+    let faults = vec![
+        FaultSpec {
+            at: fault_at,
+            slot: 0,
+            kind: FaultKind::Crash,
+        },
+        FaultSpec {
+            at: Micros::from_secs(REJOIN_S),
+            slot: 0,
+            kind: FaultKind::Rejoin,
+        },
+    ];
+
+    let result = ClusterSim::try_new(
+        SimConfig {
+            system: SystemConfig::nexus().with_epoch(Micros::from_secs(EPOCH_S)),
+            device: GPU_GTX1080TI,
+            max_gpus: 16,
+            seed: args.seed,
+            horizon,
+            warmup,
+            trace_capacity: 0,
+            faults,
+        },
+        classes,
+    )
+    .expect("known models")
+    .run();
+
+    let m = &result.metrics;
+    // Pre-fault steady state: the window between warm-up and the crash.
+    let baseline = m.goodput(warmup, fault_at);
+    let recovery = m.goodput_recovery_time(fault_at, baseline, 0.95);
+    let detect_window = Micros::from_secs(2);
+    let spike = m.bad_rate_spike_area(fault_at, fault_at + detect_window);
+    let failure = m.failures().first().cloned();
+
+    println!("baseline goodput  : {baseline:.1} q/s over the pre-fault window");
+    if let Some(f) = &failure {
+        match f.time_to_detect() {
+            Some(ttd) => println!(
+                "failure detected  : gpu {} after {ttd} (retried {}, lost {})",
+                f.gpu, f.requests_retried, f.requests_lost
+            ),
+            None => println!("failure detected  : never (run ended first)"),
+        }
+    }
+    match recovery {
+        Some(r) => println!("goodput recovered : >=95% of baseline after {r}"),
+        None => println!("goodput recovered : never within the run"),
+    }
+    println!("bad-rate spike    : {spike:.3} bad-seconds over the detection window");
+
+    // Per-second recovery timeline around the fault.
+    let tl = m.timeline();
+    let rows: Vec<Vec<String>> = tl
+        .iter()
+        .enumerate()
+        .skip(FAULT_S.saturating_sub(3) as usize)
+        .take(20)
+        .map(|(sec, b)| {
+            let total = b.good + b.bad;
+            let bad_pct = if total == 0 {
+                0.0
+            } else {
+                b.bad as f64 / total as f64 * 100.0
+            };
+            vec![
+                format!("{sec}"),
+                format!("{}", b.good),
+                format!("{bad_pct:.1}"),
+                format!("{}", b.gpus_allocated),
+            ]
+        })
+        .collect();
+    print_table(
+        "recovery timeline (1 s buckets)",
+        &["t(s)", "good", "bad%", "gpus"],
+        &rows,
+    );
+
+    // Acceptance thresholds from the experiment definition: detection
+    // within the heartbeat window, goodput back within two epochs.
+    let ttd_ok = failure
+        .as_ref()
+        .and_then(|f| f.time_to_detect())
+        .is_some_and(|t| t <= Micros::from_millis(500));
+    let recovery_ok = recovery.is_some_and(|r| r <= Micros::from_secs(2 * EPOCH_S));
+    println!();
+    println!(
+        "detection within 500 ms          : {}",
+        if ttd_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "goodput >=95% within two epochs  : {}",
+        if recovery_ok { "PASS" } else { "FAIL" }
+    );
+
+    // Serialize by hand: the schema is small and fixed, and this keeps the
+    // report byte-stable across serde versions.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"gpus\": 16,");
+    let _ = writeln!(json, "  \"rate\": 300.0,");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"fault_at_secs\": {FAULT_S},");
+    let _ = writeln!(json, "  \"rejoin_at_secs\": {REJOIN_S},");
+    let _ = writeln!(json, "  \"baseline_goodput\": {baseline:.2},");
+    let _ = writeln!(
+        json,
+        "  \"time_to_detect_ms\": {},",
+        failure
+            .as_ref()
+            .and_then(|f| f.time_to_detect())
+            .map_or("null".into(), |t| format!("{:.1}", t.as_secs_f64() * 1e3))
+    );
+    if let Some(f) = &failure {
+        let _ = writeln!(json, "  \"requests_retried\": {},", f.requests_retried);
+        let _ = writeln!(json, "  \"requests_lost\": {},", f.requests_lost);
+    }
+    let _ = writeln!(
+        json,
+        "  \"recovery_secs\": {},",
+        recovery.map_or("null".into(), |r| format!("{:.2}", r.as_secs_f64()))
+    );
+    let _ = writeln!(json, "  \"bad_rate_spike_area\": {spike:.4},");
+    let _ = writeln!(json, "  \"query_bad_rate\": {:.5},", result.query_bad_rate);
+    let _ = writeln!(json, "  \"pass_detection\": {ttd_ok},");
+    let _ = writeln!(json, "  \"pass_recovery\": {recovery_ok},");
+    json.push_str("  \"timeline\": [\n");
+    for (i, b) in tl.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"t\": {i}, \"good\": {}, \"bad\": {}, \"gpus\": {}}}",
+            b.good, b.bad, b.gpus_allocated
+        );
+        json.push_str(if i + 1 < tl.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "bench_results/fault_recovery.json".into());
+    std::fs::write(&path, json).expect("writable output path");
+    println!("(wrote {})", path.display());
+}

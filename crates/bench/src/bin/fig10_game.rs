@@ -8,7 +8,9 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig10_game [--quick]`
 
-use bench::{ablation_ladder, game_classes, game_resnet_only_classes, print_table, write_json, Args};
+use bench::{
+    ablation_ladder, game_classes, game_resnet_only_classes, print_table, write_json, Args,
+};
 use nexus::prelude::*;
 
 fn main() {

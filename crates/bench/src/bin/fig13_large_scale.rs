@@ -49,8 +49,7 @@ fn main() {
                 .find(|(n, _)| *n == app.name)
                 .expect("rate for every app")
                 .1;
-            TrafficClass::new(app, ArrivalKind::Poisson, rate)
-                .with_modulation(ramp.clone())
+            TrafficClass::new(app, ArrivalKind::Poisson, rate).with_modulation(ramp.clone())
         })
         .collect();
 

@@ -70,14 +70,7 @@ fn main() {
         .map(|k| {
             let mut row = vec![k.to_string()];
             for (label, coord, policy, overlap) in systems() {
-                let tp = max_goodput(
-                    k,
-                    Micros::from_millis(100),
-                    coord,
-                    policy,
-                    overlap,
-                    &args,
-                );
+                let tp = max_goodput(k, Micros::from_millis(100), coord, policy, overlap, &args);
                 series_a.push((label, k, tp));
                 row.push(format!("{tp:.0}"));
             }
@@ -86,7 +79,13 @@ fn main() {
         .collect();
     print_table(
         "Fig. 14(a): aggregate throughput vs #models (Inception, 100 ms SLO, 1 GPU)",
-        &["#models", "clipper", "tf-serving", "nexus-parallel", "nexus"],
+        &[
+            "#models",
+            "clipper",
+            "tf-serving",
+            "nexus-parallel",
+            "nexus",
+        ],
         &rows,
     );
 
@@ -113,7 +112,13 @@ fn main() {
         .collect();
     print_table(
         "Fig. 14(b): aggregate throughput vs SLO (3 Inception models, 1 GPU)",
-        &["SLO (ms)", "clipper", "tf-serving", "nexus-parallel", "nexus"],
+        &[
+            "SLO (ms)",
+            "clipper",
+            "tf-serving",
+            "nexus-parallel",
+            "nexus",
+        ],
         &rows,
     );
     println!(

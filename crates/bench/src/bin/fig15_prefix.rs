@@ -43,8 +43,7 @@ fn throughput_with_pb(variants: u32, args: &Args) -> f64 {
     let schema = nexus_model::zoo::resnet50();
     let base = RESNET50.profile_1080ti();
     let plan = PrefixPlan::new(&schema, &base, schema.num_layers() - 1);
-    let profile = gpu_only(plan.merged_profile(variants, base.max_batch()))
-        .effective(true, 4);
+    let profile = gpu_only(plan.merged_profile(variants, base.max_batch())).effective(true, 4);
     let probe = |rate: f64| {
         simulate_node(
             &node_cfg(args),
@@ -94,7 +93,11 @@ fn main() {
             let oom = without < 5.0;
             vec![
                 k.to_string(),
-                if oom { "OOM".into() } else { format!("{without:.0}") },
+                if oom {
+                    "OOM".into()
+                } else {
+                    format!("{without:.0}")
+                },
                 format!("{with:.0}"),
                 if oom {
                     "-".into()

@@ -34,7 +34,9 @@ struct Mix {
 }
 
 fn mixes() -> Vec<Mix> {
-    let slos = [50u64, 75, 100, 125, 150, 175, 200, 60, 80, 110, 130, 160, 190, 70, 90, 140];
+    let slos = [
+        50u64, 75, 100, 125, 150, 175, 200, 60, 80, 110, 130, 160, 190, 70, 90, 140,
+    ];
     let zipf = zipf_weights(16, 0.9);
     // Eight architectures whose batch-1 latency fits the tighter SLO of
     // the pair (SSD's 47 ms cannot meet 60 ms worst-case and is excluded).
@@ -82,7 +84,9 @@ fn mixes() -> Vec<Mix> {
             sessions: models8
                 .iter()
                 .flat_map(|m| {
-                    [60u64, 120].into_iter().map(|s| (m.to_string(), s, 1.0 / 16.0))
+                    [60u64, 120]
+                        .into_iter()
+                        .map(|s| (m.to_string(), s, 1.0 / 16.0))
                 })
                 .collect(),
         },

@@ -45,9 +45,7 @@ fn main() {
                     system,
                     &GPU_GTX1080TI,
                     8,
-                    move |rate| {
-                        vec![TrafficClass::new(app.clone(), ArrivalKind::Uniform, rate)]
-                    },
+                    move |rate| vec![TrafficClass::new(app.clone(), ArrivalKind::Uniform, rate)],
                     &search,
                     args.seed,
                     args.warmup(),
@@ -56,9 +54,7 @@ fn main() {
             };
             let baseline = measure(&SystemConfig::nexus_no_qa());
             let with_qa = measure(&SystemConfig::nexus());
-            println!(
-                "SLO {slo_ms} ms / γ={gamma}: baseline {baseline:.0}, QA {with_qa:.0}"
-            );
+            println!("SLO {slo_ms} ms / γ={gamma}: baseline {baseline:.0}, QA {with_qa:.0}");
             series.push((slo_ms, gamma, baseline, with_qa));
             rows.push(vec![
                 format!("{slo_ms}"),

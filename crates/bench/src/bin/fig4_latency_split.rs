@@ -77,13 +77,10 @@ fn main() {
     let picks: Vec<Vec<String>> = gammas
         .iter()
         .map(|&g| {
-            let dag = QueryDag::pipeline(
-                vec![("X".into(), model_x()), ("Y".into(), model_y())],
-                &[g],
-            );
-            let split =
-                optimize_latency_split(&dag, Micros::from_millis(100), 1_000.0, 100)
-                    .expect("feasible");
+            let dag =
+                QueryDag::pipeline(vec![("X".into(), model_x()), ("Y".into(), model_y())], &[g]);
+            let split = optimize_latency_split(&dag, Micros::from_millis(100), 1_000.0, 100)
+                .expect("feasible");
             vec![
                 format!("{g}"),
                 format!("{}", split.budgets[0]),

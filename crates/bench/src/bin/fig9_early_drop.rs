@@ -56,7 +56,13 @@ fn main() {
         .collect();
     print_table(
         "Fig. 9: max 99%-good throughput vs α (Poisson arrivals, SLO 100 ms)",
-        &["α (ms)", "lazy drop", "early drop", "optimal", "early vs lazy"],
+        &[
+            "α (ms)",
+            "lazy drop",
+            "early drop",
+            "optimal",
+            "early vs lazy",
+        ],
         &rows,
     );
     println!(

@@ -39,7 +39,8 @@ fn main() {
     // The demand-sized squishy allocation and the theoretical lower bound,
     // both from the same session table (§7.4's methodology).
     let system = SystemConfig::nexus();
-    let (sessions, _) = build_sessions(&classes, &system, &GPU_GTX1080TI, None);
+    let (sessions, _) =
+        build_sessions(&classes, &system, &GPU_GTX1080TI, None).expect("known models");
     let specs: Vec<SessionSpec> = sessions
         .iter()
         .map(|s| SessionSpec::new(s.id, s.exec_profile.clone(), s.budget, s.est_rate))

@@ -6,10 +6,15 @@
 //!       [--trace trace.json] [--out result.json]
 
 use std::path::PathBuf;
+use std::process::exit;
 
 use bench::workload_file::WorkloadFile;
-use nexus::prelude::*;
 use nexus_runtime::{ClusterSim, SimConfig};
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
+}
 
 fn main() {
     let mut workload_path: Option<PathBuf> = None;
@@ -21,32 +26,41 @@ fn main() {
             "--workload" => workload_path = it.next().map(PathBuf::from),
             "--trace" => trace_path = it.next().map(PathBuf::from),
             "--out" => out_path = it.next().map(PathBuf::from),
-            other => panic!(
+            other => fail(format!(
                 "unknown argument {other:?} \
                  (usage: --workload FILE [--trace FILE] [--out FILE])"
-            ),
+            )),
         }
     }
-    let workload_path = workload_path.expect("--workload FILE is required");
-    let json = std::fs::read_to_string(&workload_path).expect("readable workload file");
-    let w = WorkloadFile::from_json(&json).expect("valid workload JSON");
+    let workload_path = workload_path.unwrap_or_else(|| fail("--workload FILE is required"));
+    let json = std::fs::read_to_string(&workload_path)
+        .unwrap_or_else(|e| fail(format!("cannot read {workload_path:?}: {e}")));
+    let w = WorkloadFile::from_json(&json).unwrap_or_else(|e| fail(e));
 
-    let device = w.device_type().expect("known device");
-    let system = w.system_config().expect("known system");
-    let classes = w.classes().expect("known apps");
+    let device = w.device_type().unwrap_or_else(|e| fail(e));
+    let system = w.system_config().unwrap_or_else(|e| fail(e));
+    let classes = w.classes().unwrap_or_else(|e| fail(e));
+    let faults = w.faults().unwrap_or_else(|e| fail(e));
     let warmup = nexus_profile::Micros::from_secs((w.secs / 4).clamp(2, 10));
     let horizon = nexus_profile::Micros::from_secs(w.secs) + warmup;
 
     println!(
-        "simulating {:?}: {} app stream(s), {} {} GPUs, system {}, {}s measured",
+        "simulating {:?}: {} app stream(s), {} {} GPUs, system {}, {}s measured{}",
         workload_path,
         classes.len(),
         w.gpus,
         device.name,
         system.name,
-        w.secs
+        w.secs,
+        if faults.is_empty() {
+            String::new()
+        } else {
+            format!(", {} fault(s)", faults.len())
+        }
     );
-    let result = ClusterSim::new(
+    // Planning errors (e.g. an unknown model in a custom app) surface here
+    // as typed errors, not panics.
+    let sim = ClusterSim::try_new(
         SimConfig {
             system,
             device,
@@ -55,10 +69,12 @@ fn main() {
             horizon,
             warmup,
             trace_capacity: if trace_path.is_some() { 2_000_000 } else { 0 },
+            faults,
         },
         classes,
     )
-    .run();
+    .unwrap_or_else(|e| fail(e));
+    let result = sim.run();
 
     println!("queries finished : {}", result.queries_finished);
     println!("goodput          : {:.1} q/s", result.query_goodput);
@@ -75,9 +91,29 @@ fn main() {
             m.good,
             m.late,
             m.dropped,
-            m.latency_quantile(0.5).map_or("-".into(), |l| l.to_string()),
-            m.latency_quantile(0.99).map_or("-".into(), |l| l.to_string()),
+            m.latency_quantile(0.5)
+                .map_or("-".into(), |l| l.to_string()),
+            m.latency_quantile(0.99)
+                .map_or("-".into(), |l| l.to_string()),
         );
+    }
+
+    let failures = result.metrics.failures();
+    if !failures.is_empty() {
+        println!("\nfailures:");
+        for f in failures {
+            match (f.detected_at, f.time_to_detect()) {
+                (Some(at), Some(ttd)) => println!(
+                    "  gpu {}: fault at {}, detected at {} (ttd {}), \
+                     retried={} lost={}",
+                    f.gpu, f.fault_at, at, ttd, f.requests_retried, f.requests_lost
+                ),
+                _ => println!(
+                    "  gpu {}: fault at {}, cleared before detection",
+                    f.gpu, f.fault_at
+                ),
+            }
+        }
     }
 
     if let (Some(path), Some(trace)) = (&trace_path, &result.trace) {

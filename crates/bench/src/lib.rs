@@ -57,9 +57,7 @@ impl Args {
                         .expect("--secs needs an integer")
                 }
                 "--quick" => args.quick = true,
-                "--out" => {
-                    args.out = Some(PathBuf::from(it.next().expect("--out needs a path")))
-                }
+                "--out" => args.out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
                 other => panic!(
                     "unknown argument {other:?} (supported: --seed N --secs N --quick --out FILE)"
                 ),

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use nexus::prelude::*;
 use nexus_profile::{Micros, GPU_GTX1080TI, GPU_K80, GPU_V100};
-use nexus_workload::apps;
+use nexus_workload::apps::{self, AppStage};
 
 /// One application stream in a workload file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -25,6 +25,30 @@ pub struct AppEntry {
     /// Piecewise rate modulation: `[seconds, factor]` pairs.
     #[serde(default)]
     pub modulation: Vec<(f64, f64)>,
+    /// Custom single-stage app: catalog model name. When set, `app` becomes
+    /// the display name and `slo_ms` is required.
+    #[serde(default)]
+    pub model: Option<String>,
+    /// Latency SLO in milliseconds for a custom single-stage app.
+    #[serde(default)]
+    pub slo_ms: Option<u64>,
+}
+
+/// One injected fault in a workload file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultEntry {
+    /// Injection time, seconds from simulation start.
+    pub at_secs: f64,
+    /// Physical GPU slot (0-based, `< gpus`).
+    pub gpu: usize,
+    /// `crash`, `stall`, `slowdown`, or `rejoin`.
+    pub kind: String,
+    /// Duration in seconds (`stall` / `slowdown` only).
+    #[serde(default)]
+    pub secs: Option<f64>,
+    /// Slowdown factor ≥ 1.0 (`slowdown` only).
+    #[serde(default)]
+    pub factor: Option<f64>,
 }
 
 /// A complete workload configuration.
@@ -49,6 +73,9 @@ pub struct WorkloadFile {
     pub epoch_secs: Option<u64>,
     /// The application streams.
     pub apps: Vec<AppEntry>,
+    /// Scheduled GPU faults (empty = fault-free run).
+    #[serde(default)]
+    pub faults: Vec<FaultEntry>,
 }
 
 /// Errors from interpreting a workload file.
@@ -107,17 +134,35 @@ impl WorkloadFile {
         self.apps
             .iter()
             .map(|entry| {
-                let mut app = match entry.app.as_str() {
-                    "game" => apps::game(),
-                    "traffic" => apps::traffic(),
-                    "traffic_rush" => apps::traffic_rush_hour(),
-                    "dance" => apps::dance(),
-                    "bb" => apps::bb(),
-                    "bike" => apps::bike(),
-                    "amber" => apps::amber(),
-                    "logo" => apps::logo(),
-                    other => {
-                        return Err(WorkloadError(format!("unknown app {other:?}")))
+                let mut app = if let Some(model) = &entry.model {
+                    // Custom single-stage app: the model name is validated
+                    // later, when the control plane plans the deployment
+                    // (an unknown model is a typed `PlanError`, not a
+                    // config-parse failure).
+                    let slo_ms = entry.slo_ms.ok_or_else(|| {
+                        WorkloadError(format!("custom app {:?} needs slo_ms", entry.app))
+                    })?;
+                    AppSpec {
+                        name: entry.app.clone(),
+                        slo: Micros::from_millis(slo_ms),
+                        stages: vec![AppStage {
+                            model: model.clone(),
+                            variants: 1,
+                            children: vec![],
+                        }],
+                        streams: 1,
+                    }
+                } else {
+                    match entry.app.as_str() {
+                        "game" => apps::game(),
+                        "traffic" => apps::traffic(),
+                        "traffic_rush" => apps::traffic_rush_hour(),
+                        "dance" => apps::dance(),
+                        "bb" => apps::bb(),
+                        "bike" => apps::bike(),
+                        "amber" => apps::amber(),
+                        "logo" => apps::logo(),
+                        other => return Err(WorkloadError(format!("unknown app {other:?}"))),
                     }
                 };
                 if let Some(scale) = entry.slo_scale {
@@ -129,9 +174,7 @@ impl WorkloadFile {
                 let arrival = match entry.arrival.as_deref().unwrap_or("uniform") {
                     "uniform" => ArrivalKind::Uniform,
                     "poisson" => ArrivalKind::Poisson,
-                    other => {
-                        return Err(WorkloadError(format!("unknown arrival {other:?}")))
-                    }
+                    other => return Err(WorkloadError(format!("unknown arrival {other:?}"))),
                 };
                 let modulation = entry
                     .modulation
@@ -139,6 +182,58 @@ impl WorkloadFile {
                     .map(|&(secs, factor)| (Micros::from_secs_f64(secs), factor))
                     .collect();
                 Ok(TrafficClass::new(app, arrival, entry.rate).with_modulation(modulation))
+            })
+            .collect()
+    }
+
+    /// Builds the fault schedule.
+    pub fn faults(&self) -> Result<Vec<FaultSpec>, WorkloadError> {
+        self.faults
+            .iter()
+            .map(|entry| {
+                if !(entry.at_secs.is_finite() && entry.at_secs >= 0.0) {
+                    return Err(WorkloadError("fault at_secs must be >= 0".into()));
+                }
+                if entry.gpu >= self.gpus as usize {
+                    return Err(WorkloadError(format!(
+                        "fault gpu {} out of range (cluster has {})",
+                        entry.gpu, self.gpus
+                    )));
+                }
+                let duration = || -> Result<Micros, WorkloadError> {
+                    let secs = entry.secs.ok_or_else(|| {
+                        WorkloadError(format!("fault kind {:?} needs secs", entry.kind))
+                    })?;
+                    if !(secs.is_finite() && secs > 0.0) {
+                        return Err(WorkloadError("fault secs must be positive".into()));
+                    }
+                    Ok(Micros::from_secs_f64(secs))
+                };
+                let kind = match entry.kind.as_str() {
+                    "crash" => FaultKind::Crash,
+                    "stall" => FaultKind::Stall {
+                        duration: duration()?,
+                    },
+                    "slowdown" => {
+                        let factor = entry
+                            .factor
+                            .ok_or_else(|| WorkloadError("slowdown needs factor".into()))?;
+                        if !(factor.is_finite() && factor >= 1.0) {
+                            return Err(WorkloadError("slowdown factor must be >= 1.0".into()));
+                        }
+                        FaultKind::Slowdown {
+                            factor,
+                            duration: duration()?,
+                        }
+                    }
+                    "rejoin" => FaultKind::Rejoin,
+                    other => return Err(WorkloadError(format!("unknown fault kind {other:?}"))),
+                };
+                Ok(FaultSpec {
+                    at: Micros::from_secs_f64(entry.at_secs),
+                    slot: entry.gpu,
+                    kind,
+                })
             })
             .collect()
     }
@@ -181,9 +276,83 @@ mod tests {
     }
 
     #[test]
+    fn fault_entries_resolve_to_specs() {
+        let json = r#"{"gpus": 16, "secs": 30, "apps": [],
+            "faults": [
+                {"at_secs": 10.0, "gpu": 0, "kind": "crash"},
+                {"at_secs": 12.0, "gpu": 1, "kind": "stall", "secs": 0.5},
+                {"at_secs": 14.0, "gpu": 2, "kind": "slowdown", "secs": 2.0, "factor": 3.0},
+                {"at_secs": 20.0, "gpu": 0, "kind": "rejoin"}
+            ]}"#;
+        let w = WorkloadFile::from_json(json).unwrap();
+        let faults = w.faults().expect("faults resolve");
+        assert_eq!(faults.len(), 4);
+        assert_eq!(faults[0].kind, FaultKind::Crash);
+        assert_eq!(faults[0].at, Micros::from_secs(10));
+        assert_eq!(
+            faults[1].kind,
+            FaultKind::Stall {
+                duration: Micros::from_millis(500)
+            }
+        );
+        assert_eq!(
+            faults[2].kind,
+            FaultKind::Slowdown {
+                factor: 3.0,
+                duration: Micros::from_secs(2)
+            }
+        );
+        assert_eq!(faults[3].kind, FaultKind::Rejoin);
+    }
+
+    #[test]
+    fn bad_fault_entries_are_reported() {
+        let out_of_range = r#"{"gpus": 4, "secs": 5, "apps": [],
+            "faults": [{"at_secs": 1.0, "gpu": 9, "kind": "crash"}]}"#;
+        assert!(WorkloadFile::from_json(out_of_range)
+            .unwrap()
+            .faults()
+            .is_err());
+        let bad_kind = r#"{"gpus": 4, "secs": 5, "apps": [],
+            "faults": [{"at_secs": 1.0, "gpu": 0, "kind": "meltdown"}]}"#;
+        assert!(WorkloadFile::from_json(bad_kind).unwrap().faults().is_err());
+        let missing_secs = r#"{"gpus": 4, "secs": 5, "apps": [],
+            "faults": [{"at_secs": 1.0, "gpu": 0, "kind": "stall"}]}"#;
+        assert!(WorkloadFile::from_json(missing_secs)
+            .unwrap()
+            .faults()
+            .is_err());
+        let weak_factor = r#"{"gpus": 4, "secs": 5, "apps": [],
+            "faults": [{"at_secs": 1.0, "gpu": 0, "kind": "slowdown",
+                        "secs": 1.0, "factor": 0.5}]}"#;
+        assert!(WorkloadFile::from_json(weak_factor)
+            .unwrap()
+            .faults()
+            .is_err());
+    }
+
+    #[test]
+    fn custom_model_app_builds_a_single_stage() {
+        let json = r#"{"gpus": 4, "secs": 5,
+            "apps": [{"app": "my_det", "model": "resnet50", "slo_ms": 200, "rate": 10.0}]}"#;
+        let classes = WorkloadFile::from_json(json).unwrap().classes().unwrap();
+        assert_eq!(classes[0].app.name, "my_det");
+        assert_eq!(classes[0].app.stages.len(), 1);
+        assert_eq!(classes[0].app.stages[0].model, "resnet50");
+        assert_eq!(classes[0].app.slo, Micros::from_millis(200));
+        // Missing slo_ms is a config error.
+        let bad = r#"{"gpus": 4, "secs": 5,
+            "apps": [{"app": "x", "model": "resnet50", "rate": 1.0}]}"#;
+        assert!(WorkloadFile::from_json(bad).unwrap().classes().is_err());
+    }
+
+    #[test]
     fn epoch_zero_means_static() {
         let json = r#"{"gpus": 4, "secs": 5, "epoch_secs": 0, "apps": []}"#;
-        let cfg = WorkloadFile::from_json(json).unwrap().system_config().unwrap();
+        let cfg = WorkloadFile::from_json(json)
+            .unwrap()
+            .system_config()
+            .unwrap();
         assert_eq!(cfg.epoch, Micros::MAX);
     }
 }

@@ -14,7 +14,7 @@
 //! ```
 
 use nexus_profile::{DeviceType, Micros, GPU_GTX1080TI};
-use nexus_runtime::{ClusterSim, SimConfig, SimResult, SystemConfig, TrafficClass};
+use nexus_runtime::{ClusterSim, FaultSpec, SimConfig, SimResult, SystemConfig, TrafficClass};
 use nexus_workload::{AppSpec, ArrivalKind};
 
 /// A configured (simulated) Nexus deployment.
@@ -33,6 +33,7 @@ pub struct NexusClusterBuilder {
     horizon: Micros,
     trace_capacity: usize,
     classes: Vec<TrafficClass>,
+    faults: Vec<FaultSpec>,
 }
 
 impl NexusCluster {
@@ -48,6 +49,7 @@ impl NexusCluster {
             horizon: Micros::from_secs(30),
             trace_capacity: 0,
             classes: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -129,6 +131,18 @@ impl NexusClusterBuilder {
         self
     }
 
+    /// Injects one scheduled fault (see [`nexus_runtime::FaultSpec`]).
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Replaces the fault schedule.
+    pub fn faults(mut self, faults: Vec<FaultSpec>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Finalizes the builder.
     ///
     /// # Panics
@@ -146,6 +160,7 @@ impl NexusClusterBuilder {
                 horizon: self.horizon,
                 warmup: self.warmup,
                 trace_capacity: self.trace_capacity,
+                faults: self.faults,
             },
             classes: self.classes,
         }

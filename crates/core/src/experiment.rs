@@ -76,6 +76,7 @@ pub fn run_once(
             horizon,
             warmup,
             trace_capacity: 0,
+            faults: vec![],
         },
         classes,
     )
@@ -84,6 +85,7 @@ pub fn run_once(
 
 /// Measures a system's throughput (max 99%-good rate) for a workload
 /// parameterized by total offered rate.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_throughput(
     system: &SystemConfig,
     device: &DeviceType,

@@ -58,8 +58,8 @@ pub mod prelude {
     pub use crate::experiment::{measure_throughput, run_once, ThroughputSearch};
     pub use nexus_profile::{BatchingProfile, DeviceType, Micros, GPU_GTX1080TI, GPU_K80};
     pub use nexus_runtime::{
-        ClusterSim, DropPolicy, SchedulerPolicy, SimConfig, SimResult, SystemConfig,
-        TrafficClass,
+        ClusterSim, DropPolicy, FaultKind, FaultSpec, PlanError, SchedulerPolicy, SimConfig,
+        SimResult, SystemConfig, TrafficClass,
     };
     pub use nexus_scheduler::{SessionId, SessionSpec};
     pub use nexus_workload::{AppSpec, ArrivalKind};

@@ -23,11 +23,7 @@ use nexus_scheduler::{Allocation, GpuPlan, PlanEntry, SessionSpec};
 /// first-fit-decreasing by fraction, ignoring how co-located sessions'
 /// batches interact within a shared node — precisely the obliviousness the
 /// Fig. 16 comparison measures.
-pub fn batch_oblivious(
-    sessions: &[SessionSpec],
-    gpu_memory: u64,
-    total_gpus: u32,
-) -> Allocation {
+pub fn batch_oblivious(sessions: &[SessionSpec], gpu_memory: u64, total_gpus: u32) -> Allocation {
     let mut alloc = Allocation::default();
     // (spec index, fraction) remainders to pack.
     let mut fractions: Vec<(usize, f64)> = Vec::new();
@@ -182,9 +178,8 @@ mod tests {
         // Three sessions each needing ~0.3 GPU land on one node even though
         // their combined duty cycle may violate SLOs — the baseline cannot
         // see that.
-        let sessions: Vec<SessionSpec> = (0..3)
-            .map(|i| session(i, 1.0, 10.0, 150, 230.0))
-            .collect();
+        let sessions: Vec<SessionSpec> =
+            (0..3).map(|i| session(i, 1.0, 10.0, 150, 230.0)).collect();
         // With a cluster no bigger than the demand, all three land on one
         // node.
         let alloc = batch_oblivious(&sessions, GPU_MEM, 1);
@@ -197,9 +192,8 @@ mod tests {
         // The defining difference (§4.1/Fig. 16): under tight SLOs the
         // oblivious packer may co-locate sessions whose shared cycle breaks
         // the SLO; squishy never does.
-        let sessions: Vec<SessionSpec> = (0..4)
-            .map(|i| session(i, 1.0, 12.0, 100, 150.0))
-            .collect();
+        let sessions: Vec<SessionSpec> =
+            (0..4).map(|i| session(i, 1.0, 12.0, 100, 150.0)).collect();
         let squishy = squishy_bin_packing(&sessions, GPU_MEM);
         for plan in &squishy.plans {
             let exec_total: Micros = plan.entries.iter().map(|e| e.exec_latency).sum();
@@ -234,8 +228,7 @@ mod tests {
         let mem = 6u64 << 30;
         let mut sessions = Vec::new();
         for i in 0..2 {
-            let profile = BatchingProfile::from_linear_ms(1.0, 10.0, 64)
-                .with_memory_bytes(4 << 30);
+            let profile = BatchingProfile::from_linear_ms(1.0, 10.0, 64).with_memory_bytes(4 << 30);
             sessions.push(SessionSpec::new(
                 SessionId(i),
                 profile,

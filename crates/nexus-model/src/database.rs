@@ -16,9 +16,7 @@ use crate::prefix::{find_prefix_groups, PrefixGroup};
 use crate::schema::ModelSchema;
 
 /// Opaque identifier of a model in the database.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ModelId(pub u32);
 
 impl std::fmt::Display for ModelId {
@@ -143,7 +141,9 @@ impl ModelDatabase {
 
     /// Looks up a model by name.
     pub fn get_by_name(&self, name: &str) -> Option<&StoredModel> {
-        self.by_name.get(name).map(|&id| &self.models[id.0 as usize])
+        self.by_name
+            .get(name)
+            .map(|&id| &self.models[id.0 as usize])
     }
 
     /// All stored models.
@@ -247,8 +247,11 @@ mod tests {
     fn prefix_groups_found_on_whole_database() {
         let (mut db, _) = db_with_variants();
         // An unrelated model must not join the group.
-        db.ingest(zoo::darknet53(), nexus_profile::catalog::DARKNET53.profile_1080ti())
-            .unwrap();
+        db.ingest(
+            zoo::darknet53(),
+            nexus_profile::catalog::DARKNET53.profile_1080ti(),
+        )
+        .unwrap();
         let groups = db.prefix_groups();
         assert_eq!(groups.len(), 1);
         let (group, members) = &groups[0];

@@ -276,8 +276,8 @@ mod tests {
         // One variant at batch b costs about the same as the full model.
         let full = profile.latency(8);
         let split = plan.batch_latency(&[8]);
-        let rel = (split.as_micros() as f64 - full.as_micros() as f64).abs()
-            / full.as_micros() as f64;
+        let rel =
+            (split.as_micros() as f64 - full.as_micros() as f64).abs() / full.as_micros() as f64;
         assert!(
             rel < 0.05,
             "single-variant prefix execution should cost about the full model"
@@ -329,9 +329,6 @@ mod tests {
             "adding 8 one-layer variants grew memory {growth:.2}"
         );
         // Without sharing, memory grows 5× from 2 to 10 variants.
-        assert_eq!(
-            unshared_memory(&base, 10),
-            unshared_memory(&base, 2) * 5
-        );
+        assert_eq!(unshared_memory(&base, 10), unshared_memory(&base, 2) * 5);
     }
 }

@@ -29,15 +29,18 @@ fn arb_layer(seed: u32) -> Layer {
             classes: 2 + seed % 100,
         },
     };
-    Layer::new(kind, u64::from(seed % 997) * 1_000, f64::from(seed % 97) / 10.0)
+    Layer::new(
+        kind,
+        u64::from(seed % 997) * 1_000,
+        f64::from(seed % 97) / 10.0,
+    )
 }
 
 fn arb_schema() -> impl Strategy<Value = ModelSchema> {
-    prop::collection::vec(0u32..10_000, 2..12)
-        .prop_map(|seeds| {
-            let layers = seeds.into_iter().map(arb_layer).collect();
-            ModelSchema::new("m", layers)
-        })
+    prop::collection::vec(0u32..10_000, 2..12).prop_map(|seeds| {
+        let layers = seeds.into_iter().map(arb_layer).collect();
+        ModelSchema::new("m", layers)
+    })
 }
 
 proptest! {

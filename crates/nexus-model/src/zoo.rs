@@ -360,8 +360,7 @@ mod tests {
         for (spec, schema) in all() {
             let bytes = schema.total_param_bytes();
             let spec_bytes = spec.weight_bytes;
-            let byte_err =
-                (bytes as f64 - spec_bytes as f64).abs() / spec_bytes as f64;
+            let byte_err = (bytes as f64 - spec_bytes as f64).abs() / spec_bytes as f64;
             assert!(byte_err < 0.001, "{}: bytes off by {byte_err}", spec.name);
             let gf = schema.total_gflops();
             assert!(

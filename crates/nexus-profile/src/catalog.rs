@@ -96,15 +96,11 @@ impl ModelSpec {
 
     /// Derives the batching profile of this model on `device`.
     pub fn profile_on(&self, device: &DeviceType) -> BatchingProfile {
-        BatchingProfile::from_linear_ms(
-            self.alpha_ms(device),
-            self.beta_ms(device),
-            self.max_batch,
-        )
-        .with_preprocess(Micros::from_millis_f64(self.preprocess_ms))
-        .with_postprocess(Micros::from_millis_f64(self.postprocess_ms))
-        .with_memory_bytes(self.runtime_memory_bytes())
-        .with_load_time(self.load_time())
+        BatchingProfile::from_linear_ms(self.alpha_ms(device), self.beta_ms(device), self.max_batch)
+            .with_preprocess(Micros::from_millis_f64(self.preprocess_ms))
+            .with_postprocess(Micros::from_millis_f64(self.postprocess_ms))
+            .with_memory_bytes(self.runtime_memory_bytes())
+            .with_load_time(self.load_time())
     }
 
     /// Profile on the paper's 16-GPU case-study device (GTX 1080Ti).
@@ -239,8 +235,7 @@ pub const ALL_MODELS: [&ModelSpec; 9] = [
 ];
 
 /// The five models of Table 1, in row order.
-pub const TABLE1_MODELS: [&ModelSpec; 5] =
-    [&LENET5, &VGG7, &RESNET50, &INCEPTION4, &DARKNET53];
+pub const TABLE1_MODELS: [&ModelSpec; 5] = [&LENET5, &VGG7, &RESNET50, &INCEPTION4, &DARKNET53];
 
 /// Looks up a catalogued model by name.
 pub fn by_name(name: &str) -> Option<&'static ModelSpec> {

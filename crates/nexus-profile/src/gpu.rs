@@ -88,8 +88,7 @@ pub const TPU_V2: DeviceType = DeviceType {
 const GIB: u64 = 1 << 30;
 
 /// All device types, in the order Table 1 lists their cost columns.
-pub const ALL_DEVICES: [&DeviceType; 5] =
-    [&CPU_C5, &GPU_K80, &GPU_GTX1080TI, &GPU_V100, &TPU_V2];
+pub const ALL_DEVICES: [&DeviceType; 5] = [&CPU_C5, &GPU_K80, &GPU_GTX1080TI, &GPU_V100, &TPU_V2];
 
 #[cfg(test)]
 mod tests {

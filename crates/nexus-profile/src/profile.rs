@@ -76,7 +76,11 @@ pub struct LinearFit {
 impl LinearFit {
     /// Predicted latency at batch size `b`.
     pub fn latency(&self, b: u32) -> Micros {
-        Micros::from_micros((self.alpha_us * f64::from(b) + self.beta_us).round().max(0.0) as u64)
+        Micros::from_micros(
+            (self.alpha_us * f64::from(b) + self.beta_us)
+                .round()
+                .max(0.0) as u64,
+        )
     }
 }
 
@@ -373,8 +377,7 @@ impl BatchingProfile {
         let mut lat = Vec::with_capacity(self.latencies.len());
         for b in 1..=self.max_batch() {
             let gpu = self.latency(b);
-            let cpu = (self.preprocess_per_item + self.postprocess_per_item)
-                * u64::from(b)
+            let cpu = (self.preprocess_per_item + self.postprocess_per_item) * u64::from(b)
                 / u64::from(cpu_workers);
             lat.push(if overlap { gpu.max(cpu) } else { gpu + cpu });
         }
@@ -415,8 +418,7 @@ fn interpolate(anchors: &[(u32, Micros)], b: u32) -> Micros {
         .unwrap_or_else(|| &anchors[anchors.len() - 2..]);
     let (b0, l0) = seg[0];
     let (b1, l1) = seg[1];
-    let slope =
-        (l1.as_micros() as f64 - l0.as_micros() as f64) / (f64::from(b1) - f64::from(b0));
+    let slope = (l1.as_micros() as f64 - l0.as_micros() as f64) / (f64::from(b1) - f64::from(b0));
     let val = l0.as_micros() as f64 + slope * (f64::from(b) - f64::from(b0));
     Micros::from_micros(val.round().max(1.0) as u64)
 }
@@ -503,18 +505,16 @@ mod tests {
 
     #[test]
     fn rejects_decreasing_latency() {
-        let err =
-            BatchingProfile::new(vec![Micros::from_millis(10), Micros::from_millis(9)])
-                .unwrap_err();
+        let err = BatchingProfile::new(vec![Micros::from_millis(10), Micros::from_millis(9)])
+            .unwrap_err();
         assert_eq!(err, ProfileError::DecreasingLatency { batch: 2 });
     }
 
     #[test]
     fn rejects_decreasing_throughput() {
         // ℓ(1)=10, ℓ(2)=25: per-item latency rises from 10 to 12.5.
-        let err =
-            BatchingProfile::new(vec![Micros::from_millis(10), Micros::from_millis(25)])
-                .unwrap_err();
+        let err = BatchingProfile::new(vec![Micros::from_millis(10), Micros::from_millis(25)])
+            .unwrap_err();
         assert_eq!(err, ProfileError::DecreasingThroughput { batch: 2 });
     }
 
@@ -522,7 +522,11 @@ mod tests {
     fn fit_recovers_linear_coefficients() {
         let p = BatchingProfile::from_linear_us(1_250.0, 4_000.0, 32);
         let fit = p.fit_linear();
-        assert!((fit.alpha_us - 1_250.0).abs() < 1.0, "alpha={}", fit.alpha_us);
+        assert!(
+            (fit.alpha_us - 1_250.0).abs() < 1.0,
+            "alpha={}",
+            fit.alpha_us
+        );
         assert!((fit.beta_us - 4_000.0).abs() < 5.0, "beta={}", fit.beta_us);
     }
 
@@ -547,8 +551,8 @@ mod tests {
 
     #[test]
     fn effective_profile_overlap_takes_max_of_cpu_and_gpu() {
-        let p = BatchingProfile::from_linear_ms(1.0, 10.0, 32)
-            .with_preprocess(Micros::from_millis(8));
+        let p =
+            BatchingProfile::from_linear_ms(1.0, 10.0, 32).with_preprocess(Micros::from_millis(8));
         let eff = p.effective(true, 4);
         // At b=4: gpu 14 ms vs cpu 8 ms ⇒ gpu-bound.
         assert_eq!(eff.latency(4), Micros::from_millis(14));

@@ -28,9 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(batch * 2 <= slo);
 /// assert_eq!(slo.as_millis_f64(), 100.0);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Micros(pub u64);
 
@@ -197,7 +195,7 @@ impl fmt::Debug for Micros {
 
 impl fmt::Display for Micros {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000 && self.0 % 100_000 == 0 {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(100_000) {
             write!(f, "{}s", self.0 as f64 / 1_000_000.0)
         } else if self.0 >= 1_000 {
             write!(f, "{}ms", self.0 as f64 / 1_000.0)

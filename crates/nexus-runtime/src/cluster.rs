@@ -9,16 +9,28 @@
 //! are tracked to per-request and per-query terminal states. An epoch tick
 //! re-runs the global scheduler on observed rates and migrates sessions,
 //! charging model-load delays (§6.1 incremental scheduling).
+//!
+//! The simulator also hosts the failure pipeline: a seeded [`FaultSpec`]
+//! schedule injects crashes, stalls, and slowdowns into *physical* GPU
+//! slots; the controller heartbeats every deployed backend, declares a
+//! slot dead after `heartbeat_misses` consecutive misses, re-packs the
+//! lost sessions onto survivors with an out-of-band emergency epoch, and
+//! re-dispatches stranded requests whose deadline budget still covers one
+//! single-item execution (deadline-aware retry).
+
+use std::collections::{BTreeMap, HashSet};
 
 use nexus_profile::{BatchingProfile, DeviceType, Micros};
-use nexus_scheduler::{assign_plans, SessionId};
-use nexus_simgpu::{EventQueue, ResidentKey, SimGpu};
+use nexus_scheduler::{assign_plans, GpuPlan, SessionId};
+use nexus_simgpu::{
+    EventQueue, FaultKind, FaultSpec, FleetHealth, PollOutcome, ResidentKey, SimGpu,
+};
 use nexus_workload::{poisson_sample, rng_for, ArrivalGen, GammaSpec};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::config::SystemConfig;
-use crate::control::{plan, ControlPlan, TrafficClass};
+use crate::control::{plan, ControlPlan, PlanError, TrafficClass};
 use crate::dispatch::SessionQueue;
 use crate::metrics::ClusterMetrics;
 use crate::request::{QueryId, QueryTracker, Request, RequestId, RequestOutcome};
@@ -41,6 +53,11 @@ pub struct SimConfig {
     pub warmup: Micros,
     /// Maximum trace events to capture (0 disables tracing).
     pub trace_capacity: usize,
+    /// Deterministic fault schedule against physical GPU slots. Empty
+    /// disables the failure pipeline entirely (no heartbeat events, no
+    /// in-flight bookkeeping) — a no-fault run is bit-identical to one
+    /// built before fault injection existed.
+    pub faults: Vec<FaultSpec>,
 }
 
 /// Summary of one simulation run.
@@ -81,8 +98,21 @@ enum Event {
         slot: usize,
         requests: Vec<Request>,
         gen: u64,
+        /// In-flight batch id; crashed-GPU batches are marked lost and
+        /// their completion is discarded. 0 when fault injection is off.
+        batch: u64,
     },
     EpochTick,
+    /// Inject `SimConfig::faults[index]`.
+    Fault {
+        index: usize,
+    },
+    /// A timed fault (stall/slowdown) on a physical slot expires.
+    FaultEnd {
+        slot: usize,
+    },
+    /// The controller polls every deployed backend's heartbeat.
+    HeartbeatCheck,
 }
 
 /// A session slot within a backend.
@@ -214,11 +244,53 @@ pub struct ClusterSim {
     last_alloc_change: Micros,
     generation: u64,
     trace: Option<Trace>,
+    /// Ground-truth and controller-view health of the physical GPU fleet
+    /// (`max_gpus` slots).
+    fleet: FleetHealth,
+    /// Physical slot each deployed backend runs on. Faults address slots;
+    /// reconfigurations re-map backends but reused backends keep their
+    /// slot.
+    backend_slot: Vec<usize>,
+    /// Whether fault injection is active (gates in-flight bookkeeping).
+    fault_mode: bool,
+    next_batch: u64,
+    /// In-flight batches by id → (physical slot, request copies), kept so
+    /// a crash can strand exactly the work that was on the device.
+    /// BTreeMap: crash handling iterates this, and iteration order must be
+    /// deterministic across processes.
+    inflight: BTreeMap<u64, (usize, Vec<Request>)>,
+    /// Batch ids destroyed by a crash; their `BatchDone` is discarded.
+    lost_batches: HashSet<u64>,
+    /// Requests stranded in-flight on a crashed slot, held until the
+    /// controller detects the failure and applies the retry rule.
+    limbo: BTreeMap<usize, Vec<Request>>,
 }
 
 impl ClusterSim {
-    /// Builds a simulator for `classes` under `cfg`.
+    /// Builds a simulator for `classes` under `cfg`, panicking on invalid
+    /// input (see [`ClusterSim::try_new`]).
     pub fn new(cfg: SimConfig, classes: Vec<TrafficClass>) -> Self {
+        ClusterSim::try_new(cfg, classes)
+            .unwrap_or_else(|e| panic!("invalid simulation config: {e}"))
+    }
+
+    /// Builds a simulator for `classes` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when a traffic class references an unknown
+    /// model or a fault spec targets a slot outside `max_gpus` — user
+    /// input, so callers (e.g. the `simulate` binary) can report it
+    /// cleanly instead of aborting.
+    pub fn try_new(cfg: SimConfig, classes: Vec<TrafficClass>) -> Result<Self, PlanError> {
+        for f in &cfg.faults {
+            if f.slot >= cfg.max_gpus as usize {
+                return Err(PlanError::FaultSlot {
+                    slot: f.slot,
+                    max_gpus: cfg.max_gpus,
+                });
+            }
+        }
         let est_rates: Vec<f64> = classes.iter().map(|c| c.rate).collect();
         let control = plan(
             &classes,
@@ -226,7 +298,7 @@ impl ClusterSim {
             &cfg.device,
             cfg.max_gpus,
             Some(&est_rates),
-        );
+        )?;
         let backends = build_backends(&control, &cfg.system, &cfg.device);
         let routes = build_frontends(&control, cfg.system.frontends);
         let stage_sessions = index_sessions(&classes, &control);
@@ -254,13 +326,26 @@ impl ClusterSim {
             let tick = cfg.system.epoch.min(Micros::from_secs(10));
             events.push(tick, Event::EpochTick);
         }
+        for (index, f) in cfg.faults.iter().enumerate() {
+            if f.at < cfg.horizon {
+                events.push(f.at, Event::Fault { index });
+            }
+        }
+        if !cfg.faults.is_empty() {
+            // Heartbeat polling only exists when faults can happen — a
+            // no-fault run keeps its exact pre-fault event stream.
+            events.push(cfg.system.heartbeat_interval, Event::HeartbeatCheck);
+        }
         let mut metrics = ClusterMetrics::new(Micros::from_secs(1));
         metrics.record_allocation(Micros::ZERO, control.allocation.gpu_count() as u32);
         let gamma_rng = rng_for(cfg.seed, 0xFA_0000);
         let route_rng = rng_for(cfg.seed, 0xFB_0000);
         let n_classes = classes.len();
         let cfg2_trace = cfg.trace_capacity;
-        ClusterSim {
+        let fleet = FleetHealth::new(cfg.max_gpus as usize);
+        let backend_slot: Vec<usize> = (0..backends.len()).collect();
+        let fault_mode = !cfg.faults.is_empty();
+        Ok(ClusterSim {
             cfg,
             classes,
             control,
@@ -286,7 +371,14 @@ impl ClusterSim {
             last_alloc_change: Micros::ZERO,
             generation: 0,
             trace: (cfg2_trace > 0).then(|| Trace::new(cfg2_trace)),
-        }
+            fleet,
+            backend_slot,
+            fault_mode,
+            next_batch: 1,
+            inflight: BTreeMap::new(),
+            lost_batches: HashSet::new(),
+            limbo: BTreeMap::new(),
+        })
     }
 
     /// The initial control plan (for inspection in tests/benches).
@@ -309,11 +401,29 @@ impl ClusterSim {
                     slot,
                     requests,
                     gen,
-                } => self.on_batch_done(now, backend, slot, requests, gen),
+                    batch,
+                } => self.on_batch_done(now, backend, slot, requests, gen, batch),
                 Event::EpochTick => self.on_epoch(now),
+                Event::Fault { index } => self.on_fault(now, index),
+                Event::FaultEnd { slot } => self.on_fault_end(now, slot),
+                Event::HeartbeatCheck => self.on_heartbeat_check(now),
             }
         }
         self.summarize()
+    }
+
+    /// Whether the physical slot under `backend` currently executes work.
+    fn slot_serving(&self, backend: usize) -> bool {
+        self.fleet.serving(self.backend_slot[backend])
+    }
+
+    /// GPUs the controller *knows* it can use: the fleet minus declared-
+    /// dead slots. Crashed-but-undetected slots still count — the
+    /// controller cannot plan around failures it has not detected yet.
+    fn available_gpus(&self) -> u32 {
+        self.cfg
+            .max_gpus
+            .saturating_sub(self.fleet.dead_count() as u32)
     }
 
     fn on_root_arrival(&mut self, now: Micros, class: usize) {
@@ -389,6 +499,11 @@ impl ClusterSim {
 
     /// Arms a wake for the backend (coordinated) or slot (uncoordinated).
     fn arm(&mut self, now: Micros, backend: usize, slot: usize) {
+        if !self.slot_serving(backend) {
+            // Crashed or stalled: requests queue; a stall end re-arms, a
+            // crash is detected by heartbeats and the queue re-dispatched.
+            return;
+        }
         let coordinated = self.cfg.system.coordinated;
         let b = &mut self.backends[backend];
         let t = now.max(b.available_at);
@@ -412,7 +527,15 @@ impl ClusterSim {
 
     fn on_wake(&mut self, now: Micros, backend: usize, slot: usize) {
         if self.cfg.system.coordinated {
+            // The armed wake has fired; clear it even if the slot is not
+            // serving right now, or a stalled backend could never re-arm
+            // (`arm` dedups on `armed_wake`).
             self.backends[backend].armed_wake = Micros::MAX;
+        }
+        if !self.slot_serving(backend) {
+            return;
+        }
+        if self.cfg.system.coordinated {
             self.serve_coordinated(now, backend);
         } else {
             self.serve_slot(now, backend, slot);
@@ -447,13 +570,9 @@ impl ClusterSim {
         // child stages survive because their deadlines inherit ancestor
         // slack, not because batches balloon.
         slot.jitter_state = nexus_workload::splitmix64(slot.jitter_state);
-        let pull = slot.queue.pull(
-            now,
-            slot.target_batch,
-            &slot.profile,
-            policy,
-            Micros::MAX,
-        );
+        let pull = slot
+            .queue
+            .pull(now, slot.target_batch, &slot.profile, policy, Micros::MAX);
         let duration = if pull.batch.is_empty() {
             Micros::ZERO
         } else {
@@ -471,6 +590,19 @@ impl ClusterSim {
             duration,
             pending_expiry,
         }
+    }
+
+    /// Allocates a batch id and records the in-flight copy (fault mode
+    /// only); a crash on the slot then strands exactly these requests.
+    fn launch_bookkeeping(&mut self, backend: usize, batch: &[Request]) -> u64 {
+        if !self.fault_mode {
+            return 0;
+        }
+        let id = self.next_batch;
+        self.next_batch += 1;
+        self.inflight
+            .insert(id, (self.backend_slot[backend], batch.to_vec()));
+        id
     }
 
     fn record_drops(&mut self, now: Micros, session: SessionId, dropped: Vec<Request>) {
@@ -537,6 +669,15 @@ impl ClusterSim {
                 } => {
                     self.record_drops(now, session, dropped);
                     if !batch.is_empty() {
+                        // Straggler slowdown stretches the execution; the
+                        // gate keeps no-fault runs bit-identical (scale
+                        // rounds through f64).
+                        let slowdown = self.fleet.slowdown(self.backend_slot[backend]);
+                        let duration = if slowdown != 1.0 {
+                            duration.scale(slowdown)
+                        } else {
+                            duration
+                        };
                         if let Some(tr) = &mut self.trace {
                             tr.push(TraceEvent::Batch {
                                 t: now,
@@ -546,6 +687,7 @@ impl ClusterSim {
                                 duration,
                             });
                         }
+                        let batch_id = self.launch_bookkeeping(backend, &batch);
                         let b = &mut self.backends[backend];
                         b.busy = true;
                         b.cursor = (si + 1) % n;
@@ -558,6 +700,7 @@ impl ClusterSim {
                                 slot: si,
                                 requests: batch,
                                 gen,
+                                batch: batch_id,
                             },
                         );
                         return;
@@ -565,8 +708,7 @@ impl ClusterSim {
                     if let Some(expiry) = pending_expiry {
                         // Lazy-held requests: revisit at their expiry.
                         let f = expiry.max(now + Micros(1));
-                        earliest_wake =
-                            Some(earliest_wake.map_or(f, |e: Micros| e.min(f)));
+                        earliest_wake = Some(earliest_wake.map_or(f, |e: Micros| e.min(f)));
                     }
                 }
             }
@@ -616,24 +758,25 @@ impl ClusterSim {
                 self.record_drops(now, session, dropped);
                 if !batch.is_empty() {
                     let trace_size = batch.len() as u32;
+                    let slowdown = self.fleet.slowdown(self.backend_slot[backend]);
                     let b = &mut self.backends[backend];
                     // Interference from the peers that are executing right
                     // now (including ourselves): an idle co-located
                     // container costs nothing.
-                    let concurrent =
-                        1 + b.slots.iter().filter(|s| s.busy).count();
+                    let concurrent = 1 + b.slots.iter().filter(|s| s.busy).count();
                     let factor = self.cfg.system.interference.slowdown(concurrent);
-                    let duration = b.slots[slot]
+                    let mut duration = b.slots[slot]
                         .base
                         .latency_clamped(batch.len() as u32)
                         .scale(factor);
+                    if slowdown != 1.0 {
+                        duration = duration.scale(slowdown);
+                    }
                     b.slots[slot].busy = true;
                     // Fair-share accounting: concurrent containers
                     // time-share the device.
-                    b.gpu.accrue_shared(
-                        duration / concurrent as u64,
-                        batch.len() as u32,
-                    );
+                    b.gpu
+                        .accrue_shared(duration / concurrent as u64, batch.len() as u32);
                     if let Some(tr) = &mut self.trace {
                         tr.push(TraceEvent::Batch {
                             t: now,
@@ -643,6 +786,7 @@ impl ClusterSim {
                             duration,
                         });
                     }
+                    let batch_id = self.launch_bookkeeping(backend, &batch);
                     let gen = self.generation;
                     self.events.push(
                         now + duration,
@@ -651,6 +795,7 @@ impl ClusterSim {
                             slot,
                             requests: batch,
                             gen,
+                            batch: batch_id,
                         },
                     );
                 } else if let Some(expiry) = pending_expiry {
@@ -671,7 +816,17 @@ impl ClusterSim {
         slot: usize,
         requests: Vec<Request>,
         gen: u64,
+        batch: u64,
     ) {
+        if self.fault_mode {
+            if self.lost_batches.remove(&batch) {
+                // The GPU crashed mid-execution: the batch never finished.
+                // Its requests sit in limbo until detection re-dispatches
+                // them.
+                return;
+            }
+            self.inflight.remove(&batch);
+        }
         for req in requests {
             let good = now <= req.deadline;
             self.metrics
@@ -698,10 +853,8 @@ impl ClusterSim {
                         // from the query arrival — slack left by ancestors
                         // finishing early is inherited, the query SLO is the
                         // only hard wall.
-                        let q_arrival =
-                            self.tracker.arrival(query).unwrap_or(now);
-                        let q_deadline =
-                            self.tracker.deadline(query).unwrap_or(Micros::MAX);
+                        let q_arrival = self.tracker.arrival(query).unwrap_or(now);
+                        let q_deadline = self.tracker.deadline(query).unwrap_or(Micros::MAX);
                         let offset = self.stage_offset(class, child);
                         let deadline = (q_arrival + offset).min(q_deadline).max(now);
                         for _ in 0..count {
@@ -720,10 +873,14 @@ impl ClusterSim {
         }
         if self.cfg.system.coordinated {
             self.backends[backend].busy = false;
-            self.serve_coordinated(now, backend);
+            if self.slot_serving(backend) {
+                self.serve_coordinated(now, backend);
+            }
         } else {
             self.backends[backend].slots[slot].busy = false;
-            self.serve_slot(now, backend, slot);
+            if self.slot_serving(backend) {
+                self.serve_slot(now, backend, slot);
+            }
         }
     }
 
@@ -758,14 +915,14 @@ impl ClusterSim {
         // model loads and queue migrations, and the paper rate-limits
         // reconfiguration for exactly this reason.
         let tick = self.cfg.system.epoch.min(Micros::from_secs(10));
-        let significant = self
-            .est_rates
-            .iter()
-            .zip(&self.planned_rates)
-            .any(|(&now_r, &planned)| {
-                let base = planned.max(1.0);
-                (now_r - planned).abs() / base > 0.15
-            });
+        let significant =
+            self.est_rates
+                .iter()
+                .zip(&self.planned_rates)
+                .any(|(&now_r, &planned)| {
+                    let base = planned.max(1.0);
+                    (now_r - planned).abs() / base > 0.15
+                });
         let epoch_elapsed = now - self.last_replan >= self.cfg.system.epoch;
         if !significant && !epoch_elapsed {
             if now + tick < self.cfg.horizon {
@@ -776,27 +933,48 @@ impl ClusterSim {
         self.last_replan = now;
         self.planned_rates = self.est_rates.clone();
 
+        let next = plan(
+            &self.classes,
+            &self.cfg.system,
+            &self.cfg.device,
+            self.available_gpus(),
+            Some(&self.est_rates),
+        )
+        .expect("models validated at construction");
+        self.swap_deployment(now, next);
+        if now + tick < self.cfg.horizon {
+            self.events.push(now + tick, Event::EpochTick);
+        }
+    }
+
+    /// Replaces the running deployment with `next`: matches new plans onto
+    /// surviving backends (§6.1 incremental scheduling, skipping declared-
+    /// dead slots), charges model loads, migrates queues, re-routes
+    /// orphans, and wakes the new deployment. Shared by the epoch tick and
+    /// the out-of-band emergency replan after a failure.
+    fn swap_deployment(&mut self, now: Micros, next: ControlPlan) {
         // Account allocated GPU-seconds under the *old* allocation.
         self.gpu_seconds_allocated += (now - self.last_alloc_change).as_secs_f64()
             * self.control.allocation.gpu_count() as f64;
         self.last_alloc_change = now;
 
-        let next = plan(
-            &self.classes,
-            &self.cfg.system,
-            &self.cfg.device,
-            self.cfg.max_gpus,
-            Some(&self.est_rates),
-        );
-        let assignment =
-            assign_plans(&self.control.allocation.plans, &next.allocation.plans);
+        // Only backends on slots the controller trusts may be reused; a
+        // declared-dead slot's model residency is gone with the hardware.
+        let reusable: Vec<usize> = (0..self.backends.len())
+            .filter(|&b| !self.fleet.is_dead(self.backend_slot[b]))
+            .collect();
+        let prev_plans: Vec<GpuPlan> = reusable
+            .iter()
+            .map(|&b| self.control.allocation.plans[b].clone())
+            .collect();
+        let assignment = assign_plans(&prev_plans, &next.allocation.plans);
         let mut new_backends = build_backends(&next, &self.cfg.system, &self.cfg.device);
         // Charge model-load delay on backends that must load new models.
         for (ni, nb) in new_backends.iter_mut().enumerate() {
             let mut max_load = Micros::ZERO;
             for slot in &nb.slots {
-                let resident = assignment.backend_for[ni].is_some_and(|pi| {
-                    self.backends[pi].slot_of(slot.session).is_some()
+                let resident = assignment.backend_for[ni].is_some_and(|pos| {
+                    self.backends[reusable[pos]].slot_of(slot.session).is_some()
                 });
                 if !resident {
                     let load = next.sessions[slot.session.0 as usize]
@@ -818,7 +996,8 @@ impl ClusterSim {
         // Queues stay with backends that keep hosting their session (no
         // disruption); only requests whose host changed migrate.
         for (ni, nb) in new_backends.iter_mut().enumerate() {
-            if let Some(pi) = assignment.backend_for[ni] {
+            if let Some(pos) = assignment.backend_for[ni] {
+                let pi = reusable[pos];
                 for slot in nb.slots.iter_mut() {
                     if let Some(psi) = self.backends[pi].slot_of(slot.session) {
                         for r in self.backends[pi].slots[psi].queue.drain() {
@@ -834,9 +1013,32 @@ impl ClusterSim {
                 orphans.extend(slot.queue.drain());
             }
         }
+        // Physical placement: reused backends keep their slot; fresh ones
+        // take the lowest slot not declared dead and not already occupied.
+        // A crashed-but-undetected slot is eligible — the controller does
+        // not know better yet, and the misplaced sessions are rescued by
+        // the next detection.
+        let mut new_backend_slot = vec![usize::MAX; new_backends.len()];
+        let mut occupied = vec![false; self.cfg.max_gpus as usize];
+        for (ni, slot) in new_backend_slot.iter_mut().enumerate() {
+            if let Some(pos) = assignment.backend_for[ni] {
+                *slot = self.backend_slot[reusable[pos]];
+                occupied[*slot] = true;
+            }
+        }
+        for slot in new_backend_slot.iter_mut() {
+            if *slot == usize::MAX {
+                let free = (0..self.cfg.max_gpus as usize)
+                    .find(|&s| !occupied[s] && !self.fleet.is_dead(s))
+                    .expect("plan count is capped at non-dead slot count");
+                *slot = free;
+                occupied[free] = true;
+            }
+        }
         self.generation += 1;
         self.routes = build_frontends(&next, self.cfg.system.frontends);
         self.backends = new_backends;
+        self.backend_slot = new_backend_slot;
         self.control = next;
         for req in orphans {
             let fe = self.next_frontend;
@@ -875,9 +1077,202 @@ impl ClusterSim {
                 }
             }
         }
-        if now + tick < self.cfg.horizon {
-            self.events.push(now + tick, Event::EpochTick);
+    }
+
+    /// Injects `SimConfig::faults[index]` into the fleet.
+    fn on_fault(&mut self, now: Micros, index: usize) {
+        let spec = self.cfg.faults[index];
+        let slot = spec.slot;
+        match spec.kind {
+            FaultKind::Crash => {
+                self.fleet.crash(slot);
+                // In-flight batches on the device die with it: mark them
+                // lost and hold their requests in limbo until detection.
+                let dead: Vec<u64> = self
+                    .inflight
+                    .iter()
+                    .filter(|(_, (s, _))| *s == slot)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in dead {
+                    let (_, requests) = self.inflight.remove(&id).expect("id just listed");
+                    self.lost_batches.insert(id);
+                    self.limbo.entry(slot).or_default().extend(requests);
+                }
+                self.metrics.record_fault(slot, now);
+            }
+            FaultKind::Stall { duration } => {
+                self.fleet.stall(slot);
+                self.metrics.record_fault(slot, now);
+                self.events.push(now + duration, Event::FaultEnd { slot });
+            }
+            FaultKind::Slowdown { factor, duration } => {
+                self.fleet.slow(slot, factor);
+                self.events.push(now + duration, Event::FaultEnd { slot });
+            }
+            FaultKind::Rejoin => {
+                let was_out = self.fleet.crashed(slot) || self.fleet.is_dead(slot);
+                self.fleet.revive(slot);
+                if let Some(tr) = &mut self.trace {
+                    tr.push(TraceEvent::Rejoin { t: now, gpu: slot });
+                }
+                if was_out {
+                    // Regained capacity: re-pack so the fleet uses it.
+                    self.emergency_replan(now);
+                }
+                return;
+            }
         }
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Fault {
+                t: now,
+                gpu: slot,
+                kind: spec.kind,
+            });
+        }
+    }
+
+    /// A timed fault (stall/slowdown) expires.
+    fn on_fault_end(&mut self, now: Micros, slot: usize) {
+        if self.fleet.is_dead(slot) {
+            // The stall outlived the detection window: the controller
+            // already re-packed around the slot, so its resumption is a
+            // rejoin of spare capacity.
+            self.fleet.revive(slot);
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::Rejoin { t: now, gpu: slot });
+            }
+            self.emergency_replan(now);
+            return;
+        }
+        self.fleet.end_fault(slot);
+        // Wake whichever backend sat out the fault on this slot.
+        if let Some(backend) = self.backend_slot.iter().position(|&s| s == slot) {
+            if self.cfg.system.coordinated {
+                self.arm(now, backend, usize::MAX);
+            } else {
+                for si in 0..self.backends[backend].slots.len() {
+                    self.arm(now, backend, si);
+                }
+            }
+        }
+    }
+
+    /// The controller pings every deployed backend; `heartbeat_misses`
+    /// consecutive silent polls declare the slot dead and trigger recovery.
+    fn on_heartbeat_check(&mut self, now: Micros) {
+        let threshold = self.cfg.system.heartbeat_misses;
+        let mut newly_dead: Vec<usize> = Vec::new();
+        for backend in 0..self.backends.len() {
+            let slot = self.backend_slot[backend];
+            if self.fleet.poll(slot, threshold) == PollOutcome::NewlyDead {
+                newly_dead.push(slot);
+            }
+        }
+        if !newly_dead.is_empty() {
+            self.handle_failures(now, newly_dead);
+        }
+        let interval = self.cfg.system.heartbeat_interval;
+        if now + interval < self.cfg.horizon {
+            self.events.push(now + interval, Event::HeartbeatCheck);
+        }
+    }
+
+    /// Recovery after detection: strand the dead backends' queued and
+    /// in-flight requests, re-pack the lost sessions onto survivors (the
+    /// emergency epoch), then re-dispatch each stranded request whose
+    /// remaining budget still covers a single-item execution — the rest
+    /// are counted dropped.
+    fn handle_failures(&mut self, now: Micros, slots: Vec<usize>) {
+        let mut stranded: Vec<(usize, Vec<Request>)> = Vec::new();
+        for &slot in &slots {
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::FailureDetected { t: now, gpu: slot });
+            }
+            let mut requests: Vec<Request> = Vec::new();
+            // Queued work first (FIFO per slot), then the limbo batches
+            // that died on the device.
+            if let Some(backend) = self.backend_slot.iter().position(|&s| s == slot) {
+                for sl in &mut self.backends[backend].slots {
+                    requests.extend(sl.queue.drain());
+                }
+            }
+            requests.extend(self.limbo.remove(&slot).unwrap_or_default());
+            stranded.push((slot, requests));
+        }
+        // Re-pack survivors before re-dispatching so retries land on live
+        // routes. This also drops the dead backends from the routing
+        // tables — frontends stop sending them traffic immediately.
+        self.emergency_replan(now);
+        for (slot, requests) in stranded {
+            let mut retried = 0u64;
+            let mut lost = 0u64;
+            for req in requests {
+                if self.retry(now, req) {
+                    retried += 1;
+                } else {
+                    lost += 1;
+                }
+            }
+            self.metrics.record_detection(slot, now, retried, lost);
+        }
+    }
+
+    /// Deadline-aware retry of one stranded request: re-dispatch only if
+    /// the remaining budget covers ℓ(1); otherwise it is already doomed
+    /// and counts as dropped without wasting survivor capacity.
+    fn retry(&mut self, now: Micros, req: Request) -> bool {
+        let session = req.session;
+        let exec = &self.control.sessions[session.0 as usize].exec_profile;
+        if req.deadline >= now + exec.latency_clamped(1) {
+            let fe = self.next_frontend;
+            self.next_frontend = (self.next_frontend + 1) % self.routes.len();
+            if let Some(backend) = self.routes[fe][session.0 as usize].pick(&mut self.route_rng) {
+                if let Some(tr) = &mut self.trace {
+                    tr.push(TraceEvent::Retry {
+                        t: now,
+                        request: req.id.0,
+                        session,
+                    });
+                }
+                let slot = self.backends[backend]
+                    .slot_of(session)
+                    .expect("route targets host the session");
+                self.backends[backend].slots[slot].queue.push(req);
+                self.arm(now, backend, slot);
+                return true;
+            }
+        }
+        self.metrics.record_drop(session, now);
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Drop {
+                t: now,
+                request: req.id.0,
+                session,
+            });
+        }
+        if let Some(q) = req.query {
+            self.tracker.record(q, RequestOutcome::Dropped(now));
+        }
+        false
+    }
+
+    /// The out-of-band emergency epoch: re-plans on the capacity the
+    /// controller knows about and swaps the deployment immediately,
+    /// independent of the epoch schedule (it runs even under static
+    /// allocation). Only moved sessions pay model-load cost, via the same
+    /// incremental plan assignment as a regular epoch.
+    fn emergency_replan(&mut self, now: Micros) {
+        let next = plan(
+            &self.classes,
+            &self.cfg.system,
+            &self.cfg.device,
+            self.available_gpus(),
+            Some(&self.est_rates),
+        )
+        .expect("models validated at construction");
+        self.swap_deployment(now, next);
+        self.last_replan = now;
     }
 
     fn summarize(mut self) -> SimResult {
@@ -889,6 +1284,11 @@ impl ClusterSim {
             for slot in &mut b.slots {
                 leftovers.extend(slot.queue.drain());
             }
+        }
+        // Requests stranded on a crashed GPU whose failure was never
+        // detected before the run ended.
+        for (_, requests) in std::mem::take(&mut self.limbo) {
+            leftovers.extend(requests);
         }
         for req in leftovers {
             self.metrics.record_drop(req.session, end);
@@ -1012,11 +1412,7 @@ fn build_backends(
                     let k = p.entries.len();
                     let (timing, gather_limit, reserve) = if system.coordinated {
                         let own = e.exec_latency;
-                        (
-                            exec.clone(),
-                            p.duty_cycle,
-                            p.duty_cycle.saturating_sub(own),
-                        )
+                        (exec.clone(), p.duty_cycle, p.duty_cycle.saturating_sub(own))
                     } else {
                         (
                             system.interference.stretched_profile(&exec, k),
@@ -1041,8 +1437,7 @@ fn build_backends(
             // Stagger backend start phases across one duty cycle:
             // replicas of a saturated session otherwise phase-lock and dump
             // synchronized downstream bursts every cycle.
-            let stagger =
-                Micros::from_micros(p.duty_cycle.as_micros() * bi as u64 / n);
+            let stagger = Micros::from_micros(p.duty_cycle.as_micros() * bi as u64 / n);
             Backend {
                 slots,
                 cursor: 0,
@@ -1087,10 +1482,7 @@ fn build_frontends(control: &ControlPlan, frontends: u32) -> Vec<Vec<Route>> {
 }
 
 /// Indexes sessions by (class, stage) for request routing.
-fn index_sessions(
-    classes: &[TrafficClass],
-    control: &ControlPlan,
-) -> Vec<Vec<Vec<SessionId>>> {
+fn index_sessions(classes: &[TrafficClass], control: &ControlPlan) -> Vec<Vec<Vec<SessionId>>> {
     let mut idx: Vec<Vec<Vec<SessionId>>> = classes
         .iter()
         .map(|c| vec![Vec::new(); c.app.stages.len()])
@@ -1123,6 +1515,7 @@ mod tests {
                 horizon: Micros::from_secs(20),
                 warmup: Micros::from_secs(5),
                 trace_capacity: 0,
+                faults: vec![],
             },
             classes,
         )
@@ -1132,7 +1525,11 @@ mod tests {
     #[test]
     fn nexus_serves_moderate_load_cleanly() {
         let r = sim(SystemConfig::nexus(), 100.0, 16, 1);
-        assert!(r.queries_finished > 1_000, "finished={}", r.queries_finished);
+        assert!(
+            r.queries_finished > 1_000,
+            "finished={}",
+            r.queries_finished
+        );
         assert!(
             r.query_bad_rate < 0.01,
             "bad rate {} too high",
@@ -1186,15 +1583,10 @@ mod tests {
     fn epoch_loop_adapts_to_rate_increase() {
         // Start under-provisioned estimate, workload triples mid-run; the
         // epoch controller must grow the allocation.
-        let classes = vec![TrafficClass::new(
-            apps::traffic(),
-            ArrivalKind::Poisson,
-            60.0,
-        )
-        .with_modulation(vec![
-            (Micros::ZERO, 1.0),
-            (Micros::from_secs(30), 3.0),
-        ])];
+        let classes = vec![
+            TrafficClass::new(apps::traffic(), ArrivalKind::Poisson, 60.0)
+                .with_modulation(vec![(Micros::ZERO, 1.0), (Micros::from_secs(30), 3.0)]),
+        ];
         let result = ClusterSim::new(
             SimConfig {
                 system: SystemConfig::nexus().with_epoch(Micros::from_secs(10)),
@@ -1204,6 +1596,7 @@ mod tests {
                 horizon: Micros::from_secs(90),
                 warmup: Micros::from_secs(10),
                 trace_capacity: 0,
+                faults: vec![],
             },
             classes,
         )
@@ -1216,7 +1609,11 @@ mod tests {
             "allocation should grow with load: {early} -> {late}"
         );
         // After adaptation the system still serves most queries.
-        assert!(result.query_bad_rate < 0.15, "bad={}", result.query_bad_rate);
+        assert!(
+            result.query_bad_rate < 0.15,
+            "bad={}",
+            result.query_bad_rate
+        );
     }
 
     #[test]
@@ -1238,6 +1635,7 @@ mod tests {
                     horizon: Micros::from_secs(15),
                     warmup: Micros::from_secs(4),
                     trace_capacity: 0,
+                    faults: vec![],
                 },
                 classes,
             )
@@ -1249,6 +1647,161 @@ mod tests {
         assert!(four.query_bad_rate < 0.01, "4 fe: {}", four.query_bad_rate);
         // Same offered traffic; similar goodput.
         assert!((one.query_goodput - four.query_goodput).abs() < 10.0);
+    }
+
+    /// A faulted run: 16 GPUs at a load Nexus handles cleanly, static
+    /// allocation (recovery must work out-of-band, without the epoch
+    /// loop).
+    fn faulted_sim(faults: Vec<FaultSpec>, seed: u64) -> SimResult {
+        let classes = vec![TrafficClass::new(
+            apps::traffic(),
+            ArrivalKind::Uniform,
+            100.0,
+        )];
+        ClusterSim::new(
+            SimConfig {
+                system: SystemConfig::nexus().with_static_allocation(),
+                device: GPU_GTX1080TI,
+                max_gpus: 16,
+                seed,
+                horizon: Micros::from_secs(20),
+                warmup: Micros::from_secs(5),
+                trace_capacity: 0,
+                faults,
+            },
+            classes,
+        )
+        .run()
+    }
+
+    #[test]
+    fn crash_is_detected_and_goodput_recovers() {
+        let fault_at = Micros::from_secs(10);
+        let r = faulted_sim(
+            vec![FaultSpec {
+                at: fault_at,
+                slot: 0,
+                kind: FaultKind::Crash,
+            }],
+            11,
+        );
+        let failures = r.metrics.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].gpu, 0);
+        // k = 3 misses at 100 ms polls: declared dead within ~400 ms.
+        let ttd = failures[0].time_to_detect().expect("detected");
+        assert!(
+            ttd <= Micros::from_millis(400),
+            "detection took {ttd}, expected within 4 heartbeat intervals"
+        );
+        // Goodput returns to ≥ 95% of the pre-fault level quickly: the
+        // emergency replan runs at detection, not at the next epoch.
+        let baseline = r.metrics.goodput(Micros::from_secs(5), fault_at);
+        let recovery = r
+            .metrics
+            .goodput_recovery_time(fault_at, baseline, 0.95)
+            .expect("goodput must recover");
+        assert!(
+            recovery <= Micros::from_secs(5),
+            "recovery took {recovery} (baseline {baseline:.1} req/s)"
+        );
+        // Losing 1 of 16 GPUs at moderate load must not wreck the run.
+        assert!(r.query_bad_rate < 0.1, "bad={}", r.query_bad_rate);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let faults = || {
+            vec![
+                FaultSpec {
+                    at: Micros::from_secs(6),
+                    slot: 0,
+                    kind: FaultKind::Crash,
+                },
+                FaultSpec {
+                    at: Micros::from_secs(7),
+                    slot: 1,
+                    kind: FaultKind::Slowdown {
+                        factor: 2.0,
+                        duration: Micros::from_secs(3),
+                    },
+                },
+                FaultSpec {
+                    at: Micros::from_secs(8),
+                    slot: 2,
+                    kind: FaultKind::Stall {
+                        duration: Micros::from_secs(1),
+                    },
+                },
+                FaultSpec {
+                    at: Micros::from_secs(14),
+                    slot: 0,
+                    kind: FaultKind::Rejoin,
+                },
+            ]
+        };
+        let a = faulted_sim(faults(), 7);
+        let b = faulted_sim(faults(), 7);
+        assert_eq!(a.queries_finished, b.queries_finished);
+        assert_eq!(a.query_bad_rate, b.query_bad_rate);
+        assert_eq!(a.metrics.bad_rate(), b.metrics.bad_rate());
+        assert_eq!(a.metrics.failures(), b.metrics.failures());
+        assert_eq!(a.metrics.timeline(), b.metrics.timeline());
+    }
+
+    #[test]
+    fn short_stall_clears_before_detection() {
+        // A 150 ms stall spans at most two 100 ms heartbeat polls — below
+        // the 3-miss threshold, so the controller never declares death and
+        // no replan happens.
+        let r = faulted_sim(
+            vec![FaultSpec {
+                at: Micros::from_secs(8),
+                slot: 0,
+                kind: FaultKind::Stall {
+                    duration: Micros::from_millis(150),
+                },
+            }],
+            13,
+        );
+        assert_eq!(r.metrics.failures().len(), 1);
+        assert_eq!(r.metrics.failures()[0].detected_at, None);
+        assert!(r.query_bad_rate < 0.05, "bad={}", r.query_bad_rate);
+    }
+
+    #[test]
+    fn fault_slot_out_of_range_is_a_typed_error() {
+        let classes = vec![TrafficClass::new(
+            apps::traffic(),
+            ArrivalKind::Uniform,
+            50.0,
+        )];
+        let err = ClusterSim::try_new(
+            SimConfig {
+                system: SystemConfig::nexus().with_static_allocation(),
+                device: GPU_GTX1080TI,
+                max_gpus: 4,
+                seed: 1,
+                horizon: Micros::from_secs(5),
+                warmup: Micros::from_secs(1),
+                trace_capacity: 0,
+                faults: vec![FaultSpec {
+                    at: Micros::from_secs(1),
+                    slot: 9,
+                    kind: FaultKind::Crash,
+                }],
+            },
+            classes,
+        )
+        .err()
+        .expect("out-of-range fault slot must be rejected");
+        assert_eq!(
+            err,
+            crate::control::PlanError::FaultSlot {
+                slot: 9,
+                max_gpus: 4
+            }
+        );
     }
 
     #[test]
@@ -1268,6 +1821,7 @@ mod tests {
                 horizon: Micros::from_secs(10),
                 warmup: Micros::from_secs(2),
                 trace_capacity: 0,
+                faults: vec![],
             },
             classes,
         )

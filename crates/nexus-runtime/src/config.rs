@@ -51,6 +51,11 @@ pub struct SystemConfig {
     pub spread_factor: f64,
     /// Interference model for uncoordinated execution.
     pub interference: InterferenceModel,
+    /// How often the controller polls backend heartbeats when fault
+    /// injection is active.
+    pub heartbeat_interval: Micros,
+    /// Consecutive missed heartbeats before a backend is declared dead.
+    pub heartbeat_misses: u32,
 }
 
 impl SystemConfig {
@@ -69,6 +74,8 @@ impl SystemConfig {
             frontends: 1,
             spread_factor: 4.0,
             interference: InterferenceModel::default(),
+            heartbeat_interval: Micros::from_millis(100),
+            heartbeat_misses: 3,
         }
     }
 
@@ -143,6 +150,8 @@ impl SystemConfig {
             frontends: 1,
             spread_factor: 4.0,
             interference: InterferenceModel::default(),
+            heartbeat_interval: Micros::from_millis(100),
+            heartbeat_misses: 3,
         }
     }
 
@@ -163,6 +172,8 @@ impl SystemConfig {
             frontends: 1,
             spread_factor: 4.0,
             interference: InterferenceModel::default(),
+            heartbeat_interval: Micros::from_millis(100),
+            heartbeat_misses: 3,
         }
     }
 
@@ -202,6 +213,22 @@ impl SystemConfig {
         self.epoch = epoch;
         self
     }
+
+    /// Sets the failure-detection parameters: heartbeat poll interval and
+    /// the consecutive misses that declare a backend dead.
+    pub fn with_heartbeat(mut self, interval: Micros, misses: u32) -> Self {
+        assert!(
+            interval > Micros::ZERO,
+            "heartbeat interval must be positive"
+        );
+        assert!(
+            misses >= 1,
+            "need at least one missed beat to declare death"
+        );
+        self.heartbeat_interval = interval;
+        self.heartbeat_misses = misses;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -211,15 +238,15 @@ mod tests {
     #[test]
     fn ablations_differ_from_nexus_in_exactly_one_dimension() {
         let base = SystemConfig::nexus();
-        assert_eq!(SystemConfig::nexus_no_pb().prefix_batching, false);
+        assert!(!SystemConfig::nexus_no_pb().prefix_batching);
         assert_eq!(
             SystemConfig::nexus_no_ss().scheduler,
             SchedulerPolicy::BatchOblivious
         );
         assert_eq!(SystemConfig::nexus_no_ed().drop_policy, DropPolicy::Lazy);
-        assert_eq!(SystemConfig::nexus_no_ol().overlap, false);
-        assert_eq!(SystemConfig::nexus_no_qa().query_analysis, false);
-        assert_eq!(SystemConfig::nexus_parallel().coordinated, false);
+        assert!(!SystemConfig::nexus_no_ol().overlap);
+        assert!(!SystemConfig::nexus_no_qa().query_analysis);
+        assert!(!SystemConfig::nexus_parallel().coordinated);
         // Everything else matches full Nexus.
         let no_ol = SystemConfig::nexus_no_ol();
         assert_eq!(no_ol.scheduler, base.scheduler);
@@ -250,5 +277,15 @@ mod tests {
     fn static_allocation_disables_epochs() {
         let c = SystemConfig::nexus().with_static_allocation();
         assert_eq!(c.epoch, Micros::MAX);
+    }
+
+    #[test]
+    fn heartbeat_parameters_are_tunable() {
+        let c = SystemConfig::nexus();
+        assert_eq!(c.heartbeat_interval, Micros::from_millis(100));
+        assert_eq!(c.heartbeat_misses, 3);
+        let c = c.with_heartbeat(Micros::from_millis(50), 5);
+        assert_eq!(c.heartbeat_interval, Micros::from_millis(50));
+        assert_eq!(c.heartbeat_misses, 5);
     }
 }

@@ -22,6 +22,54 @@ use crate::config::{SchedulerPolicy, SystemConfig};
 /// Segments used to discretize latency-split DPs.
 const SPLIT_SEGMENTS: u32 = 50;
 
+/// Why the control plane could not produce a plan. These are user-input
+/// errors (workload specs, fault schedules) — they must surface as typed
+/// errors, not panics, so a typo in a workload JSON cannot abort the
+/// process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A stage references a model absent from the profile catalog.
+    UnknownModel {
+        /// The unresolvable model name.
+        model: String,
+    },
+    /// Prefix batching needs the model's layer schema, which the zoo does
+    /// not have.
+    UnknownSchema {
+        /// The model whose schema is missing.
+        model: String,
+    },
+    /// A fault spec targets a GPU slot outside the deployment.
+    FaultSlot {
+        /// The out-of-range slot.
+        slot: usize,
+        /// Fleet size the deployment was configured with.
+        max_gpus: u32,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownModel { model } => {
+                write!(f, "unknown model '{model}': not in the profile catalog")
+            }
+            PlanError::UnknownSchema { model } => write!(
+                f,
+                "model '{model}' has no layer schema in the zoo; prefix batching \
+                 needs one"
+            ),
+            PlanError::FaultSlot { slot, max_gpus } => write!(
+                f,
+                "fault targets GPU slot {slot}, but the deployment has only \
+                 {max_gpus} slots"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// One stream of application queries offered to the cluster.
 #[derive(Debug, Clone)]
 pub struct TrafficClass {
@@ -105,25 +153,36 @@ pub struct ControlPlan {
 /// Builds the session table for `classes` (static part: profiles, splits,
 /// variants). `rates` overrides per-class root rates (e.g. observed rates
 /// at an epoch boundary); pass `None` to use the spec rates.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] if a stage names a model missing from the profile
+/// catalog or (under prefix batching) the model zoo.
 pub fn build_sessions(
     classes: &[TrafficClass],
     cfg: &SystemConfig,
     device: &DeviceType,
     rates: Option<&[f64]>,
-) -> (Vec<RuntimeSession>, Vec<Vec<Micros>>) {
+) -> Result<(Vec<RuntimeSession>, Vec<Vec<Micros>>), PlanError> {
     let mut sessions = Vec::new();
     let mut all_budgets = Vec::new();
     for (ci, class) in classes.iter().enumerate() {
         let root_rate = rates.map_or(class.rate, |r| r[ci]);
-        let budgets = stage_budgets(class, cfg, device, root_rate);
+        let budgets = stage_budgets(class, cfg, device, root_rate)?;
         let offsets = deadline_offsets(&class.app, &budgets);
         let stage_rates = class.app.stage_rates(root_rate);
         for (si, stage) in class.app.stages.iter().enumerate() {
-            let spec = nexus_profile::by_name(&stage.model).expect("catalog model");
+            let spec =
+                nexus_profile::by_name(&stage.model).ok_or_else(|| PlanError::UnknownModel {
+                    model: stage.model.clone(),
+                })?;
             let base = spec.profile_on(device);
             let merged = cfg.prefix_batching && stage.variants > 1;
             if merged {
-                let schema = zoo::by_name(&stage.model).expect("zoo model");
+                let schema =
+                    zoo::by_name(&stage.model).ok_or_else(|| PlanError::UnknownSchema {
+                        model: stage.model.clone(),
+                    })?;
                 let plan = PrefixPlan::new(&schema, &base, schema.num_layers() - 1);
                 let profile = plan
                     .merged_profile(stage.variants, base.max_batch())
@@ -160,7 +219,7 @@ pub fn build_sessions(
         }
         all_budgets.push(budgets);
     }
-    (sessions, all_budgets)
+    Ok((sessions, all_budgets))
 }
 
 /// Splits a class's SLO across its stages (§6.2), falling back to an even
@@ -170,16 +229,16 @@ fn stage_budgets(
     cfg: &SystemConfig,
     device: &DeviceType,
     root_rate: f64,
-) -> Vec<Micros> {
-    let dag = class_dag(class, cfg, device);
+) -> Result<Vec<Micros>, PlanError> {
+    let dag = class_dag(class, cfg, device)?;
     if cfg.query_analysis {
         if let Some(split) =
             optimize_latency_split(&dag, class.app.slo, root_rate.max(1.0), SPLIT_SEGMENTS)
         {
-            return split.budgets;
+            return Ok(split.budgets);
         }
     }
-    even_latency_split(&dag, class.app.slo).budgets
+    Ok(even_latency_split(&dag, class.app.slo).budgets)
 }
 
 /// Latency stretch the split DP applies to non-root stages: their arrivals
@@ -189,32 +248,35 @@ fn stage_budgets(
 const CHILD_BURST_MARGIN: f64 = 2.0;
 
 /// The scheduler-facing DAG of a class (effective profiles, mean γ).
-fn class_dag(class: &TrafficClass, cfg: &SystemConfig, device: &DeviceType) -> QueryDag {
+fn class_dag(
+    class: &TrafficClass,
+    cfg: &SystemConfig,
+    device: &DeviceType,
+) -> Result<QueryDag, PlanError> {
     let stages = class
         .app
         .stages
         .iter()
         .enumerate()
         .map(|(si, stage)| {
-            let spec = nexus_profile::by_name(&stage.model).expect("catalog model");
+            let spec =
+                nexus_profile::by_name(&stage.model).ok_or_else(|| PlanError::UnknownModel {
+                    model: stage.model.clone(),
+                })?;
             let mut profile = spec
                 .profile_on(device)
                 .effective(cfg.overlap, cfg.cpu_workers);
             if si > 0 {
                 profile = stretch_profile(&profile, CHILD_BURST_MARGIN);
             }
-            QueryStage {
+            Ok(QueryStage {
                 name: stage.model.clone(),
                 profile,
-                children: stage
-                    .children
-                    .iter()
-                    .map(|&(c, g)| (c, g.mean()))
-                    .collect(),
-            }
+                children: stage.children.iter().map(|&(c, g)| (c, g.mean())).collect(),
+            })
         })
-        .collect();
-    QueryDag::new(stages)
+        .collect::<Result<Vec<_>, PlanError>>()?;
+    Ok(QueryDag::new(stages))
 }
 
 /// Scales every entry of a latency table by `factor`.
@@ -239,26 +301,22 @@ fn squishy_spread(
     spread_factor: f64,
 ) -> Allocation {
     let mut alloc = squishy_bin_packing(specs, gpu_memory);
-    let cap = (max_gpus as usize)
-        .min((alloc.gpu_count() as f64 * spread_factor).floor() as usize);
+    let cap = (max_gpus as usize).min((alloc.gpu_count() as f64 * spread_factor).floor() as usize);
     if alloc.gpu_count() >= cap || alloc.plans.is_empty() {
         return alloc;
     }
-    let rate_of = |id: SessionId| -> f64 {
-        specs
-            .iter()
-            .find(|s| s.id == id)
-            .map_or(0.0, |s| s.rate)
-    };
-    while alloc.plans.len() < cap {
-        // Replicas hosting each session, across all plans.
-        let mut hosts: std::collections::HashMap<SessionId, u32> =
-            std::collections::HashMap::new();
-        for p in &alloc.plans {
-            for e in &p.entries {
-                *hosts.entry(e.session).or_insert(0) += 1;
-            }
+    let rate_of =
+        |id: SessionId| -> f64 { specs.iter().find(|s| s.id == id).map_or(0.0, |s| s.rate) };
+    // Replicas hosting each session, across all plans — maintained
+    // incrementally as replicas are added (rebuilding it every iteration
+    // made the loop O(plans² · entries)).
+    let mut hosts: std::collections::HashMap<SessionId, u32> = std::collections::HashMap::new();
+    for p in &alloc.plans {
+        for e in &p.entries {
+            *hosts.entry(e.session).or_insert(0) += 1;
         }
+    }
+    while alloc.plans.len() < cap {
         // Offered load per replica of each plan; replicate the hottest.
         let (mut best, mut best_load) = (0usize, -1.0f64);
         for (i, p) in alloc.plans.iter().enumerate() {
@@ -273,18 +331,26 @@ fn squishy_spread(
             }
         }
         let clone = alloc.plans[best].clone();
+        for e in &clone.entries {
+            *hosts.entry(e.session).or_insert(0) += 1;
+        }
         alloc.plans.push(clone);
     }
     alloc
 }
 
-/// Deadline offsets: the prefix sum of budgets from the root to each stage.
+/// Deadline offsets: the longest budget path from the root to each stage.
+/// A multi-parent stage (diamond DAG) cannot start before its *slowest*
+/// parent finishes, so its offset takes the max over parents — letting the
+/// last-visited parent win would give the stage an impossibly early
+/// deadline whenever parents have uneven budgets. Stages are visited in
+/// index order, which the app specs keep topological.
 fn deadline_offsets(app: &AppSpec, budgets: &[Micros]) -> Vec<Micros> {
     let mut offsets = vec![Micros::ZERO; app.stages.len()];
     offsets[0] = budgets[0];
     for (i, stage) in app.stages.iter().enumerate() {
         for &(c, _) in &stage.children {
-            offsets[c] = offsets[i] + budgets[c];
+            offsets[c] = offsets[c].max(offsets[i] + budgets[c]);
         }
     }
     offsets
@@ -293,19 +359,22 @@ fn deadline_offsets(app: &AppSpec, budgets: &[Micros]) -> Vec<Micros> {
 /// Runs the configured scheduler and assembles the full [`ControlPlan`],
 /// capping the allocation at `max_gpus` (highest-occupancy plans win; the
 /// data plane drops traffic that lost its replicas — admission control).
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when the traffic classes reference unknown models
+/// (see [`build_sessions`]).
 pub fn plan(
     classes: &[TrafficClass],
     cfg: &SystemConfig,
     device: &DeviceType,
     max_gpus: u32,
     rates: Option<&[f64]>,
-) -> ControlPlan {
-    let (sessions, budgets) = build_sessions(classes, cfg, device, rates);
+) -> Result<ControlPlan, PlanError> {
+    let (sessions, budgets) = build_sessions(classes, cfg, device, rates)?;
     let specs: Vec<SessionSpec> = sessions
         .iter()
-        .map(|s| {
-            SessionSpec::new(s.id, s.exec_profile.clone(), s.budget, s.est_rate)
-        })
+        .map(|s| SessionSpec::new(s.id, s.exec_profile.clone(), s.budget, s.est_rate))
         .collect();
     let mut allocation = match cfg.scheduler {
         SchedulerPolicy::Squishy => {
@@ -327,8 +396,7 @@ pub fn plan(
                 .expect("finite occupancy")
                 .then(a.cmp(&b))
         });
-        let mut covered: std::collections::HashSet<SessionId> =
-            std::collections::HashSet::new();
+        let mut covered: std::collections::HashSet<SessionId> = std::collections::HashSet::new();
         let mut keep: Vec<usize> = Vec::with_capacity(max_gpus as usize);
         let mut rest: Vec<usize> = Vec::new();
         for i in order {
@@ -366,12 +434,12 @@ pub fn plan(
         }
     }
 
-    ControlPlan {
+    Ok(ControlPlan {
         sessions,
         allocation,
         routes,
         budgets,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -388,7 +456,8 @@ mod tests {
     fn budgets_fit_slo_along_paths() {
         let cfg = SystemConfig::nexus();
         let classes = vec![class(200.0)];
-        let (sessions, budgets) = build_sessions(&classes, &cfg, &GPU_GTX1080TI, None);
+        let (sessions, budgets) =
+            build_sessions(&classes, &cfg, &GPU_GTX1080TI, None).expect("known models");
         assert_eq!(budgets[0].len(), 3);
         // Both paths (ssd→car, ssd→face) fit 400 ms.
         assert!(budgets[0][0] + budgets[0][1] <= Micros::from_millis(400));
@@ -404,9 +473,12 @@ mod tests {
     fn qa_gives_detector_more_budget_than_even_split() {
         // §7.3.2: QA allocates 345 of 400 ms to SSD; even split gives 200.
         let classes = vec![class(200.0)];
-        let with_qa = build_sessions(&classes, &SystemConfig::nexus(), &GPU_GTX1080TI, None).1;
-        let without =
-            build_sessions(&classes, &SystemConfig::nexus_no_qa(), &GPU_GTX1080TI, None).1;
+        let with_qa = build_sessions(&classes, &SystemConfig::nexus(), &GPU_GTX1080TI, None)
+            .expect("known models")
+            .1;
+        let without = build_sessions(&classes, &SystemConfig::nexus_no_qa(), &GPU_GTX1080TI, None)
+            .expect("known models")
+            .1;
         assert!(
             with_qa[0][0] > without[0][0],
             "QA budget {} should exceed even {}",
@@ -420,11 +492,13 @@ mod tests {
     fn prefix_batching_merges_variants() {
         let cfg = SystemConfig::nexus();
         let classes = vec![TrafficClass::new(apps::game(), ArrivalKind::Uniform, 100.0)];
-        let (merged, _) = build_sessions(&classes, &cfg, &GPU_GTX1080TI, None);
+        let (merged, _) =
+            build_sessions(&classes, &cfg, &GPU_GTX1080TI, None).expect("known models");
         // game: resnet50 ×20 variants + lenet ×20, merged to 2 sessions.
         assert_eq!(merged.len(), 2);
         let (split, _) =
-            build_sessions(&classes, &SystemConfig::nexus_no_pb(), &GPU_GTX1080TI, None);
+            build_sessions(&classes, &SystemConfig::nexus_no_pb(), &GPU_GTX1080TI, None)
+                .expect("known models");
         assert_eq!(split.len(), 40);
         // Split variants share the stage rate.
         let split_rate: f64 = split
@@ -440,7 +514,7 @@ mod tests {
     fn plan_produces_routes_for_scheduled_sessions() {
         let cfg = SystemConfig::nexus();
         let classes = vec![class(100.0)];
-        let plan = plan(&classes, &cfg, &GPU_GTX1080TI, 16, None);
+        let plan = plan(&classes, &cfg, &GPU_GTX1080TI, 16, None).expect("known models");
         assert!(plan.allocation.gpu_count() > 0);
         assert!(plan.allocation.gpu_count() <= 16);
         for s in &plan.sessions {
@@ -468,9 +542,9 @@ mod tests {
     fn gpu_cap_truncates_allocation() {
         let cfg = SystemConfig::nexus();
         let classes = vec![class(5_000.0)];
-        let capped = plan(&classes, &cfg, &GPU_GTX1080TI, 4, None);
+        let capped = plan(&classes, &cfg, &GPU_GTX1080TI, 4, None).expect("known models");
         assert_eq!(capped.allocation.gpu_count(), 4);
-        let free = plan(&classes, &cfg, &GPU_GTX1080TI, 1_000, None);
+        let free = plan(&classes, &cfg, &GPU_GTX1080TI, 1_000, None).expect("known models");
         assert!(free.allocation.gpu_count() > 4);
     }
 
@@ -478,8 +552,78 @@ mod tests {
     fn rate_override_rescales_sessions() {
         let cfg = SystemConfig::nexus();
         let classes = vec![class(100.0)];
-        let (low, _) = build_sessions(&classes, &cfg, &GPU_GTX1080TI, Some(&[50.0]));
-        let (high, _) = build_sessions(&classes, &cfg, &GPU_GTX1080TI, Some(&[500.0]));
+        let (low, _) =
+            build_sessions(&classes, &cfg, &GPU_GTX1080TI, Some(&[50.0])).expect("known models");
+        let (high, _) =
+            build_sessions(&classes, &cfg, &GPU_GTX1080TI, Some(&[500.0])).expect("known models");
         assert!(high[0].est_rate > low[0].est_rate * 9.0);
+    }
+
+    #[test]
+    fn unknown_model_is_a_typed_error_not_a_panic() {
+        use nexus_workload::{AppSpec, AppStage};
+        let app = AppSpec {
+            name: "typo-app".into(),
+            slo: Micros::from_millis(100),
+            stages: vec![AppStage {
+                model: "resnet5O".into(), // typo: letter O, not zero
+                variants: 1,
+                children: vec![],
+            }],
+            streams: 1,
+        };
+        let classes = vec![TrafficClass::new(app, ArrivalKind::Uniform, 50.0)];
+        let err = plan(&classes, &SystemConfig::nexus(), &GPU_GTX1080TI, 4, None)
+            .expect_err("typo must not plan");
+        assert_eq!(
+            err,
+            PlanError::UnknownModel {
+                model: "resnet5O".into()
+            }
+        );
+        assert!(err.to_string().contains("resnet5O"));
+    }
+
+    #[test]
+    fn diamond_dag_deadline_takes_slowest_parent() {
+        use nexus_workload::{AppSpec, AppStage, GammaSpec};
+        // 0 → {1, 2} → 3: the sink has two parents with uneven path
+        // budgets; its offset must follow the slower one.
+        let stage = |children: Vec<(usize, GammaSpec)>| AppStage {
+            model: "resnet50".into(),
+            variants: 1,
+            children,
+        };
+        let app = AppSpec {
+            name: "diamond".into(),
+            slo: Micros::from_millis(400),
+            stages: vec![
+                stage(vec![(1, GammaSpec::Fixed(1.0)), (2, GammaSpec::Fixed(1.0))]),
+                stage(vec![(3, GammaSpec::Fixed(1.0))]),
+                stage(vec![(3, GammaSpec::Fixed(1.0))]),
+                stage(vec![]),
+            ],
+            streams: 1,
+        };
+        let budgets = [
+            Micros::from_millis(100),
+            Micros::from_millis(30), // fast branch
+            Micros::from_millis(90), // slow branch
+            Micros::from_millis(50),
+        ];
+        let offsets = deadline_offsets(&app, &budgets);
+        assert_eq!(offsets[1], Micros::from_millis(130));
+        assert_eq!(offsets[2], Micros::from_millis(190));
+        // Sink: max(130, 190) + 50, not last-visited 190 + 50 by luck of
+        // ordering — flip the branches to prove order independence.
+        assert_eq!(offsets[3], Micros::from_millis(240));
+        let flipped_budgets = [
+            Micros::from_millis(100),
+            Micros::from_millis(90),
+            Micros::from_millis(30),
+            Micros::from_millis(50),
+        ];
+        let flipped = deadline_offsets(&app, &flipped_budgets);
+        assert_eq!(flipped[3], Micros::from_millis(240));
     }
 }

@@ -134,10 +134,7 @@ impl SessionQueue {
                 }
                 // Serve the fresh window; the doomed prefix stays queued at
                 // lower priority.
-                let batch = self
-                    .pending
-                    .drain(i..i + window as usize)
-                    .collect();
+                let batch = self.pending.drain(i..i + window as usize).collect();
                 return BatchPull {
                     batch,
                     dropped: Vec::new(),
@@ -219,8 +216,7 @@ impl SessionQueue {
         match start {
             Some((i, window)) => {
                 let dropped: Vec<Request> = self.pending.drain(..i).collect();
-                let batch: Vec<Request> =
-                    self.pending.drain(..window as usize).collect();
+                let batch: Vec<Request> = self.pending.drain(..window as usize).collect();
                 BatchPull { batch, dropped }
             }
             None => {

@@ -34,17 +34,12 @@ pub struct Placement {
 
 /// Estimated GPU demand (GPU-seconds per second) of a class on a device:
 /// the sum of its sessions' peak-throughput demands under their SLO splits.
-pub fn class_demand(
-    class: &TrafficClass,
-    cfg: &SystemConfig,
-    device: &DeviceType,
-) -> f64 {
-    let (sessions, _) = build_sessions(
-        std::slice::from_ref(class),
-        cfg,
-        device,
-        None,
-    );
+pub fn class_demand(class: &TrafficClass, cfg: &SystemConfig, device: &DeviceType) -> f64 {
+    // A class referencing unknown models has no measurable demand; the
+    // error surfaces when the class is actually planned.
+    let Ok((sessions, _)) = build_sessions(std::slice::from_ref(class), cfg, device, None) else {
+        return 0.0;
+    };
     sessions
         .iter()
         .filter_map(|s| {
@@ -68,7 +63,12 @@ pub fn place_classes(
     // Demand of every class on every pool's device.
     let demand: Vec<Vec<f64>> = classes
         .iter()
-        .map(|c| pools.iter().map(|p| class_demand(c, cfg, &p.device)).collect())
+        .map(|c| {
+            pools
+                .iter()
+                .map(|p| class_demand(c, cfg, &p.device))
+                .collect()
+        })
         .collect();
     let mut order: Vec<usize> = (0..classes.len()).collect();
     order.sort_by(|&a, &b| {
@@ -175,6 +175,7 @@ pub fn run_heterogeneous(
                         horizon,
                         warmup,
                         trace_capacity: 0,
+                        faults: vec![],
                     },
                     classes,
                 )

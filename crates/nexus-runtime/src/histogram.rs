@@ -122,8 +122,7 @@ impl LatencyHistogram {
 
     /// Exact mean of recorded values, if any.
     pub fn mean(&self) -> Option<Micros> {
-        (self.total > 0)
-            .then(|| Micros::from_micros((self.sum / u128::from(self.total)) as u64))
+        (self.total > 0).then(|| Micros::from_micros((self.sum / u128::from(self.total)) as u64))
     }
 
     /// The `q`-quantile (nearest-rank over buckets), within ~3% relative

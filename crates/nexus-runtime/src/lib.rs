@@ -9,9 +9,9 @@ pub mod control;
 pub mod dispatch;
 pub mod hetero;
 pub mod histogram;
+pub mod live;
 pub mod metrics;
 pub mod request;
-pub mod live;
 pub mod singlenode;
 pub mod trace;
 
@@ -20,14 +20,17 @@ mod proptests;
 
 pub use cluster::{ClusterSim, SimConfig, SimResult};
 pub use config::{SchedulerPolicy, SystemConfig};
-pub use control::{build_sessions, plan, ControlPlan, RouteTarget, RuntimeSession, TrafficClass};
+pub use control::{
+    build_sessions, plan, ControlPlan, PlanError, RouteTarget, RuntimeSession, TrafficClass,
+};
 pub use dispatch::{BatchPull, DropPolicy, SessionQueue};
 pub use hetero::{place_classes, run_heterogeneous, DevicePool, HeteroResult, Placement};
 pub use histogram::LatencyHistogram;
-pub use metrics::{ClusterMetrics, SessionMetrics, TimelineBucket};
 pub use live::{run_live, LiveConfig, LiveOutcome, LiveSession, LiveSessionOutcome};
-pub use singlenode::{fit_shared_batches, simulate_node, NodeConfig, NodeOutcome, NodeSession, NodeSessionStats};
-pub use trace::{Trace, TraceEvent};
-pub use request::{
-    FinishedQuery, QueryId, QueryTracker, Request, RequestId, RequestOutcome,
+pub use metrics::{ClusterMetrics, FailureRecord, SessionMetrics, TimelineBucket};
+pub use nexus_simgpu::{FaultKind, FaultSchedule, FaultSpec};
+pub use request::{FinishedQuery, QueryId, QueryTracker, Request, RequestId, RequestOutcome};
+pub use singlenode::{
+    fit_shared_batches, simulate_node, NodeConfig, NodeOutcome, NodeSession, NodeSessionStats,
 };
+pub use trace::{Trace, TraceEvent};

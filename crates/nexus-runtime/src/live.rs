@@ -129,11 +129,9 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
     let to_wall = move |t: Micros| Duration::from_secs_f64(t.as_secs_f64() / scale);
 
     let start = Instant::now();
-    // Profile-time "now" derived from the wall clock.
-    let now_profile = {
-        let start = start;
-        move || Micros::from_secs_f64(start.elapsed().as_secs_f64() * scale)
-    };
+    // Profile-time "now" derived from the wall clock (`Copy`, so each
+    // thread captures its own copy).
+    let now_profile = move || Micros::from_secs_f64(start.elapsed().as_secs_f64() * scale);
 
     let stats: Arc<Vec<LiveStats>> =
         Arc::new((0..sessions.len()).map(|_| LiveStats::default()).collect());
@@ -168,7 +166,6 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
         let stop = Arc::clone(&stop);
         let sessions = sessions.to_vec();
         let cfg = cfg.clone();
-        let now_profile = now_profile.clone();
         thread::spawn(move || {
             let mut gens: Vec<(ArrivalGen, _)> = sessions
                 .iter()
@@ -201,11 +198,9 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
                 };
                 // Sleep (in wall time) until the arrival is due.
                 let due = Duration::from_secs_f64(t.as_secs_f64() / cfg.time_scale);
-                let elapsed = due.saturating_sub(
-                    Duration::from_secs_f64(
-                        now_profile().as_secs_f64() / cfg.time_scale,
-                    ),
-                );
+                let elapsed = due.saturating_sub(Duration::from_secs_f64(
+                    now_profile().as_secs_f64() / cfg.time_scale,
+                ));
                 if !elapsed.is_zero() {
                     thread::sleep(elapsed.min(Duration::from_millis(5)));
                     continue; // re-check stop flag on long sleeps
@@ -236,7 +231,6 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
         let sessions = sessions.to_vec();
         let cfg = cfg.clone();
         let cpu_tx = cpu_tx.clone();
-        let now_profile = now_profile.clone();
         thread::spawn(move || {
             let n = sessions.len();
             let mut cursor = 0usize;
@@ -256,7 +250,13 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
                         if q.is_empty() {
                             continue;
                         }
-                        q.pull(now, s.target_batch, &s.profile, cfg.drop_policy, Micros::ZERO)
+                        q.pull(
+                            now,
+                            s.target_batch,
+                            &s.profile,
+                            cfg.drop_policy,
+                            Micros::ZERO,
+                        )
                     };
                     for _ in &pull.dropped {
                         stats[si].dropped.fetch_add(1, Ordering::Relaxed);
@@ -369,7 +369,11 @@ mod tests {
         let secs = if cfg!(debug_assertions) { 12 } else { 30 };
         let out = run_live(&config(secs), &[session(200.0, 100, 8)]);
         let s = out.sessions[0];
-        assert!(s.arrived > if cfg!(debug_assertions) { 1_500 } else { 4_000 }, "arrived {}", s.arrived);
+        assert!(
+            s.arrived > if cfg!(debug_assertions) { 1_500 } else { 4_000 },
+            "arrived {}",
+            s.arrived
+        );
         assert!(
             s.bad_rate() < 0.05,
             "bad rate {} (good {} late {} dropped {})",
@@ -387,7 +391,11 @@ mod tests {
         let out = run_live(&config(secs), &[session(3_000.0, 100, 32)]);
         let s = out.sessions[0];
         assert!(s.dropped > 0, "expected shedding");
-        assert!(s.good > if cfg!(debug_assertions) { 800 } else { 3_000 }, "goodput persisted: {}", s.good);
+        assert!(
+            s.good > if cfg!(debug_assertions) { 800 } else { 3_000 },
+            "goodput persisted: {}",
+            s.good
+        );
     }
 
     #[test]

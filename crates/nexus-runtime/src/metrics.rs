@@ -65,6 +65,30 @@ pub struct TimelineBucket {
     pub gpus_allocated: u32,
 }
 
+/// The lifecycle of one injected GPU failure, as the control plane saw it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// Physical GPU slot that failed.
+    pub gpu: usize,
+    /// When the fault was injected.
+    pub fault_at: Micros,
+    /// When the controller declared the slot dead (`None` if the run ended
+    /// first, or the fault cleared before detection).
+    pub detected_at: Option<Micros>,
+    /// Stranded requests re-dispatched with enough deadline budget left.
+    pub requests_retried: u64,
+    /// Stranded requests dropped (in-flight on the crash, or past their
+    /// retry budget).
+    pub requests_lost: u64,
+}
+
+impl FailureRecord {
+    /// Time from injection to declared-dead, if detected.
+    pub fn time_to_detect(&self) -> Option<Micros> {
+        self.detected_at.map(|d| d.saturating_sub(self.fault_at))
+    }
+}
+
 /// Aggregated metrics for one simulation run.
 #[derive(Debug, Default)]
 pub struct ClusterMetrics {
@@ -72,6 +96,7 @@ pub struct ClusterMetrics {
     timeline: Vec<TimelineBucket>,
     bucket_width: Micros,
     gpus_allocated: u32,
+    failures: Vec<FailureRecord>,
 }
 
 impl ClusterMetrics {
@@ -138,6 +163,82 @@ impl ClusterMetrics {
         self.bucket_mut(t).gpus_allocated = gpus;
     }
 
+    /// Opens a failure record at fault-injection time.
+    pub fn record_fault(&mut self, gpu: usize, t: Micros) {
+        self.failures.push(FailureRecord {
+            gpu,
+            fault_at: t,
+            detected_at: None,
+            requests_retried: 0,
+            requests_lost: 0,
+        });
+    }
+
+    /// Marks the most recent undetected failure of `gpu` as detected and
+    /// charges its retried/lost request counts.
+    pub fn record_detection(&mut self, gpu: usize, t: Micros, retried: u64, lost: u64) {
+        if let Some(f) = self
+            .failures
+            .iter_mut()
+            .rev()
+            .find(|f| f.gpu == gpu && f.detected_at.is_none())
+        {
+            f.detected_at = Some(t);
+            f.requests_retried = retried;
+            f.requests_lost = lost;
+        }
+    }
+
+    /// The failure lifecycles observed this run, in injection order.
+    pub fn failures(&self) -> &[FailureRecord] {
+        &self.failures
+    }
+
+    /// Time from `fault_at` until goodput first returns to
+    /// `threshold × baseline` (req/s) for a full bucket, or `None` if it
+    /// never recovers within the recorded timeline.
+    pub fn goodput_recovery_time(
+        &self,
+        fault_at: Micros,
+        baseline: f64,
+        threshold: f64,
+    ) -> Option<Micros> {
+        let target = baseline * threshold;
+        let start = (fault_at.as_micros() / self.bucket_width.as_micros()) as usize;
+        let per_bucket = self.bucket_width.as_secs_f64();
+        for (i, b) in self.timeline.iter().enumerate().skip(start + 1) {
+            if b.good as f64 / per_bucket >= target {
+                let end = self.bucket_width * (i as u64 + 1);
+                return Some(end.saturating_sub(fault_at));
+            }
+        }
+        None
+    }
+
+    /// Integral of the bad rate over `[from, to)` in bad-rate × seconds —
+    /// the "area" of a failure's bad-rate spike. Zero when the window saw
+    /// no terminal events.
+    pub fn bad_rate_spike_area(&self, from: Micros, to: Micros) -> f64 {
+        let (fb, tb) = (
+            (from.as_micros() / self.bucket_width.as_micros()) as usize,
+            (to.as_micros() / self.bucket_width.as_micros()) as usize,
+        );
+        let per_bucket = self.bucket_width.as_secs_f64();
+        self.timeline
+            .iter()
+            .take(tb.min(self.timeline.len()))
+            .skip(fb)
+            .map(|b| {
+                let total = b.good + b.bad;
+                if total == 0 {
+                    0.0
+                } else {
+                    b.bad as f64 / total as f64 * per_bucket
+                }
+            })
+            .sum()
+    }
+
     /// Per-session metrics.
     pub fn session(&self, id: SessionId) -> Option<&SessionMetrics> {
         self.per_session.get(&id)
@@ -193,7 +294,12 @@ impl ClusterMetrics {
             (to.as_micros() / self.bucket_width.as_micros()) as usize,
         );
         let (mut bad, mut total) = (0u64, 0u64);
-        for b in self.timeline.iter().take(tb.min(self.timeline.len())).skip(fb) {
+        for b in self
+            .timeline
+            .iter()
+            .take(tb.min(self.timeline.len()))
+            .skip(fb)
+        {
             bad += b.bad;
             total += b.good + b.bad;
         }
@@ -250,7 +356,10 @@ mod tests {
         assert!(close(sm.latency_quantile(0.5).unwrap(), ms(50)));
         assert!(close(sm.latency_quantile(0.99).unwrap(), ms(99)));
         assert_eq!(sm.latency_quantile(1.0).unwrap(), ms(100));
-        assert!(close(sm.latency_mean().unwrap(), Micros::from_micros(50_500)));
+        assert!(close(
+            sm.latency_mean().unwrap(),
+            Micros::from_micros(50_500)
+        ));
     }
 
     #[test]
@@ -299,5 +408,71 @@ mod tests {
         let m = ClusterMetrics::new(Micros::from_secs(1));
         assert_eq!(m.bad_rate(), 0.0);
         assert_eq!(m.goodput(Micros::ZERO, Micros::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn failure_records_track_detection() {
+        let mut m = ClusterMetrics::new(Micros::from_secs(1));
+        m.record_fault(3, Micros::from_secs(10));
+        m.record_fault(5, Micros::from_secs(11));
+        m.record_detection(3, Micros::from_secs_f64(10.3), 7, 2);
+        let f = &m.failures()[0];
+        assert_eq!(f.gpu, 3);
+        assert_eq!(f.time_to_detect(), Some(ms(300)));
+        assert_eq!(f.requests_retried, 7);
+        assert_eq!(f.requests_lost, 2);
+        // GPU 5's fault is still undetected.
+        assert_eq!(m.failures()[1].detected_at, None);
+        assert_eq!(m.failures()[1].time_to_detect(), None);
+    }
+
+    #[test]
+    fn recovery_time_finds_first_healthy_bucket() {
+        let mut m = ClusterMetrics::new(Micros::from_secs(1));
+        let s = SessionId(0);
+        // Baseline 10/s in seconds 0-4, collapse in 5-7, recovery at 8.
+        for sec in 0..10u64 {
+            let n = match sec {
+                5..=7 => 2,
+                _ => 10,
+            };
+            for k in 0..n {
+                let t = Micros::from_secs(sec) + ms(k * 50);
+                m.record_completion(s, t.saturating_sub(ms(10)), t, true);
+            }
+        }
+        let rec = m
+            .goodput_recovery_time(Micros::from_secs(5), 10.0, 0.95)
+            .expect("recovers");
+        // First healthy bucket is second 8, ending at t=9 s: 4 s after the
+        // fault at t=5 s.
+        assert_eq!(rec, Micros::from_secs(4));
+        assert_eq!(
+            m.goodput_recovery_time(Micros::from_secs(5), 100.0, 0.95),
+            None
+        );
+    }
+
+    #[test]
+    fn spike_area_integrates_bad_rate() {
+        let mut m = ClusterMetrics::new(Micros::from_secs(1));
+        let s = SessionId(0);
+        // Second 0: all good. Second 1: half bad. Second 2: all bad.
+        for k in 0..4u64 {
+            m.record_completion(s, ms(k), ms(k * 10), true);
+        }
+        for k in 0..2u64 {
+            let t = Micros::from_secs(1) + ms(k * 10);
+            m.record_completion(s, ms(0), t, true);
+            m.record_drop(s, t);
+        }
+        m.record_drop(s, Micros::from_secs(2) + ms(1));
+        let area = m.bad_rate_spike_area(Micros::ZERO, Micros::from_secs(3));
+        assert!((area - 1.5).abs() < 1e-9, "area={area}");
+        // Empty buckets contribute nothing.
+        assert_eq!(
+            m.bad_rate_spike_area(Micros::from_secs(5), Micros::from_secs(8)),
+            0.0
+        );
     }
 }

@@ -1,15 +1,22 @@
 //! Property-based tests for the data-plane primitives: requests are
-//! conserved through every dispatch policy, and query tracking closes.
+//! conserved through every dispatch policy, query tracking closes, and
+//! full simulations — including injected GPU faults — replay bit-identically
+//! from the same seed.
 
 #![cfg(test)]
 
 use proptest::prelude::*;
 
-use nexus_profile::{BatchingProfile, Micros};
+use nexus_profile::{BatchingProfile, Micros, GPU_GTX1080TI};
 use nexus_scheduler::SessionId;
+use nexus_simgpu::{FaultKind, FaultSpec};
 
+use crate::cluster::{ClusterSim, SimConfig};
+use crate::config::SystemConfig;
+use crate::control::TrafficClass;
 use crate::dispatch::{DropPolicy, SessionQueue};
 use crate::request::{QueryTracker, Request, RequestId, RequestOutcome};
+use nexus_workload::{apps, ArrivalKind};
 
 fn arb_requests(n: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
     // (arrival offset us, slack us) per request.
@@ -159,5 +166,56 @@ proptest! {
             && outcomes.iter().all(|&(at, _)| at <= deadline_us);
         prop_assert_eq!(fin.good, expect_good);
         prop_assert_eq!(t.live_count(), 0);
+    }
+}
+
+fn faulted_run(seed: u64, faults: Vec<FaultSpec>) -> crate::cluster::SimResult {
+    ClusterSim::try_new(
+        SimConfig {
+            system: SystemConfig::nexus().with_static_allocation(),
+            device: GPU_GTX1080TI,
+            max_gpus: 2,
+            seed,
+            horizon: Micros::from_secs(4),
+            warmup: Micros::from_secs(1),
+            trace_capacity: 0,
+            faults,
+        },
+        vec![TrafficClass::new(apps::dance(), ArrivalKind::Uniform, 20.0)],
+    )
+    .expect("known models")
+    .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Simulation determinism extends to fault injection: the same seed and
+    /// fault schedule replay to identical results, timelines, and failure
+    /// records — the basis for reproducing any recovery experiment.
+    #[test]
+    fn fault_runs_replay_identically(
+        seed in 0u64..1_000,
+        slot in 0usize..2,
+        at_ms in 1_500u64..3_000,
+        kind_idx in 0usize..3,
+        dur_ms in 100u64..800,
+    ) {
+        let kind = [
+            FaultKind::Crash,
+            FaultKind::Stall { duration: Micros::from_millis(dur_ms) },
+            FaultKind::Slowdown { factor: 2.5, duration: Micros::from_millis(dur_ms) },
+        ][kind_idx];
+        let faults = vec![FaultSpec {
+            at: Micros::from_millis(at_ms),
+            slot,
+            kind,
+        }];
+        let a = faulted_run(seed, faults.clone());
+        let b = faulted_run(seed, faults);
+        prop_assert_eq!(a.queries_finished, b.queries_finished);
+        prop_assert_eq!(a.query_bad_rate.to_bits(), b.query_bad_rate.to_bits());
+        prop_assert_eq!(a.metrics.failures(), b.metrics.failures());
+        prop_assert_eq!(a.metrics.timeline(), b.metrics.timeline());
     }
 }

@@ -244,7 +244,10 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
         };
     }
 
-    // The service scan; returns the slot served, if any.
+    // The service scan; returns the slot served, if any. Takes the event
+    // loop's working state piecewise — bundling it into a struct would just
+    // rename the borrows.
+    #[allow(clippy::too_many_arguments)]
     fn try_serve(
         now: Micros,
         slots: &mut [NodeSlot],
@@ -260,7 +263,9 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
     ) -> Option<usize> {
         let order: Vec<usize> = match only {
             Some(i) => vec![i],
-            None => (0..slots.len()).map(|k| (cursor + k) % slots.len()).collect(),
+            None => (0..slots.len())
+                .map(|k| (cursor + k) % slots.len())
+                .collect(),
         };
         for si in order {
             let slot = &mut slots[si];
@@ -354,8 +359,17 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                 if cfg.coordinated {
                     if !node_busy {
                         if let Some(si) = try_serve(
-                            now, &mut slots, sessions, cfg, cursor, None, &mut events,
-                            &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                            now,
+                            &mut slots,
+                            sessions,
+                            cfg,
+                            cursor,
+                            None,
+                            &mut events,
+                            &mut stats,
+                            &mut busy_us,
+                            cfg.warmup,
+                            cfg.horizon,
                         ) {
                             node_busy = true;
                             cursor = (si + 1) % n.max(1);
@@ -363,8 +377,17 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                     }
                 } else if !slots[i].busy {
                     let _ = try_serve(
-                        now, &mut slots, sessions, cfg, cursor, Some(i), &mut events,
-                        &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                        now,
+                        &mut slots,
+                        sessions,
+                        cfg,
+                        cursor,
+                        Some(i),
+                        &mut events,
+                        &mut stats,
+                        &mut busy_us,
+                        cfg.warmup,
+                        cfg.horizon,
                     );
                 }
             }
@@ -372,8 +395,17 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                 if cfg.coordinated {
                     if !node_busy {
                         if let Some(si) = try_serve(
-                            now, &mut slots, sessions, cfg, cursor, None, &mut events,
-                            &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                            now,
+                            &mut slots,
+                            sessions,
+                            cfg,
+                            cursor,
+                            None,
+                            &mut events,
+                            &mut stats,
+                            &mut busy_us,
+                            cfg.warmup,
+                            cfg.horizon,
                         ) {
                             node_busy = true;
                             cursor = (si + 1) % n.max(1);
@@ -381,8 +413,17 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                     }
                 } else if !slots[i].busy {
                     let _ = try_serve(
-                        now, &mut slots, sessions, cfg, cursor, Some(i), &mut events,
-                        &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                        now,
+                        &mut slots,
+                        sessions,
+                        cfg,
+                        cursor,
+                        Some(i),
+                        &mut events,
+                        &mut stats,
+                        &mut busy_us,
+                        cfg.warmup,
+                        cfg.horizon,
                     );
                 }
             }
@@ -398,16 +439,34 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                 if cfg.coordinated {
                     node_busy = false;
                     if let Some(si) = try_serve(
-                        now, &mut slots, sessions, cfg, cursor, None, &mut events,
-                        &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                        now,
+                        &mut slots,
+                        sessions,
+                        cfg,
+                        cursor,
+                        None,
+                        &mut events,
+                        &mut stats,
+                        &mut busy_us,
+                        cfg.warmup,
+                        cfg.horizon,
                     ) {
                         node_busy = true;
                         cursor = (si + 1) % n.max(1);
                     }
                 } else {
                     let _ = try_serve(
-                        now, &mut slots, sessions, cfg, cursor, Some(slot), &mut events,
-                        &mut stats, &mut busy_us, cfg.warmup, cfg.horizon,
+                        now,
+                        &mut slots,
+                        sessions,
+                        cfg,
+                        cursor,
+                        Some(slot),
+                        &mut events,
+                        &mut stats,
+                        &mut busy_us,
+                        cfg.warmup,
+                        cfg.horizon,
                     );
                 }
             }
@@ -433,7 +492,11 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
     NodeOutcome {
         loaded: slots.iter().map(|s| s.loaded).collect(),
         sessions: stats,
-        bad_rate: if total == 0 { 0.0 } else { bad as f64 / total as f64 },
+        bad_rate: if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        },
         goodput: good as f64 / window,
         utilization: (busy_us as f64 / 1e6 / (cfg.horizon.as_secs_f64())).min(1.0),
         // NOTE: utilization is over the whole run, a close proxy for the
@@ -473,7 +536,11 @@ mod tests {
         let s = inception_session(300.0, 100);
         let out = simulate_node(&cfg(true, DropPolicy::Early, 1), &[s]);
         assert!(out.bad_rate < 0.01, "bad={}", out.bad_rate);
-        assert!((out.goodput - 300.0).abs() < 10.0, "goodput={}", out.goodput);
+        assert!(
+            (out.goodput - 300.0).abs() < 10.0,
+            "goodput={}",
+            out.goodput
+        );
     }
 
     #[test]
@@ -490,8 +557,7 @@ mod tests {
     #[test]
     fn coordinated_beats_uncoordinated_on_shared_node() {
         // Fig. 14's core claim: 3 Inception copies on one GPU at 100 ms SLO.
-        let sessions: Vec<NodeSession> =
-            (0..3).map(|_| inception_session(250.0, 100)).collect();
+        let sessions: Vec<NodeSession> = (0..3).map(|_| inception_session(250.0, 100)).collect();
         let coord = simulate_node(&cfg(true, DropPolicy::Early, 3), &sessions);
         let uncoord = simulate_node(&cfg(false, DropPolicy::Early, 3), &sessions);
         assert!(
@@ -513,8 +579,7 @@ mod tests {
 
     #[test]
     fn shared_batches_respect_slos() {
-        let sessions: Vec<NodeSession> =
-            (0..3).map(|_| inception_session(100.0, 100)).collect();
+        let sessions: Vec<NodeSession> = (0..3).map(|_| inception_session(100.0, 100)).collect();
         let b = fit_shared_batches(&sessions);
         let cycle: Micros = sessions
             .iter()
@@ -528,8 +593,7 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let sessions: Vec<NodeSession> =
-            (0..2).map(|_| inception_session(200.0, 120)).collect();
+        let sessions: Vec<NodeSession> = (0..2).map(|_| inception_session(200.0, 120)).collect();
         let a = simulate_node(&cfg(true, DropPolicy::Early, 9), &sessions);
         let b = simulate_node(&cfg(true, DropPolicy::Early, 9), &sessions);
         assert_eq!(a.sessions, b.sessions);

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use nexus_profile::Micros;
 use nexus_scheduler::SessionId;
+use nexus_simgpu::FaultKind;
 
 /// One traced event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,6 +68,39 @@ pub enum TraceEvent {
         /// Model loads the swap required.
         model_loads: usize,
     },
+    /// A fault was injected into a GPU slot.
+    Fault {
+        /// Injection time.
+        t: Micros,
+        /// Physical GPU slot.
+        gpu: usize,
+        /// What happened.
+        kind: FaultKind,
+    },
+    /// The controller declared a GPU slot dead (k missed heartbeats).
+    FailureDetected {
+        /// Detection time.
+        t: Micros,
+        /// Physical GPU slot.
+        gpu: usize,
+    },
+    /// A request stranded on a dead backend was re-dispatched (its
+    /// remaining deadline budget still covered ℓ(1)).
+    Retry {
+        /// Retry time.
+        t: Micros,
+        /// Request id.
+        request: u64,
+        /// Session.
+        session: SessionId,
+    },
+    /// A previously dead GPU slot rejoined the fleet.
+    Rejoin {
+        /// Rejoin time.
+        t: Micros,
+        /// Physical GPU slot.
+        gpu: usize,
+    },
 }
 
 impl TraceEvent {
@@ -77,7 +111,11 @@ impl TraceEvent {
             | TraceEvent::Batch { t, .. }
             | TraceEvent::Completion { t, .. }
             | TraceEvent::Drop { t, .. }
-            | TraceEvent::Reallocation { t, .. } => t,
+            | TraceEvent::Reallocation { t, .. }
+            | TraceEvent::Fault { t, .. }
+            | TraceEvent::FailureDetected { t, .. }
+            | TraceEvent::Retry { t, .. }
+            | TraceEvent::Rejoin { t, .. } => t,
         }
     }
 }
@@ -124,8 +162,12 @@ impl Trace {
                 TraceEvent::Arrival { session: s, .. }
                 | TraceEvent::Batch { session: s, .. }
                 | TraceEvent::Completion { session: s, .. }
-                | TraceEvent::Drop { session: s, .. } => *s == session,
-                TraceEvent::Reallocation { .. } => false,
+                | TraceEvent::Drop { session: s, .. }
+                | TraceEvent::Retry { session: s, .. } => *s == session,
+                TraceEvent::Reallocation { .. }
+                | TraceEvent::Fault { .. }
+                | TraceEvent::FailureDetected { .. }
+                | TraceEvent::Rejoin { .. } => false,
             })
             .collect()
     }
@@ -204,6 +246,28 @@ mod tests {
         assert_eq!(t.for_session(SessionId(0)).len(), 2);
         assert_eq!(t.mean_batch_size(SessionId(0)), Some(6.0));
         assert_eq!(t.mean_batch_size(SessionId(9)), None);
+    }
+
+    #[test]
+    fn failure_events_carry_times_and_filter_correctly() {
+        let mut t = Trace::new(100);
+        t.push(TraceEvent::Fault {
+            t: ms(10),
+            gpu: 3,
+            kind: FaultKind::Crash,
+        });
+        t.push(TraceEvent::FailureDetected { t: ms(12), gpu: 3 });
+        t.push(TraceEvent::Retry {
+            t: ms(12),
+            request: 42,
+            session: SessionId(1),
+        });
+        t.push(TraceEvent::Rejoin { t: ms(30), gpu: 3 });
+        assert_eq!(t.events()[0].time(), ms(10));
+        assert_eq!(t.events()[3].time(), ms(30));
+        // Retry is session-scoped; the fleet events are not.
+        assert_eq!(t.for_session(SessionId(1)).len(), 1);
+        assert_eq!(t.for_session(SessionId(0)).len(), 0);
     }
 
     #[test]

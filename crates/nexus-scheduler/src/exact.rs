@@ -53,7 +53,9 @@ pub fn fgsp_min_gpus(tasks: &[FgspTask]) -> Option<usize> {
 
 fn group_feasible(tasks: &[FgspTask], group: &[usize]) -> bool {
     let duty: Micros = group.iter().map(|&i| tasks[i].latency).sum();
-    group.iter().all(|&i| duty + tasks[i].latency <= tasks[i].bound)
+    group
+        .iter()
+        .all(|&i| duty + tasks[i].latency <= tasks[i].bound)
 }
 
 fn search(
@@ -120,14 +122,7 @@ pub fn exact_residual_min_gpus(sessions: &[SessionSpec], gpu_memory: u64) -> Opt
 
     let mut best = n;
     let mut groups: Vec<Vec<usize>> = Vec::new();
-    search_residual(
-        sessions,
-        &candidates,
-        gpu_memory,
-        0,
-        &mut groups,
-        &mut best,
-    );
+    search_residual(sessions, &candidates, gpu_memory, 0, &mut groups, &mut best);
     Some(best)
 }
 
@@ -262,7 +257,7 @@ mod tests {
         let tasks = reduction_from_3partition(&items, 6);
         let four: Vec<usize> = (0..4).collect();
         assert!(!group_feasible(&tasks, &four));
-        assert!(group_feasible(&tasks, &four[..3].to_vec()));
+        assert!(group_feasible(&tasks, &four[..3]));
     }
 
     #[test]

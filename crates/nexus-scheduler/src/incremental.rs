@@ -62,8 +62,7 @@ pub fn assign_plans(prev: &[GpuPlan], next: &[GpuPlan]) -> PlanAssignment {
     }
     // Unmatched new plans reuse any remaining idle backend (no residency
     // benefit, but avoids acquiring a node).
-    let mut free_prev: Vec<usize> =
-        (0..prev.len()).filter(|&p| !prev_used[p]).collect();
+    let mut free_prev: Vec<usize> = (0..prev.len()).filter(|&p| !prev_used[p]).collect();
     for ni in 0..next.len() {
         if !next_done[ni] {
             if let Some(pi) = free_prev.pop() {
@@ -152,12 +151,68 @@ mod tests {
         assert_eq!(a.backend_for[0], Some(0));
         // One new plan may land on... no idle backends exist, so both others
         // are fresh.
-        assert_eq!(
-            a.backend_for.iter().filter(|b| b.is_none()).count(),
-            2
-        );
+        assert_eq!(a.backend_for.iter().filter(|b| b.is_none()).count(), 2);
         assert_eq!(a.model_loads, 2);
         assert!(a.released.is_empty());
+    }
+
+    #[test]
+    fn gpu_failure_repack_reuses_survivors() {
+        // A 4-GPU deployment loses one backend. The control plane re-packs
+        // the lost sessions onto the 3 survivors; the assignment must keep
+        // every survivor's resident set where it is and charge loads only
+        // for the migrated sessions.
+        let prev = vec![plan(&[0, 1]), plan(&[2, 3]), plan(&[4, 5])];
+        // Backend hosting {2, 3} died: the next allocation squeezes its
+        // sessions onto the survivors.
+        let next = vec![plan(&[0, 1, 2]), plan(&[4, 5, 3])];
+        let a = assign_plans(&prev, &next);
+        assert_eq!(a.backend_for, vec![Some(0), Some(2)]);
+        // Sessions 2 and 3 migrate; 0, 1, 4, 5 stay resident.
+        assert_eq!(a.model_loads, 2);
+        // The dead backend's slot is reported as released so the control
+        // plane can retire it.
+        assert_eq!(a.released, vec![1]);
+    }
+
+    #[test]
+    fn shrinking_cluster_drops_no_session() {
+        // Successive failures shrink the fleet 4 → 3 → 2. At every step the
+        // re-packed plans must still cover the full session set — recovery
+        // rescheduling moves sessions, never silently loses them.
+        let all: HashSet<SessionId> = (0..8).map(SessionId).collect();
+        let steps = [
+            vec![plan(&[0, 1]), plan(&[2, 3]), plan(&[4, 5]), plan(&[6, 7])],
+            vec![plan(&[0, 1, 6]), plan(&[2, 3, 7]), plan(&[4, 5])],
+            vec![plan(&[0, 1, 6, 4]), plan(&[2, 3, 7, 5])],
+        ];
+        let mut total_loads = 0;
+        for w in steps.windows(2) {
+            let covered: HashSet<SessionId> = w[1]
+                .iter()
+                .flat_map(|p| p.entries.iter().map(|e| e.session))
+                .collect();
+            assert_eq!(covered, all, "re-pack must cover every session");
+            let a = assign_plans(&w[0], &w[1]);
+            // Every next plan reuses a survivor (the fleet only shrinks).
+            assert!(a.backend_for.iter().all(|b| b.is_some()));
+            total_loads += a.model_loads;
+        }
+        // 4→3 migrates {6, 7}; 3→2 migrates {4, 5}: four loads total,
+        // strictly fewer than re-packing all 8 sessions from scratch.
+        assert_eq!(total_loads, 4);
+    }
+
+    #[test]
+    fn repack_after_failure_beats_from_scratch_loads() {
+        // The incremental assignment should never charge more loads than a
+        // fresh deployment of the same plans would.
+        let prev = vec![plan(&[0, 1, 2]), plan(&[3, 4]), plan(&[5])];
+        let next = vec![plan(&[0, 1, 2, 5]), plan(&[3, 4])];
+        let a = assign_plans(&prev, &next);
+        let from_scratch: usize = next.iter().map(|p| p.entries.len()).sum();
+        assert!(a.model_loads < from_scratch);
+        assert_eq!(a.model_loads, 1, "only session 5 moves");
     }
 
     #[test]

@@ -15,9 +15,8 @@ mod proptests;
 pub use exact::{exact_residual_min_gpus, fgsp_min_gpus, reduction_from_3partition, FgspTask};
 pub use incremental::{assign_plans, PlanAssignment};
 pub use query::{
-    even_latency_split, optimize_fork_join, optimize_latency_split,
-    pipeline_avg_throughput, ForkJoinQuery, ForkJoinSplit, LatencySplit, QueryDag,
-    QueryStage,
+    even_latency_split, optimize_fork_join, optimize_latency_split, pipeline_avg_throughput,
+    ForkJoinQuery, ForkJoinSplit, LatencySplit, QueryDag, QueryStage,
 };
 pub use session::{SessionId, SessionSpec};
 pub use squishy::{

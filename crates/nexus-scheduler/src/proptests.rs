@@ -32,9 +32,7 @@ fn arb_session(id: u32) -> impl Strategy<Value = SessionSpec> {
 }
 
 fn arb_sessions(n: usize) -> impl Strategy<Value = Vec<SessionSpec>> {
-    (0..n as u32)
-        .map(arb_session)
-        .collect::<Vec<_>>()
+    (0..n as u32).map(arb_session).collect::<Vec<_>>()
 }
 
 fn arb_light_session(id: u32) -> impl Strategy<Value = SessionSpec> {

@@ -266,12 +266,10 @@ pub fn optimize_fork_join(
     let mut best: Option<ForkJoinSplit> = None;
     for step in 1..u64::from(segments) {
         let barrier = Micros::from_micros(step * eps);
-        let Some(fork) = optimize_latency_split(&query.fork, barrier, root_rate, segments)
-        else {
+        let Some(fork) = optimize_latency_split(&query.fork, barrier, root_rate, segments) else {
             continue;
         };
-        let Some(join) =
-            optimize_latency_split(&query.join, slo - barrier, join_rate, segments)
+        let Some(join) = optimize_latency_split(&query.join, slo - barrier, join_rate, segments)
         else {
             // Larger barriers only shrink the join budget further.
             break;
@@ -466,8 +464,8 @@ mod tests {
         ]);
         let rates = dag.stage_rates(100.0);
         assert_eq!(rates, vec![100.0, 50.0, 80.0]);
-        let split = optimize_latency_split(&dag, Micros::from_millis(120), 100.0, 60)
-            .expect("feasible");
+        let split =
+            optimize_latency_split(&dag, Micros::from_millis(120), 100.0, 60).expect("feasible");
         // Both root→leaf paths fit the SLO.
         assert!(split.budgets[0] + split.budgets[1] <= Micros::from_millis(120));
         assert!(split.budgets[0] + split.budgets[2] <= Micros::from_millis(120));

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use nexus_profile::{BatchingProfile, Micros};
 
 /// Identifies a session within one scheduling problem.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SessionId(pub u32);
 
 impl std::fmt::Display for SessionId {

@@ -184,8 +184,7 @@ pub fn squishy_bin_packing_with(
         let residual_rate = s.rate - f64::from(full_nodes) * peak;
         if residual_rate > 1e-9 {
             if let Some((batch, duty)) = residual_params(s, residual_rate) {
-                let occ = s.profile.latency(batch).as_micros() as f64
-                    / duty.as_micros() as f64;
+                let occ = s.profile.latency(batch).as_micros() as f64 / duty.as_micros() as f64;
                 residuals.push(Residual {
                     session: s.id,
                     spec_index: idx,
@@ -307,12 +306,7 @@ fn residual_params(s: &SessionSpec, rate: f64) -> Option<(u32, Micros)> {
 /// is the smaller of the two, member batches shrink to `ceil(d·rate)`, and
 /// the merge is legal iff the batch executions fit in the duty cycle, every
 /// member still meets its SLO, and the models fit in memory together.
-fn try_merge(
-    node: &Node,
-    r: &Residual,
-    sessions: &[SessionSpec],
-    gpu_memory: u64,
-) -> Option<Node> {
+fn try_merge(node: &Node, r: &Residual, sessions: &[SessionSpec], gpu_memory: u64) -> Option<Node> {
     let memory = node.memory + sessions[r.spec_index].profile.memory_bytes();
     if memory > gpu_memory {
         return None;
@@ -431,9 +425,17 @@ mod tests {
         assert!(ab.hosts(SessionId(1)), "B co-locates with A");
         assert!(!ab.hosts(SessionId(2)), "C cannot co-locate with A");
         assert_eq!(ab.duty_cycle, Micros::from_millis(125));
-        let a_entry = ab.entries.iter().find(|e| e.session == SessionId(0)).unwrap();
+        let a_entry = ab
+            .entries
+            .iter()
+            .find(|e| e.session == SessionId(0))
+            .unwrap();
         assert_eq!(a_entry.batch, 8);
-        let b_entry = ab.entries.iter().find(|e| e.session == SessionId(1)).unwrap();
+        let b_entry = ab
+            .entries
+            .iter()
+            .find(|e| e.session == SessionId(1))
+            .unwrap();
         assert_eq!(b_entry.batch, 4);
     }
 
@@ -470,9 +472,10 @@ mod tests {
                 .plans
                 .iter()
                 .flat_map(|p| {
-                    p.entries.iter().filter(|e| e.session == s.id).map(|e| {
-                        f64::from(e.batch) / p.duty_cycle.as_secs_f64()
-                    })
+                    p.entries
+                        .iter()
+                        .filter(|e| e.session == s.id)
+                        .map(|e| f64::from(e.batch) / p.duty_cycle.as_secs_f64())
                 })
                 .sum();
             assert!(
@@ -500,8 +503,7 @@ mod tests {
 
     #[test]
     fn oversized_model_reported_infeasible() {
-        let profile =
-            BatchingProfile::from_linear_ms(1.0, 5.0, 16).with_memory_bytes(2 * GPU_MEM);
+        let profile = BatchingProfile::from_linear_ms(1.0, 5.0, 16).with_memory_bytes(2 * GPU_MEM);
         let sessions = vec![SessionSpec::new(
             SessionId(3),
             profile,
@@ -542,10 +544,14 @@ mod tests {
     fn memory_limits_colocation() {
         // Two sessions that fit a duty cycle together but not in memory.
         let mem = 6u64 << 30;
-        let profile = BatchingProfile::from_linear_ms(1.0, 5.0, 32)
-            .with_memory_bytes(4 << 30);
+        let profile = BatchingProfile::from_linear_ms(1.0, 5.0, 32).with_memory_bytes(4 << 30);
         let sessions = vec![
-            SessionSpec::new(SessionId(0), profile.clone(), Micros::from_millis(200), 20.0),
+            SessionSpec::new(
+                SessionId(0),
+                profile.clone(),
+                Micros::from_millis(200),
+                20.0,
+            ),
             SessionSpec::new(SessionId(1), profile, Micros::from_millis(200), 20.0),
         ];
         let alloc = squishy_bin_packing(&sessions, mem);

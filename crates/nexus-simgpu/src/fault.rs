@@ -1,0 +1,408 @@
+//! Fault injection for the simulated GPU fleet: fail-stop crashes,
+//! transient stalls, straggler slowdowns, and rejoins, plus the
+//! heartbeat-based health bookkeeping the control plane uses to detect
+//! them.
+//!
+//! Faults address *physical* GPU slots (stable indices in `[0,
+//! max_gpus)`), not deployment backends — the control plane re-maps
+//! backends onto slots every reconfiguration, but hardware dies in place.
+//! Injection is fully deterministic: a [`FaultSpec`] schedule is delivered
+//! through the simulation's event queue, and the seeded
+//! [`FaultSchedule::random_crashes`] generator uses an internal SplitMix64
+//! stream so the same seed always yields the same schedule.
+
+use nexus_profile::Micros;
+use serde::{Deserialize, Serialize};
+
+/// What goes wrong with a GPU slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Fail-stop: the GPU vanishes. In-flight batches are lost and its
+    /// model state is gone until a `Rejoin`.
+    Crash,
+    /// Transient stall: the GPU stops answering (no work, no heartbeats)
+    /// for `duration`, then resumes with state intact. Stalls longer than
+    /// the detection window get declared dead and recover like a rejoin.
+    Stall {
+        /// How long the slot stays unresponsive.
+        duration: Micros,
+    },
+    /// Straggler: executions stretch by `factor` for `duration`. The slot
+    /// keeps answering heartbeats — stragglers degrade latency, they do
+    /// not trip fail-stop detection.
+    Slowdown {
+        /// Multiplier applied to execution durations (≥ 1.0).
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration: Micros,
+    },
+    /// A crashed (or declared-dead) slot comes back empty, ready to be
+    /// re-packed by the next scheduling round.
+    Rejoin,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Virtual time of injection.
+    pub at: Micros,
+    /// Physical GPU slot the fault hits.
+    pub slot: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule (time-sorted).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from explicit specs, sorting by time (ties keep
+    /// the given order — stable, so schedules are reproducible).
+    pub fn new(mut faults: Vec<FaultSpec>) -> Self {
+        faults.sort_by_key(|f| f.at);
+        FaultSchedule { faults }
+    }
+
+    /// Generates `count` crash/rejoin pairs over `[from, to)` on a fleet
+    /// of `slots` GPUs, deterministically from `seed`. Each crash is
+    /// followed by a rejoin `outage` later (clipped to `to`).
+    pub fn random_crashes(
+        seed: u64,
+        slots: usize,
+        from: Micros,
+        to: Micros,
+        outage: Micros,
+        count: usize,
+    ) -> Self {
+        assert!(slots > 0, "need at least one slot");
+        assert!(to > from, "empty fault window");
+        let span = (to - from).as_micros();
+        let mut state = seed ^ 0x6a09_e667_f3bc_c909;
+        let mut next = || {
+            state = splitmix64(state);
+            state
+        };
+        let mut faults = Vec::with_capacity(count * 2);
+        for _ in 0..count {
+            let at = from + Micros::from_micros(next() % span);
+            let slot = (next() % slots as u64) as usize;
+            faults.push(FaultSpec {
+                at,
+                slot,
+                kind: FaultKind::Crash,
+            });
+            let back = at + outage;
+            if back < to {
+                faults.push(FaultSpec {
+                    at: back,
+                    slot,
+                    kind: FaultKind::Rejoin,
+                });
+            }
+        }
+        FaultSchedule::new(faults)
+    }
+
+    /// The time-sorted fault specs.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Consumes the schedule into its specs.
+    pub fn into_specs(self) -> Vec<FaultSpec> {
+        self.faults
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Health state of one physical slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SlotHealth {
+    /// Serving and answering heartbeats.
+    Healthy,
+    /// Serving, but executions stretch by the factor.
+    Slowed(f64),
+    /// Alive but unresponsive; resumes when the stall ends.
+    Stalled,
+    /// Fail-stopped; model state lost until rejoin.
+    Crashed,
+}
+
+/// Result of one heartbeat poll of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollOutcome {
+    /// The slot answered; its missed-beat counter reset.
+    Alive,
+    /// The slot missed this beat but is below the declare threshold.
+    Missed(u32),
+    /// This beat crossed the threshold: the slot is now declared dead.
+    NewlyDead,
+    /// Already declared dead (no state change).
+    Dead,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    health: SlotHealth,
+    missed: u32,
+    declared_dead: bool,
+}
+
+/// Per-slot health of the GPU fleet: the ground truth the fault injector
+/// mutates, and the controller's view (missed heartbeats, declared-dead
+/// flags) layered on top.
+#[derive(Debug, Clone)]
+pub struct FleetHealth {
+    slots: Vec<SlotState>,
+}
+
+impl FleetHealth {
+    /// A fleet of `n` healthy slots.
+    pub fn new(n: usize) -> Self {
+        FleetHealth {
+            slots: vec![
+                SlotState {
+                    health: SlotHealth::Healthy,
+                    missed: 0,
+                    declared_dead: false,
+                };
+                n
+            ],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether the slot executes work (healthy or merely slowed).
+    pub fn serving(&self, slot: usize) -> bool {
+        matches!(
+            self.slots[slot].health,
+            SlotHealth::Healthy | SlotHealth::Slowed(_)
+        )
+    }
+
+    /// Execution-duration multiplier for the slot (1.0 unless slowed).
+    pub fn slowdown(&self, slot: usize) -> f64 {
+        match self.slots[slot].health {
+            SlotHealth::Slowed(f) => f,
+            _ => 1.0,
+        }
+    }
+
+    /// Whether the controller has declared the slot dead.
+    pub fn is_dead(&self, slot: usize) -> bool {
+        self.slots[slot].declared_dead
+    }
+
+    /// Whether the slot has fail-stopped (ground truth, independent of
+    /// detection).
+    pub fn crashed(&self, slot: usize) -> bool {
+        self.slots[slot].health == SlotHealth::Crashed
+    }
+
+    /// Slots the controller knows it cannot use.
+    pub fn dead_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.declared_dead).count()
+    }
+
+    /// Fail-stops the slot.
+    pub fn crash(&mut self, slot: usize) {
+        self.slots[slot].health = SlotHealth::Crashed;
+    }
+
+    /// Stalls the slot (kept until [`FleetHealth::end_fault`]). A crashed
+    /// slot stays crashed.
+    pub fn stall(&mut self, slot: usize) {
+        if self.slots[slot].health != SlotHealth::Crashed {
+            self.slots[slot].health = SlotHealth::Stalled;
+        }
+    }
+
+    /// Slows the slot by `factor` (kept until [`FleetHealth::end_fault`]).
+    /// Crashed or stalled slots are unaffected.
+    pub fn slow(&mut self, slot: usize, factor: f64) {
+        assert!(factor >= 1.0, "slowdown factor must be at least 1");
+        if matches!(
+            self.slots[slot].health,
+            SlotHealth::Healthy | SlotHealth::Slowed(_)
+        ) {
+            self.slots[slot].health = SlotHealth::Slowed(factor);
+        }
+    }
+
+    /// Ends a timed fault (stall/slowdown). Crashes persist until
+    /// [`FleetHealth::revive`].
+    pub fn end_fault(&mut self, slot: usize) {
+        if self.slots[slot].health != SlotHealth::Crashed {
+            self.slots[slot].health = SlotHealth::Healthy;
+        }
+    }
+
+    /// Brings the slot back healthy and clears the controller's dead flag
+    /// (a rejoin).
+    pub fn revive(&mut self, slot: usize) {
+        self.slots[slot] = SlotState {
+            health: SlotHealth::Healthy,
+            missed: 0,
+            declared_dead: false,
+        };
+    }
+
+    /// One controller heartbeat of the slot: responsive slots reset their
+    /// missed counter; unresponsive ones accumulate misses and cross into
+    /// declared-dead after `threshold` consecutive misses.
+    pub fn poll(&mut self, slot: usize, threshold: u32) -> PollOutcome {
+        let s = &mut self.slots[slot];
+        if s.declared_dead {
+            return PollOutcome::Dead;
+        }
+        if matches!(s.health, SlotHealth::Healthy | SlotHealth::Slowed(_)) {
+            s.missed = 0;
+            return PollOutcome::Alive;
+        }
+        s.missed += 1;
+        if s.missed >= threshold {
+            s.declared_dead = true;
+            PollOutcome::NewlyDead
+        } else {
+            PollOutcome::Missed(s.missed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Micros {
+        Micros::from_millis(v)
+    }
+
+    #[test]
+    fn schedule_sorts_by_time() {
+        let s = FaultSchedule::new(vec![
+            FaultSpec {
+                at: ms(50),
+                slot: 1,
+                kind: FaultKind::Rejoin,
+            },
+            FaultSpec {
+                at: ms(10),
+                slot: 1,
+                kind: FaultKind::Crash,
+            },
+        ]);
+        assert_eq!(s.specs()[0].at, ms(10));
+        assert_eq!(s.specs()[1].at, ms(50));
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_and_in_window() {
+        let a = FaultSchedule::random_crashes(7, 8, ms(100), ms(1_000), ms(200), 4);
+        let b = FaultSchedule::random_crashes(7, 8, ms(100), ms(1_000), ms(200), 4);
+        assert_eq!(a, b);
+        let c = FaultSchedule::random_crashes(8, 8, ms(100), ms(1_000), ms(200), 4);
+        assert_ne!(a, c, "different seeds differ");
+        for f in a.specs() {
+            assert!(f.at >= ms(100) && f.at < ms(1_200));
+            assert!(f.slot < 8);
+        }
+        let crashes = a
+            .specs()
+            .iter()
+            .filter(|f| f.kind == FaultKind::Crash)
+            .count();
+        assert_eq!(crashes, 4);
+    }
+
+    #[test]
+    fn crash_stops_serving_until_revive() {
+        let mut fleet = FleetHealth::new(4);
+        assert!(fleet.serving(2));
+        fleet.crash(2);
+        assert!(!fleet.serving(2));
+        assert!(fleet.crashed(2));
+        // end_fault does not resurrect a crash.
+        fleet.end_fault(2);
+        assert!(fleet.crashed(2));
+        fleet.revive(2);
+        assert!(fleet.serving(2));
+        assert!(!fleet.is_dead(2));
+    }
+
+    #[test]
+    fn stall_and_slowdown_are_transient() {
+        let mut fleet = FleetHealth::new(2);
+        fleet.stall(0);
+        assert!(!fleet.serving(0));
+        fleet.end_fault(0);
+        assert!(fleet.serving(0));
+        fleet.slow(1, 3.0);
+        assert!(fleet.serving(1));
+        assert_eq!(fleet.slowdown(1), 3.0);
+        fleet.end_fault(1);
+        assert_eq!(fleet.slowdown(1), 1.0);
+    }
+
+    #[test]
+    fn detection_takes_exactly_threshold_misses() {
+        let mut fleet = FleetHealth::new(1);
+        fleet.crash(0);
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Missed(1));
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Missed(2));
+        assert_eq!(fleet.poll(0, 3), PollOutcome::NewlyDead);
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Dead);
+        assert!(fleet.is_dead(0));
+        assert_eq!(fleet.dead_count(), 1);
+    }
+
+    #[test]
+    fn healthy_polls_reset_missed_beats() {
+        let mut fleet = FleetHealth::new(1);
+        fleet.stall(0);
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Missed(1));
+        // The stall ends before the threshold: counter resets.
+        fleet.end_fault(0);
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Alive);
+        fleet.stall(0);
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Missed(1));
+    }
+
+    #[test]
+    fn slowdown_does_not_trip_detection() {
+        let mut fleet = FleetHealth::new(1);
+        fleet.slow(0, 5.0);
+        for _ in 0..10 {
+            assert_eq!(fleet.poll(0, 3), PollOutcome::Alive);
+        }
+        assert!(!fleet.is_dead(0));
+    }
+
+    #[test]
+    fn crash_wins_over_later_transients() {
+        let mut fleet = FleetHealth::new(1);
+        fleet.crash(0);
+        fleet.stall(0);
+        fleet.slow(0, 2.0);
+        assert!(fleet.crashed(0));
+        assert_eq!(fleet.slowdown(0), 1.0);
+    }
+}

@@ -181,12 +181,7 @@ impl SimGpu {
 
     /// Convenience: executes a batch of `b` inputs of a model with
     /// `profile`, starting no earlier than `start`.
-    pub fn execute_batch(
-        &mut self,
-        profile: &BatchingProfile,
-        b: u32,
-        start: Micros,
-    ) -> Execution {
+    pub fn execute_batch(&mut self, profile: &BatchingProfile, b: u32, start: Micros) -> Execution {
         self.execute(start, profile.latency(b), b)
     }
 
@@ -229,7 +224,12 @@ mod tests {
         let mut g = gpu();
         let cap = g.device().memory_bytes;
         let done = g
-            .load(ResidentKey(1), cap / 2, Micros::from_millis(300), Micros::ZERO)
+            .load(
+                ResidentKey(1),
+                cap / 2,
+                Micros::from_millis(300),
+                Micros::ZERO,
+            )
             .unwrap();
         assert_eq!(done, Micros::from_millis(300));
         let err = g
@@ -248,7 +248,10 @@ mod tests {
             g.load(ResidentKey(1), 1_000, Micros::ZERO, Micros::ZERO),
             Err(GpuError::AlreadyLoaded(ResidentKey(1)))
         );
-        assert_eq!(g.unload(ResidentKey(9)), Err(GpuError::NotLoaded(ResidentKey(9))));
+        assert_eq!(
+            g.unload(ResidentKey(9)),
+            Err(GpuError::NotLoaded(ResidentKey(9)))
+        );
     }
 
     #[test]
@@ -292,8 +295,10 @@ mod tests {
     #[test]
     fn unload_all_resets_memory() {
         let mut g = gpu();
-        g.load(ResidentKey(1), 100, Micros::ZERO, Micros::ZERO).unwrap();
-        g.load(ResidentKey(2), 200, Micros::ZERO, Micros::ZERO).unwrap();
+        g.load(ResidentKey(1), 100, Micros::ZERO, Micros::ZERO)
+            .unwrap();
+        g.load(ResidentKey(2), 200, Micros::ZERO, Micros::ZERO)
+            .unwrap();
         g.unload_all();
         assert_eq!(g.memory_used(), 0);
     }

@@ -9,6 +9,7 @@
 //! with or without overlapped processing ([`round`]).
 
 pub mod engine;
+pub mod fault;
 pub mod gpu;
 pub mod interference;
 pub mod round;
@@ -18,6 +19,7 @@ pub mod runner;
 mod proptests;
 
 pub use engine::EventQueue;
+pub use fault::{FaultKind, FaultSchedule, FaultSpec, FleetHealth, PollOutcome};
 pub use gpu::{Execution, GpuError, ResidentKey, SimGpu};
 pub use interference::InterferenceModel;
 pub use round::{max_batch_within_round, round_timing, RoundTiming, DEFAULT_CPU_WORKERS};

@@ -57,9 +57,8 @@ proptest! {
         let mut resident: std::collections::HashMap<u64, u64> = Default::default();
         for &(key, bytes) in &ops {
             let k = ResidentKey(key);
-            if resident.contains_key(&key) {
+            if resident.remove(&key).is_some() {
                 prop_assert!(gpu.unload(k).is_ok());
-                resident.remove(&key);
             } else if gpu.load(k, bytes, Micros::ZERO, Micros::ZERO).is_ok() {
                 resident.insert(key, bytes);
             }

@@ -89,9 +89,11 @@ mod tests {
         // ResNet-50 at batch 16: GPU time dominates 4-worker preprocessing.
         let p = RESNET50.profile_1080ti();
         let t = round_timing(&p, 16, true, 4);
-        assert_eq!(t.round, p.latency(16).max(
-            (p.preprocess_per_item() * 16 + p.postprocess_per_item() * 16) / 4
-        ));
+        assert_eq!(
+            t.round,
+            p.latency(16)
+                .max((p.preprocess_per_item() * 16 + p.postprocess_per_item() * 16) / 4)
+        );
         assert_eq!(t.completion, p.latency(16));
     }
 
@@ -114,8 +116,7 @@ mod tests {
         let b = 32;
         let with = round_timing(&p, b, true, 4);
         let without = round_timing(&p, b, false, 4);
-        let idle_frac = 1.0
-            - with.gpu_busy.as_micros() as f64 / without.round.as_micros() as f64;
+        let idle_frac = 1.0 - with.gpu_busy.as_micros() as f64 / without.round.as_micros() as f64;
         assert!(
             idle_frac > 0.5,
             "serialized LeNet round should idle the GPU >50% ({idle_frac:.2})"

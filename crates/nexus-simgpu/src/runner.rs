@@ -74,7 +74,8 @@ impl BatchRunner for SimBatchRunner {
         let jitter = self.next_jitter(true_lat.as_micros());
         let measured = (true_lat.as_micros() as i64 + jitter).max(1) as u64;
         let start = self.gpu.free_at();
-        self.gpu.execute(start, Micros::from_micros(measured), batch);
+        self.gpu
+            .execute(start, Micros::from_micros(measured), batch);
         Micros::from_micros(measured)
     }
 
@@ -123,8 +124,8 @@ mod tests {
     #[test]
     fn profiler_recovers_truth_approximately_under_jitter() {
         let truth = RESNET50.profile_1080ti();
-        let mut runner = SimBatchRunner::new(SimGpu::new(GPU_GTX1080TI), truth.clone())
-            .with_jitter_permille(50);
+        let mut runner =
+            SimBatchRunner::new(SimGpu::new(GPU_GTX1080TI), truth.clone()).with_jitter_permille(50);
         let measured = profile_model(
             &mut runner,
             ProfilerConfig {
@@ -136,10 +137,7 @@ mod tests {
         for b in [1, 8, 16, 32] {
             let t = truth.latency(b).as_micros() as f64;
             let m = measured.latency(b).as_micros() as f64;
-            assert!(
-                (m - t).abs() / t < 0.10,
-                "b={b}: measured {m} vs truth {t}"
-            );
+            assert!((m - t).abs() / t < 0.10, "b={b}: measured {m} vs truth {t}");
         }
     }
 

@@ -102,7 +102,7 @@ impl ArrivalGen {
                 self.in_burst = !self.in_burst;
                 let mean = if self.in_burst { burst_secs } else { calm_secs };
                 let dur = exp_sample(rng, 1.0 / mean);
-                self.phase_end = self.phase_end + Micros::from_secs_f64(dur);
+                self.phase_end += Micros::from_secs_f64(dur);
             }
             if self.in_burst {
                 rate *= burst_factor;
@@ -210,10 +210,12 @@ mod tests {
         let uni = ArrivalGen::new(ArrivalKind::Uniform, 100.0).generate(horizon, &mut rng);
         let poi = ArrivalGen::new(ArrivalKind::Poisson, 100.0).generate(horizon, &mut rng);
         let cv = |arr: &[Micros]| {
-            let gaps: Vec<f64> = arr.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+            let gaps: Vec<f64> = arr
+                .windows(2)
+                .map(|w| (w[1] - w[0]).as_secs_f64())
+                .collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            let var =
-                gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
             var.sqrt() / mean
         };
         assert!(cv(&uni) < 1e-6);
@@ -224,10 +226,8 @@ mod tests {
     #[test]
     fn modulation_changes_rate_mid_run() {
         let mut rng = rng_for(4, 0);
-        let mut gen = ArrivalGen::new(ArrivalKind::Uniform, 100.0).with_modulation(vec![
-            (Micros::ZERO, 1.0),
-            (Micros::from_secs(10), 3.0),
-        ]);
+        let mut gen = ArrivalGen::new(ArrivalKind::Uniform, 100.0)
+            .with_modulation(vec![(Micros::ZERO, 1.0), (Micros::from_secs(10), 3.0)]);
         let arr = gen.generate(Micros::from_secs(20), &mut rng);
         let first_half = arr.iter().filter(|&&t| t < Micros::from_secs(10)).count();
         let second_half = arr.len() - first_half;
@@ -281,8 +281,7 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let run = |seed| {
             let mut rng = rng_for(seed, 9);
-            ArrivalGen::new(ArrivalKind::Poisson, 200.0)
-                .generate(Micros::from_secs(5), &mut rng)
+            ArrivalGen::new(ArrivalKind::Poisson, 200.0).generate(Micros::from_secs(5), &mut rng)
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));

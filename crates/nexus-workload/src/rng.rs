@@ -27,8 +27,14 @@ mod tests {
 
     #[test]
     fn same_inputs_same_stream() {
-        let a: Vec<u64> = rng_for(42, 7).sample_iter(rand::distributions::Standard).take(5).collect();
-        let b: Vec<u64> = rng_for(42, 7).sample_iter(rand::distributions::Standard).take(5).collect();
+        let a: Vec<u64> = rng_for(42, 7)
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
+        let b: Vec<u64> = rng_for(42, 7)
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
         assert_eq!(a, b);
     }
 

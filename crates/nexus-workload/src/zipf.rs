@@ -28,7 +28,10 @@ pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
 /// assert!(rates[0] > rates[19] * 10.0); // heavy head, long tail
 /// ```
 pub fn zipf_rates(n: usize, s: f64, total_rate: f64) -> Vec<f64> {
-    zipf_weights(n, s).into_iter().map(|w| w * total_rate).collect()
+    zipf_weights(n, s)
+        .into_iter()
+        .map(|w| w * total_rate)
+        .collect()
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@ fn main() {
     // 1. Profile ResNet-50 the way the management plane does on upload:
     //    sweep batch sizes on a (simulated) GPU and record ℓ(b).
     let truth = nexus_profile::catalog::RESNET50.profile_1080ti();
-    let mut runner = SimBatchRunner::new(SimGpu::new(GPU_GTX1080TI), truth.clone())
-        .with_jitter_permille(30); // 3% measurement noise
+    let mut runner =
+        SimBatchRunner::new(SimGpu::new(GPU_GTX1080TI), truth.clone()).with_jitter_permille(30); // 3% measurement noise
     let profile = profile_model(
         &mut runner,
         ProfilerConfig {

@@ -7,8 +7,8 @@
 use nexus_baseline::batch_oblivious;
 use nexus_profile::{BatchingProfile, Micros};
 use nexus_scheduler::{
-    exact_residual_min_gpus, optimize_latency_split, squishy_bin_packing, QueryDag,
-    SessionId, SessionSpec,
+    exact_residual_min_gpus, optimize_latency_split, squishy_bin_packing, QueryDag, SessionId,
+    SessionSpec,
 };
 
 const GPU_MEM: u64 = 11 << 30;
@@ -21,12 +21,42 @@ fn main() {
         ("reader", BatchingProfile::from_linear_ms(0.05, 0.25, 128)),
     ];
     let sessions: Vec<SessionSpec> = vec![
-        SessionSpec::new(SessionId(0), profiles[0].1.clone(), Micros::from_millis(400), 120.0),
-        SessionSpec::new(SessionId(1), profiles[1].1.clone(), Micros::from_millis(100), 220.0),
-        SessionSpec::new(SessionId(2), profiles[1].1.clone(), Micros::from_millis(60), 80.0),
-        SessionSpec::new(SessionId(3), profiles[2].1.clone(), Micros::from_millis(50), 900.0),
-        SessionSpec::new(SessionId(4), profiles[2].1.clone(), Micros::from_millis(30), 300.0),
-        SessionSpec::new(SessionId(5), profiles[0].1.clone(), Micros::from_millis(300), 40.0),
+        SessionSpec::new(
+            SessionId(0),
+            profiles[0].1.clone(),
+            Micros::from_millis(400),
+            120.0,
+        ),
+        SessionSpec::new(
+            SessionId(1),
+            profiles[1].1.clone(),
+            Micros::from_millis(100),
+            220.0,
+        ),
+        SessionSpec::new(
+            SessionId(2),
+            profiles[1].1.clone(),
+            Micros::from_millis(60),
+            80.0,
+        ),
+        SessionSpec::new(
+            SessionId(3),
+            profiles[2].1.clone(),
+            Micros::from_millis(50),
+            900.0,
+        ),
+        SessionSpec::new(
+            SessionId(4),
+            profiles[2].1.clone(),
+            Micros::from_millis(30),
+            300.0,
+        ),
+        SessionSpec::new(
+            SessionId(5),
+            profiles[0].1.clone(),
+            Micros::from_millis(300),
+            40.0,
+        ),
     ];
 
     // Squishy bin packing (§6.1).
@@ -70,8 +100,8 @@ fn main() {
         ],
         &[2.5],
     );
-    let split = optimize_latency_split(&dag, Micros::from_millis(250), 150.0, 100)
-        .expect("feasible split");
+    let split =
+        optimize_latency_split(&dag, Micros::from_millis(250), 150.0, 100).expect("feasible split");
     println!(
         "\nquery split for detector→classifier (γ=2.5, SLO 250 ms): \
          detector {}, classifier {} (≈{:.1} GPUs)",

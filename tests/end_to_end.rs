@@ -171,9 +171,7 @@ fn early_drop_beats_lazy_in_max_goodput() {
                         strict_batches: false,
                     },
                     &[NodeSession {
-                        profile: nexus_profile::BatchingProfile::from_linear_ms(
-                            1.0, 25.0, 32,
-                        ),
+                        profile: nexus_profile::BatchingProfile::from_linear_ms(1.0, 25.0, 32),
                         slo: Micros::from_millis(100),
                         rate,
                         arrival: ArrivalKind::Poisson,
@@ -195,16 +193,13 @@ fn early_drop_beats_lazy_in_max_goodput() {
 /// the Fig. 13 mechanism at small scale.
 #[test]
 fn epoch_controller_tracks_surge() {
-    let classes = vec![TrafficClass::new(
-        apps::traffic(),
-        ArrivalKind::Poisson,
-        80.0,
-    )
-    .with_modulation(vec![
-        (Micros::ZERO, 1.0),
-        (Micros::from_secs(25), 2.5),
-        (Micros::from_secs(50), 1.0),
-    ])];
+    let classes = vec![
+        TrafficClass::new(apps::traffic(), ArrivalKind::Poisson, 80.0).with_modulation(vec![
+            (Micros::ZERO, 1.0),
+            (Micros::from_secs(25), 2.5),
+            (Micros::from_secs(50), 1.0),
+        ]),
+    ];
     let result = nexus::run_once(
         SystemConfig::nexus()
             .with_epoch(Micros::from_secs(10))

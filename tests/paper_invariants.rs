@@ -3,7 +3,7 @@
 
 use nexus_profile::{BatchingProfile, Micros};
 use nexus_scheduler::{
-    pipeline_avg_throughput, reduction_from_3partition, squishy_bin_packing, fgsp_min_gpus,
+    fgsp_min_gpus, pipeline_avg_throughput, reduction_from_3partition, squishy_bin_packing,
     SessionId, SessionSpec,
 };
 
@@ -110,8 +110,7 @@ fn squishy_invariants_on_many_populations() {
             .collect();
         let alloc = squishy_bin_packing(&sessions, 11 << 30);
         for plan in &alloc.plans {
-            let exec_total: Micros =
-                plan.entries.iter().map(|e| e.exec_latency).sum();
+            let exec_total: Micros = plan.entries.iter().map(|e| e.exec_latency).sum();
             if !plan.saturated {
                 assert!(exec_total <= plan.duty_cycle, "seed {seed}: overfull");
             }
