@@ -16,4 +16,10 @@ cargo test -q --workspace
 echo "== cargo clippy =="
 cargo clippy --all-targets --workspace -- -D warnings
 
+echo "== perf smoke: simbench --quick =="
+# Catches panics, determinism violations (simbench asserts repeat runs
+# bit-identical), and gross hangs. Timing numbers are informational only —
+# CI machines are too noisy to gate on them.
+cargo run --release -q -p bench --bin simbench -- --quick
+
 echo "CI OK"

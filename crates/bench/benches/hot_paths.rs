@@ -129,6 +129,33 @@ fn bench_dispatch(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         )
     });
+    // Deep backlogs: the overload regime where a pull scans and drops far
+    // more requests than it serves. Early drop pays the sliding-window
+    // check per scanned request; deprioritize partitions the whole queue.
+    for depth in [1_000u64, 10_000] {
+        for (name, policy) in [
+            ("early", DropPolicy::Early),
+            ("lazy", DropPolicy::Lazy),
+            ("deprioritize", DropPolicy::Deprioritize),
+        ] {
+            c.bench_function(&format!("queue_pull/{name}_{depth}_queued"), |b| {
+                b.iter_batched(
+                    || fill(depth),
+                    |mut q| {
+                        // Pull mid-backlog: half the queue is already doomed.
+                        q.pull(
+                            Micros::from_micros(depth * 250 + 40_000),
+                            16,
+                            &profile,
+                            policy,
+                            Micros::ZERO,
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
 }
 
 fn bench_event_engine(c: &mut Criterion) {
@@ -139,6 +166,27 @@ fn bench_event_engine(c: &mut Criterion) {
                 q.push(Micros::from_micros((i * 7919) % 100_000 + 100_000), i);
             }
             let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    // A Fig.13-sized run processes ~10M events; this measures raw heap
+    // throughput at a realistic standing population (the loop keeps ~1M
+    // scheduled events live while churning through another million).
+    c.bench_function("event_queue/churn_1m_standing", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1_000_000u64 {
+                q.push(Micros::from_micros((i * 7919) % 1_000_000 + 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            for i in 0..1_000_000u64 {
+                let (t, v) = q.pop().expect("standing population");
+                acc = acc.wrapping_add(v);
+                q.push(t + Micros::from_micros((i * 104_729) % 500_000 + 1), i);
+            }
             while let Some((_, v)) = q.pop() {
                 acc = acc.wrapping_add(v);
             }

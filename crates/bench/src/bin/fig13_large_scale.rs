@@ -6,52 +6,14 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig13_large_scale [--secs N]`
 
-use bench::{print_table, write_json, Args};
+use bench::{fig13_classes, print_table, write_json, Args};
 use nexus::prelude::*;
 use nexus_profile::{Micros, GPU_K80};
-use nexus_workload::all_apps;
 
 fn main() {
     let args = Args::parse(300);
     let horizon = args.horizon();
-    // A diurnal-style ramp: load climbs ~50% over the middle third and
-    // recedes (the paper's Fig. 13 window shows a comparable swell).
-    let t = |num: u64, den: u64| Micros::from_micros(horizon.as_micros() * num / den);
-    let ramp = vec![
-        (Micros::ZERO, 1.0),
-        (t(3, 9), 1.25),
-        (t(4, 9), 1.5),
-        (t(6, 9), 1.25),
-        (t(7, 9), 1.0),
-    ];
-
-    // Per-app base frame rates scaled to keep a 100-GPU K80 cluster busy
-    // but not saturated before the surge; the surge raises everything ~1.8×.
-    let base_rates = [
-        ("game", 1_600.0),
-        ("traffic", 150.0),
-        ("dance", 100.0),
-        ("bb", 90.0),
-        ("bike", 80.0),
-        ("amber", 70.0),
-        ("logo", 55.0),
-    ];
-    let classes: Vec<TrafficClass> = all_apps()
-        .into_iter()
-        .map(|mut app| {
-            // The deployment runs on K80s, ~2.3× slower than the 1080Ti the
-            // case-study SLOs were written for; sessions there are defined
-            // with SLOs feasible for the device class (the paper does not
-            // fix the 100-GPU deployment's SLOs). Scale by 2×.
-            app.slo = app.slo * 2;
-            let rate = base_rates
-                .iter()
-                .find(|(n, _)| *n == app.name)
-                .expect("rate for every app")
-                .1;
-            TrafficClass::new(app, ArrivalKind::Poisson, rate).with_modulation(ramp.clone())
-        })
-        .collect();
+    let classes = fig13_classes(horizon, 1.0);
 
     let result = nexus::run_once(
         SystemConfig::nexus()

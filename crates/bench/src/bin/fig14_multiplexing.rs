@@ -64,13 +64,37 @@ fn max_goodput(
 fn main() {
     let args = Args::parse(20);
 
+    // Both panels are grids of independent seeded searches — build the flat
+    // point list, fan it across cores, and reassemble in input order (same
+    // output as the nested loops for any thread count).
+    let points_a: Vec<(usize, Micros)> = (2..=5usize)
+        .map(|k| (k, Micros::from_millis(100)))
+        .collect();
+    let points_b: Vec<(usize, Micros)> = [50u64, 100, 150, 200]
+        .into_iter()
+        .map(|slo_ms| (3, Micros::from_millis(slo_ms)))
+        .collect();
+    let points: Vec<(usize, Micros, &'static str, bool, DropPolicy, bool)> = points_a
+        .iter()
+        .chain(&points_b)
+        .flat_map(|&(k, slo)| {
+            systems()
+                .into_iter()
+                .map(move |(label, coord, policy, overlap)| (k, slo, label, coord, policy, overlap))
+        })
+        .collect();
+    let goodputs = bench::par_map(&points, |&(k, slo, _, coord, policy, overlap)| {
+        max_goodput(k, slo, coord, policy, overlap, &args)
+    });
+
     // (a) Throughput vs number of co-located models, SLO 100 ms.
     let mut series_a = Vec::new();
     let rows: Vec<Vec<String>> = (2..=5usize)
-        .map(|k| {
+        .enumerate()
+        .map(|(i, k)| {
             let mut row = vec![k.to_string()];
-            for (label, coord, policy, overlap) in systems() {
-                let tp = max_goodput(k, Micros::from_millis(100), coord, policy, overlap, &args);
+            for (j, (label, ..)) in systems().into_iter().enumerate() {
+                let tp = goodputs[4 * i + j];
                 series_a.push((label, k, tp));
                 row.push(format!("{tp:.0}"));
             }
@@ -90,20 +114,15 @@ fn main() {
     );
 
     // (b) Throughput vs SLO with 3 models.
+    let offset = 4 * points_a.len();
     let mut series_b = Vec::new();
     let rows: Vec<Vec<String>> = [50u64, 100, 150, 200]
         .into_iter()
-        .map(|slo_ms| {
+        .enumerate()
+        .map(|(i, slo_ms)| {
             let mut row = vec![format!("{slo_ms}")];
-            for (label, coord, policy, overlap) in systems() {
-                let tp = max_goodput(
-                    3,
-                    Micros::from_millis(slo_ms),
-                    coord,
-                    policy,
-                    overlap,
-                    &args,
-                );
+            for (j, (label, ..)) in systems().into_iter().enumerate() {
+                let tp = goodputs[offset + 4 * i + j];
                 series_b.push((label, slo_ms, tp));
                 row.push(format!("{tp:.0}"));
             }

@@ -38,12 +38,20 @@ fn max_goodput(alpha: f64, policy: DropPolicy, args: &Args) -> f64 {
 fn main() {
     let args = Args::parse(40);
     let alphas = [1.0, 1.2, 1.4, 1.6, 1.8];
+    // Each (α, policy) point is an independent seeded search; fan them
+    // across cores and reassemble in input order — same output as the
+    // serial loop for any thread count.
+    let points: Vec<(f64, DropPolicy)> = alphas
+        .iter()
+        .flat_map(|&a| [(a, DropPolicy::Lazy), (a, DropPolicy::Early)])
+        .collect();
+    let goodputs = bench::par_map(&points, |&(a, policy)| max_goodput(a, policy, &args));
     let mut series = Vec::new();
     let rows: Vec<Vec<String>> = alphas
         .iter()
-        .map(|&a| {
-            let lazy = max_goodput(a, DropPolicy::Lazy, &args);
-            let early = max_goodput(a, DropPolicy::Early, &args);
+        .enumerate()
+        .map(|(i, &a)| {
+            let (lazy, early) = (goodputs[2 * i], goodputs[2 * i + 1]);
             series.push((a, lazy, early));
             vec![
                 format!("{a:.1}"),

@@ -5,7 +5,10 @@
 //! (`--seed`, `--secs`, `--quick`, `--out`), an aligned-table printer, JSON
 //! series output, and workload builders shared across experiments.
 
+pub mod par;
 pub mod workload_file;
+
+pub use par::{par_map, thread_count};
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -126,6 +129,48 @@ pub fn write_json<T: Serialize>(args: &Args, value: &T) {
         std::fs::write(path, json).expect("writable --out path");
         println!("(wrote {})", path.display());
     }
+}
+
+/// The Fig. 13 deployment workload: all seven Table 4 applications with
+/// Poisson arrivals, SLOs doubled for the K80 device class, and a
+/// diurnal-style ramp (~50% swell over the middle third of the run).
+/// `scale` multiplies every base rate; 1.0 is the 100-GPU deployment.
+pub fn fig13_classes(horizon: Micros, scale: f64) -> Vec<TrafficClass> {
+    let t = |num: u64, den: u64| Micros::from_micros(horizon.as_micros() * num / den);
+    let ramp = vec![
+        (Micros::ZERO, 1.0),
+        (t(3, 9), 1.25),
+        (t(4, 9), 1.5),
+        (t(6, 9), 1.25),
+        (t(7, 9), 1.0),
+    ];
+    // Per-app base frame rates sized to keep a 100-GPU K80 cluster busy
+    // but not saturated before the surge.
+    let base_rates = [
+        ("game", 1_600.0),
+        ("traffic", 150.0),
+        ("dance", 100.0),
+        ("bb", 90.0),
+        ("bike", 80.0),
+        ("amber", 70.0),
+        ("logo", 55.0),
+    ];
+    nexus_workload::all_apps()
+        .into_iter()
+        .map(|mut app| {
+            // The deployment runs on K80s, ~2.3× slower than the 1080Ti the
+            // case-study SLOs were written for; sessions there are defined
+            // with SLOs feasible for the device class (the paper does not
+            // fix the 100-GPU deployment's SLOs). Scale by 2×.
+            app.slo = app.slo * 2;
+            let rate = base_rates
+                .iter()
+                .find(|(n, _)| *n == app.name)
+                .expect("rate for every app")
+                .1;
+            TrafficClass::new(app, ArrivalKind::Poisson, rate * scale).with_modulation(ramp.clone())
+        })
+        .collect()
 }
 
 /// Traffic classes for the game case study (§7.3.1) at a total frame rate.

@@ -444,6 +444,56 @@ pub fn repair_table(latencies: &mut [Micros]) {
     }
 }
 
+/// A cheaply-cloneable shared handle to a [`BatchingProfile`].
+///
+/// Profiles are immutable once built, but session specs, backend slots,
+/// and scheduler epochs each used to carry their own deep copy of the
+/// latency table. Sharing one allocation turns those per-epoch clones
+/// into reference-count bumps; the handle derefs to the profile, so call
+/// sites read exactly as before. Serializes as a plain profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "BatchingProfile", into = "BatchingProfile")]
+pub struct SharedProfile(std::sync::Arc<BatchingProfile>);
+
+impl SharedProfile {
+    /// Wraps a profile in a shared handle.
+    pub fn new(profile: BatchingProfile) -> Self {
+        SharedProfile(std::sync::Arc::new(profile))
+    }
+
+    /// The underlying profile.
+    pub fn as_profile(&self) -> &BatchingProfile {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for SharedProfile {
+    type Target = BatchingProfile;
+
+    fn deref(&self) -> &BatchingProfile {
+        &self.0
+    }
+}
+
+impl From<BatchingProfile> for SharedProfile {
+    fn from(profile: BatchingProfile) -> Self {
+        SharedProfile::new(profile)
+    }
+}
+
+impl From<&BatchingProfile> for SharedProfile {
+    fn from(profile: &BatchingProfile) -> Self {
+        SharedProfile::new(profile.clone())
+    }
+}
+
+impl From<SharedProfile> for BatchingProfile {
+    fn from(shared: SharedProfile) -> Self {
+        // Unwrap without cloning when this is the last handle.
+        std::sync::Arc::try_unwrap(shared.0).unwrap_or_else(|arc| (*arc).clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,9 +18,7 @@
 //! re-dispatches stranded requests whose deadline budget still covers one
 //! single-item execution (deadline-aware retry).
 
-use std::collections::{BTreeMap, HashSet};
-
-use nexus_profile::{BatchingProfile, DeviceType, Micros};
+use nexus_profile::{DeviceType, Micros, SharedProfile};
 use nexus_scheduler::{assign_plans, GpuPlan, SessionId};
 use nexus_simgpu::{
     EventQueue, FaultKind, FaultSpec, FleetHealth, PollOutcome, ResidentKey, SimGpu,
@@ -31,7 +29,7 @@ use rand::Rng;
 
 use crate::config::SystemConfig;
 use crate::control::{plan, ControlPlan, PlanError, TrafficClass};
-use crate::dispatch::SessionQueue;
+use crate::dispatch::{BatchPull, SessionQueue};
 use crate::metrics::ClusterMetrics;
 use crate::request::{QueryId, QueryTracker, Request, RequestId, RequestOutcome};
 use crate::trace::{Trace, TraceEvent};
@@ -76,6 +74,8 @@ pub struct SimResult {
     pub mean_gpus: f64,
     /// Aggregate GPU busy time divided by allocated GPU-seconds.
     pub gpu_utilization: f64,
+    /// Discrete events processed by the engine over the whole run.
+    pub events_processed: u64,
     /// Full per-session and timeline metrics.
     pub metrics: ClusterMetrics,
     /// Captured execution trace, when enabled.
@@ -101,6 +101,10 @@ enum Event {
         /// In-flight batch id; crashed-GPU batches are marked lost and
         /// their completion is discarded. 0 when fault injection is off.
         batch: u64,
+        /// Physical GPU slot the batch launched on — the in-flight table
+        /// is indexed by it, and it stays valid across deployment swaps
+        /// (backend indices do not). Unused when fault injection is off.
+        pslot: usize,
     },
     EpochTick,
     /// Inject `SimConfig::faults[index]`.
@@ -130,14 +134,14 @@ struct Slot {
     /// this is pessimistically interference-stretched: a container that
     /// waits until the last safe moment computed from its solo latency is
     /// late whenever a peer happens to be concurrent.
-    timing: BatchingProfile,
+    timing: SharedProfile,
     /// Profile used for pull sizing and wake planning. Under uncoordinated
     /// execution this is pessimistically stretched by the worst-case
     /// interference (a container cannot know how busy its peers will be).
-    profile: BatchingProfile,
+    profile: SharedProfile,
     /// Unstretched effective profile; actual execution duration scales
     /// this by the interference of the *actually concurrent* peers.
-    base: BatchingProfile,
+    base: SharedProfile,
     queue: SessionQueue,
     busy: bool,
     /// Per-slot phase-jitter state: each round serves `target − (state %
@@ -153,6 +157,10 @@ struct Backend {
     busy: bool,
     available_at: Micros,
     armed_wake: Micros,
+    /// Dense session-id → slot index map (`u32::MAX` = not hosted). Built
+    /// once per deployment so the per-request routing lookup is O(1)
+    /// instead of a linear scan over hosted sessions.
+    slot_index: Vec<u32>,
     /// The simulated device: enforces that resident models fit in memory
     /// (the plan promised it; the device checks it) and accounts busy time.
     gpu: SimGpu,
@@ -160,7 +168,8 @@ struct Backend {
 
 impl Backend {
     fn slot_of(&self, session: SessionId) -> Option<usize> {
-        self.slots.iter().position(|s| s.session == session)
+        let i = *self.slot_index.get(session.0 as usize)?;
+        (i != u32::MAX).then_some(i as usize)
     }
 }
 
@@ -171,26 +180,39 @@ impl Backend {
 /// that perfect interleaving would cause (every replica's batch filling at
 /// the same instant, emitting synchronized downstream bursts) is broken at
 /// the backends instead, by jittering effective batch sizes.
+struct RouteTargetState {
+    backend: usize,
+    weight: f64,
+    credit: f64,
+}
+
 struct Route {
-    targets: Vec<(usize, f64)>, // (backend, weight)
-    credits: Vec<f64>,
+    /// Replica targets with their live WRR credit, one contiguous array so
+    /// the per-request scan touches a single cache stream.
+    targets: Vec<RouteTargetState>,
+    /// Sum of target weights, fixed per deployment. Precomputed with the
+    /// same left-to-right summation `pick` used to do inline, so the pick
+    /// sequence is bit-identical — just without re-summing per request.
+    total: f64,
 }
 
 impl Route {
     fn pick(&mut self, _rng: &mut StdRng) -> Option<usize> {
-        if self.targets.is_empty() {
-            return None;
-        }
-        let total: f64 = self.targets.iter().map(|t| t.1).sum();
+        // Tracking the best credit in a local is exact: a target's credit
+        // only changes at its own iteration, so the cached value cannot go
+        // stale before the scan ends.
         let mut best = 0;
-        for i in 0..self.targets.len() {
-            self.credits[i] += self.targets[i].1;
-            if self.credits[i] > self.credits[best] {
+        let mut best_credit = f64::NEG_INFINITY;
+        for (i, t) in self.targets.iter_mut().enumerate() {
+            t.credit += t.weight;
+            if i == 0 || t.credit > best_credit {
                 best = i;
+                best_credit = t.credit;
             }
         }
-        self.credits[best] -= total;
-        Some(self.targets[best].0)
+        let t = self.targets.get_mut(best)?;
+        t.credit -= self.total;
+        Some(t.backend)
     }
 }
 
@@ -200,11 +222,11 @@ enum SlotDecision {
     Skip,
     /// Not ready; a wake should be armed at this time.
     NotReady(Micros),
-    /// A pull happened.
+    /// A pull happened. Dropped requests sit in `ClusterSim::scratch`
+    /// until [`ClusterSim::record_drops`] drains them.
     Pulled {
         session: SessionId,
         batch: Vec<Request>,
-        dropped: Vec<Request>,
         duration: Micros,
         /// Expiry of the oldest survivor if the batch came back empty.
         pending_expiry: Option<Micros>,
@@ -254,16 +276,32 @@ pub struct ClusterSim {
     /// Whether fault injection is active (gates in-flight bookkeeping).
     fault_mode: bool,
     next_batch: u64,
-    /// In-flight batches by id → (physical slot, request copies), kept so
-    /// a crash can strand exactly the work that was on the device.
-    /// BTreeMap: crash handling iterates this, and iteration order must be
-    /// deterministic across processes.
-    inflight: BTreeMap<u64, (usize, Vec<Request>)>,
+    /// In-flight batches indexed by *physical* slot, each a list of
+    /// `(batch id, request copies)` in launch (= id) order, kept so a
+    /// crash can strand exactly the work that was on the device. The
+    /// per-slot insertion order matches the ascending-id iteration the
+    /// old `BTreeMap` table gave, so crash handling stays deterministic.
+    inflight: Vec<Vec<(u64, Vec<Request>)>>,
     /// Batch ids destroyed by a crash; their `BatchDone` is discarded.
-    lost_batches: HashSet<u64>,
-    /// Requests stranded in-flight on a crashed slot, held until the
-    /// controller detects the failure and applies the retry rule.
-    limbo: BTreeMap<usize, Vec<Request>>,
+    /// Membership-only (iteration order never observed), so a small Vec
+    /// with swap-remove beats a hash set.
+    lost_batches: Vec<u64>,
+    /// Requests stranded in-flight on a crashed slot (indexed by physical
+    /// slot), held until the controller detects the failure and applies
+    /// the retry rule.
+    limbo: Vec<Vec<Request>>,
+    /// Reusable pull buffers: one batch/dropped pair refilled in place on
+    /// every dispatch, so the hot path allocates nothing.
+    scratch: BatchPull,
+    /// Recycled batch vectors: `BatchDone` hands its spent `Vec` back and
+    /// the next pull reuses it instead of allocating.
+    batch_pool: Vec<Vec<Request>>,
+    /// GPU busy time accumulated by backends that deployment swaps have
+    /// since retired; `summarize` adds it to the live backends' busy time
+    /// so utilization covers the whole run, not just the final epoch.
+    retired_busy: u64,
+    /// Discrete events processed (for the engine-throughput benchmark).
+    events_processed: u64,
 }
 
 impl ClusterSim {
@@ -345,6 +383,7 @@ impl ClusterSim {
         let fleet = FleetHealth::new(cfg.max_gpus as usize);
         let backend_slot: Vec<usize> = (0..backends.len()).collect();
         let fault_mode = !cfg.faults.is_empty();
+        let max_gpus = cfg.max_gpus as usize;
         Ok(ClusterSim {
             cfg,
             classes,
@@ -375,9 +414,13 @@ impl ClusterSim {
             backend_slot,
             fault_mode,
             next_batch: 1,
-            inflight: BTreeMap::new(),
-            lost_batches: HashSet::new(),
-            limbo: BTreeMap::new(),
+            inflight: vec![Vec::new(); max_gpus],
+            lost_batches: Vec::new(),
+            limbo: vec![Vec::new(); max_gpus],
+            scratch: BatchPull::default(),
+            batch_pool: Vec::new(),
+            retired_busy: 0,
+            events_processed: 0,
         })
     }
 
@@ -389,6 +432,7 @@ impl ClusterSim {
     /// Runs to completion and summarizes.
     pub fn run(mut self) -> SimResult {
         while let Some((now, ev)) = self.events.pop() {
+            self.events_processed += 1;
             match ev {
                 Event::RootArrival { class } => self.on_root_arrival(now, class),
                 Event::Wake { backend, slot, gen } => {
@@ -402,7 +446,8 @@ impl ClusterSim {
                     requests,
                     gen,
                     batch,
-                } => self.on_batch_done(now, backend, slot, requests, gen, batch),
+                    pslot,
+                } => self.on_batch_done(now, backend, slot, requests, gen, batch, pslot),
                 Event::EpochTick => self.on_epoch(now),
                 Event::Fault { index } => self.on_fault(now, index),
                 Event::FaultEnd { slot } => self.on_fault_end(now, slot),
@@ -570,23 +615,34 @@ impl ClusterSim {
         // child stages survive because their deadlines inherit ancestor
         // slack, not because batches balloon.
         slot.jitter_state = nexus_workload::splitmix64(slot.jitter_state);
-        let pull = slot
-            .queue
-            .pull(now, slot.target_batch, &slot.profile, policy, Micros::MAX);
-        let duration = if pull.batch.is_empty() {
+        slot.queue.pull_into(
+            now,
+            slot.target_batch,
+            &slot.profile,
+            policy,
+            Micros::MAX,
+            &mut self.scratch,
+        );
+        let duration = if self.scratch.batch.is_empty() {
             Micros::ZERO
         } else {
-            slot.profile.latency_clamped(pull.batch.len() as u32)
+            slot.profile
+                .latency_clamped(self.scratch.batch.len() as u32)
         };
-        let pending_expiry = if pull.batch.is_empty() {
+        let pending_expiry = if self.scratch.batch.is_empty() {
             slot.queue.oldest_deadline()
         } else {
             None
         };
+        // Hand the filled batch out and put a recycled buffer back in the
+        // scratch slot — no allocation on either side of the swap.
+        let batch = std::mem::replace(
+            &mut self.scratch.batch,
+            self.batch_pool.pop().unwrap_or_default(),
+        );
         SlotDecision::Pulled {
             session: slot.session,
-            batch: pull.batch,
-            dropped: pull.dropped,
+            batch,
             duration,
             pending_expiry,
         }
@@ -594,19 +650,25 @@ impl ClusterSim {
 
     /// Allocates a batch id and records the in-flight copy (fault mode
     /// only); a crash on the slot then strands exactly these requests.
-    fn launch_bookkeeping(&mut self, backend: usize, batch: &[Request]) -> u64 {
+    /// Returns `(batch id, physical slot)`.
+    fn launch_bookkeeping(&mut self, backend: usize, batch: &[Request]) -> (u64, usize) {
         if !self.fault_mode {
-            return 0;
+            return (0, 0);
         }
         let id = self.next_batch;
         self.next_batch += 1;
-        self.inflight
-            .insert(id, (self.backend_slot[backend], batch.to_vec()));
-        id
+        let pslot = self.backend_slot[backend];
+        self.inflight[pslot].push((id, batch.to_vec()));
+        (id, pslot)
     }
 
-    fn record_drops(&mut self, now: Micros, session: SessionId, dropped: Vec<Request>) {
-        for r in dropped {
+    /// Drains the dropped requests left in `scratch` by the last pull.
+    fn record_drops(&mut self, now: Micros, session: SessionId) {
+        if self.scratch.dropped.is_empty() {
+            return;
+        }
+        let mut dropped = std::mem::take(&mut self.scratch.dropped);
+        for r in dropped.drain(..) {
             self.metrics.record_drop(session, now);
             if let Some(tr) = &mut self.trace {
                 tr.push(TraceEvent::Drop {
@@ -619,6 +681,8 @@ impl ClusterSim {
                 self.tracker.record(q, RequestOutcome::Dropped(now));
             }
         }
+        // Hand the (now empty) buffer back for the next pull.
+        self.scratch.dropped = dropped;
     }
 
     /// Round-robin service: find the first ready slot from the cursor and
@@ -663,11 +727,10 @@ impl ClusterSim {
                 SlotDecision::Pulled {
                     session,
                     batch,
-                    dropped,
                     duration,
                     pending_expiry,
                 } => {
-                    self.record_drops(now, session, dropped);
+                    self.record_drops(now, session);
                     if !batch.is_empty() {
                         // Straggler slowdown stretches the execution; the
                         // gate keeps no-fault runs bit-identical (scale
@@ -687,7 +750,7 @@ impl ClusterSim {
                                 duration,
                             });
                         }
-                        let batch_id = self.launch_bookkeeping(backend, &batch);
+                        let (batch_id, pslot) = self.launch_bookkeeping(backend, &batch);
                         let b = &mut self.backends[backend];
                         b.busy = true;
                         b.cursor = (si + 1) % n;
@@ -701,10 +764,12 @@ impl ClusterSim {
                                 requests: batch,
                                 gen,
                                 batch: batch_id,
+                                pslot,
                             },
                         );
                         return;
                     }
+                    self.recycle(batch);
                     if let Some(expiry) = pending_expiry {
                         // Lazy-held requests: revisit at their expiry.
                         let f = expiry.max(now + Micros(1));
@@ -751,11 +816,10 @@ impl ClusterSim {
             SlotDecision::Pulled {
                 session,
                 batch,
-                dropped,
                 duration: _,
                 pending_expiry,
             } => {
-                self.record_drops(now, session, dropped);
+                self.record_drops(now, session);
                 if !batch.is_empty() {
                     let trace_size = batch.len() as u32;
                     let slowdown = self.fleet.slowdown(self.backend_slot[backend]);
@@ -786,7 +850,7 @@ impl ClusterSim {
                             duration,
                         });
                     }
-                    let batch_id = self.launch_bookkeeping(backend, &batch);
+                    let (batch_id, pslot) = self.launch_bookkeeping(backend, &batch);
                     let gen = self.generation;
                     self.events.push(
                         now + duration,
@@ -796,19 +860,30 @@ impl ClusterSim {
                             requests: batch,
                             gen,
                             batch: batch_id,
+                            pslot,
                         },
                     );
-                } else if let Some(expiry) = pending_expiry {
-                    let gen = self.generation;
-                    self.events.push(
-                        expiry.max(now + Micros(1)),
-                        Event::Wake { backend, slot, gen },
-                    );
+                } else {
+                    self.recycle(batch);
+                    if let Some(expiry) = pending_expiry {
+                        let gen = self.generation;
+                        self.events.push(
+                            expiry.max(now + Micros(1)),
+                            Event::Wake { backend, slot, gen },
+                        );
+                    }
                 }
             }
         }
     }
 
+    /// Returns a spent batch vector to the recycling pool.
+    fn recycle(&mut self, mut batch: Vec<Request>) {
+        batch.clear();
+        self.batch_pool.push(batch);
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn on_batch_done(
         &mut self,
         now: Micros,
@@ -817,17 +892,23 @@ impl ClusterSim {
         requests: Vec<Request>,
         gen: u64,
         batch: u64,
+        pslot: usize,
     ) {
         if self.fault_mode {
-            if self.lost_batches.remove(&batch) {
+            if let Some(pos) = self.lost_batches.iter().position(|&b| b == batch) {
                 // The GPU crashed mid-execution: the batch never finished.
                 // Its requests sit in limbo until detection re-dispatches
                 // them.
+                self.lost_batches.swap_remove(pos);
+                self.recycle(requests);
                 return;
             }
-            self.inflight.remove(&batch);
+            let entries = &mut self.inflight[pslot];
+            if let Some(pos) = entries.iter().position(|&(id, _)| id == batch) {
+                entries.remove(pos);
+            }
         }
-        for req in requests {
+        for &req in &requests {
             let good = now <= req.deadline;
             self.metrics
                 .record_completion(req.session, req.arrival, now, good);
@@ -843,9 +924,18 @@ impl ClusterSim {
             if let Some(query) = req.query {
                 let s = &self.control.sessions[req.session.0 as usize];
                 let (class, stage) = (s.class, s.stage);
-                let children: Vec<(usize, GammaSpec)> =
-                    self.classes[class].app.stages[stage].children.clone();
-                for (child, gamma) in children {
+                // Child edges are Copy; index rather than clone the list.
+                let n_children = self.classes[class].app.stages[stage].children.len();
+                // One window lookup for the whole spawn loop: the query
+                // stays open throughout (this request's own terminal
+                // record happens after the loop), so its span is fixed.
+                let (q_arrival, q_deadline) = if n_children > 0 {
+                    self.tracker.span(query).unwrap_or((now, Micros::MAX))
+                } else {
+                    (now, Micros::MAX)
+                };
+                for k in 0..n_children {
+                    let (child, gamma) = self.classes[class].app.stages[stage].children[k];
                     let count = sample_gamma(gamma, &mut self.gamma_rng);
                     if count > 0 {
                         self.tracker.add_outstanding(query, count);
@@ -853,8 +943,6 @@ impl ClusterSim {
                         // from the query arrival — slack left by ancestors
                         // finishing early is inherited, the query SLO is the
                         // only hard wall.
-                        let q_arrival = self.tracker.arrival(query).unwrap_or(now);
-                        let q_deadline = self.tracker.deadline(query).unwrap_or(Micros::MAX);
                         let offset = self.stage_offset(class, child);
                         let deadline = (q_arrival + offset).min(q_deadline).max(now);
                         for _ in 0..count {
@@ -865,6 +953,7 @@ impl ClusterSim {
                 self.tracker.record(query, RequestOutcome::Completed(now));
             }
         }
+        self.recycle(requests);
         // A stale generation means the deployment was replaced while this
         // batch executed; the work still counted, but the backend state it
         // referred to is gone.
@@ -1037,6 +1126,13 @@ impl ClusterSim {
         }
         self.generation += 1;
         self.routes = build_frontends(&next, self.cfg.system.frontends);
+        // The outgoing backends' busy time would vanish with them (reused
+        // backends get fresh devices too); bank it for `summarize`.
+        self.retired_busy += self
+            .backends
+            .iter()
+            .map(|b| b.gpu.busy_total().as_micros())
+            .sum::<u64>();
         self.backends = new_backends;
         self.backend_slot = new_backend_slot;
         self.control = next;
@@ -1088,16 +1184,11 @@ impl ClusterSim {
                 self.fleet.crash(slot);
                 // In-flight batches on the device die with it: mark them
                 // lost and hold their requests in limbo until detection.
-                let dead: Vec<u64> = self
-                    .inflight
-                    .iter()
-                    .filter(|(_, (s, _))| *s == slot)
-                    .map(|(&id, _)| id)
-                    .collect();
-                for id in dead {
-                    let (_, requests) = self.inflight.remove(&id).expect("id just listed");
-                    self.lost_batches.insert(id);
-                    self.limbo.entry(slot).or_default().extend(requests);
+                // The per-slot table is in launch (= ascending id) order,
+                // matching the old id-keyed map's iteration.
+                for (id, requests) in std::mem::take(&mut self.inflight[slot]) {
+                    self.lost_batches.push(id);
+                    self.limbo[slot].extend(requests);
                 }
                 self.metrics.record_fault(slot, now);
             }
@@ -1197,7 +1288,7 @@ impl ClusterSim {
                     requests.extend(sl.queue.drain());
                 }
             }
-            requests.extend(self.limbo.remove(&slot).unwrap_or_default());
+            requests.extend(std::mem::take(&mut self.limbo[slot]));
             stranded.push((slot, requests));
         }
         // Re-pack survivors before re-dispatching so retries land on live
@@ -1286,8 +1377,9 @@ impl ClusterSim {
             }
         }
         // Requests stranded on a crashed GPU whose failure was never
-        // detected before the run ended.
-        for (_, requests) in std::mem::take(&mut self.limbo) {
+        // detected before the run ended (slot index order, matching the
+        // old slot-keyed map).
+        for requests in std::mem::take(&mut self.limbo) {
             leftovers.extend(requests);
         }
         for req in leftovers {
@@ -1319,11 +1411,15 @@ impl ClusterSim {
             bad as f64 / finished as f64
         };
 
-        let busy_total: u64 = self
-            .backends
-            .iter()
-            .map(|b| b.gpu.busy_total().as_micros())
-            .sum();
+        // Busy time of the final deployment's backends, plus everything
+        // the deployment swaps retired along the way — without the
+        // retired share, utilization only reflected the last epoch.
+        let busy_total: u64 = self.retired_busy
+            + self
+                .backends
+                .iter()
+                .map(|b| b.gpu.busy_total().as_micros())
+                .sum::<u64>();
         let mean_gpus = self.gpu_seconds_allocated / end.as_secs_f64().max(1e-9);
         let gpu_utilization = if self.gpu_seconds_allocated > 0.0 {
             ((busy_total as f64 / 1e6) / self.gpu_seconds_allocated).min(1.0)
@@ -1338,6 +1434,7 @@ impl ClusterSim {
             queries_finished: finished,
             mean_gpus,
             gpu_utilization,
+            events_processed: self.events_processed,
             metrics: self.metrics,
             trace: self.trace,
         }
@@ -1397,6 +1494,12 @@ fn build_backends(
                 )
                 .expect("scheduler guarantees plans fit device memory");
             }
+            let mut slot_index = vec![u32::MAX; control.sessions.len()];
+            for (si, e) in p.entries.iter().enumerate() {
+                if slot_index[e.session.0 as usize] == u32::MAX {
+                    slot_index[e.session.0 as usize] = si as u32;
+                }
+            }
             let slots = p
                 .entries
                 .iter()
@@ -1415,7 +1518,7 @@ fn build_backends(
                         (exec.clone(), p.duty_cycle, p.duty_cycle.saturating_sub(own))
                     } else {
                         (
-                            system.interference.stretched_profile(&exec, k),
+                            system.interference.stretched_profile(&exec, k).into(),
                             p.duty_cycle.min(session.budget / 2),
                             Micros::ZERO,
                         )
@@ -1444,6 +1547,7 @@ fn build_backends(
                 busy: false,
                 available_at: stagger,
                 armed_wake: Micros::MAX,
+                slot_index,
                 gpu,
             }
         })
@@ -1455,8 +1559,15 @@ fn build_routes(control: &ControlPlan) -> Vec<Route> {
         .routes
         .iter()
         .map(|targets| Route {
-            targets: targets.iter().map(|t| (t.backend, t.weight)).collect(),
-            credits: vec![0.0; targets.len()],
+            targets: targets
+                .iter()
+                .map(|t| RouteTargetState {
+                    backend: t.backend,
+                    weight: t.weight,
+                    credit: 0.0,
+                })
+                .collect(),
+            total: targets.iter().map(|t| t.weight).sum(),
         })
         .collect()
 }
@@ -1471,8 +1582,8 @@ fn build_frontends(control: &ControlPlan, frontends: u32) -> Vec<Vec<Route>> {
             for r in &mut routes {
                 let n = r.targets.len();
                 if n > 1 {
-                    for (i, c) in r.credits.iter_mut().enumerate() {
-                        *c = -(((i + fe as usize) % n) as f64) * 1e-6;
+                    for (i, t) in r.targets.iter_mut().enumerate() {
+                        t.credit = -(((i + fe as usize) % n) as f64) * 1e-6;
                     }
                 }
             }

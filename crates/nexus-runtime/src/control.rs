@@ -9,7 +9,7 @@
 //! consult.
 
 use nexus_model::{zoo, PrefixPlan};
-use nexus_profile::{BatchingProfile, DeviceType, Micros};
+use nexus_profile::{BatchingProfile, DeviceType, Micros, SharedProfile};
 use nexus_scheduler::{
     even_latency_split, optimize_latency_split, squishy_bin_packing, Allocation, QueryDag,
     QueryStage, SessionId, SessionSpec,
@@ -117,8 +117,9 @@ pub struct RuntimeSession {
     pub variant: u32,
     /// Number of variant-split siblings of this stage (1 if merged/single).
     pub variant_count: u32,
-    /// Effective execution profile (CPU folded in; prefix-merged for PB).
-    pub exec_profile: BatchingProfile,
+    /// Effective execution profile (CPU folded in; prefix-merged for PB),
+    /// shared with the slots and session specs that execute it.
+    pub exec_profile: SharedProfile,
     /// Per-invocation latency budget (the stage's SLO split).
     pub budget: Micros,
     /// Deadline offset from query arrival (prefix sum of budgets).
@@ -195,7 +196,7 @@ pub fn build_sessions(
                     stage: si,
                     variant: 0,
                     variant_count: 1,
-                    exec_profile: profile.effective(cfg.overlap, cfg.cpu_workers),
+                    exec_profile: profile.effective(cfg.overlap, cfg.cpu_workers).into(),
                     budget: budgets[si],
                     deadline_offset: offsets[si],
                     est_rate: stage_rates[si],
@@ -209,7 +210,7 @@ pub fn build_sessions(
                         stage: si,
                         variant,
                         variant_count: v,
-                        exec_profile: base.effective(cfg.overlap, cfg.cpu_workers),
+                        exec_profile: base.effective(cfg.overlap, cfg.cpu_workers).into(),
                         budget: budgets[si],
                         deadline_offset: offsets[si],
                         est_rate: stage_rates[si] / f64::from(v),

@@ -33,6 +33,9 @@ pub enum DropPolicy {
 }
 
 /// Result of pulling a batch from a queue.
+///
+/// Hot paths keep one `BatchPull` alive across pulls and refill it with
+/// [`SessionQueue::pull_into`]; the buffers are cleared, not reallocated.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BatchPull {
     /// Requests to execute now (possibly empty).
@@ -100,12 +103,32 @@ impl SessionQueue {
         policy: DropPolicy,
         reserve: Micros,
     ) -> BatchPull {
+        let mut out = BatchPull::default();
+        self.pull_into(now, target_batch, exec, policy, reserve, &mut out);
+        out
+    }
+
+    /// Like [`SessionQueue::pull`], but fills a caller-owned `out` instead
+    /// of allocating: `out.batch` and `out.dropped` are cleared and refilled
+    /// in place, so a scratch `BatchPull` reused across pulls makes the
+    /// duty-cycle hot path allocation-free.
+    pub fn pull_into(
+        &mut self,
+        now: Micros,
+        target_batch: u32,
+        exec: &BatchingProfile,
+        policy: DropPolicy,
+        reserve: Micros,
+        out: &mut BatchPull,
+    ) {
         debug_assert!(target_batch >= 1);
+        out.batch.clear();
+        out.dropped.clear();
         match policy {
-            DropPolicy::None => self.pull_none(target_batch),
-            DropPolicy::Lazy => self.pull_lazy(now, target_batch, exec),
-            DropPolicy::Early => self.pull_early(now, target_batch, exec, reserve),
-            DropPolicy::Deprioritize => self.pull_deprioritize(now, target_batch, exec),
+            DropPolicy::None => self.pull_none(target_batch, out),
+            DropPolicy::Lazy => self.pull_lazy(now, exec, out),
+            DropPolicy::Early => self.pull_early(now, target_batch, exec, reserve, out),
+            DropPolicy::Deprioritize => self.pull_deprioritize(now, target_batch, exec, out),
         }
     }
 
@@ -117,71 +140,62 @@ impl SessionQueue {
         now: Micros,
         target_batch: u32,
         exec: &BatchingProfile,
-    ) -> BatchPull {
+        out: &mut BatchPull,
+    ) {
         let len = self.pending.len();
         // Find the first request that can absorb its window, as early drop
-        // does, but without discarding the prefix.
+        // does, but without discarding the prefix. While at least `target`
+        // requests remain past i the window — and thus the finish time — is
+        // constant, so the prefix scan is a pure deadline comparison; only
+        // the sub-target tail recomputes the (shrinking) finish per step.
+        let finish_full = now + exec.latency_clamped(target_batch.min(len.max(1) as u32));
         for i in 0..len {
-            let window = target_batch.min((len - i) as u32);
-            let finish = now + exec.latency_clamped(window.max(1));
+            let finish = if len - i >= target_batch as usize {
+                finish_full
+            } else {
+                now + exec.latency_clamped((len - i) as u32)
+            };
             if self.pending[i].deadline >= finish {
-                if i == 0 {
-                    let batch = self.pending.drain(..window as usize).collect();
-                    return BatchPull {
-                        batch,
-                        dropped: Vec::new(),
-                    };
-                }
-                // Serve the fresh window; the doomed prefix stays queued at
-                // lower priority.
-                let batch = self.pending.drain(i..i + window as usize).collect();
-                return BatchPull {
-                    batch,
-                    dropped: Vec::new(),
-                };
+                let window = target_batch.min((len - i) as u32) as usize;
+                // Serve the fresh window; a doomed prefix (i > 0) stays
+                // queued at lower priority.
+                out.batch.extend(self.pending.drain(i..i + window));
+                return;
             }
         }
         // Nothing fresh: work through the backlog FIFO (late but served).
-        let n = (len as u32).min(target_batch);
-        BatchPull {
-            batch: self.pending.drain(..n as usize).collect(),
-            dropped: Vec::new(),
-        }
+        let n = len.min(target_batch as usize);
+        out.batch.extend(self.pending.drain(..n));
     }
 
-    fn pull_none(&mut self, target_batch: u32) -> BatchPull {
-        let n = (self.pending.len() as u32).min(target_batch);
-        BatchPull {
-            batch: self.pending.drain(..n as usize).collect(),
-            dropped: Vec::new(),
-        }
+    fn pull_none(&mut self, target_batch: u32, out: &mut BatchPull) {
+        let n = self.pending.len().min(target_batch as usize);
+        out.batch.extend(self.pending.drain(..n));
     }
 
-    fn pull_lazy(&mut self, now: Micros, _target_batch: u32, exec: &BatchingProfile) -> BatchPull {
-        let mut dropped = Vec::new();
+    fn pull_lazy(&mut self, now: Micros, exec: &BatchingProfile, out: &mut BatchPull) {
         // Drop requests that have already missed their deadline — including
         // those that cannot possibly complete anymore (remaining budget
         // below even a batch-of-one execution).
-        let min_exec = exec.latency_clamped(1);
+        let min_start = now + exec.latency_clamped(1);
         while let Some(front) = self.pending.front() {
-            if front.deadline < now + min_exec {
-                dropped.push(self.pending.pop_front().expect("front exists"));
+            if front.deadline < min_start {
+                out.dropped
+                    .push(self.pending.pop_front().expect("front exists"));
             } else {
                 break;
             }
         }
         // Size the batch by the oldest survivor's remaining budget alone
         // (Clipper has no scheduler-assigned batch size).
-        let mut batch = Vec::new();
         if let Some(front) = self.pending.front() {
             let budget = front.deadline - now;
             let n = exec
                 .max_batch_within(budget)
                 .min(self.pending.len() as u32)
                 .max(1);
-            batch = self.pending.drain(..n as usize).collect();
+            out.batch.extend(self.pending.drain(..n as usize));
         }
-        BatchPull { batch, dropped }
     }
 
     fn pull_early(
@@ -190,7 +204,8 @@ impl SessionQueue {
         target_batch: u32,
         exec: &BatchingProfile,
         reserve: Micros,
-    ) -> BatchPull {
+        out: &mut BatchPull,
+    ) {
         // Slide the window: find the first index i such that request i can
         // absorb the execution latency of the window starting at i. The
         // window is at least the scheduler's batch size, but grows to what
@@ -199,8 +214,16 @@ impl SessionQueue {
         // in parent-batch-sized bursts, and serving a burst in one larger
         // batch is more efficient, but it must not starve peers.
         let len = self.pending.len();
+        // A request whose deadline cannot even cover a batch-of-one
+        // execution fails the window check for *any* window, so the scan
+        // skips it on a single comparison instead of a per-element
+        // `max_batch_within` binary search.
+        let min_start = now + exec.latency_clamped(1);
         let mut start = None;
         for i in 0..len {
+            if self.pending[i].deadline < min_start {
+                continue;
+            }
             let budget = self.pending[i]
                 .deadline
                 .saturating_sub(now)
@@ -208,24 +231,144 @@ impl SessionQueue {
             let absorbable = exec.max_batch_within(budget);
             let window = target_batch.max(absorbable).min((len - i) as u32);
             let finish = now + exec.latency_clamped(window.max(1));
-            if window >= 1 && self.pending[i].deadline >= finish {
+            if self.pending[i].deadline >= finish {
                 start = Some((i, window));
                 break;
             }
         }
         match start {
             Some((i, window)) => {
-                let dropped: Vec<Request> = self.pending.drain(..i).collect();
-                let batch: Vec<Request> = self.pending.drain(..window as usize).collect();
-                BatchPull { batch, dropped }
+                out.dropped.extend(self.pending.drain(..i));
+                out.batch.extend(self.pending.drain(..window as usize));
             }
             None => {
                 // No request can make it even alone: drop everything that
                 // could never complete from `now`.
-                let mut dropped = Vec::new();
                 while let Some(front) = self.pending.front() {
+                    if front.deadline < min_start {
+                        out.dropped
+                            .push(self.pending.pop_front().expect("front exists"));
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pre-optimization pull implementations, kept verbatim as oracles: the
+/// differential proptests assert the optimized pulls produce identical
+/// `(batch, dropped)` sequences.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// The original `SessionQueue::pull`, element-by-element.
+    pub fn pull(
+        q: &mut SessionQueue,
+        now: Micros,
+        target_batch: u32,
+        exec: &BatchingProfile,
+        policy: DropPolicy,
+        reserve: Micros,
+    ) -> BatchPull {
+        match policy {
+            DropPolicy::None => pull_none(q, target_batch),
+            DropPolicy::Lazy => pull_lazy(q, now, exec),
+            DropPolicy::Early => pull_early(q, now, target_batch, exec, reserve),
+            DropPolicy::Deprioritize => pull_deprioritize(q, now, target_batch, exec),
+        }
+    }
+
+    fn pull_deprioritize(
+        q: &mut SessionQueue,
+        now: Micros,
+        target_batch: u32,
+        exec: &BatchingProfile,
+    ) -> BatchPull {
+        let len = q.pending.len();
+        for i in 0..len {
+            let window = target_batch.min((len - i) as u32);
+            let finish = now + exec.latency_clamped(window.max(1));
+            if q.pending[i].deadline >= finish {
+                let batch = q.pending.drain(i..i + window as usize).collect();
+                return BatchPull {
+                    batch,
+                    dropped: Vec::new(),
+                };
+            }
+        }
+        let n = (len as u32).min(target_batch);
+        BatchPull {
+            batch: q.pending.drain(..n as usize).collect(),
+            dropped: Vec::new(),
+        }
+    }
+
+    fn pull_none(q: &mut SessionQueue, target_batch: u32) -> BatchPull {
+        let n = (q.pending.len() as u32).min(target_batch);
+        BatchPull {
+            batch: q.pending.drain(..n as usize).collect(),
+            dropped: Vec::new(),
+        }
+    }
+
+    fn pull_lazy(q: &mut SessionQueue, now: Micros, exec: &BatchingProfile) -> BatchPull {
+        let mut dropped = Vec::new();
+        let min_exec = exec.latency_clamped(1);
+        while let Some(front) = q.pending.front() {
+            if front.deadline < now + min_exec {
+                dropped.push(q.pending.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        let mut batch = Vec::new();
+        if let Some(front) = q.pending.front() {
+            let budget = front.deadline - now;
+            let n = exec
+                .max_batch_within(budget)
+                .min(q.pending.len() as u32)
+                .max(1);
+            batch = q.pending.drain(..n as usize).collect();
+        }
+        BatchPull { batch, dropped }
+    }
+
+    fn pull_early(
+        q: &mut SessionQueue,
+        now: Micros,
+        target_batch: u32,
+        exec: &BatchingProfile,
+        reserve: Micros,
+    ) -> BatchPull {
+        let len = q.pending.len();
+        let mut start = None;
+        for i in 0..len {
+            let budget = q.pending[i]
+                .deadline
+                .saturating_sub(now)
+                .saturating_sub(reserve);
+            let absorbable = exec.max_batch_within(budget);
+            let window = target_batch.max(absorbable).min((len - i) as u32);
+            let finish = now + exec.latency_clamped(window.max(1));
+            if window >= 1 && q.pending[i].deadline >= finish {
+                start = Some((i, window));
+                break;
+            }
+        }
+        match start {
+            Some((i, window)) => {
+                let dropped: Vec<Request> = q.pending.drain(..i).collect();
+                let batch: Vec<Request> = q.pending.drain(..window as usize).collect();
+                BatchPull { batch, dropped }
+            }
+            None => {
+                let mut dropped = Vec::new();
+                while let Some(front) = q.pending.front() {
                     if front.deadline < now + exec.latency_clamped(1) {
-                        dropped.push(self.pending.pop_front().expect("front exists"));
+                        dropped.push(q.pending.pop_front().expect("front exists"));
                     } else {
                         break;
                     }

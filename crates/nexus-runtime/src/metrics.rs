@@ -1,8 +1,6 @@
 //! Run metrics: per-session counters, latency distributions, and the
 //! time-bucketed series behind Fig. 13.
 
-use std::collections::HashMap;
-
 use nexus_profile::Micros;
 use nexus_scheduler::SessionId;
 
@@ -92,7 +90,11 @@ impl FailureRecord {
 /// Aggregated metrics for one simulation run.
 #[derive(Debug, Default)]
 pub struct ClusterMetrics {
-    per_session: HashMap<SessionId, SessionMetrics>,
+    /// Dense per-session table indexed by `SessionId.0` (ids are small
+    /// sequential integers assigned by the planner), grown on demand.
+    /// Recording a request is then an array index instead of a hash —
+    /// this runs once per request on the hottest path in the simulator.
+    per_session: Vec<SessionMetrics>,
     timeline: Vec<TimelineBucket>,
     bucket_width: Micros,
     gpus_allocated: u32,
@@ -110,7 +112,15 @@ impl ClusterMetrics {
     }
 
     fn bucket_mut(&mut self, t: Micros) -> &mut TimelineBucket {
-        let idx = (t.as_micros() / self.bucket_width.as_micros()) as usize;
+        // One-second buckets are the only width the cluster uses; the
+        // constant divisor lets the compiler strength-reduce the division
+        // on a path hit several times per request.
+        let width = self.bucket_width.as_micros();
+        let idx = if width == 1_000_000 {
+            (t.as_micros() / 1_000_000) as usize
+        } else {
+            (t.as_micros() / width) as usize
+        };
         if idx >= self.timeline.len() {
             let fill = TimelineBucket {
                 gpus_allocated: self.gpus_allocated,
@@ -121,9 +131,23 @@ impl ClusterMetrics {
         &mut self.timeline[idx]
     }
 
+    fn session_mut(&mut self, session: SessionId) -> &mut SessionMetrics {
+        let idx = session.0 as usize;
+        if idx >= self.per_session.len() {
+            self.per_session.resize(idx + 1, SessionMetrics::default());
+        }
+        &mut self.per_session[idx]
+    }
+
+    /// Whether a session's slot has recorded anything (distinguishes a
+    /// never-seen session from a grow-on-demand filler entry).
+    fn seen(m: &SessionMetrics) -> bool {
+        m.arrived + m.good + m.late + m.dropped > 0
+    }
+
     /// Records a request arrival.
     pub fn record_arrival(&mut self, session: SessionId, t: Micros) {
-        self.per_session.entry(session).or_default().arrived += 1;
+        self.session_mut(session).arrived += 1;
         self.bucket_mut(t).arrivals += 1;
     }
 
@@ -135,7 +159,7 @@ impl ClusterMetrics {
         finish: Micros,
         good: bool,
     ) {
-        let m = self.per_session.entry(session).or_default();
+        let m = self.session_mut(session);
         if good {
             m.good += 1;
         } else {
@@ -152,7 +176,7 @@ impl ClusterMetrics {
 
     /// Records a drop.
     pub fn record_drop(&mut self, session: SessionId, t: Micros) {
-        self.per_session.entry(session).or_default().dropped += 1;
+        self.session_mut(session).dropped += 1;
         self.bucket_mut(t).bad += 1;
     }
 
@@ -239,14 +263,20 @@ impl ClusterMetrics {
             .sum()
     }
 
-    /// Per-session metrics.
+    /// Per-session metrics, if the session recorded any event.
     pub fn session(&self, id: SessionId) -> Option<&SessionMetrics> {
-        self.per_session.get(&id)
+        self.per_session
+            .get(id.0 as usize)
+            .filter(|m| ClusterMetrics::seen(m))
     }
 
-    /// All sessions seen.
-    pub fn sessions(&self) -> impl Iterator<Item = (&SessionId, &SessionMetrics)> {
-        self.per_session.iter()
+    /// All sessions seen, in session-id order.
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, &SessionMetrics)> {
+        self.per_session
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| ClusterMetrics::seen(m))
+            .map(|(i, m)| (SessionId(i as u32), m))
     }
 
     /// The timeline series.
@@ -257,7 +287,7 @@ impl ClusterMetrics {
     /// Overall request-level bad rate.
     pub fn bad_rate(&self) -> f64 {
         let (mut bad, mut total) = (0u64, 0u64);
-        for m in self.per_session.values() {
+        for m in &self.per_session {
             bad += m.late + m.dropped;
             total += m.good + m.late + m.dropped;
         }

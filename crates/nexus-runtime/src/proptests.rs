@@ -132,6 +132,62 @@ proptest! {
         prop_assert_eq!(ids, sorted);
     }
 
+    /// Differential: the optimized pulls produce identical `(batch,
+    /// dropped)` sequences to the pre-optimization reference
+    /// implementations, across interleaved pushes and pulls at advancing
+    /// times — every policy, target, and reserve.
+    #[test]
+    fn optimized_pulls_match_reference(
+        reqs in arb_requests(60),
+        pulls in prop::collection::vec((0u64..600_000, 1u32..32, 0usize..4, 0u64..100_000), 1..8),
+        alpha in 1u64..4_000,
+        beta in 1u64..20_000,
+    ) {
+        let profile = BatchingProfile::from_linear_ms(
+            alpha as f64 / 1_000.0,
+            beta as f64 / 1_000.0,
+            32,
+        );
+        let mut arrivals = reqs.clone();
+        arrivals.sort_by_key(|&(a, _)| a);
+        let mut fast = SessionQueue::new();
+        let mut slow = SessionQueue::new();
+        let mut fed = 0usize;
+        let mut scratch = crate::dispatch::BatchPull::default();
+        let mut pulls = pulls.clone();
+        pulls.sort_by_key(|&(now, ..)| now);
+        for &(now_us, target, policy_idx, reserve_us) in &pulls {
+            let now = Micros::from_micros(now_us);
+            // Feed both queues the requests that have arrived by `now`.
+            while fed < arrivals.len() && arrivals[fed].0 <= now_us {
+                let (arrival, slack) = arrivals[fed];
+                let r = Request {
+                    id: RequestId(fed as u64),
+                    session: SessionId(0),
+                    arrival: Micros::from_micros(arrival),
+                    deadline: Micros::from_micros(arrival + slack),
+                    query: None,
+                };
+                fast.push(r);
+                slow.push(r);
+                fed += 1;
+            }
+            let policy = [
+                DropPolicy::None,
+                DropPolicy::Lazy,
+                DropPolicy::Early,
+                DropPolicy::Deprioritize,
+            ][policy_idx];
+            let reserve = Micros::from_micros(reserve_us);
+            fast.pull_into(now, target, &profile, policy, reserve, &mut scratch);
+            let expect = crate::dispatch::reference::pull(
+                &mut slow, now, target, &profile, policy, reserve,
+            );
+            prop_assert_eq!(&scratch, &expect, "policy {:?} at t={}", policy, now);
+            prop_assert_eq!(fast.len(), slow.len());
+        }
+    }
+
     /// Query tracking closes exactly once per query with consistent
     /// goodness: good iff no drop and last completion ≤ deadline.
     #[test]

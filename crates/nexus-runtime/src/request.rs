@@ -5,7 +5,7 @@
 //! dataflow graph); it spawns one request per stage invocation and is good
 //! only if every spawned request completes by the query deadline.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use nexus_profile::Micros;
 use nexus_scheduler::SessionId;
@@ -50,7 +50,15 @@ pub enum RequestOutcome {
 /// the deadline or get dropped").
 #[derive(Debug, Default)]
 pub struct QueryTracker {
-    live: HashMap<QueryId, LiveQuery>,
+    /// Live queries in a sliding id window: `window[i]` tracks query id
+    /// `base + i`. Ids are sequential and query lifetimes are bounded by
+    /// the SLO, so the window stays shallow and every lookup is an index
+    /// instead of a hash — this runs several times per request.
+    window: VecDeque<Option<LiveQuery>>,
+    /// Query id of `window[0]`.
+    base: u64,
+    /// Count of open (`Some`) entries in the window.
+    live: usize,
     finished: Vec<FinishedQuery>,
     next_id: u64,
 }
@@ -90,33 +98,47 @@ impl QueryTracker {
     pub fn open(&mut self, arrival: Micros, deadline: Micros) -> QueryId {
         let id = QueryId(self.next_id);
         self.next_id += 1;
-        self.live.insert(
-            id,
-            LiveQuery {
-                deadline,
-                arrival,
-                outstanding: 1,
-                doomed: false,
-                last_completion: arrival,
-            },
-        );
+        self.window.push_back(Some(LiveQuery {
+            deadline,
+            arrival,
+            outstanding: 1,
+            doomed: false,
+            last_completion: arrival,
+        }));
+        self.live += 1;
         id
+    }
+
+    fn get(&self, query: QueryId) -> Option<&LiveQuery> {
+        let idx = query.0.checked_sub(self.base)? as usize;
+        self.window.get(idx)?.as_ref()
+    }
+
+    fn get_mut(&mut self, query: QueryId) -> Option<&mut LiveQuery> {
+        let idx = query.0.checked_sub(self.base)? as usize;
+        self.window.get_mut(idx)?.as_mut()
     }
 
     /// Absolute deadline of a still-open query.
     pub fn deadline(&self, query: QueryId) -> Option<Micros> {
-        self.live.get(&query).map(|q| q.deadline)
+        self.get(query).map(|q| q.deadline)
     }
 
     /// Arrival time of a still-open query.
     pub fn arrival(&self, query: QueryId) -> Option<Micros> {
-        self.live.get(&query).map(|q| q.arrival)
+        self.get(query).map(|q| q.arrival)
+    }
+
+    /// `(arrival, deadline)` of a still-open query in one window lookup —
+    /// the child-spawn path needs both and runs once per completed request.
+    pub fn span(&self, query: QueryId) -> Option<(Micros, Micros)> {
+        self.get(query).map(|q| (q.arrival, q.deadline))
     }
 
     /// Registers `n` additional outstanding stage requests for `query`
     /// (children spawned by a completed parent invocation).
     pub fn add_outstanding(&mut self, query: QueryId, n: u32) {
-        if let Some(q) = self.live.get_mut(&query) {
+        if let Some(q) = self.get_mut(query) {
             q.outstanding += n;
         }
     }
@@ -124,7 +146,7 @@ impl QueryTracker {
     /// Records a terminal outcome for one of the query's requests. Returns
     /// the finished query when this was its last outstanding request.
     pub fn record(&mut self, query: QueryId, outcome: RequestOutcome) -> Option<FinishedQuery> {
-        let q = self.live.get_mut(&query)?;
+        let q = self.get_mut(query)?;
         debug_assert!(q.outstanding > 0, "query finished twice");
         q.outstanding -= 1;
         match outcome {
@@ -139,20 +161,27 @@ impl QueryTracker {
                 q.last_completion = q.last_completion.max(t);
             }
         }
-        if q.outstanding == 0 {
-            let q = self.live.remove(&query).expect("present");
-            let finished = FinishedQuery {
-                id: query,
-                arrival: q.arrival,
-                deadline: q.deadline,
-                finished_at: q.last_completion,
-                good: !q.doomed && q.last_completion <= q.deadline,
-            };
-            self.finished.push(finished);
-            Some(finished)
-        } else {
-            None
+        if q.outstanding > 0 {
+            return None;
         }
+        let idx = (query.0 - self.base) as usize;
+        let q = self.window[idx].take().expect("present");
+        self.live -= 1;
+        // Pop closed entries off the front so the window tracks only the
+        // span from the oldest open query to the newest id.
+        while matches!(self.window.front(), Some(None)) {
+            self.window.pop_front();
+            self.base += 1;
+        }
+        let finished = FinishedQuery {
+            id: query,
+            arrival: q.arrival,
+            deadline: q.deadline,
+            finished_at: q.last_completion,
+            good: !q.doomed && q.last_completion <= q.deadline,
+        };
+        self.finished.push(finished);
+        Some(finished)
     }
 
     /// Queries that have reached a terminal state so far.
@@ -162,7 +191,7 @@ impl QueryTracker {
 
     /// Number of still-open queries.
     pub fn live_count(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// Fraction of finished queries that are bad (dropped or late).

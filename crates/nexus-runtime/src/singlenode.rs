@@ -11,7 +11,7 @@ use nexus_profile::{BatchingProfile, Micros};
 use nexus_simgpu::{EventQueue, InterferenceModel};
 use nexus_workload::{rng_for, ArrivalGen, ArrivalKind};
 
-use crate::dispatch::{DropPolicy, SessionQueue};
+use crate::dispatch::{BatchPull, DropPolicy, SessionQueue};
 use crate::request::{Request, RequestId};
 use nexus_scheduler::SessionId;
 
@@ -229,6 +229,8 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
     }
 
     let mut stats = vec![NodeSessionStats::default(); n];
+    let mut scratch = BatchPull::default();
+    let mut pool: Vec<Vec<Request>> = Vec::new();
     let mut node_busy = false; // coordinated: whole-GPU mutex
     let mut cursor = 0usize;
     let mut busy_us = 0u64;
@@ -260,14 +262,21 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
         busy_us: &mut u64,
         warmup: Micros,
         horizon: Micros,
+        scratch: &mut BatchPull,
+        pool: &mut Vec<Vec<Request>>,
     ) -> Option<usize> {
-        let order: Vec<usize> = match only {
-            Some(i) => vec![i],
-            None => (0..slots.len())
-                .map(|k| (cursor + k) % slots.len())
-                .collect(),
+        // Round-robin scan from the cursor (or just the one slot) without
+        // materialising the visit order.
+        let (base, count) = match only {
+            Some(i) => (i, 1),
+            None => (cursor, slots.len()),
         };
-        for si in order {
+        for k in 0..count {
+            let si = if count == 1 {
+                base
+            } else {
+                (base + k) % slots.len()
+            };
             let slot = &mut slots[si];
             if slot.busy || slot.queue.is_empty() || !slot.loaded {
                 continue;
@@ -293,25 +302,28 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
             } else {
                 slot.reserve
             };
-            let pull = slot.queue.pull(
+            slot.queue.pull_into(
                 now,
                 slot.target,
                 &sessions[si].profile,
                 cfg.drop_policy,
                 reserve,
+                scratch,
             );
-            for r in pull.dropped {
+            for r in scratch.dropped.drain(..) {
                 if r.arrival >= warmup && r.arrival < horizon {
                     stats[si].dropped += 1;
                 }
             }
-            if pull.batch.is_empty() {
+            if scratch.batch.is_empty() {
                 if let Some(expiry) = slot.queue.oldest_deadline() {
                     events.push(expiry.max(now + Micros(1)), Ev::Wake(si));
                 }
                 continue;
             }
-            let b = pull.batch.len() as u32;
+            // Hand the batch out and leave a recycled buffer in the scratch.
+            let batch = std::mem::replace(&mut scratch.batch, pool.pop().unwrap_or_default());
+            let b = batch.len() as u32;
             let concurrent = if cfg.coordinated {
                 1
             } else {
@@ -321,13 +333,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
             let duration = sessions[si].profile.latency_clamped(b).scale(factor);
             slots[si].busy = true;
             *busy_us += duration.as_micros() / concurrent as u64;
-            events.push(
-                now + duration,
-                Ev::Done {
-                    slot: si,
-                    batch: pull.batch,
-                },
-            );
+            events.push(now + duration, Ev::Done { slot: si, batch });
             return Some(si);
         }
         None
@@ -370,6 +376,8 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                             &mut busy_us,
                             cfg.warmup,
                             cfg.horizon,
+                            &mut scratch,
+                            &mut pool,
                         ) {
                             node_busy = true;
                             cursor = (si + 1) % n.max(1);
@@ -388,6 +396,8 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         &mut busy_us,
                         cfg.warmup,
                         cfg.horizon,
+                        &mut scratch,
+                        &mut pool,
                     );
                 }
             }
@@ -406,6 +416,8 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                             &mut busy_us,
                             cfg.warmup,
                             cfg.horizon,
+                            &mut scratch,
+                            &mut pool,
                         ) {
                             node_busy = true;
                             cursor = (si + 1) % n.max(1);
@@ -424,17 +436,21 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         &mut busy_us,
                         cfg.warmup,
                         cfg.horizon,
+                        &mut scratch,
+                        &mut pool,
                     );
                 }
             }
-            Ev::Done { slot, batch } => {
-                for req in batch {
+            Ev::Done { slot, mut batch } => {
+                for req in &batch {
                     if now <= req.deadline {
                         account!(stats, req, good);
                     } else {
                         account!(stats, req, late);
                     }
                 }
+                batch.clear();
+                pool.push(batch);
                 slots[slot].busy = false;
                 if cfg.coordinated {
                     node_busy = false;
@@ -450,6 +466,8 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         &mut busy_us,
                         cfg.warmup,
                         cfg.horizon,
+                        &mut scratch,
+                        &mut pool,
                     ) {
                         node_busy = true;
                         cursor = (si + 1) % n.max(1);
@@ -467,6 +485,8 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         &mut busy_us,
                         cfg.warmup,
                         cfg.horizon,
+                        &mut scratch,
+                        &mut pool,
                     );
                 }
             }

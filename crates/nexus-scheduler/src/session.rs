@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use nexus_profile::{BatchingProfile, Micros};
+use nexus_profile::{Micros, SharedProfile};
 
 /// Identifies a session within one scheduling problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -25,12 +25,14 @@ impl std::fmt::Display for SessionId {
 pub struct SessionSpec {
     /// Session identifier.
     pub id: SessionId,
-    /// Batching profile of the session's model on the cluster GPU type.
+    /// Batching profile of the session's model on the cluster GPU type,
+    /// behind a shared handle — specs are rebuilt every scheduling epoch,
+    /// and the latency table is immutable, so epochs share one allocation.
     ///
     /// For the -OL ablation or prefix-merged sessions, callers pass the
     /// already-transformed profile (`BatchingProfile::effective`,
     /// `PrefixPlan::merged_profile`).
-    pub profile: BatchingProfile,
+    pub profile: SharedProfile,
     /// End-to-end latency SLO for requests of this session.
     pub slo: Micros,
     /// Observed request rate, requests/second.
@@ -43,12 +45,12 @@ impl SessionSpec {
     /// # Panics
     ///
     /// Panics if `rate` is negative or not finite, or `slo` is zero.
-    pub fn new(id: SessionId, profile: BatchingProfile, slo: Micros, rate: f64) -> Self {
+    pub fn new(id: SessionId, profile: impl Into<SharedProfile>, slo: Micros, rate: f64) -> Self {
         assert!(rate.is_finite() && rate >= 0.0, "invalid rate {rate}");
         assert!(slo > Micros::ZERO, "SLO must be positive");
         SessionSpec {
             id,
-            profile,
+            profile: profile.into(),
             slo,
             rate,
         }
