@@ -16,10 +16,36 @@ cargo test -q --workspace
 echo "== cargo clippy =="
 cargo clippy --all-targets --workspace -- -D warnings
 
+echo "== cargo doc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== cargo deny =="
+# The workflow runs cargo-deny via its action; locally it gates only when
+# installed (`cargo install cargo-deny`) so a bare toolchain can still run
+# the rest of the suite.
+if command -v cargo-deny >/dev/null 2>&1; then
+  cargo deny check
+else
+  echo "(cargo-deny not installed; skipping — CI runs it)"
+fi
+
 echo "== perf smoke: simbench --quick =="
 # Catches panics, determinism violations (simbench asserts repeat runs
 # bit-identical), and gross hangs. Timing numbers are informational only —
 # CI machines are too noisy to gate on them.
 cargo run --release -q -p bench --bin simbench -- --quick
+
+echo "== schema golden: fixed-seed trace capture =="
+# The Fig. 13 mini-run must reproduce the committed golden byte-for-byte;
+# divergence means the trace schema or the simulation changed. Regenerate
+# deliberately with:
+#   cargo run -p nexus-obs --bin nexus-trace -- capture --golden \
+#     --out crates/nexus-obs/tests/golden/fig13_mini.trace.json
+tmp_golden="$(mktemp)"
+trap 'rm -f "$tmp_golden"' EXIT
+cargo run --release -q -p nexus-obs --bin nexus-trace -- \
+  capture --golden --out "$tmp_golden" >/dev/null
+cargo run --release -q -p nexus-obs --bin nexus-trace -- \
+  diff "$tmp_golden" crates/nexus-obs/tests/golden/fig13_mini.trace.json
 
 echo "CI OK"

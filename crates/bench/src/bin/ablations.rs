@@ -147,6 +147,7 @@ fn interference_delta(args: &Args) -> Vec<Vec<String>> {
                     horizon: args.horizon(),
                     warmup: args.warmup(),
                     strict_batches: false,
+                    trace_capacity: 0,
                 },
                 &sessions,
             )

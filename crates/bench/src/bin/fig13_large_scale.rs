@@ -6,7 +6,7 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig13_large_scale [--secs N]`
 
-use bench::{fig13_classes, print_table, write_json, Args};
+use bench::{fig13_classes, print_table, trace_capacity, write_json, write_trace, Args};
 use nexus::prelude::*;
 use nexus_profile::{Micros, GPU_K80};
 
@@ -15,7 +15,7 @@ fn main() {
     let horizon = args.horizon();
     let classes = fig13_classes(horizon, 1.0);
 
-    let result = nexus::run_once(
+    let result = nexus::run_traced(
         SystemConfig::nexus()
             .with_epoch(Micros::from_secs(30))
             .with_spread_factor(1.4),
@@ -25,7 +25,9 @@ fn main() {
         args.seed,
         args.warmup(),
         horizon,
+        trace_capacity(&args),
     );
+    write_trace(&args, &result);
 
     // The three panels, sampled every 10 s for the printed table (the JSON
     // carries every 1 s bucket).

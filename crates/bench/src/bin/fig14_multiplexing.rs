@@ -53,6 +53,7 @@ fn max_goodput(
                 horizon: args.horizon(),
                 warmup: args.warmup(),
                 strict_batches: false,
+                trace_capacity: 0,
             },
             &sessions,
         )

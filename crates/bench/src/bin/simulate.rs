@@ -117,14 +117,20 @@ fn main() {
     }
 
     if let (Some(path), Some(trace)) = (&trace_path, &result.trace) {
-        std::fs::write(path, serde_json::to_string(trace).expect("serializable"))
-            .expect("writable trace path");
+        let doc = nexus_obs::raw::encode(trace.events(), trace.truncated, None);
+        std::fs::write(path, doc.to_string()).expect("writable trace path");
         println!(
-            "\n(wrote {} trace events to {}, {} truncated)",
+            "\n(wrote {} trace events to {}; render with `nexus-trace export`)",
             trace.events().len(),
             path.display(),
-            trace.truncated
         );
+        if result.trace_truncated > 0 {
+            eprintln!(
+                "warning: trace truncated — {} events discarded after the \
+                 capture buffer filled",
+                result.trace_truncated
+            );
+        }
     }
     if let Some(path) = &out_path {
         let summary = serde_json::json!({

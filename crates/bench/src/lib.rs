@@ -29,6 +29,10 @@ pub struct Args {
     pub quick: bool,
     /// Optional JSON output path (`--out FILE`).
     pub out: Option<PathBuf>,
+    /// Optional execution-trace output path (`--trace FILE`); binaries that
+    /// support it run their headline simulation with tracing enabled and
+    /// write the capture here (`nexus-trace export` renders it).
+    pub trace: Option<PathBuf>,
 }
 
 impl Args {
@@ -43,6 +47,7 @@ impl Args {
             secs: default_secs,
             quick: false,
             out: None,
+            trace: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -61,8 +66,12 @@ impl Args {
                 }
                 "--quick" => args.quick = true,
                 "--out" => args.out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
+                "--trace" => {
+                    args.trace = Some(PathBuf::from(it.next().expect("--trace needs a path")))
+                }
                 other => panic!(
-                    "unknown argument {other:?} (supported: --seed N --secs N --quick --out FILE)"
+                    "unknown argument {other:?} \
+                     (supported: --seed N --secs N --quick --out FILE --trace FILE)"
                 ),
             }
         }
@@ -131,47 +140,45 @@ pub fn write_json<T: Serialize>(args: &Args, value: &T) {
     }
 }
 
-/// The Fig. 13 deployment workload: all seven Table 4 applications with
-/// Poisson arrivals, SLOs doubled for the K80 device class, and a
-/// diurnal-style ramp (~50% swell over the middle third of the run).
-/// `scale` multiplies every base rate; 1.0 is the 100-GPU deployment.
-pub fn fig13_classes(horizon: Micros, scale: f64) -> Vec<TrafficClass> {
-    let t = |num: u64, den: u64| Micros::from_micros(horizon.as_micros() * num / den);
-    let ramp = vec![
-        (Micros::ZERO, 1.0),
-        (t(3, 9), 1.25),
-        (t(4, 9), 1.5),
-        (t(6, 9), 1.25),
-        (t(7, 9), 1.0),
-    ];
-    // Per-app base frame rates sized to keep a 100-GPU K80 cluster busy
-    // but not saturated before the surge.
-    let base_rates = [
-        ("game", 1_600.0),
-        ("traffic", 150.0),
-        ("dance", 100.0),
-        ("bb", 90.0),
-        ("bike", 80.0),
-        ("amber", 70.0),
-        ("logo", 55.0),
-    ];
-    nexus_workload::all_apps()
-        .into_iter()
-        .map(|mut app| {
-            // The deployment runs on K80s, ~2.3× slower than the 1080Ti the
-            // case-study SLOs were written for; sessions there are defined
-            // with SLOs feasible for the device class (the paper does not
-            // fix the 100-GPU deployment's SLOs). Scale by 2×.
-            app.slo = app.slo * 2;
-            let rate = base_rates
-                .iter()
-                .find(|(n, _)| *n == app.name)
-                .expect("rate for every app")
-                .1;
-            TrafficClass::new(app, ArrivalKind::Poisson, rate * scale).with_modulation(ramp.clone())
-        })
-        .collect()
+/// The trace capacity a headline run should use: sized for multi-minute
+/// runs when `--trace` was given, zero (tracing fully off-path) otherwise.
+pub fn trace_capacity(args: &Args) -> usize {
+    if args.trace.is_some() {
+        4_000_000
+    } else {
+        0
+    }
 }
+
+/// Writes a run's captured trace to `--trace` (if given) in the versioned
+/// `nexus-obs` file format, logging truncation loudly — an incomplete
+/// capture silently read as complete would corrupt downstream analysis.
+pub fn write_trace(args: &Args, result: &SimResult) {
+    let Some(path) = &args.trace else { return };
+    let Some(trace) = &result.trace else {
+        eprintln!("--trace given but the run captured no trace");
+        return;
+    };
+    let doc = nexus_obs::raw::encode(trace.events(), trace.truncated, None);
+    std::fs::write(path, doc.to_string()).expect("writable --trace path");
+    println!(
+        "(wrote {} trace events to {})",
+        trace.events().len(),
+        path.display()
+    );
+    if result.trace_truncated > 0 {
+        eprintln!(
+            "warning: trace truncated — {} events discarded after the \
+             capture buffer filled",
+            result.trace_truncated
+        );
+    }
+}
+
+// The Fig. 13 deployment workload now lives in the facade crate (so the
+// `nexus-trace capture` CLI can regenerate it); re-exported here for the
+// figure binaries.
+pub use nexus::workloads::fig13_classes;
 
 /// Traffic classes for the game case study (§7.3.1) at a total frame rate.
 pub fn game_classes(rate: f64) -> Vec<TrafficClass> {

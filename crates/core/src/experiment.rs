@@ -67,6 +67,23 @@ pub fn run_once(
     warmup: Micros,
     horizon: Micros,
 ) -> SimResult {
+    run_traced(system, device, gpus, classes, seed, warmup, horizon, 0)
+}
+
+/// [`run_once`] with execution tracing: up to `trace_capacity` events are
+/// captured into [`SimResult::trace`] (0 disables capture and is exactly
+/// `run_once` — tracing is off the simulation path).
+#[allow(clippy::too_many_arguments)]
+pub fn run_traced(
+    system: SystemConfig,
+    device: DeviceType,
+    gpus: u32,
+    classes: Vec<TrafficClass>,
+    seed: u64,
+    warmup: Micros,
+    horizon: Micros,
+    trace_capacity: usize,
+) -> SimResult {
     ClusterSim::new(
         SimConfig {
             system,
@@ -75,7 +92,7 @@ pub fn run_once(
             seed,
             horizon,
             warmup,
-            trace_capacity: 0,
+            trace_capacity,
             faults: vec![],
         },
         classes,

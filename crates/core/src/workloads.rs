@@ -1,0 +1,64 @@
+//! Canonical experiment workloads shared by the bench binaries and the
+//! trace tooling.
+//!
+//! These live here (rather than in the bench harness) so non-bench
+//! consumers — notably the `nexus-trace capture` CLI — can regenerate the
+//! exact deployment workload a figure used without linking the whole
+//! harness.
+
+use nexus_profile::Micros;
+use nexus_runtime::TrafficClass;
+use nexus_workload::ArrivalKind;
+
+/// The Fig. 13 deployment workload: all seven Table 4 applications with
+/// Poisson arrivals, SLOs doubled for the K80 device class, and a
+/// diurnal-style ramp (~50% swell over the middle third of the run).
+/// `scale` multiplies every base rate; 1.0 is the 100-GPU deployment.
+pub fn fig13_classes(horizon: Micros, scale: f64) -> Vec<TrafficClass> {
+    let t = |num: u64, den: u64| Micros::from_micros(horizon.as_micros() * num / den);
+    let ramp = vec![
+        (Micros::ZERO, 1.0),
+        (t(3, 9), 1.25),
+        (t(4, 9), 1.5),
+        (t(6, 9), 1.25),
+        (t(7, 9), 1.0),
+    ];
+    // Per-app base frame rates sized to keep a 100-GPU K80 cluster busy
+    // but not saturated before the surge.
+    let base_rates = [
+        ("game", 1_600.0),
+        ("traffic", 150.0),
+        ("dance", 100.0),
+        ("bb", 90.0),
+        ("bike", 80.0),
+        ("amber", 70.0),
+        ("logo", 55.0),
+    ];
+    nexus_workload::all_apps()
+        .into_iter()
+        .map(|mut app| {
+            // The deployment runs on K80s, ~2.3× slower than the 1080Ti the
+            // case-study SLOs were written for; sessions there are defined
+            // with SLOs feasible for the device class (the paper does not
+            // fix the 100-GPU deployment's SLOs). Scale by 2×.
+            app.slo = app.slo * 2;
+            let rate = base_rates
+                .iter()
+                .find(|(n, _)| *n == app.name)
+                .expect("rate for every app")
+                .1;
+            TrafficClass::new(app, ArrivalKind::Poisson, rate * scale).with_modulation(ramp.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_covers_all_seven_apps() {
+        let classes = fig13_classes(Micros::from_secs(10), 0.1);
+        assert_eq!(classes.len(), 7);
+    }
+}

@@ -1,0 +1,34 @@
+//! Observability for the Nexus reproduction (DESIGN.md §12).
+//!
+//! The simulator and runtimes capture bounded [`nexus_runtime::Trace`]
+//! streams of per-request phase spans (arrival → queue wait → batched
+//! execution → completion), drop causes, and control-plane markers. This
+//! crate turns those captures into artifacts:
+//!
+//! - [`raw`] — the versioned JSON trace-file format (lossless round-trip);
+//! - [`phases`] — request lifetime reconstruction and quantile stats;
+//! - [`perfetto`] — Chrome-trace / Perfetto export (one track per GPU
+//!   slot, one per session, flow arrows arrival → batch);
+//! - [`prometheus`] — Prometheus text exposition of a run's metrics;
+//! - [`summary`] — the compact human summary;
+//! - [`json`] — the dependency-free JSON value the above are built on.
+//!
+//! The `nexus-trace` binary wraps these as `capture` / `export` /
+//! `summarize` / `diff` subcommands.
+
+pub mod json;
+pub mod perfetto;
+pub mod phases;
+pub mod prometheus;
+pub mod raw;
+pub mod summary;
+
+#[cfg(test)]
+mod proptests;
+
+pub use json::{parse as parse_json, Json, ParseError};
+pub use perfetto::{chrome_trace, validate_chrome_trace};
+pub use phases::{phase_stats, reconstruct, DropSpan, PhaseStats, Phases, RequestSpan};
+pub use raw::{
+    decode, encode, event_from_json, event_to_json, SchemaError, TraceFile, SCHEMA_VERSION,
+};

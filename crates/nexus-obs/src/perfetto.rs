@@ -1,0 +1,384 @@
+//! Chrome-trace (Perfetto-loadable) export.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) that
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! ingest:
+//!
+//! - **pid 1 "GPU backends"** — one thread per backend slot; every batch
+//!   execution is a complete `"X"` slice with its size/session/seq in args.
+//! - **pid 2 "Sessions"** — one thread per session; every completed request
+//!   is an async `"b"`/`"e"` pair spanning arrival → completion, and every
+//!   drop an instant `"i"` tagged with its cause.
+//! - **pid 3 "Control plane"** — instants for reallocations, faults,
+//!   failure detections, retries, and rejoins.
+//! - Flow arrows (`"s"` → `"f"`) connect each request's arrival to the
+//!   batch slice that served it, when that batch survives in the capture.
+
+use std::collections::BTreeMap;
+
+use nexus_runtime::TraceEvent;
+
+use crate::json::Json;
+use crate::phases;
+
+const GPU_PID: u64 = 1;
+const SESSION_PID: u64 = 2;
+const CONTROL_PID: u64 = 3;
+
+fn ev(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(v: &str) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn metadata(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
+    let mut fields = vec![
+        ("name", s(name)),
+        ("ph", s("M")),
+        ("pid", Json::UInt(pid)),
+        ("tid", Json::UInt(tid.unwrap_or(0))),
+    ];
+    fields.push(("args", ev(vec![("name", s(value))])));
+    ev(fields)
+}
+
+/// Renders an event stream as a Chrome-trace JSON document.
+pub fn chrome_trace(events: &[TraceEvent]) -> Json {
+    let mut out: Vec<Json> = Vec::new();
+
+    // Track discovery first, so metadata precedes data events.
+    let mut backends: BTreeMap<usize, ()> = BTreeMap::new();
+    let mut sessions: BTreeMap<u32, ()> = BTreeMap::new();
+    let mut batch_backend: BTreeMap<u64, usize> = BTreeMap::new();
+    for e in events {
+        match e {
+            TraceEvent::Batch {
+                backend,
+                session,
+                seq,
+                ..
+            } => {
+                backends.insert(*backend, ());
+                sessions.insert(session.0, ());
+                batch_backend.insert(*seq, *backend);
+            }
+            TraceEvent::Arrival { session, .. }
+            | TraceEvent::Completion { session, .. }
+            | TraceEvent::Drop { session, .. }
+            | TraceEvent::Retry { session, .. } => {
+                sessions.insert(session.0, ());
+            }
+            _ => {}
+        }
+    }
+
+    out.push(metadata("process_name", GPU_PID, None, "GPU backends"));
+    out.push(metadata("process_name", SESSION_PID, None, "Sessions"));
+    out.push(metadata("process_name", CONTROL_PID, None, "Control plane"));
+    for &b in backends.keys() {
+        out.push(metadata(
+            "thread_name",
+            GPU_PID,
+            Some(b as u64),
+            &format!("gpu {b}"),
+        ));
+    }
+    for &sid in sessions.keys() {
+        out.push(metadata(
+            "thread_name",
+            SESSION_PID,
+            Some(u64::from(sid)),
+            &format!("session {sid}"),
+        ));
+    }
+
+    for e in events {
+        match e {
+            TraceEvent::Batch {
+                t,
+                backend,
+                session,
+                size,
+                duration,
+                seq,
+            } => out.push(ev(vec![
+                ("name", s(&format!("batch b={size} s={}", session.0))),
+                ("cat", s("exec")),
+                ("ph", s("X")),
+                ("ts", Json::UInt(t.as_micros())),
+                ("dur", Json::UInt(duration.as_micros())),
+                ("pid", Json::UInt(GPU_PID)),
+                ("tid", Json::UInt(*backend as u64)),
+                (
+                    "args",
+                    ev(vec![
+                        ("seq", Json::UInt(*seq)),
+                        ("size", Json::UInt(u64::from(*size))),
+                        ("session", Json::UInt(u64::from(session.0))),
+                    ]),
+                ),
+            ])),
+            TraceEvent::Drop {
+                t,
+                request,
+                session,
+                cause,
+            } => out.push(ev(vec![
+                ("name", s(&format!("drop:{cause:?}"))),
+                ("cat", s("drop")),
+                ("ph", s("i")),
+                ("s", s("t")),
+                ("ts", Json::UInt(t.as_micros())),
+                ("pid", Json::UInt(SESSION_PID)),
+                ("tid", Json::UInt(u64::from(session.0))),
+                ("args", ev(vec![("request", Json::UInt(*request))])),
+            ])),
+            TraceEvent::Reallocation {
+                t,
+                gpus,
+                model_loads,
+            } => out.push(ev(vec![
+                ("name", s(&format!("realloc gpus={gpus}"))),
+                ("cat", s("control")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", Json::UInt(t.as_micros())),
+                ("pid", Json::UInt(CONTROL_PID)),
+                ("tid", Json::UInt(0)),
+                (
+                    "args",
+                    ev(vec![
+                        ("gpus", Json::UInt(u64::from(*gpus))),
+                        ("model_loads", Json::UInt(*model_loads as u64)),
+                    ]),
+                ),
+            ])),
+            TraceEvent::Fault { t, gpu, kind } => out.push(ev(vec![
+                ("name", s(&format!("fault:{kind:?} gpu={gpu}"))),
+                ("cat", s("control")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", Json::UInt(t.as_micros())),
+                ("pid", Json::UInt(CONTROL_PID)),
+                ("tid", Json::UInt(0)),
+            ])),
+            TraceEvent::FailureDetected { t, gpu } => out.push(ev(vec![
+                ("name", s(&format!("failure-detected gpu={gpu}"))),
+                ("cat", s("control")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", Json::UInt(t.as_micros())),
+                ("pid", Json::UInt(CONTROL_PID)),
+                ("tid", Json::UInt(0)),
+            ])),
+            TraceEvent::Retry {
+                t,
+                request,
+                session,
+            } => out.push(ev(vec![
+                ("name", s(&format!("retry req={request}"))),
+                ("cat", s("control")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", Json::UInt(t.as_micros())),
+                ("pid", Json::UInt(CONTROL_PID)),
+                ("tid", Json::UInt(u64::from(session.0))),
+            ])),
+            TraceEvent::Rejoin { t, gpu } => out.push(ev(vec![
+                ("name", s(&format!("rejoin gpu={gpu}"))),
+                ("cat", s("control")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", Json::UInt(t.as_micros())),
+                ("pid", Json::UInt(CONTROL_PID)),
+                ("tid", Json::UInt(0)),
+            ])),
+            // Arrivals are represented by the async span start below.
+            TraceEvent::Arrival { .. } | TraceEvent::Completion { .. } => {}
+        }
+    }
+
+    // Request lifetimes: async spans on the session track plus flow arrows
+    // into the serving batch slice.
+    for span in phases::reconstruct(events).spans {
+        let sid = u64::from(span.session.0);
+        out.push(ev(vec![
+            ("name", s("request")),
+            ("cat", s("request")),
+            ("ph", s("b")),
+            ("id", Json::UInt(span.request)),
+            ("ts", Json::UInt(span.arrival.as_micros())),
+            ("pid", Json::UInt(SESSION_PID)),
+            ("tid", Json::UInt(sid)),
+            (
+                "args",
+                ev(vec![
+                    ("queue_us", Json::UInt(span.queue_wait().as_micros())),
+                    ("exec_us", Json::UInt(span.exec().as_micros())),
+                    ("good", Json::Bool(span.good)),
+                ]),
+            ),
+        ]));
+        out.push(ev(vec![
+            ("name", s("request")),
+            ("cat", s("request")),
+            ("ph", s("e")),
+            ("id", Json::UInt(span.request)),
+            ("ts", Json::UInt(span.completion.as_micros())),
+            ("pid", Json::UInt(SESSION_PID)),
+            ("tid", Json::UInt(sid)),
+        ]));
+        // Flow arrow arrival → batch, only when the batch slice survived
+        // capture truncation (otherwise there is nothing to bind to).
+        if let Some(&backend) = batch_backend.get(&span.batch_seq) {
+            out.push(ev(vec![
+                ("name", s("dispatch")),
+                ("cat", s("flow")),
+                ("ph", s("s")),
+                ("id", Json::UInt(span.request)),
+                ("ts", Json::UInt(span.arrival.as_micros())),
+                ("pid", Json::UInt(SESSION_PID)),
+                ("tid", Json::UInt(sid)),
+            ]));
+            out.push(ev(vec![
+                ("name", s("dispatch")),
+                ("cat", s("flow")),
+                ("ph", s("f")),
+                ("bp", s("e")),
+                ("id", Json::UInt(span.request)),
+                ("ts", Json::UInt(span.exec_start.as_micros())),
+                ("pid", Json::UInt(GPU_PID)),
+                ("tid", Json::UInt(backend as u64)),
+            ]));
+        }
+    }
+
+    Json::Object(vec![
+        ("traceEvents".to_string(), Json::Array(out)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ])
+}
+
+/// Structural validity check for a Chrome-trace document: the fields the
+/// viewers require are present and well-typed. Returns the first problem.
+pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        for key in ["name", "pid", "tid"] {
+            if e.get(key).is_none() {
+                return Err(format!("event {i} (ph={ph}): missing {key}"));
+            }
+        }
+        if ph != "M" && e.get("ts").and_then(Json::as_u64).is_none() {
+            return Err(format!("event {i} (ph={ph}): missing ts"));
+        }
+        match ph {
+            "X" => {
+                if e.get("dur").and_then(Json::as_u64).is_none() {
+                    return Err(format!("event {i}: X slice without dur"));
+                }
+            }
+            "b" | "e" | "s" | "f" => {
+                if e.get("id").is_none() {
+                    return Err(format!("event {i}: ph={ph} without id"));
+                }
+            }
+            "i" | "M" => {}
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_profile::Micros;
+    use nexus_runtime::DropCause;
+    use nexus_scheduler::SessionId;
+
+    #[test]
+    fn export_is_structurally_valid_and_flows_pair_up() {
+        let events = vec![
+            TraceEvent::Arrival {
+                t: Micros::from_micros(10),
+                request: 1,
+                session: SessionId(0),
+            },
+            TraceEvent::Batch {
+                t: Micros::from_micros(40),
+                backend: 2,
+                session: SessionId(0),
+                size: 4,
+                duration: Micros::from_micros(60),
+                seq: 1,
+            },
+            TraceEvent::Completion {
+                t: Micros::from_micros(100),
+                request: 1,
+                session: SessionId(0),
+                latency: Micros::from_micros(90),
+                exec_start: Micros::from_micros(40),
+                batch_seq: 1,
+                good: true,
+            },
+            TraceEvent::Drop {
+                t: Micros::from_micros(120),
+                request: 2,
+                session: SessionId(0),
+                cause: DropCause::Expired,
+            },
+        ];
+        let doc = chrome_trace(&events);
+        validate_chrome_trace(&doc).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let count_ph = |ph: &str| {
+            evs.iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(count_ph("X"), 1);
+        assert_eq!(count_ph("b"), 1);
+        assert_eq!(count_ph("e"), 1);
+        assert_eq!(count_ph("s"), count_ph("f"));
+        assert_eq!(count_ph("s"), 1);
+        assert_eq!(count_ph("i"), 1);
+    }
+
+    #[test]
+    fn truncated_batches_suppress_flows_not_spans() {
+        // Completion referencing a batch that was truncated away.
+        let events = vec![TraceEvent::Completion {
+            t: Micros::from_micros(100),
+            request: 1,
+            session: SessionId(3),
+            latency: Micros::from_micros(50),
+            exec_start: Micros::from_micros(80),
+            batch_seq: 77,
+            good: false,
+        }];
+        let doc = chrome_trace(&events);
+        validate_chrome_trace(&doc).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(evs
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) != Some("s")));
+        assert!(evs
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("b")));
+    }
+}

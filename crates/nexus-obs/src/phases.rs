@@ -1,0 +1,188 @@
+//! Request phase-span reconstruction.
+//!
+//! A completed request's lifetime partitions exactly into queue wait
+//! `[arrival, exec_start)` and batched execution `[exec_start, completion)`
+//! (DESIGN.md §12). [`TraceEvent::Completion`] carries everything needed to
+//! rebuild both spans, so reconstruction works even on truncated captures
+//! where the matching `Arrival`/`Batch` events were discarded.
+
+use nexus_profile::Micros;
+use nexus_runtime::{DropCause, TraceEvent};
+use nexus_scheduler::SessionId;
+
+/// One completed request's reconstructed lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// Request id.
+    pub request: u64,
+    /// Session.
+    pub session: SessionId,
+    /// Frontend arrival.
+    pub arrival: Micros,
+    /// Queue-wait → execution boundary.
+    pub exec_start: Micros,
+    /// Completion.
+    pub completion: Micros,
+    /// The serving batch's trace id (0 if unrecorded).
+    pub batch_seq: u64,
+    /// Whether the deadline was met.
+    pub good: bool,
+}
+
+impl RequestSpan {
+    /// Time spent queued: `[arrival, exec_start)`.
+    pub fn queue_wait(&self) -> Micros {
+        self.exec_start - self.arrival
+    }
+
+    /// Time spent executing: `[exec_start, completion)`.
+    pub fn exec(&self) -> Micros {
+        self.completion - self.exec_start
+    }
+
+    /// Arrival-to-completion latency; equals `queue_wait() + exec()` by
+    /// construction (the partition property the proptests pin down).
+    pub fn total(&self) -> Micros {
+        self.completion - self.arrival
+    }
+}
+
+/// One dropped request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropSpan {
+    /// Request id.
+    pub request: u64,
+    /// Session.
+    pub session: SessionId,
+    /// When the drop happened.
+    pub t: Micros,
+    /// Why.
+    pub cause: DropCause,
+}
+
+/// Every reconstructed lifetime in a trace.
+#[derive(Debug, Clone, Default)]
+pub struct Phases {
+    /// Completed requests, in completion order.
+    pub spans: Vec<RequestSpan>,
+    /// Dropped requests, in drop order.
+    pub drops: Vec<DropSpan>,
+}
+
+/// Rebuilds request lifetimes from an event stream.
+pub fn reconstruct(events: &[TraceEvent]) -> Phases {
+    let mut phases = Phases::default();
+    for e in events {
+        match *e {
+            TraceEvent::Completion {
+                t,
+                request,
+                session,
+                latency,
+                exec_start,
+                batch_seq,
+                good,
+            } => phases.spans.push(RequestSpan {
+                request,
+                session,
+                arrival: t - latency,
+                exec_start,
+                completion: t,
+                batch_seq,
+                good,
+            }),
+            TraceEvent::Drop {
+                t,
+                request,
+                session,
+                cause,
+            } => phases.drops.push(DropSpan {
+                request,
+                session,
+                t,
+                cause,
+            }),
+            _ => {}
+        }
+    }
+    phases
+}
+
+/// Quantile summary of one phase across many spans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Median, in µs.
+    pub p50: u64,
+    /// 99th percentile, in µs.
+    pub p99: u64,
+    /// Mean, in µs.
+    pub mean: f64,
+}
+
+/// Computes count/p50/p99/mean over raw µs samples (empty → all zeros).
+pub fn phase_stats(mut samples: Vec<u64>) -> PhaseStats {
+    if samples.is_empty() {
+        return PhaseStats {
+            count: 0,
+            p50: 0,
+            p99: 0,
+            mean: 0.0,
+        };
+    }
+    samples.sort_unstable();
+    let q = |f: f64| {
+        let idx = ((samples.len() - 1) as f64 * f).round() as usize;
+        samples[idx]
+    };
+    let sum: u64 = samples.iter().sum();
+    PhaseStats {
+        count: samples.len(),
+        p50: q(0.50),
+        p99: q(0.99),
+        mean: sum as f64 / samples.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_rebuild_from_completions_alone() {
+        let events = vec![TraceEvent::Completion {
+            t: Micros::from_micros(150),
+            request: 3,
+            session: SessionId(1),
+            latency: Micros::from_micros(100),
+            exec_start: Micros::from_micros(90),
+            batch_seq: 2,
+            good: true,
+        }];
+        let p = reconstruct(&events);
+        assert_eq!(p.spans.len(), 1);
+        let s = p.spans[0];
+        assert_eq!(s.arrival, Micros::from_micros(50));
+        assert_eq!(s.queue_wait(), Micros::from_micros(40));
+        assert_eq!(s.exec(), Micros::from_micros(60));
+        assert_eq!(s.total(), Micros::from_micros(100));
+    }
+
+    #[test]
+    fn stats_quantiles_are_sane() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let st = phase_stats(samples);
+        assert_eq!(st.count, 100);
+        assert_eq!(st.p50, 51);
+        assert_eq!(st.p99, 99);
+        assert!((st.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let st = phase_stats(vec![]);
+        assert_eq!(st.count, 0);
+        assert_eq!(st.p99, 0);
+    }
+}

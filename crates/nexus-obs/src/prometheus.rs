@@ -1,0 +1,190 @@
+//! Prometheus text exposition (version 0.0.4) of a run's metrics.
+//!
+//! One call renders a [`SimResult`] as the plain-text format a Prometheus
+//! scrape returns: `# HELP` / `# TYPE` headers followed by labeled samples.
+//! Intended for piping into pushgateway-style tooling or for diffing runs.
+
+use std::fmt::Write as _;
+
+use nexus_runtime::SimResult;
+
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn counter_header(out: &mut String, name: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+}
+
+fn gauge_header(out: &mut String, name: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+}
+
+/// Renders the run's metrics in Prometheus text exposition format.
+pub fn render(result: &SimResult) -> String {
+    let mut out = String::new();
+
+    gauge(
+        &mut out,
+        "nexus_query_bad_rate",
+        "Fraction of window queries dropped or past deadline.",
+        result.query_bad_rate,
+    );
+    gauge(
+        &mut out,
+        "nexus_request_bad_rate",
+        "Fraction of window requests late or dropped.",
+        result.request_bad_rate,
+    );
+    gauge(
+        &mut out,
+        "nexus_query_goodput",
+        "Good queries per second over the measurement window.",
+        result.query_goodput,
+    );
+    gauge(
+        &mut out,
+        "nexus_mean_gpus",
+        "Mean GPUs allocated over the run.",
+        result.mean_gpus,
+    );
+    gauge(
+        &mut out,
+        "nexus_gpu_utilization",
+        "Aggregate GPU busy time over allocated GPU-seconds.",
+        result.gpu_utilization,
+    );
+
+    counter_header(
+        &mut out,
+        "nexus_queries_finished_total",
+        "Window queries that reached a terminal state.",
+    );
+    let _ = writeln!(
+        out,
+        "nexus_queries_finished_total {}",
+        result.queries_finished
+    );
+    counter_header(
+        &mut out,
+        "nexus_events_processed_total",
+        "Discrete events processed by the simulation engine.",
+    );
+    let _ = writeln!(
+        out,
+        "nexus_events_processed_total {}",
+        result.events_processed
+    );
+    counter_header(
+        &mut out,
+        "nexus_trace_truncated_total",
+        "Trace events discarded after the capture buffer filled.",
+    );
+    let _ = writeln!(
+        out,
+        "nexus_trace_truncated_total {}",
+        result.trace_truncated
+    );
+
+    gauge_header(
+        &mut out,
+        "nexus_session_bad_rate",
+        "Per-session late-or-dropped fraction.",
+    );
+    for (id, m) in result.metrics.sessions() {
+        let _ = writeln!(
+            out,
+            "nexus_session_bad_rate{{session=\"{}\"}} {}",
+            id.0,
+            m.bad_rate()
+        );
+    }
+
+    gauge_header(
+        &mut out,
+        "nexus_session_latency_us",
+        "Per-session completion latency quantiles, microseconds.",
+    );
+    for (id, m) in result.metrics.sessions() {
+        for (label, q) in [("0.5", 0.5), ("0.99", 0.99)] {
+            if let Some(v) = m.latency_quantile(q) {
+                let _ = writeln!(
+                    out,
+                    "nexus_session_latency_us{{session=\"{}\",quantile=\"{label}\"}} {}",
+                    id.0,
+                    v.as_micros()
+                );
+            }
+        }
+    }
+
+    gauge_header(
+        &mut out,
+        "nexus_gpu_busy_fraction",
+        "Measured per-GPU busy fraction since the last deployment swap.",
+    );
+    for occ in &result.gpu_occupancy {
+        let _ = writeln!(
+            out,
+            "nexus_gpu_busy_fraction{{backend=\"{}\"}} {}",
+            occ.backend, occ.busy_frac
+        );
+    }
+    gauge_header(
+        &mut out,
+        "nexus_gpu_planned_fraction",
+        "Squishy-plan predicted duty-cycle occupancy per GPU.",
+    );
+    for occ in &result.gpu_occupancy {
+        let _ = writeln!(
+            out,
+            "nexus_gpu_planned_fraction{{backend=\"{}\"}} {}",
+            occ.backend, occ.planned_frac
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_profile::{Micros, GPU_GTX1080TI};
+    use nexus_runtime::{SystemConfig, TrafficClass};
+    use nexus_workload::{apps, ArrivalKind};
+
+    #[test]
+    fn exposition_is_well_formed() {
+        let result = nexus::run_once(
+            SystemConfig::nexus(),
+            GPU_GTX1080TI,
+            2,
+            vec![TrafficClass::new(
+                apps::traffic(),
+                ArrivalKind::Uniform,
+                30.0,
+            )],
+            1,
+            Micros::from_secs(2),
+            Micros::from_secs(6),
+        );
+        let text = render(&result);
+        let mut samples = 0;
+        for line in text.lines() {
+            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+                continue;
+            }
+            // Every sample line: <name>[{labels}] <float>
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty());
+            value.parse::<f64>().expect("numeric value");
+            samples += 1;
+        }
+        assert!(samples >= 8, "got {samples} samples:\n{text}");
+        assert!(text.contains("nexus_gpu_busy_fraction{backend=\"0\"}"));
+    }
+}

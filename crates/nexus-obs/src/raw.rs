@@ -1,0 +1,475 @@
+//! The on-disk trace file format: a versioned JSON encoding of
+//! [`TraceEvent`] streams that round-trips losslessly.
+//!
+//! Layout (`schema` = [`SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "truncated": 0,
+//!   "meta": { ... },            // free-form capture provenance
+//!   "events": [ {"Arrival": {"t": 12, "request": 0, "session": 3}}, ... ]
+//! }
+//! ```
+//!
+//! Events use externally-tagged variants with field names matching the
+//! `TraceEvent` declaration, so files written here match what a
+//! serde_json-serialized `Trace` would contain.
+
+use nexus_profile::Micros;
+use nexus_runtime::{DropCause, TraceEvent};
+use nexus_scheduler::SessionId;
+use nexus_simgpu::FaultKind;
+
+use crate::json::Json;
+
+/// Version stamp written into every trace file; bump on any event-schema
+/// change so `nexus-trace` can reject files it would misread.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A trace-file decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace schema error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn err(msg: impl Into<String>) -> SchemaError {
+    SchemaError(msg.into())
+}
+
+/// A decoded trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFile {
+    /// Events in file order.
+    pub events: Vec<TraceEvent>,
+    /// Events the capture discarded after its buffer filled.
+    pub truncated: u64,
+    /// Capture provenance (seed, workload, …), if recorded.
+    pub meta: Option<Json>,
+}
+
+/// Encodes a trace file.
+pub fn encode(events: &[TraceEvent], truncated: u64, meta: Option<Json>) -> Json {
+    let mut fields = vec![
+        ("schema".to_string(), Json::UInt(SCHEMA_VERSION)),
+        ("truncated".to_string(), Json::UInt(truncated)),
+    ];
+    if let Some(meta) = meta {
+        fields.push(("meta".to_string(), meta));
+    }
+    fields.push((
+        "events".to_string(),
+        Json::Array(events.iter().map(event_to_json).collect()),
+    ));
+    Json::Object(fields)
+}
+
+/// Decodes a trace file, rejecting unknown schema versions.
+pub fn decode(doc: &Json) -> Result<TraceFile, SchemaError> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err("missing schema version"))?;
+    if schema != SCHEMA_VERSION {
+        return Err(err(format!(
+            "unsupported schema {schema} (this build reads {SCHEMA_VERSION})"
+        )));
+    }
+    let truncated = doc.get("truncated").and_then(Json::as_u64).unwrap_or(0);
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .ok_or_else(|| err("missing events array"))?
+        .iter()
+        .map(event_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TraceFile {
+        events,
+        truncated,
+        meta: doc.get("meta").cloned(),
+    })
+}
+
+fn micros(v: Micros) -> Json {
+    Json::UInt(v.as_micros())
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn tagged(tag: &str, body: Json) -> Json {
+    Json::Object(vec![(tag.to_string(), body)])
+}
+
+fn drop_cause_name(cause: DropCause) -> &'static str {
+    match cause {
+        DropCause::NoRoute => "NoRoute",
+        DropCause::EarlySacrifice => "EarlySacrifice",
+        DropCause::Expired => "Expired",
+        DropCause::Orphaned => "Orphaned",
+        DropCause::Stranded => "Stranded",
+        DropCause::RunEnd => "RunEnd",
+    }
+}
+
+fn drop_cause_from(name: &str) -> Result<DropCause, SchemaError> {
+    Ok(match name {
+        "NoRoute" => DropCause::NoRoute,
+        "EarlySacrifice" => DropCause::EarlySacrifice,
+        "Expired" => DropCause::Expired,
+        "Orphaned" => DropCause::Orphaned,
+        "Stranded" => DropCause::Stranded,
+        "RunEnd" => DropCause::RunEnd,
+        other => return Err(err(format!("unknown drop cause {other:?}"))),
+    })
+}
+
+fn fault_kind_to_json(kind: &FaultKind) -> Json {
+    match kind {
+        FaultKind::Crash => Json::Str("Crash".to_string()),
+        FaultKind::Rejoin => Json::Str("Rejoin".to_string()),
+        FaultKind::Stall { duration } => {
+            tagged("Stall", obj(vec![("duration", micros(*duration))]))
+        }
+        FaultKind::Slowdown { factor, duration } => tagged(
+            "Slowdown",
+            obj(vec![
+                ("factor", Json::Float(*factor)),
+                ("duration", micros(*duration)),
+            ]),
+        ),
+    }
+}
+
+fn fault_kind_from_json(j: &Json) -> Result<FaultKind, SchemaError> {
+    if let Some(name) = j.as_str() {
+        return Ok(match name {
+            "Crash" => FaultKind::Crash,
+            "Rejoin" => FaultKind::Rejoin,
+            other => return Err(err(format!("unknown fault kind {other:?}"))),
+        });
+    }
+    if let Some(body) = j.get("Stall") {
+        return Ok(FaultKind::Stall {
+            duration: field_micros(body, "duration")?,
+        });
+    }
+    if let Some(body) = j.get("Slowdown") {
+        return Ok(FaultKind::Slowdown {
+            factor: body
+                .get("factor")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err("Slowdown.factor"))?,
+            duration: field_micros(body, "duration")?,
+        });
+    }
+    Err(err("unrecognized fault kind"))
+}
+
+fn field_u64(body: &Json, name: &str) -> Result<u64, SchemaError> {
+    body.get(name)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err(format!("missing integer field {name:?}")))
+}
+
+fn field_micros(body: &Json, name: &str) -> Result<Micros, SchemaError> {
+    field_u64(body, name).map(Micros::from_micros)
+}
+
+fn field_session(body: &Json) -> Result<SessionId, SchemaError> {
+    let raw = field_u64(body, "session")?;
+    u32::try_from(raw)
+        .map(SessionId)
+        .map_err(|_| err("session id out of range"))
+}
+
+/// Encodes one event as an externally-tagged JSON object.
+pub fn event_to_json(e: &TraceEvent) -> Json {
+    match e {
+        TraceEvent::Arrival {
+            t,
+            request,
+            session,
+        } => tagged(
+            "Arrival",
+            obj(vec![
+                ("t", micros(*t)),
+                ("request", Json::UInt(*request)),
+                ("session", Json::UInt(u64::from(session.0))),
+            ]),
+        ),
+        TraceEvent::Batch {
+            t,
+            backend,
+            session,
+            size,
+            duration,
+            seq,
+        } => tagged(
+            "Batch",
+            obj(vec![
+                ("t", micros(*t)),
+                ("backend", Json::UInt(*backend as u64)),
+                ("session", Json::UInt(u64::from(session.0))),
+                ("size", Json::UInt(u64::from(*size))),
+                ("duration", micros(*duration)),
+                ("seq", Json::UInt(*seq)),
+            ]),
+        ),
+        TraceEvent::Completion {
+            t,
+            request,
+            session,
+            latency,
+            exec_start,
+            batch_seq,
+            good,
+        } => tagged(
+            "Completion",
+            obj(vec![
+                ("t", micros(*t)),
+                ("request", Json::UInt(*request)),
+                ("session", Json::UInt(u64::from(session.0))),
+                ("latency", micros(*latency)),
+                ("exec_start", micros(*exec_start)),
+                ("batch_seq", Json::UInt(*batch_seq)),
+                ("good", Json::Bool(*good)),
+            ]),
+        ),
+        TraceEvent::Drop {
+            t,
+            request,
+            session,
+            cause,
+        } => tagged(
+            "Drop",
+            obj(vec![
+                ("t", micros(*t)),
+                ("request", Json::UInt(*request)),
+                ("session", Json::UInt(u64::from(session.0))),
+                ("cause", Json::Str(drop_cause_name(*cause).to_string())),
+            ]),
+        ),
+        TraceEvent::Reallocation {
+            t,
+            gpus,
+            model_loads,
+        } => tagged(
+            "Reallocation",
+            obj(vec![
+                ("t", micros(*t)),
+                ("gpus", Json::UInt(u64::from(*gpus))),
+                ("model_loads", Json::UInt(*model_loads as u64)),
+            ]),
+        ),
+        TraceEvent::Fault { t, gpu, kind } => tagged(
+            "Fault",
+            obj(vec![
+                ("t", micros(*t)),
+                ("gpu", Json::UInt(*gpu as u64)),
+                ("kind", fault_kind_to_json(kind)),
+            ]),
+        ),
+        TraceEvent::FailureDetected { t, gpu } => tagged(
+            "FailureDetected",
+            obj(vec![("t", micros(*t)), ("gpu", Json::UInt(*gpu as u64))]),
+        ),
+        TraceEvent::Retry {
+            t,
+            request,
+            session,
+        } => tagged(
+            "Retry",
+            obj(vec![
+                ("t", micros(*t)),
+                ("request", Json::UInt(*request)),
+                ("session", Json::UInt(u64::from(session.0))),
+            ]),
+        ),
+        TraceEvent::Rejoin { t, gpu } => tagged(
+            "Rejoin",
+            obj(vec![("t", micros(*t)), ("gpu", Json::UInt(*gpu as u64))]),
+        ),
+    }
+}
+
+/// Decodes one externally-tagged event object.
+pub fn event_from_json(j: &Json) -> Result<TraceEvent, SchemaError> {
+    let Json::Object(fields) = j else {
+        return Err(err("event is not an object"));
+    };
+    let [(tag, body)] = fields.as_slice() else {
+        return Err(err("event must have exactly one variant tag"));
+    };
+    Ok(match tag.as_str() {
+        "Arrival" => TraceEvent::Arrival {
+            t: field_micros(body, "t")?,
+            request: field_u64(body, "request")?,
+            session: field_session(body)?,
+        },
+        "Batch" => TraceEvent::Batch {
+            t: field_micros(body, "t")?,
+            backend: field_u64(body, "backend")? as usize,
+            session: field_session(body)?,
+            size: u32::try_from(field_u64(body, "size")?).map_err(|_| err("size"))?,
+            duration: field_micros(body, "duration")?,
+            seq: field_u64(body, "seq")?,
+        },
+        "Completion" => TraceEvent::Completion {
+            t: field_micros(body, "t")?,
+            request: field_u64(body, "request")?,
+            session: field_session(body)?,
+            latency: field_micros(body, "latency")?,
+            exec_start: field_micros(body, "exec_start")?,
+            batch_seq: field_u64(body, "batch_seq")?,
+            good: body
+                .get("good")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| err("good"))?,
+        },
+        "Drop" => TraceEvent::Drop {
+            t: field_micros(body, "t")?,
+            request: field_u64(body, "request")?,
+            session: field_session(body)?,
+            cause: drop_cause_from(
+                body.get("cause")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err("cause"))?,
+            )?,
+        },
+        "Reallocation" => TraceEvent::Reallocation {
+            t: field_micros(body, "t")?,
+            gpus: u32::try_from(field_u64(body, "gpus")?).map_err(|_| err("gpus"))?,
+            model_loads: field_u64(body, "model_loads")? as usize,
+        },
+        "Fault" => TraceEvent::Fault {
+            t: field_micros(body, "t")?,
+            gpu: field_u64(body, "gpu")? as usize,
+            kind: fault_kind_from_json(body.get("kind").ok_or_else(|| err("kind"))?)?,
+        },
+        "FailureDetected" => TraceEvent::FailureDetected {
+            t: field_micros(body, "t")?,
+            gpu: field_u64(body, "gpu")? as usize,
+        },
+        "Retry" => TraceEvent::Retry {
+            t: field_micros(body, "t")?,
+            request: field_u64(body, "request")?,
+            session: field_session(body)?,
+        },
+        "Rejoin" => TraceEvent::Rejoin {
+            t: field_micros(body, "t")?,
+            gpu: field_u64(body, "gpu")? as usize,
+        },
+        other => return Err(err(format!("unknown event tag {other:?}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Micros {
+        Micros::from_millis(v)
+    }
+
+    fn one_of_each() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Arrival {
+                t: ms(1),
+                request: 0,
+                session: SessionId(1),
+            },
+            TraceEvent::Batch {
+                t: ms(2),
+                backend: 3,
+                session: SessionId(1),
+                size: 8,
+                duration: ms(12),
+                seq: 1,
+            },
+            TraceEvent::Completion {
+                t: ms(14),
+                request: 0,
+                session: SessionId(1),
+                latency: ms(13),
+                exec_start: ms(2),
+                batch_seq: 1,
+                good: true,
+            },
+            TraceEvent::Drop {
+                t: ms(15),
+                request: 9,
+                session: SessionId(2),
+                cause: DropCause::EarlySacrifice,
+            },
+            TraceEvent::Reallocation {
+                t: ms(20),
+                gpus: 16,
+                model_loads: 4,
+            },
+            TraceEvent::Fault {
+                t: ms(21),
+                gpu: 5,
+                kind: FaultKind::Slowdown {
+                    factor: 2.5,
+                    duration: ms(100),
+                },
+            },
+            TraceEvent::Fault {
+                t: ms(22),
+                gpu: 5,
+                kind: FaultKind::Crash,
+            },
+            TraceEvent::FailureDetected { t: ms(23), gpu: 5 },
+            TraceEvent::Retry {
+                t: ms(24),
+                request: 11,
+                session: SessionId(0),
+            },
+            TraceEvent::Rejoin { t: ms(40), gpu: 5 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_text() {
+        let events = one_of_each();
+        let text = encode(&events, 7, Some(Json::Object(vec![]))).to_string();
+        let back = decode(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.events, events);
+        assert_eq!(back.truncated, 7);
+        assert!(back.meta.is_some());
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected() {
+        let doc = Json::Object(vec![
+            ("schema".into(), Json::UInt(SCHEMA_VERSION + 1)),
+            ("events".into(), Json::Array(vec![])),
+        ]);
+        assert!(decode(&doc).is_err());
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        for bad in [
+            r#"{"schema":1,"events":[{"Arrival":{"t":1}}]}"#,
+            r#"{"schema":1,"events":[{"Mystery":{"t":1}}]}"#,
+            r#"{"schema":1,"events":[{"Drop":{"t":1,"request":1,"session":0,"cause":"Huh"}}]}"#,
+        ] {
+            let doc = crate::json::parse(bad).unwrap();
+            assert!(decode(&doc).is_err(), "{bad}");
+        }
+    }
+}

@@ -29,10 +29,10 @@ use rand::Rng;
 
 use crate::config::SystemConfig;
 use crate::control::{plan, ControlPlan, PlanError, TrafficClass};
-use crate::dispatch::{BatchPull, SessionQueue};
+use crate::dispatch::{classify_drop, BatchPull, SessionQueue};
 use crate::metrics::ClusterMetrics;
 use crate::request::{QueryId, QueryTracker, Request, RequestId, RequestOutcome};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{DropCause, Trace, TraceEvent};
 
 /// Cluster simulation parameters.
 #[derive(Debug, Clone)]
@@ -80,6 +80,26 @@ pub struct SimResult {
     pub metrics: ClusterMetrics,
     /// Captured execution trace, when enabled.
     pub trace: Option<Trace>,
+    /// Trace events discarded after the capture buffer filled (0 when
+    /// tracing was off or the buffer sufficed). Surfaced here so callers
+    /// learn a capture was incomplete without digging into the trace.
+    pub trace_truncated: u64,
+    /// Per-GPU occupancy of the final deployment: measured busy fraction
+    /// over the last inter-reallocation window vs. the squishy plan's
+    /// predicted duty-cycle occupancy.
+    pub gpu_occupancy: Vec<GpuOccupancy>,
+}
+
+/// Measured vs. planned occupancy of one backend GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuOccupancy {
+    /// Backend index in the final deployment.
+    pub backend: usize,
+    /// Busy fraction observed since the last deployment swap.
+    pub busy_frac: f64,
+    /// The plan's predicted duty-cycle occupancy: Σ batch execution
+    /// latencies over the duty cycle (§6.2 squishy bin packing).
+    pub planned_frac: f64,
 }
 
 enum Event {
@@ -105,6 +125,13 @@ enum Event {
         /// is indexed by it, and it stays valid across deployment swaps
         /// (backend indices do not). Unused when fault injection is off.
         pslot: usize,
+        /// Execution start time, echoed into completion trace events so a
+        /// request's queue/exec phase boundary is known. Carried even with
+        /// tracing off (it is dead data then, never read).
+        started: Micros,
+        /// Trace batch id ([`Trace::alloc_batch_seq`]); 0 when tracing is
+        /// off.
+        seq: u64,
     },
     EpochTick,
     /// Inject `SimConfig::faults[index]`.
@@ -447,7 +474,11 @@ impl ClusterSim {
                     gen,
                     batch,
                     pslot,
-                } => self.on_batch_done(now, backend, slot, requests, gen, batch, pslot),
+                    started,
+                    seq,
+                } => self.on_batch_done(
+                    now, backend, slot, requests, gen, batch, pslot, started, seq,
+                ),
                 Event::EpochTick => self.on_epoch(now),
                 Event::Fault { index } => self.on_fault(now, index),
                 Event::FaultEnd { slot } => self.on_fault_end(now, slot),
@@ -535,6 +566,7 @@ impl ClusterSim {
                         t: now,
                         request: req.id.0,
                         session,
+                        cause: DropCause::NoRoute,
                     });
                 }
                 self.tracker.record(query, RequestOutcome::Dropped(now));
@@ -663,10 +695,17 @@ impl ClusterSim {
     }
 
     /// Drains the dropped requests left in `scratch` by the last pull.
-    fn record_drops(&mut self, now: Micros, session: SessionId) {
+    /// `(backend, si)` locate the pulling slot so traced drops can be
+    /// classified against its profile's ℓ(1).
+    fn record_drops(&mut self, now: Micros, session: SessionId, backend: usize, si: usize) {
         if self.scratch.dropped.is_empty() {
             return;
         }
+        // Computed only when tracing: ℓ(1) lookup stays off the hot path.
+        let min_start = self
+            .trace
+            .is_some()
+            .then(|| now + self.backends[backend].slots[si].profile.latency_clamped(1));
         let mut dropped = std::mem::take(&mut self.scratch.dropped);
         for r in dropped.drain(..) {
             self.metrics.record_drop(session, now);
@@ -675,6 +714,7 @@ impl ClusterSim {
                     t: now,
                     request: r.id.0,
                     session,
+                    cause: classify_drop(r.deadline, min_start.expect("set when tracing")),
                 });
             }
             if let Some(q) = r.query {
@@ -730,7 +770,7 @@ impl ClusterSim {
                     duration,
                     pending_expiry,
                 } => {
-                    self.record_drops(now, session);
+                    self.record_drops(now, session, backend, si);
                     if !batch.is_empty() {
                         // Straggler slowdown stretches the execution; the
                         // gate keeps no-fault runs bit-identical (scale
@@ -741,15 +781,21 @@ impl ClusterSim {
                         } else {
                             duration
                         };
-                        if let Some(tr) = &mut self.trace {
-                            tr.push(TraceEvent::Batch {
-                                t: now,
-                                backend,
-                                session,
-                                size: batch.len() as u32,
-                                duration,
-                            });
-                        }
+                        let seq = match &mut self.trace {
+                            Some(tr) => {
+                                let seq = tr.alloc_batch_seq();
+                                tr.push(TraceEvent::Batch {
+                                    t: now,
+                                    backend,
+                                    session,
+                                    size: batch.len() as u32,
+                                    duration,
+                                    seq,
+                                });
+                                seq
+                            }
+                            None => 0,
+                        };
                         let (batch_id, pslot) = self.launch_bookkeeping(backend, &batch);
                         let b = &mut self.backends[backend];
                         b.busy = true;
@@ -765,6 +811,8 @@ impl ClusterSim {
                                 gen,
                                 batch: batch_id,
                                 pslot,
+                                started: now,
+                                seq,
                             },
                         );
                         return;
@@ -819,7 +867,7 @@ impl ClusterSim {
                 duration: _,
                 pending_expiry,
             } => {
-                self.record_drops(now, session);
+                self.record_drops(now, session, backend, slot);
                 if !batch.is_empty() {
                     let trace_size = batch.len() as u32;
                     let slowdown = self.fleet.slowdown(self.backend_slot[backend]);
@@ -841,15 +889,21 @@ impl ClusterSim {
                     // time-share the device.
                     b.gpu
                         .accrue_shared(duration / concurrent as u64, batch.len() as u32);
-                    if let Some(tr) = &mut self.trace {
-                        tr.push(TraceEvent::Batch {
-                            t: now,
-                            backend,
-                            session,
-                            size: trace_size,
-                            duration,
-                        });
-                    }
+                    let seq = match &mut self.trace {
+                        Some(tr) => {
+                            let seq = tr.alloc_batch_seq();
+                            tr.push(TraceEvent::Batch {
+                                t: now,
+                                backend,
+                                session,
+                                size: trace_size,
+                                duration,
+                                seq,
+                            });
+                            seq
+                        }
+                        None => 0,
+                    };
                     let (batch_id, pslot) = self.launch_bookkeeping(backend, &batch);
                     let gen = self.generation;
                     self.events.push(
@@ -861,6 +915,8 @@ impl ClusterSim {
                             gen,
                             batch: batch_id,
                             pslot,
+                            started: now,
+                            seq,
                         },
                     );
                 } else {
@@ -893,6 +949,8 @@ impl ClusterSim {
         gen: u64,
         batch: u64,
         pslot: usize,
+        started: Micros,
+        seq: u64,
     ) {
         if self.fault_mode {
             if let Some(pos) = self.lost_batches.iter().position(|&b| b == batch) {
@@ -918,6 +976,8 @@ impl ClusterSim {
                     request: req.id.0,
                     session: req.session,
                     latency: now - req.arrival,
+                    exec_start: started,
+                    batch_seq: seq,
                     good,
                 });
             }
@@ -1148,6 +1208,14 @@ impl ClusterSim {
                 }
                 None => {
                     self.metrics.record_drop(req.session, now);
+                    if let Some(tr) = &mut self.trace {
+                        tr.push(TraceEvent::Drop {
+                            t: now,
+                            request: req.id.0,
+                            session: req.session,
+                            cause: DropCause::Orphaned,
+                        });
+                    }
                     if let Some(q) = req.query {
                         self.tracker.record(q, RequestOutcome::Dropped(now));
                     }
@@ -1340,6 +1408,7 @@ impl ClusterSim {
                 t: now,
                 request: req.id.0,
                 session,
+                cause: DropCause::Stranded,
             });
         }
         if let Some(q) = req.query {
@@ -1379,11 +1448,24 @@ impl ClusterSim {
         // Requests stranded on a crashed GPU whose failure was never
         // detected before the run ended (slot index order, matching the
         // old slot-keyed map).
+        let queued_leftovers = leftovers.len();
         for requests in std::mem::take(&mut self.limbo) {
             leftovers.extend(requests);
         }
-        for req in leftovers {
+        for (i, req) in leftovers.into_iter().enumerate() {
             self.metrics.record_drop(req.session, end);
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::Drop {
+                    t: end,
+                    request: req.id.0,
+                    session: req.session,
+                    cause: if i < queued_leftovers {
+                        DropCause::RunEnd
+                    } else {
+                        DropCause::Stranded
+                    },
+                });
+            }
             if let Some(q) = req.query {
                 self.tracker.record(q, RequestOutcome::Dropped(end));
             }
@@ -1427,6 +1509,36 @@ impl ClusterSim {
             0.0
         };
 
+        // Occupancy of the final deployment: each backend's measured busy
+        // fraction since the last swap, against the plan's predicted
+        // duty-cycle occupancy (Σ exec latencies / duty cycle). Purely
+        // observational — computed once, after the event loop.
+        let final_window = (end - self.last_alloc_change).as_secs_f64();
+        let gpu_occupancy: Vec<GpuOccupancy> = self
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| {
+                let p = &self.control.allocation.plans[bi];
+                let exec_total: Micros = p.entries.iter().map(|e| e.exec_latency).sum();
+                let planned_frac = if p.duty_cycle > Micros::ZERO {
+                    (exec_total.as_secs_f64() / p.duty_cycle.as_secs_f64()).min(1.0)
+                } else {
+                    0.0
+                };
+                let busy_frac = if final_window > 0.0 {
+                    (b.gpu.busy_total().as_secs_f64() / final_window).min(1.0)
+                } else {
+                    0.0
+                };
+                GpuOccupancy {
+                    backend: bi,
+                    busy_frac,
+                    planned_frac,
+                }
+            })
+            .collect();
+
         SimResult {
             request_bad_rate: self.metrics.bad_rate_in(window_start, window_end),
             query_bad_rate,
@@ -1436,7 +1548,9 @@ impl ClusterSim {
             gpu_utilization,
             events_processed: self.events_processed,
             metrics: self.metrics,
+            trace_truncated: self.trace.as_ref().map_or(0, |t| t.truncated),
             trace: self.trace,
+            gpu_occupancy,
         }
     }
 }

@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use nexus_profile::{BatchingProfile, Micros};
 
 use crate::request::Request;
+use crate::trace::DropCause;
 
 /// Admission/batching policy of a session queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,21 @@ pub struct BatchPull {
     pub batch: Vec<Request>,
     /// Requests dropped by admission control.
     pub dropped: Vec<Request>,
+}
+
+/// Classifies a request the dispatcher just dropped, for the trace.
+///
+/// `min_start` is `now + ℓ(1)` — the earliest any execution started now
+/// could finish. A request whose deadline lies before it was doomed under
+/// every policy ([`DropCause::Expired`]); otherwise the early-drop window
+/// sacrificed a still-feasible request to keep batches efficient
+/// ([`DropCause::EarlySacrifice`], §4.3).
+pub fn classify_drop(deadline: Micros, min_start: Micros) -> DropCause {
+    if deadline < min_start {
+        DropCause::Expired
+    } else {
+        DropCause::EarlySacrifice
+    }
 }
 
 /// A per-session FIFO with batch-aware admission control.

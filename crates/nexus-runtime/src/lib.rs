@@ -18,12 +18,12 @@ pub mod trace;
 #[cfg(test)]
 mod proptests;
 
-pub use cluster::{ClusterSim, SimConfig, SimResult};
+pub use cluster::{ClusterSim, GpuOccupancy, SimConfig, SimResult};
 pub use config::{SchedulerPolicy, SystemConfig};
 pub use control::{
     build_sessions, plan, ControlPlan, PlanError, RouteTarget, RuntimeSession, TrafficClass,
 };
-pub use dispatch::{BatchPull, DropPolicy, SessionQueue};
+pub use dispatch::{classify_drop, BatchPull, DropPolicy, SessionQueue};
 pub use hetero::{place_classes, run_heterogeneous, DevicePool, HeteroResult, Placement};
 pub use histogram::LatencyHistogram;
 pub use live::{run_live, LiveConfig, LiveOutcome, LiveSession, LiveSessionOutcome};
@@ -33,4 +33,4 @@ pub use request::{FinishedQuery, QueryId, QueryTracker, Request, RequestId, Requ
 pub use singlenode::{
     fit_shared_batches, simulate_node, NodeConfig, NodeOutcome, NodeSession, NodeSessionStats,
 };
-pub use trace::{Trace, TraceEvent};
+pub use trace::{DropCause, Trace, TraceEvent};

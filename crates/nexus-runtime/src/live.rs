@@ -26,8 +26,9 @@ use nexus_profile::{BatchingProfile, Micros};
 use nexus_scheduler::SessionId;
 use nexus_workload::{rng_for, ArrivalGen, ArrivalKind};
 
-use crate::dispatch::{DropPolicy, SessionQueue};
+use crate::dispatch::{classify_drop, DropPolicy, SessionQueue};
 use crate::request::{Request, RequestId};
+use crate::trace::{DropCause, Trace, TraceEvent};
 
 /// One session served by the live node.
 #[derive(Debug, Clone)]
@@ -60,6 +61,10 @@ pub struct LiveConfig {
     pub duration: Micros,
     /// RNG seed for arrivals.
     pub seed: u64,
+    /// Maximum trace events to capture (0 disables tracing). The recorder
+    /// is a mutex shared by the frontend and executor threads; disabled
+    /// runs never touch it.
+    pub trace_capacity: usize,
 }
 
 /// Per-session outcome counters.
@@ -82,6 +87,8 @@ pub struct LiveOutcome {
     pub sessions: Vec<LiveSessionOutcome>,
     /// Real elapsed wall time.
     pub wall: Duration,
+    /// Captured execution trace (normalized to time order), when enabled.
+    pub trace: Option<Trace>,
 }
 
 /// Plain counters extracted from [`LiveStats`].
@@ -141,6 +148,8 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
             .collect(),
     );
     let stop = Arc::new(AtomicBool::new(false));
+    let trace: Option<Arc<Mutex<Trace>>> =
+        (cfg.trace_capacity > 0).then(|| Arc::new(Mutex::new(Trace::new(cfg.trace_capacity))));
 
     // CPU worker pool: executes pre-processing jobs as scaled sleeps.
     let (cpu_tx, cpu_rx) = channel::unbounded::<PreprocessJob>();
@@ -164,6 +173,7 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
         let queues = Arc::clone(&queues);
         let stats = Arc::clone(&stats);
         let stop = Arc::clone(&stop);
+        let trace = trace.clone();
         let sessions = sessions.to_vec();
         let cfg = cfg.clone();
         thread::spawn(move || {
@@ -207,6 +217,13 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
                 }
                 let arrival = now_profile();
                 stats[si].arrived.fetch_add(1, Ordering::Relaxed);
+                if let Some(tr) = &trace {
+                    tr.lock().push(TraceEvent::Arrival {
+                        t: arrival,
+                        request: req_id,
+                        session: SessionId(si as u32),
+                    });
+                }
                 queues[si].lock().push(Request {
                     id: RequestId(req_id),
                     session: SessionId(si as u32),
@@ -228,6 +245,7 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
         let queues = Arc::clone(&queues);
         let stats = Arc::clone(&stats);
         let stop = Arc::clone(&stop);
+        let trace = trace.clone();
         let sessions = sessions.to_vec();
         let cfg = cfg.clone();
         let cpu_tx = cpu_tx.clone();
@@ -261,6 +279,18 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
                     for _ in &pull.dropped {
                         stats[si].dropped.fetch_add(1, Ordering::Relaxed);
                     }
+                    if let Some(tr) = &trace {
+                        let min_start = now + s.profile.latency_clamped(1);
+                        let mut tr = tr.lock();
+                        for r in &pull.dropped {
+                            tr.push(TraceEvent::Drop {
+                                t: now,
+                                request: r.id.0,
+                                session: r.session,
+                                cause: classify_drop(r.deadline, min_start),
+                            });
+                        }
+                    }
                     if pull.batch.is_empty() {
                         continue;
                     }
@@ -289,6 +319,23 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
                         let _ = done_rx.recv();
                     }
                     // "GPU execution": scaled sleep for ℓ(b).
+                    let exec_start = now_profile();
+                    let seq = match &trace {
+                        Some(tr) => {
+                            let mut tr = tr.lock();
+                            let seq = tr.alloc_batch_seq();
+                            tr.push(TraceEvent::Batch {
+                                t: exec_start,
+                                backend: 0,
+                                session: SessionId(si as u32),
+                                size: b,
+                                duration: s.profile.latency_clamped(b),
+                                seq,
+                            });
+                            seq
+                        }
+                        None => 0,
+                    };
                     thread::sleep(to_wall(s.profile.latency_clamped(b)));
                     let finish = now_profile();
                     for req in &pull.batch {
@@ -296,6 +343,17 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
                             stats[si].good.fetch_add(1, Ordering::Relaxed);
                         } else {
                             stats[si].late.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Some(tr) = &trace {
+                            tr.lock().push(TraceEvent::Completion {
+                                t: finish,
+                                request: req.id.0,
+                                session: req.session,
+                                latency: finish - req.arrival,
+                                exec_start,
+                                batch_seq: seq,
+                                good: finish <= req.deadline,
+                            });
                         }
                     }
                     cursor = (si + 1) % n;
@@ -320,6 +378,26 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
         let _ = t.join();
     }
 
+    // Close out the trace: requests still queued never completed, and the
+    // two producer threads interleaved their pushes, so restore time order.
+    let trace_out = trace.map(|tr| {
+        let mut tr = Arc::try_unwrap(tr)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| arc.lock().clone());
+        for (i, q) in queues.iter().enumerate() {
+            for r in q.lock().drain() {
+                tr.push(TraceEvent::Drop {
+                    t: cfg.duration,
+                    request: r.id.0,
+                    session: SessionId(i as u32),
+                    cause: DropCause::RunEnd,
+                });
+            }
+        }
+        tr.normalize();
+        tr
+    });
+
     let sessions_out = stats
         .iter()
         .map(|s| LiveSessionOutcome {
@@ -332,6 +410,7 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
     LiveOutcome {
         sessions: sessions_out,
         wall: start.elapsed(),
+        trace: trace_out,
     }
 }
 
@@ -361,6 +440,7 @@ mod tests {
             time_scale,
             duration: Micros::from_secs(duration_s),
             seed: 1,
+            trace_capacity: 0,
         }
     }
 
@@ -414,6 +494,25 @@ mod tests {
                 s.bad_rate()
             );
         }
+    }
+
+    #[test]
+    fn traced_live_run_is_time_ordered_and_complete() {
+        let mut cfg = config(4);
+        cfg.trace_capacity = 1 << 20;
+        let out = run_live(&cfg, &[session(100.0, 150, 8)]);
+        let tr = out.trace.expect("enabled");
+        assert_eq!(tr.truncated, 0);
+        let mut last = Micros::ZERO;
+        let mut arrivals = 0u64;
+        for e in tr.events() {
+            assert!(e.time() >= last, "normalize left events out of order");
+            last = e.time();
+            if matches!(e, TraceEvent::Arrival { .. }) {
+                arrivals += 1;
+            }
+        }
+        assert_eq!(arrivals, out.sessions[0].arrived);
     }
 
     #[test]

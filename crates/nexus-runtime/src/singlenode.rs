@@ -11,8 +11,9 @@ use nexus_profile::{BatchingProfile, Micros};
 use nexus_simgpu::{EventQueue, InterferenceModel};
 use nexus_workload::{rng_for, ArrivalGen, ArrivalKind};
 
-use crate::dispatch::{BatchPull, DropPolicy, SessionQueue};
+use crate::dispatch::{classify_drop, BatchPull, DropPolicy, SessionQueue};
 use crate::request::{Request, RequestId};
+use crate::trace::{DropCause, Trace, TraceEvent};
 use nexus_scheduler::SessionId;
 
 /// One session offered to the node.
@@ -50,6 +51,8 @@ pub struct NodeConfig {
     /// scheduler) instead of letting the dispatcher grow windows into
     /// deadline slack. The Fig. 15 sub-batch comparison needs this.
     pub strict_batches: bool,
+    /// Maximum trace events to capture (0 disables tracing).
+    pub trace_capacity: usize,
 }
 
 /// Per-session counters.
@@ -78,12 +81,21 @@ pub struct NodeOutcome {
     pub goodput: f64,
     /// GPU busy fraction over the window.
     pub utilization: f64,
+    /// Captured execution trace, when enabled.
+    pub trace: Option<Trace>,
 }
 
 enum Ev {
     Arrival(usize),
     Wake(usize),
-    Done { slot: usize, batch: Vec<Request> },
+    Done {
+        slot: usize,
+        batch: Vec<Request>,
+        /// Execution start (trace phase boundary; dead data when off).
+        started: Micros,
+        /// Trace batch id (0 when tracing is off).
+        seq: u64,
+    },
 }
 
 struct NodeSlot {
@@ -148,6 +160,7 @@ pub fn fit_shared_batches(sessions: &[NodeSession]) -> Vec<u32> {
 ///         horizon: Micros::from_secs(10),
 ///         warmup: Micros::from_secs(2),
 ///         strict_batches: false,
+///         trace_capacity: 0,
 ///     },
 ///     &[NodeSession {
 ///         profile: BatchingProfile::from_linear_ms(1.0, 8.0, 32),
@@ -229,6 +242,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
     }
 
     let mut stats = vec![NodeSessionStats::default(); n];
+    let mut trace: Option<Trace> = (cfg.trace_capacity > 0).then(|| Trace::new(cfg.trace_capacity));
     let mut scratch = BatchPull::default();
     let mut pool: Vec<Vec<Request>> = Vec::new();
     let mut node_busy = false; // coordinated: whole-GPU mutex
@@ -264,6 +278,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
         horizon: Micros,
         scratch: &mut BatchPull,
         pool: &mut Vec<Vec<Request>>,
+        trace: &mut Option<Trace>,
     ) -> Option<usize> {
         // Round-robin scan from the cursor (or just the one slot) without
         // materialising the visit order.
@@ -310,9 +325,20 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                 reserve,
                 scratch,
             );
+            let min_start = trace
+                .is_some()
+                .then(|| now + slot.timing.latency_clamped(1));
             for r in scratch.dropped.drain(..) {
                 if r.arrival >= warmup && r.arrival < horizon {
                     stats[si].dropped += 1;
+                }
+                if let Some(tr) = trace {
+                    tr.push(TraceEvent::Drop {
+                        t: now,
+                        request: r.id.0,
+                        session: r.session,
+                        cause: classify_drop(r.deadline, min_start.expect("set when tracing")),
+                    });
                 }
             }
             if scratch.batch.is_empty() {
@@ -333,7 +359,30 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
             let duration = sessions[si].profile.latency_clamped(b).scale(factor);
             slots[si].busy = true;
             *busy_us += duration.as_micros() / concurrent as u64;
-            events.push(now + duration, Ev::Done { slot: si, batch });
+            let seq = match trace {
+                Some(tr) => {
+                    let seq = tr.alloc_batch_seq();
+                    tr.push(TraceEvent::Batch {
+                        t: now,
+                        backend: 0,
+                        session: SessionId(si as u32),
+                        size: b,
+                        duration,
+                        seq,
+                    });
+                    seq
+                }
+                None => 0,
+            };
+            events.push(
+                now + duration,
+                Ev::Done {
+                    slot: si,
+                    batch,
+                    started: now,
+                    seq,
+                },
+            );
             return Some(si);
         }
         None
@@ -348,20 +397,38 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                 if in_window(now) {
                     stats[i].arrived += 1;
                 }
+                // Ids advance even for rejected arrivals so traced and
+                // untraced runs label requests identically.
+                let rid = next_req;
+                next_req += 1;
+                if let Some(tr) = &mut trace {
+                    tr.push(TraceEvent::Arrival {
+                        t: now,
+                        request: rid,
+                        session: SessionId(i as u32),
+                    });
+                }
                 if !slots[i].loaded {
                     if in_window(now) {
                         stats[i].dropped += 1;
                     }
+                    if let Some(tr) = &mut trace {
+                        tr.push(TraceEvent::Drop {
+                            t: now,
+                            request: rid,
+                            session: SessionId(i as u32),
+                            cause: DropCause::NoRoute,
+                        });
+                    }
                     continue;
                 }
                 slots[i].queue.push(Request {
-                    id: RequestId(next_req),
+                    id: RequestId(rid),
                     session: SessionId(i as u32),
                     arrival: now,
                     deadline: now + sessions[i].slo,
                     query: None,
                 });
-                next_req += 1;
                 if cfg.coordinated {
                     if !node_busy {
                         if let Some(si) = try_serve(
@@ -378,6 +445,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                             cfg.horizon,
                             &mut scratch,
                             &mut pool,
+                            &mut trace,
                         ) {
                             node_busy = true;
                             cursor = (si + 1) % n.max(1);
@@ -398,6 +466,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         cfg.horizon,
                         &mut scratch,
                         &mut pool,
+                        &mut trace,
                     );
                 }
             }
@@ -418,6 +487,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                             cfg.horizon,
                             &mut scratch,
                             &mut pool,
+                            &mut trace,
                         ) {
                             node_busy = true;
                             cursor = (si + 1) % n.max(1);
@@ -438,15 +508,32 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         cfg.horizon,
                         &mut scratch,
                         &mut pool,
+                        &mut trace,
                     );
                 }
             }
-            Ev::Done { slot, mut batch } => {
+            Ev::Done {
+                slot,
+                mut batch,
+                started,
+                seq,
+            } => {
                 for req in &batch {
                     if now <= req.deadline {
                         account!(stats, req, good);
                     } else {
                         account!(stats, req, late);
+                    }
+                    if let Some(tr) = &mut trace {
+                        tr.push(TraceEvent::Completion {
+                            t: now,
+                            request: req.id.0,
+                            session: req.session,
+                            latency: now - req.arrival,
+                            exec_start: started,
+                            batch_seq: seq,
+                            good: now <= req.deadline,
+                        });
                     }
                 }
                 batch.clear();
@@ -468,6 +555,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         cfg.horizon,
                         &mut scratch,
                         &mut pool,
+                        &mut trace,
                     ) {
                         node_busy = true;
                         cursor = (si + 1) % n.max(1);
@@ -487,6 +575,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         cfg.horizon,
                         &mut scratch,
                         &mut pool,
+                        &mut trace,
                     );
                 }
             }
@@ -498,6 +587,14 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
         for r in slot.queue.drain() {
             if r.arrival >= cfg.warmup && r.arrival < cfg.horizon {
                 stats[i].dropped += 1;
+            }
+            if let Some(tr) = &mut trace {
+                tr.push(TraceEvent::Drop {
+                    t: cfg.horizon,
+                    request: r.id.0,
+                    session: SessionId(i as u32),
+                    cause: DropCause::RunEnd,
+                });
             }
         }
     }
@@ -521,6 +618,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
         utilization: (busy_us as f64 / 1e6 / (cfg.horizon.as_secs_f64())).min(1.0),
         // NOTE: utilization is over the whole run, a close proxy for the
         // window at steady state.
+        trace,
     }
 }
 
@@ -539,6 +637,7 @@ mod tests {
             horizon: Micros::from_secs(20),
             warmup: Micros::from_secs(5),
             strict_batches: false,
+            trace_capacity: 0,
         }
     }
 
@@ -609,6 +708,39 @@ mod tests {
         for (s, &bi) in sessions.iter().zip(&b) {
             assert!(cycle + s.profile.latency(bi) <= s.slo);
         }
+    }
+
+    #[test]
+    fn tracing_is_off_path_and_partitions_lifetimes() {
+        let sessions: Vec<NodeSession> = (0..2).map(|_| inception_session(400.0, 100)).collect();
+        let plain = simulate_node(&cfg(true, DropPolicy::Early, 7), &sessions);
+        assert!(plain.trace.is_none());
+        let mut traced_cfg = cfg(true, DropPolicy::Early, 7);
+        traced_cfg.trace_capacity = 1 << 20;
+        let traced = simulate_node(&traced_cfg, &sessions);
+        // Same counters with and without the recorder.
+        assert_eq!(plain.sessions, traced.sessions);
+        let tr = traced.trace.expect("enabled");
+        assert_eq!(tr.truncated, 0);
+        let mut completions = 0u64;
+        for e in tr.events() {
+            if let TraceEvent::Completion {
+                t,
+                latency,
+                exec_start,
+                batch_seq,
+                ..
+            } = e
+            {
+                let arrival = *t - *latency;
+                assert!(arrival <= *exec_start && *exec_start <= *t);
+                assert!(*batch_seq > 0);
+                completions += 1;
+            }
+        }
+        let good: u64 = traced.sessions.iter().map(|s| s.good + s.late).sum();
+        // Every window completion is traced (warmup ones too, hence >=).
+        assert!(completions >= good);
     }
 
     #[test]

@@ -1,16 +1,47 @@
 //! Execution trace capture: a bounded, serializable record of what the
 //! data plane did, for debugging and offline analysis.
 //!
-//! Tracing is off by default (`SimConfig::trace = false`); when enabled the
-//! simulator records request lifecycles, batch executions, and control-
-//! plane reallocations up to a bounded event count (oldest runs are not
-//! evicted — the bound caps memory, and hitting it is reported).
+//! Tracing is off by default (`SimConfig::trace_capacity = 0`); when
+//! enabled the simulator records request lifecycles as *phase spans* —
+//! arrival, queue wait, batched execution, completion — plus drop causes
+//! and control-plane markers, up to a bounded event count (oldest runs are
+//! not evicted — the bound caps memory, and hitting it is reported via
+//! [`Trace::truncated`]).
+//!
+//! The phase model (DESIGN.md §12): a completed request's lifetime
+//! partitions exactly into `[arrival, exec_start)` (queue wait, including
+//! any crash-limbo time before a retry) and `[exec_start, completion)`
+//! (batched execution). [`TraceEvent::Completion`] carries `exec_start`
+//! and the id of the batch that served it, so the partition is
+//! reconstructible from the completion event alone even when earlier
+//! events were truncated away.
 
 use serde::{Deserialize, Serialize};
 
 use nexus_profile::Micros;
 use nexus_scheduler::SessionId;
 use nexus_simgpu::FaultKind;
+
+/// Why a request was dropped instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropCause {
+    /// Frontend admission reject: no replica hosts the session (plan
+    /// infeasible or capacity-capped).
+    NoRoute,
+    /// The early-drop window sacrificed it to keep batches efficient,
+    /// although it could still have met its deadline alone (§4.3).
+    EarlySacrifice,
+    /// Its remaining deadline budget no longer covered even a batch-of-one
+    /// execution — doomed under any policy.
+    Expired,
+    /// A deployment swap left its session unhosted before it was served.
+    Orphaned,
+    /// Lost to a dead GPU: in-flight on the crash, or stranded with too
+    /// little budget (or no surviving route) for a retry.
+    Stranded,
+    /// Still queued when the run ended.
+    RunEnd,
+}
 
 /// One traced event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +67,9 @@ pub enum TraceEvent {
         size: u32,
         /// Execution duration.
         duration: Micros,
+        /// Trace-unique batch id; completions reference it so a request
+        /// can be tied to the batch that served it.
+        seq: u64,
     },
     /// A request completed.
     Completion {
@@ -47,6 +81,12 @@ pub enum TraceEvent {
         session: SessionId,
         /// Arrival-to-completion latency.
         latency: Micros,
+        /// When the serving batch started executing: the queue-wait phase
+        /// is `[t - latency, exec_start)`, the execution phase is
+        /// `[exec_start, t)`; the two partition the lifetime exactly.
+        exec_start: Micros,
+        /// The serving batch's [`TraceEvent::Batch::seq`].
+        batch_seq: u64,
         /// Whether the deadline was met.
         good: bool,
     },
@@ -58,6 +98,8 @@ pub enum TraceEvent {
         request: u64,
         /// Session.
         session: SessionId,
+        /// Why it was dropped.
+        cause: DropCause,
     },
     /// The control plane replaced the deployment.
     Reallocation {
@@ -127,6 +169,9 @@ pub struct Trace {
     capacity: usize,
     /// Events that arrived after the capacity was reached.
     pub truncated: u64,
+    /// Batch ids handed out so far (ids keep advancing past truncation so
+    /// completions stay attributable).
+    next_seq: u64,
 }
 
 impl Trace {
@@ -136,6 +181,7 @@ impl Trace {
             events: Vec::new(),
             capacity,
             truncated: 0,
+            next_seq: 0,
         }
     }
 
@@ -148,10 +194,23 @@ impl Trace {
         }
     }
 
+    /// Allocates the next batch id (1-based; 0 means "untraced").
+    pub fn alloc_batch_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
     /// The recorded events, in record order (equals time order — the
-    /// simulator emits monotonically).
+    /// simulator emits monotonically; threaded runtimes call
+    /// [`Trace::normalize`] first).
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Restores time order after capture from concurrent threads (stable,
+    /// so same-timestamp events keep their record order).
+    pub fn normalize(&mut self) {
+        self.events.sort_by_key(|e| e.time());
     }
 
     /// Events concerning one session.
@@ -223,6 +282,7 @@ mod tests {
             session: SessionId(0),
             size: 4,
             duration: ms(10),
+            seq: 1,
         });
         t.push(TraceEvent::Batch {
             t: ms(2),
@@ -230,6 +290,7 @@ mod tests {
             session: SessionId(0),
             size: 8,
             duration: ms(14),
+            seq: 2,
         });
         t.push(TraceEvent::Batch {
             t: ms(3),
@@ -237,6 +298,7 @@ mod tests {
             session: SessionId(1),
             size: 2,
             duration: ms(5),
+            seq: 3,
         });
         t.push(TraceEvent::Reallocation {
             t: ms(4),
@@ -271,6 +333,34 @@ mod tests {
     }
 
     #[test]
+    fn batch_seqs_advance_past_truncation() {
+        let mut t = Trace::new(1);
+        assert_eq!(t.alloc_batch_seq(), 1);
+        t.push(TraceEvent::Rejoin { t: ms(1), gpu: 0 });
+        t.push(TraceEvent::Rejoin { t: ms(2), gpu: 0 });
+        assert_eq!(t.truncated, 1);
+        assert_eq!(t.alloc_batch_seq(), 2);
+    }
+
+    #[test]
+    fn normalize_restores_time_order_stably() {
+        let mut t = Trace::new(10);
+        t.push(TraceEvent::Rejoin { t: ms(5), gpu: 1 });
+        t.push(TraceEvent::Rejoin { t: ms(2), gpu: 2 });
+        t.push(TraceEvent::Rejoin { t: ms(5), gpu: 3 });
+        t.normalize();
+        let gpus: Vec<usize> = t
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Rejoin { gpu, .. } => *gpu,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(gpus, vec![2, 1, 3]);
+    }
+
+    #[test]
     fn events_serialize_round_trip() {
         let mut t = Trace::new(10);
         t.push(TraceEvent::Completion {
@@ -278,6 +368,8 @@ mod tests {
             request: 7,
             session: SessionId(2),
             latency: ms(4),
+            exec_start: ms(3),
+            batch_seq: 1,
             good: true,
         });
         let json = serde_json::to_string(&t).unwrap();
