@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Materialize the pinned perf-baseline checkout at .baseline-wt.
+#
+# Perf PRs compare against the pre-optimization tree (the PR 0 seed,
+# $SEED below). The build environment has no crates.io access, so the
+# baseline must build against the same vendored stand-in crates as the
+# main workspace (vendor/) — which also keeps before/after comparisons on
+# identical dependency sources (same PRNG stream, same code in the
+# timing loop). The dependency rewrite is committed on a local `baseline`
+# branch inside the worktree, so the checkout stays clean (`git status`
+# inside .baseline-wt reports nothing) and the numbers can be rebuilt
+# from any clone of this repository by re-running this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED=6f54dd90b2e507aa47e9b88fdfef722bd2a0a4dc
+WT=.baseline-wt
+
+if [ -e "$WT" ]; then
+  echo "$WT already exists; to rebuild it from scratch run:" >&2
+  echo "  git worktree remove --force $WT   # then re-run this script" >&2
+  exit 1
+fi
+
+git worktree add --quiet --detach "$WT" "$SEED"
+cd "$WT"
+
+# Point the seed's crates.io dependencies at the superproject's vendored
+# stand-ins. Paths resolve relative to .baseline-wt/Cargo.toml, i.e.
+# ../vendor is the tracked vendor/ directory one level up; the worktree
+# must therefore live inside the main checkout (which `git worktree add`
+# above guarantees).
+python3 - <<'EOF'
+subs = {
+    'rand = "0.8"': 'rand = { path = "../vendor/rand" }',
+    'proptest = "1"': 'proptest = { path = "../vendor/proptest" }',
+    'criterion = "0.5"': 'criterion = { path = "../vendor/criterion" }',
+    'crossbeam = "0.8"': 'crossbeam = { path = "../vendor/crossbeam" }',
+    'parking_lot = "0.12"': 'parking_lot = { path = "../vendor/parking_lot" }',
+    'serde = { version = "1", features = ["derive"] }':
+        'serde = { path = "../vendor/serde", features = ["derive"] }',
+    'serde_json = "1"': 'serde_json = { path = "../vendor/serde_json" }',
+}
+p = 'Cargo.toml'
+s = open(p).read()
+for k, v in subs.items():
+    assert k in s, f"seed Cargo.toml drifted: {k!r} not found"
+    s = s.replace(k, v)
+open(p, 'w').write(s)
+EOF
+
+cat > .gitignore <<'EOF'
+/target
+/Cargo.lock
+EOF
+
+git checkout -q -B baseline "$SEED"
+git add Cargo.toml .gitignore
+git commit -q -m "baseline: build against the superproject's vendored deps"
+
+echo "baseline worktree ready at $WT (branch 'baseline', seed ${SEED:0:7})"
+echo "build it with: cargo build --release --manifest-path $WT/Cargo.toml"

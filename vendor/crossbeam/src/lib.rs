@@ -1,0 +1,87 @@
+//! std-backed stand-in for the crossbeam channel API used here.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .expect("poisoned")
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0
+                .lock()
+                .expect("poisoned")
+                .try_recv()
+                .map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                })
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    #[derive(Debug)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        // Large but finite buffer; the workloads here never approach it.
+        let (tx, rx) = mpsc::sync_channel(1 << 20);
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}

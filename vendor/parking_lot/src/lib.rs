@@ -1,0 +1,39 @@
+//! std-backed stand-in for the parking_lot types used here.
+
+use std::sync;
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("poisoned")
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("poisoned")
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("poisoned")
+    }
+
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("poisoned")
+    }
+}

@@ -1,0 +1,145 @@
+//! API-compatible offline stand-in for the `rand` crate surface this
+//! workspace uses. Deterministic (SplitMix64-based), not the real StdRng
+//! stream.
+
+use std::marker::PhantomData;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Conversion used by `Rng::gen` / `Standard`.
+pub trait FromRandom {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRandom for u64 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: FromRandom>(&mut self) -> T {
+        T::from_random(self)
+    }
+
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_in(self, range)
+    }
+
+    fn sample_iter<T, D>(self, _distr: D) -> DistIter<Self, T>
+    where
+        Self: Sized,
+        D: distributions::Distribution<T>,
+        T: FromRandom,
+    {
+        DistIter {
+            rng: self,
+            _t: PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SampleRange: Sized {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+impl SampleRange for u64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        let width = range.end - range.start;
+        range.start + rng.next_u64() % width.max(1)
+    }
+}
+
+impl SampleRange for usize {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        let width = (range.end - range.start) as u64;
+        range.start + (rng.next_u64() % width.max(1)) as usize
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        range.start + f64::from_random(rng) * (range.end - range.start)
+    }
+}
+
+pub struct DistIter<R, T> {
+    rng: R,
+    _t: PhantomData<T>,
+}
+
+impl<R: RngCore, T: FromRandom> Iterator for DistIter<R, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        Some(T::from_random(&mut self.rng))
+    }
+}
+
+pub mod distributions {
+    pub struct Standard;
+
+    pub trait Distribution<T> {}
+
+    impl<T: crate::FromRandom> Distribution<T> for Standard {}
+}
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            super::splitmix64(&mut self.state)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x5851_f42d_4c95_7f2d,
+            }
+        }
+    }
+}

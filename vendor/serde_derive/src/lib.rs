@@ -1,0 +1,508 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize::to_value` / `serde::Deserialize::from_value`
+//! impls for the shapes this workspace actually uses: named-field structs,
+//! tuple (newtype) structs, and enums with unit, tuple, or struct variants.
+//! Supported attributes: `#[serde(transparent)]` and
+//! `#[serde(from = "Proxy", into = "Proxy")]` (container) and
+//! `#[serde(default)]` (field). Parsing is done directly on the
+//! `proc_macro::TokenStream` — no `syn`/`quote` — and code is generated as
+//! strings, which is plenty for non-generic types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+struct Input {
+    name: String,
+    transparent: bool,
+    /// `#[serde(from = "Proxy")]`: deserialize a `Proxy`, then `Into` self.
+    from: Option<String>,
+    /// `#[serde(into = "Proxy")]`: clone self, `Into` a `Proxy`, serialize it.
+    into: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: `(field, has_default)` in declaration order.
+    Struct(Vec<(String, bool)>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with N fields.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Scans leading attributes; returns whether a `#[serde(<word>)]` marker with
+/// the given word was present, advancing `i` past all attributes.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize, want: &str) -> bool {
+    let mut found = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") && body.contains(want) {
+                        found = true;
+                    }
+                    *i += 2;
+                    continue;
+                }
+                panic!("malformed attribute");
+            }
+            _ => break,
+        }
+    }
+    found
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Extracts `key = "value"` from a serde attribute body string, e.g.
+/// `from = "BatchingProfile"` out of `serde(from = "...", into = "...")`.
+fn attr_value(body: &str, key: &str) -> Option<String> {
+    let at = body.find(key)?;
+    let rest = &body[at + key.len()..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Scans leading container attributes, collecting the serde markers the
+/// workspace uses; advances `i` past all attributes.
+fn container_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, Option<String>, Option<String>) {
+    let (mut transparent, mut from, mut into) = (false, None, None);
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") {
+                        transparent |= body.contains("transparent");
+                        from = from.or_else(|| attr_value(&body, "from"));
+                        into = into.or_else(|| attr_value(&body, "into"));
+                    }
+                    *i += 2;
+                    continue;
+                }
+                panic!("malformed attribute");
+            }
+            _ => break,
+        }
+    }
+    (transparent, from, into)
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let (transparent, from, into) = container_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported ({name})");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body: {other}"),
+        },
+        "enum" => match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other}"),
+        },
+        other => panic!("cannot derive serde impls for {other} {name}"),
+    };
+    Input {
+        name,
+        transparent,
+        from,
+        into,
+        kind,
+    }
+}
+
+/// Parses `attrs vis name : Type , ...`, tracking `<...>` depth so commas
+/// inside generic arguments don't split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let has_default = skip_attrs(&tokens, &mut i, "default");
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field {fname}"
+        );
+        i += 1;
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push((fname, has_default));
+    }
+    fields
+}
+
+/// Counts top-level fields of a tuple-struct body (`attrs vis Type , ...`).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma would overcount by one; the workspace doesn't use them
+    // in tuple structs, so keep this simple.
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i, "\u{0}");
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(
+                    parse_named_fields(g.stream())
+                        .into_iter()
+                        .map(|(n, _)| n)
+                        .collect(),
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(proxy) = &input.into {
+        // Serialize via the proxy type: requires `Self: Clone + Into<Proxy>`.
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             let __proxy: {proxy} = \
+             ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)\n}}\n}}\n"
+        );
+    }
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!(
+                        "__obj.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Object(__obj)"
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n")
+                        }
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__x0) => ::serde::Value::Object(vec![(\
+                             \"{vn}\".to_string(), ::serde::Serialize::to_value(__x0))]),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(proxy) = &input.from {
+        // Deserialize the proxy type, then convert: requires `Proxy: Into<Self>`.
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+             let __proxy: {proxy} = ::serde::Deserialize::from_value(__value)?;\n\
+             Ok(::std::convert::Into::into(__proxy))\n}}\n}}\n"
+        );
+    }
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|(f, has_default)| {
+                    let missing = if *has_default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return Err(::serde::Error::custom(\
+                             \"missing field `{f}` in {name}\"))"
+                        )
+                    };
+                    format!(
+                        "{f}: match ::serde::find_field(__obj, \"{f}\") {{\n\
+                         Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                         None => {missing},\n}},\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\
+                 \"expected object for {name}, got {{}}\", __value.kind())))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),\n", v.name))
+                .collect();
+            let keyed_arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => String::new(),
+                        VariantShape::Tuple(1) => format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                 let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 if __arr.len() != {n} {{ return Err(::serde::Error::custom(\
+                                 \"wrong arity for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({}))\n}},\n",
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: match ::serde::find_field(__fields, \"{f}\") {{\n\
+                                         Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                                         None => return Err(::serde::Error::custom(\
+                                         \"missing field `{f}` in {name}::{vn}\")),\n}}"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                 let __fields = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn} {{ {} }})\n}},\n",
+                                inits.join(",\n")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(__s) = __value.as_str() {{\n\
+                 match __s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\
+                 \"expected enum object for {name}, got {{}}\", __value.kind())))?;\n\
+                 if __obj.len() != 1 {{ return Err(::serde::Error::custom(\
+                 \"expected single-key enum object for {name}\")); }}\n\
+                 let (__key, __inner) = (&__obj[0].0, &__obj[0].1);\n\
+                 match __key.as_str() {{\n{keyed_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n}}"
+            )
+        }
+    };
+    // Transparent containers defer entirely to the inner value, which the
+    // Tuple(1) path already does; named transparent structs are not used.
+    let _ = input.transparent;
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
