@@ -29,23 +29,40 @@ else
   echo "(cargo-deny not installed; skipping — CI runs it)"
 fi
 
-echo "== perf smoke: simbench --quick =="
+echo "== perf smoke + shard determinism: simbench --quick =="
 # Catches panics, determinism violations (simbench asserts repeat runs
 # bit-identical), and gross hangs. Timing numbers are informational only —
-# CI machines are too noisy to gate on them.
-cargo run --release -q -p bench --bin simbench -- --quick
+# CI machines are too noisy to gate on them. The event-loop shard count is
+# a pure scheduling-state partition (DESIGN.md §13), so the deterministic
+# outputs (--det-out: event counts, bad-rate bit patterns) must be
+# byte-identical between --shards 1 and --shards 4.
+tmp_det1="$(mktemp)"
+tmp_det4="$(mktemp)"
+tmp_golden="$(mktemp)"
+tmp_golden_sharded="$(mktemp)"
+trap 'rm -f "$tmp_det1" "$tmp_det4" "$tmp_golden" "$tmp_golden_sharded"' EXIT
+cargo run --release -q -p bench --bin simbench -- --quick \
+  --shards 1 --det-out "$tmp_det1"
+cargo run --release -q -p bench --bin simbench -- --quick \
+  --shards 4 --det-out "$tmp_det4"
+diff "$tmp_det1" "$tmp_det4" \
+  || { echo "simbench diverged between --shards 1 and --shards 4"; exit 1; }
 
-echo "== schema golden: fixed-seed trace capture =="
+echo "== schema golden: fixed-seed trace capture (shards 1 and 4) =="
 # The Fig. 13 mini-run must reproduce the committed golden byte-for-byte;
 # divergence means the trace schema or the simulation changed. Regenerate
 # deliberately with:
 #   cargo run -p nexus-obs --bin nexus-trace -- capture --golden \
 #     --out crates/nexus-obs/tests/golden/fig13_mini.trace.json
-tmp_golden="$(mktemp)"
-trap 'rm -f "$tmp_golden"' EXIT
+# The sharded capture (NEXUS_SIM_SHARDS=4) must match the same golden:
+# sharding may never change the event stream.
 cargo run --release -q -p nexus-obs --bin nexus-trace -- \
   capture --golden --out "$tmp_golden" >/dev/null
 cargo run --release -q -p nexus-obs --bin nexus-trace -- \
   diff "$tmp_golden" crates/nexus-obs/tests/golden/fig13_mini.trace.json
+NEXUS_SIM_SHARDS=4 cargo run --release -q -p nexus-obs --bin nexus-trace -- \
+  capture --golden --out "$tmp_golden_sharded" >/dev/null
+cargo run --release -q -p nexus-obs --bin nexus-trace -- \
+  diff "$tmp_golden_sharded" crates/nexus-obs/tests/golden/fig13_mini.trace.json
 
 echo "CI OK"

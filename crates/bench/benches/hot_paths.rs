@@ -10,7 +10,7 @@ use nexus_model::find_prefix_groups;
 use nexus_profile::{BatchingProfile, Micros};
 use nexus_runtime::{DropPolicy, Request, RequestId, SessionQueue};
 use nexus_scheduler::{optimize_latency_split, squishy_bin_packing, QueryDag, QueryStage};
-use nexus_simgpu::EventQueue;
+use nexus_simgpu::{EventQueue, HeapEventQueue};
 
 fn sessions(n: u32) -> Vec<SessionSpec> {
     (0..n)
@@ -172,7 +172,7 @@ fn bench_event_engine(c: &mut Criterion) {
             acc
         })
     });
-    // A Fig.13-sized run processes ~10M events; this measures raw heap
+    // A Fig.13-sized run processes ~10M events; this measures raw queue
     // throughput at a realistic standing population (the loop keeps ~1M
     // scheduled events live while churning through another million).
     c.bench_function("event_queue/churn_1m_standing", |b| {
@@ -192,6 +192,50 @@ fn bench_event_engine(c: &mut Criterion) {
             }
             acc
         })
+    });
+    // Calendar queue vs. the binary-heap reference on the same 1M-event
+    // churn schedule. `near` keeps every reschedule inside the wheel's
+    // horizon (the simulator's dominant pattern: duty-cycle wakes and
+    // batch completions land within milliseconds); `far` sends 1 in 8
+    // pushes ~2^35 µs out, forcing calendar overflow spills and refills.
+    // The two queues pop identical (time, seq) streams — asserted by the
+    // differential proptest in nexus-simgpu — so this measures cost, not
+    // behavior. Committed numbers: bench_results/hot_paths_event_queue.txt.
+    macro_rules! churn {
+        ($Q:ty, $far:expr) => {{
+            let far: bool = $far;
+            let mut q: $Q = <$Q>::new();
+            for i in 0..1_000_000u64 {
+                q.push(Micros::from_micros((i * 7919) % 1_000_000 + 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            for i in 0..1_000_000u64 {
+                let (t, v) = q.pop().expect("standing population");
+                acc = acc.wrapping_add(v);
+                let delta = if far && i % 8 == 0 {
+                    (i * 104_729) % 500_000 + (1 << 35)
+                } else {
+                    (i * 104_729) % 500_000 + 1
+                };
+                q.push(t + Micros::from_micros(delta), i);
+            }
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        }};
+    }
+    c.bench_function("event_queue/calendar_churn_1m_near", |b| {
+        b.iter(|| churn!(EventQueue<u64>, false))
+    });
+    c.bench_function("event_queue/heap_churn_1m_near", |b| {
+        b.iter(|| churn!(HeapEventQueue<u64>, false))
+    });
+    c.bench_function("event_queue/calendar_churn_1m_far", |b| {
+        b.iter(|| churn!(EventQueue<u64>, true))
+    });
+    c.bench_function("event_queue/heap_churn_1m_far", |b| {
+        b.iter(|| churn!(HeapEventQueue<u64>, true))
     });
 }
 

@@ -59,6 +59,7 @@ fn main() {
             warmup,
             trace_capacity: 0,
             faults,
+            shards: 1,
         },
         classes,
     )

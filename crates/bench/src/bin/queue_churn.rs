@@ -1,0 +1,113 @@
+//! `queue_churn`: wall-clock timing for the calendar-vs-heap event queue
+//! comparison (the hot_paths criterion benches run under a smoke-test
+//! stub offline, so this binary produces the committed numbers in
+//! `bench_results/hot_paths_event_queue.txt`).
+//!
+//! Each scenario schedules 1M standing events, churns through 1M
+//! pop-and-reschedule rounds, then drains: the `near` mix keeps every
+//! reschedule inside the calendar wheel's horizon (the simulator's
+//! dominant pattern), the `far` mix sends 1 in 8 pushes ~2^35 µs out to
+//! force overflow spills and refills. Both queues pop identical
+//! `(time, seq)` streams — asserted by the differential proptest in
+//! nexus-simgpu — so the comparison is pure cost.
+//!
+//! Usage: `cargo run --release -p bench --bin queue_churn [-- --reps N]`
+
+use std::time::Instant;
+
+use bench::print_table;
+use nexus_profile::Micros;
+use nexus_simgpu::{EventQueue, HeapEventQueue};
+
+const EVENTS: u64 = 1_000_000;
+
+macro_rules! churn {
+    ($Q:ty, $far:expr) => {{
+        let far: bool = $far;
+        let mut q: $Q = <$Q>::new();
+        for i in 0..EVENTS {
+            q.push(Micros::from_micros((i * 7919) % 1_000_000 + 1_000_000), i);
+        }
+        let mut acc = 0u64;
+        for i in 0..EVENTS {
+            let (t, v) = q.pop().expect("standing population");
+            acc = acc.wrapping_add(v);
+            let delta = if far && i % 8 == 0 {
+                (i * 104_729) % 500_000 + (1 << 35)
+            } else {
+                (i * 104_729) % 500_000 + 1
+            };
+            q.push(t + Micros::from_micros(delta), i);
+        }
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    }};
+}
+
+fn main() {
+    let mut reps = 5usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs an integer")
+            }
+            other => panic!("unknown argument {other:?} (supported: --reps N)"),
+        }
+    }
+
+    // (label, runner) pairs; each runner returns the checksum so the work
+    // cannot be optimized away.
+    type Scenario = (&'static str, fn() -> u64);
+    let scenarios: Vec<Scenario> = vec![
+        ("calendar near-horizon", || churn!(EventQueue<u64>, false)),
+        ("heap     near-horizon", || {
+            churn!(HeapEventQueue<u64>, false)
+        }),
+        ("calendar far-future  ", || churn!(EventQueue<u64>, true)),
+        ("heap     far-future  ", || {
+            churn!(HeapEventQueue<u64>, true)
+        }),
+    ];
+
+    // Interleave repetitions across scenarios (rep 0 of all four, then
+    // rep 1, ...) so slow machine-wide drift hits every scenario equally
+    // instead of biasing whichever ran last.
+    let mut best = vec![f64::INFINITY; scenarios.len()];
+    let mut sums = vec![0u64; scenarios.len()];
+    for _ in 0..reps {
+        for (i, (_, run)) in scenarios.iter().enumerate() {
+            let t0 = Instant::now();
+            sums[i] = run();
+            best[i] = best[i].min(t0.elapsed().as_secs_f64());
+        }
+    }
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .zip(&best)
+        .map(|((label, _), b)| {
+            // 3M queue ops per run: 2M scheduled pushes + drain via pops.
+            let ops = (EVENTS * 3) as f64;
+            vec![
+                (*label).to_string(),
+                format!("{:.0}", b * 1e3),
+                format!("{:.2}", ops / b / 1e6),
+            ]
+        })
+        .collect();
+    // All four scenarios of a mix pop the same multiset; the checksums
+    // pair up (near vs near, far vs far) as a cheap cross-check.
+    assert_eq!(sums[0], sums[1], "near-horizon checksums diverge");
+    assert_eq!(sums[2], sums[3], "far-future checksums diverge");
+
+    print_table(
+        &format!("event-queue churn: 1M standing + 1M reschedules (best of {reps})"),
+        &["scenario", "wall (ms)", "Mops/s"],
+        &rows,
+    );
+}

@@ -12,13 +12,20 @@
 //! each point repeats `REPS` times, reporting the best wall time (the
 //! numbers are minima over noise, not means). Simulation outputs are
 //! asserted bit-identical across repetitions, so every `simbench` run is
-//! also a cheap determinism check.
+//! also a cheap determinism check; `--det-out` writes the deterministic
+//! outputs alone, and ci.sh byte-diffs `--shards 1` against `--shards 4`.
 //!
-//! Usage: `cargo run --release -p bench --bin simbench [--secs N] [--quick]`
+//! The full ladder runs 25/50/100/1000 GPUs at the configured horizon plus
+//! a 10k-GPU point at a quick-mode horizon (its full-length run would
+//! dominate the whole benchmark for no extra signal — per-event cost is
+//! horizon-independent).
+//!
+//! Usage: `cargo run --release -p bench --bin simbench --
+//!     [--secs N] [--quick] [--shards N] [--out FILE] [--det-out FILE]`
 
 use std::time::Instant;
 
-use bench::{fig13_classes, print_table, write_json, Args};
+use bench::{fig13_classes, print_table, write_det_json, write_json, Args};
 use nexus::prelude::*;
 use nexus_profile::{Micros, GPU_K80};
 
@@ -26,21 +33,31 @@ use nexus_profile::{Micros, GPU_K80};
 /// easily exceeds 20%, so minima are the only stable statistic.
 const REPS: usize = 3;
 
+/// Measured-second cap for the 10k-GPU point (quick-mode length).
+const BIG_POINT_SECS: u64 = 10;
+
 struct Point {
     gpus: u32,
     events: u64,
     wall_best: f64,
     query_bad_rate: f64,
+    /// Measured (post-warmup) simulated seconds for this point — the big
+    /// points run shorter horizons than the rest of the ladder.
+    sim_secs: u64,
 }
 
-fn run_point(gpus: u32, args: &Args) -> Point {
-    let horizon = args.horizon();
+fn run_point(gpus: u32, sim_secs: u64, args: &Args) -> Point {
+    // Per-point horizon: same warmup rule as `Args::{horizon,warmup}`,
+    // applied to this point's measured length.
+    let warmup_secs = (sim_secs / 4).clamp(2, 10);
+    let warmup = Micros::from_secs(warmup_secs);
+    let horizon = Micros::from_secs(sim_secs + warmup_secs);
     let scale = gpus as f64 / 100.0;
     let mut best: Option<Point> = None;
     for _ in 0..REPS {
         let classes = fig13_classes(horizon, scale);
         let t0 = Instant::now();
-        let result = nexus::run_once(
+        let result = nexus::run_once_sharded(
             SystemConfig::nexus()
                 .with_epoch(Micros::from_secs(30))
                 .with_spread_factor(1.4),
@@ -48,8 +65,9 @@ fn run_point(gpus: u32, args: &Args) -> Point {
             gpus,
             classes,
             args.seed,
-            args.warmup(),
+            warmup,
             horizon,
+            args.shards,
         );
         let wall = t0.elapsed().as_secs_f64();
         if let Some(prev) = &best {
@@ -69,6 +87,7 @@ fn run_point(gpus: u32, args: &Args) -> Point {
             events: result.events_processed,
             wall_best,
             query_bad_rate: result.query_bad_rate,
+            sim_secs,
         });
     }
     best.expect("REPS >= 1")
@@ -76,11 +95,25 @@ fn run_point(gpus: u32, args: &Args) -> Point {
 
 fn main() {
     let args = Args::parse(300);
-    let gpu_points: &[u32] = if args.quick { &[25] } else { &[25, 50, 100] };
+    // (GPU count, measured seconds) ladder. The 10k point always runs at
+    // quick length; everything else uses the configured horizon.
+    let gpu_points: Vec<(u32, u64)> = if args.quick {
+        vec![(25, args.secs)]
+    } else {
+        vec![
+            (25, args.secs),
+            (50, args.secs),
+            (100, args.secs),
+            (1_000, args.secs),
+            (10_000, args.secs.min(BIG_POINT_SECS)),
+        ]
+    };
 
-    let points: Vec<Point> = gpu_points.iter().map(|&g| run_point(g, &args)).collect();
+    let points: Vec<Point> = gpu_points
+        .iter()
+        .map(|&(g, secs)| run_point(g, secs, &args))
+        .collect();
 
-    let sim_secs = args.secs as f64;
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -89,13 +122,25 @@ fn main() {
                 p.events.to_string(),
                 format!("{:.0}", p.wall_best * 1e3),
                 format!("{:.2}", p.events as f64 / p.wall_best / 1e6),
-                format!("{:.0}", sim_secs / p.wall_best),
+                {
+                    // Big clusters run below 1 sim-s/wall-s; keep a digit.
+                    let v = p.sim_secs as f64 / p.wall_best;
+                    if v < 10.0 {
+                        format!("{v:.1}")
+                    } else {
+                        format!("{v:.0}")
+                    }
+                },
                 format!("{:.3}%", p.query_bad_rate * 100.0),
+                p.sim_secs.to_string(),
             ]
         })
         .collect();
     print_table(
-        &format!("simbench: Fig. 13 workload, {sim_secs} simulated seconds (best of {REPS})"),
+        &format!(
+            "simbench: Fig. 13 workload, {} simulated seconds (best of {REPS}, shards={})",
+            args.secs, args.shards
+        ),
         &[
             "GPUs",
             "events",
@@ -103,6 +148,7 @@ fn main() {
             "Mevents/s",
             "sim-s/wall-s",
             "bad rate",
+            "sim s",
         ],
         &rows,
     );
@@ -119,10 +165,11 @@ fn main() {
                 p.gpus,
                 p.events,
                 p.events as f64 / p.wall_best / 1e6,
-                sim_secs / p.wall_best,
+                p.sim_secs as f64 / p.wall_best,
                 p.query_bad_rate,
             )
         })
         .collect();
     write_json(&args, &series);
+    write_det_json(&args, &series);
 }

@@ -70,6 +70,7 @@ fn main() {
             warmup,
             trace_capacity: if trace_path.is_some() { 2_000_000 } else { 0 },
             faults,
+            shards: 1,
         },
         classes,
     )

@@ -33,6 +33,15 @@ pub struct Args {
     /// support it run their headline simulation with tracing enabled and
     /// write the capture here (`nexus-trace export` renders it).
     pub trace: Option<PathBuf>,
+    /// Event-loop shard count (`--shards N`, ≥ 1). Sharding is a pure
+    /// scheduling-state partition: results are byte-identical at every
+    /// value, which ci.sh exploits as a determinism gate.
+    pub shards: usize,
+    /// Optional deterministic-summary output path (`--det-out FILE`):
+    /// only run outputs that must not vary between repeat runs (event
+    /// counts, bad-rate bit patterns) — no wall-clock-derived numbers —
+    /// so two files from identical workloads diff byte-for-byte.
+    pub det_out: Option<PathBuf>,
 }
 
 impl Args {
@@ -48,6 +57,8 @@ impl Args {
             quick: false,
             out: None,
             trace: None,
+            shards: 1,
+            det_out: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -69,9 +80,20 @@ impl Args {
                 "--trace" => {
                     args.trace = Some(PathBuf::from(it.next().expect("--trace needs a path")))
                 }
+                "--shards" => {
+                    args.shards = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .expect("--shards needs an integer >= 1")
+                }
+                "--det-out" => {
+                    args.det_out = Some(PathBuf::from(it.next().expect("--det-out needs a path")))
+                }
                 other => panic!(
                     "unknown argument {other:?} \
-                     (supported: --seed N --secs N --quick --out FILE --trace FILE)"
+                     (supported: --seed N --secs N --quick --shards N \
+                     --out FILE --det-out FILE --trace FILE)"
                 ),
             }
         }
@@ -136,6 +158,30 @@ pub fn write_json<T: Serialize>(args: &Args, value: &T) {
     if let Some(path) = &args.out {
         let json = serde_json::to_string_pretty(value).expect("serializable result");
         std::fs::write(path, json).expect("writable --out path");
+        println!("(wrote {})", path.display());
+    }
+}
+
+/// Writes the deterministic subset of a simbench-style series to
+/// `--det-out` (if given): GPU count, event count, and the exact bit
+/// pattern of the bad rate — no wall-clock-derived numbers. Any two runs
+/// of the same workload must produce byte-identical files regardless of
+/// machine noise or `--shards`; ci.sh diffs them as the shard-determinism
+/// gate.
+pub fn write_det_json(args: &Args, series: &[(u32, u64, f64, f64, f64)]) {
+    if let Some(path) = &args.det_out {
+        let det: Vec<serde_json::Value> = series
+            .iter()
+            .map(|&(gpus, events, _, _, bad)| {
+                serde_json::json!({
+                    "gpus": gpus,
+                    "events": events,
+                    "bad_rate_bits": format!("{:016x}", bad.to_bits()),
+                })
+            })
+            .collect();
+        let json = serde_json::to_string_pretty(&det).expect("serializable summary");
+        std::fs::write(path, json).expect("writable --det-out path");
         println!("(wrote {})", path.display());
     }
 }

@@ -34,6 +34,7 @@ pub struct NexusClusterBuilder {
     trace_capacity: usize,
     classes: Vec<TrafficClass>,
     faults: Vec<FaultSpec>,
+    shards: usize,
 }
 
 impl NexusCluster {
@@ -50,6 +51,7 @@ impl NexusCluster {
             trace_capacity: 0,
             classes: Vec::new(),
             faults: Vec::new(),
+            shards: 1,
         }
     }
 
@@ -143,6 +145,13 @@ impl NexusClusterBuilder {
         self
     }
 
+    /// Sets the event-loop shard count (≥ 1). Purely a scheduling-state
+    /// partition: results are byte-identical at every value.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Finalizes the builder.
     ///
     /// # Panics
@@ -161,6 +170,7 @@ impl NexusClusterBuilder {
                 warmup: self.warmup,
                 trace_capacity: self.trace_capacity,
                 faults: self.faults,
+                shards: self.shards,
             },
             classes: self.classes,
         }

@@ -56,6 +56,21 @@ pub fn max_rate_within(search: &ThroughputSearch, mut probe: impl FnMut(f64) -> 
     lo
 }
 
+/// Default event-loop shard count for the convenience runners, taken from
+/// `NEXUS_SIM_SHARDS` (≥ 1; unset or invalid ⇒ 1).
+///
+/// Sharding is a pure scheduling-state partition — results are
+/// byte-identical at every shard count — so exposing it as an environment
+/// override lets every experiment binary (fig reproductions, trace
+/// capture) run sharded without signature churn, and lets CI diff
+/// sharded-vs-unsharded outputs end to end.
+pub fn default_shards() -> usize {
+    std::env::var("NEXUS_SIM_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
 /// Convenience: one simulation run of `system` over `classes` on a cluster
 /// of `gpus` devices.
 pub fn run_once(
@@ -94,6 +109,37 @@ pub fn run_traced(
             warmup,
             trace_capacity,
             faults: vec![],
+            shards: default_shards(),
+        },
+        classes,
+    )
+    .run()
+}
+
+/// [`run_once`] with an explicit event-loop shard count (simbench's
+/// `--shards`). Output is byte-identical to `run_once` at any value.
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_sharded(
+    system: SystemConfig,
+    device: DeviceType,
+    gpus: u32,
+    classes: Vec<TrafficClass>,
+    seed: u64,
+    warmup: Micros,
+    horizon: Micros,
+    shards: usize,
+) -> SimResult {
+    ClusterSim::new(
+        SimConfig {
+            system,
+            device,
+            max_gpus: gpus,
+            seed,
+            horizon,
+            warmup,
+            trace_capacity: 0,
+            faults: vec![],
+            shards,
         },
         classes,
     )

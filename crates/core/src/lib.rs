@@ -42,7 +42,10 @@ pub mod experiment;
 pub mod workloads;
 
 pub use builder::{NexusCluster, NexusClusterBuilder};
-pub use experiment::{max_rate_within, measure_throughput, run_once, run_traced, ThroughputSearch};
+pub use experiment::{
+    default_shards, max_rate_within, measure_throughput, run_once, run_once_sharded, run_traced,
+    ThroughputSearch,
+};
 
 // Re-export the component crates under stable names.
 pub use nexus_baseline;
@@ -56,7 +59,9 @@ pub use nexus_workload;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use crate::builder::{NexusCluster, NexusClusterBuilder};
-    pub use crate::experiment::{measure_throughput, run_once, run_traced, ThroughputSearch};
+    pub use crate::experiment::{
+        measure_throughput, run_once, run_once_sharded, run_traced, ThroughputSearch,
+    };
     pub use nexus_profile::{BatchingProfile, DeviceType, Micros, GPU_GTX1080TI, GPU_K80};
     pub use nexus_runtime::{
         ClusterSim, DropPolicy, FaultKind, FaultSpec, PlanError, SchedulerPolicy, SimConfig,

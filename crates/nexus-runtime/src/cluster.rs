@@ -21,7 +21,7 @@
 use nexus_profile::{DeviceType, Micros, SharedProfile};
 use nexus_scheduler::{assign_plans, GpuPlan, SessionId};
 use nexus_simgpu::{
-    EventQueue, FaultKind, FaultSpec, FleetHealth, PollOutcome, ResidentKey, SimGpu,
+    FaultKind, FaultSpec, FleetHealth, PollOutcome, ResidentKey, ShardedEventQueue, SimGpu,
 };
 use nexus_workload::{poisson_sample, rng_for, ArrivalGen, GammaSpec};
 use rand::rngs::StdRng;
@@ -29,7 +29,7 @@ use rand::Rng;
 
 use crate::config::SystemConfig;
 use crate::control::{plan, ControlPlan, PlanError, TrafficClass};
-use crate::dispatch::{classify_drop, BatchPull, SessionQueue};
+use crate::dispatch::{classify_drop, BatchPull, DropPolicy, SessionQueue};
 use crate::metrics::ClusterMetrics;
 use crate::request::{QueryId, QueryTracker, Request, RequestId, RequestOutcome};
 use crate::trace::{DropCause, Trace, TraceEvent};
@@ -56,6 +56,13 @@ pub struct SimConfig {
     /// in-flight bookkeeping) — a no-fault run is bit-identical to one
     /// built before fault injection existed.
     pub faults: Vec<FaultSpec>,
+    /// Event-loop shards (≥ 1). Backend-owned events (wakes, batch
+    /// completions) live on their backend group's shard; control-plane
+    /// events on shard 0; cross-shard traffic goes through mailboxes
+    /// (DESIGN.md §13). The merged stream is byte-identical at every
+    /// shard count — this knob partitions scheduling state, never
+    /// behavior.
+    pub shards: usize,
 }
 
 /// Summary of one simulation run.
@@ -104,46 +111,62 @@ pub struct GpuOccupancy {
 
 enum Event {
     RootArrival {
-        class: usize,
+        class: u32,
     },
     Wake {
-        backend: usize,
-        slot: usize,
+        backend: u32,
+        /// Slot to serve (uncoordinated mode); `u32::MAX` in coordinated
+        /// mode, where the wake addresses the whole backend.
+        slot: u32,
         /// Deployment generation the event belongs to; stale events from
         /// before an epoch reallocation are ignored.
         gen: u64,
     },
+    /// A batch finished executing. The bulky payload (requests, fault
+    /// bookkeeping, trace echo) parks in [`ClusterSim::jobs`]; the event
+    /// carries only the pool index — every event moves through the
+    /// calendar wheel and staged merge several times, so payload size is
+    /// event-loop bandwidth. `backend` rides along so the shard router
+    /// classifies completions without reaching into the pool.
     BatchDone {
-        backend: usize,
-        slot: usize,
-        requests: Vec<Request>,
-        gen: u64,
-        /// In-flight batch id; crashed-GPU batches are marked lost and
-        /// their completion is discarded. 0 when fault injection is off.
-        batch: u64,
-        /// Physical GPU slot the batch launched on — the in-flight table
-        /// is indexed by it, and it stays valid across deployment swaps
-        /// (backend indices do not). Unused when fault injection is off.
-        pslot: usize,
-        /// Execution start time, echoed into completion trace events so a
-        /// request's queue/exec phase boundary is known. Carried even with
-        /// tracing off (it is dead data then, never read).
-        started: Micros,
-        /// Trace batch id ([`Trace::alloc_batch_seq`]); 0 when tracing is
-        /// off.
-        seq: u64,
+        backend: u32,
+        job: u32,
     },
     EpochTick,
     /// Inject `SimConfig::faults[index]`.
     Fault {
-        index: usize,
+        index: u32,
     },
     /// A timed fault (stall/slowdown) on a physical slot expires.
     FaultEnd {
-        slot: usize,
+        slot: u32,
     },
     /// The controller polls every deployed backend's heartbeat.
     HeartbeatCheck,
+}
+
+/// Parked payload of an in-flight [`Event::BatchDone`], pool-allocated in
+/// [`ClusterSim::jobs`] (slots recycle through a free list, so steady
+/// state allocates nothing).
+#[derive(Default)]
+struct BatchJob {
+    requests: Vec<Request>,
+    /// Serving slot within the backend (uncoordinated completions).
+    slot: usize,
+    gen: u64,
+    /// In-flight batch id; crashed-GPU batches are marked lost and their
+    /// completion is discarded. 0 when fault injection is off.
+    batch: u64,
+    /// Physical GPU slot the batch launched on — the in-flight table is
+    /// indexed by it, and it stays valid across deployment swaps (backend
+    /// indices do not). Unused when fault injection is off.
+    pslot: usize,
+    /// Execution start time, echoed into completion trace events so a
+    /// request's queue/exec phase boundary is known. Carried even with
+    /// tracing off (it is dead data then, never read).
+    started: Micros,
+    /// Trace batch id ([`Trace::alloc_batch_seq`]); 0 when tracing is off.
+    seq: u64,
 }
 
 /// A session slot within a backend.
@@ -243,6 +266,71 @@ impl Route {
     }
 }
 
+/// Shard router over the engine's [`ShardedEventQueue`].
+///
+/// Classifies each event to its home shard — backend-owned events (wakes,
+/// batch completions) to the backend group's shard, control-plane events
+/// (arrivals, epochs, faults, heartbeats) to shard 0 — and tracks which
+/// shard's handler is currently executing, so a handler's pushes become
+/// shard-local calendar inserts or cross-shard mailbox posts. The shard
+/// map only decides *where an event waits*: the merge key is the global
+/// `(time, seq)` order, so the popped stream (and therefore the whole
+/// simulation) is byte-identical at every shard count.
+struct EventRouter {
+    q: ShardedEventQueue<Event>,
+    /// Cached `q.shard_count()`; 1 short-circuits the shard map entirely
+    /// (the common un-sharded configuration pays no classification cost).
+    nshards: usize,
+    /// Home shard of the event whose handler is currently running.
+    cur: usize,
+}
+
+impl EventRouter {
+    fn new(shards: usize) -> Self {
+        let q = ShardedEventQueue::new(shards);
+        EventRouter {
+            nshards: q.shard_count(),
+            q,
+            cur: 0,
+        }
+    }
+
+    fn shard_of(&self, ev: &Event) -> usize {
+        if self.nshards == 1 {
+            return 0;
+        }
+        match ev {
+            Event::Wake { backend, .. } | Event::BatchDone { backend, .. } => {
+                *backend as usize % self.nshards
+            }
+            Event::RootArrival { .. }
+            | Event::EpochTick
+            | Event::Fault { .. }
+            | Event::FaultEnd { .. }
+            | Event::HeartbeatCheck => 0,
+        }
+    }
+
+    fn push(&mut self, time: Micros, ev: Event) {
+        let dest = self.shard_of(&ev);
+        self.q.schedule_from(self.cur, dest, time, ev);
+    }
+
+    fn pop(&mut self) -> Option<(Micros, Event)> {
+        let (t, ev) = self.q.pop()?;
+        self.cur = self.shard_of(&ev);
+        Some((t, ev))
+    }
+
+    fn now(&self) -> Micros {
+        self.q.now()
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.q.reserve(n);
+    }
+}
+
 /// Outcome of inspecting one slot during a service scan.
 enum SlotDecision {
     /// Queue empty or not yet worth serving.
@@ -272,7 +360,7 @@ pub struct ClusterSim {
     /// (class, stage) → session ids (one per variant; single when merged).
     stage_sessions: Vec<Vec<Vec<SessionId>>>,
     variant_cursor: Vec<Vec<usize>>,
-    events: EventQueue<Event>,
+    events: EventRouter,
     arrivals: Vec<ArrivalGen>,
     arrival_rng: Vec<StdRng>,
     gamma_rng: StdRng,
@@ -320,6 +408,15 @@ pub struct ClusterSim {
     /// Reusable pull buffers: one batch/dropped pair refilled in place on
     /// every dispatch, so the hot path allocates nothing.
     scratch: BatchPull,
+    /// Reusable per-batch buffer of `(child stage, gamma, deadline
+    /// offset)` edges, hoisted out of the completion loop (every request
+    /// in a batch shares one session, hence one child-edge list).
+    child_scratch: Vec<(usize, GammaSpec, Micros)>,
+    /// In-flight batch payload pool (see [`BatchJob`]); `free_jobs` lists
+    /// recyclable slots, LIFO — a deterministic function of the event
+    /// stream, and the indices never reach any output.
+    jobs: Vec<BatchJob>,
+    free_jobs: Vec<u32>,
     /// Recycled batch vectors: `BatchDone` hands its spent `Vec` back and
     /// the next pull reuses it instead of allocating.
     batch_pool: Vec<Vec<Request>>,
@@ -371,7 +468,10 @@ impl ClusterSim {
             .iter()
             .map(|c| vec![0usize; c.app.stages.len()])
             .collect();
-        let mut events = EventQueue::new();
+        let mut events = EventRouter::new(cfg.shards);
+        // Workload hint: pending events track armed wakes + in-flight
+        // batches (O(backends)) plus one scheduled arrival per class.
+        events.reserve(backends.len() * 2 + classes.len() + 16);
         let mut arrivals = Vec::new();
         let mut arrival_rng = Vec::new();
         for (ci, class) in classes.iter().enumerate() {
@@ -379,7 +479,7 @@ impl ClusterSim {
                 .with_modulation(class.modulation.clone());
             let mut rng = rng_for(cfg.seed, ci as u64);
             if let Some(t) = gen.next_arrival(cfg.horizon, &mut rng) {
-                events.push(t, Event::RootArrival { class: ci });
+                events.push(t, Event::RootArrival { class: ci as u32 });
             }
             arrivals.push(gen);
             arrival_rng.push(rng);
@@ -393,7 +493,12 @@ impl ClusterSim {
         }
         for (index, f) in cfg.faults.iter().enumerate() {
             if f.at < cfg.horizon {
-                events.push(f.at, Event::Fault { index });
+                events.push(
+                    f.at,
+                    Event::Fault {
+                        index: index as u32,
+                    },
+                );
             }
         }
         if !cfg.faults.is_empty() {
@@ -445,6 +550,9 @@ impl ClusterSim {
             lost_batches: Vec::new(),
             limbo: vec![Vec::new(); max_gpus],
             scratch: BatchPull::default(),
+            child_scratch: Vec::new(),
+            jobs: Vec::new(),
+            free_jobs: Vec::new(),
             batch_pool: Vec::new(),
             retired_busy: 0,
             events_processed: 0,
@@ -461,27 +569,16 @@ impl ClusterSim {
         while let Some((now, ev)) = self.events.pop() {
             self.events_processed += 1;
             match ev {
-                Event::RootArrival { class } => self.on_root_arrival(now, class),
+                Event::RootArrival { class } => self.on_root_arrival(now, class as usize),
                 Event::Wake { backend, slot, gen } => {
                     if gen == self.generation {
-                        self.on_wake(now, backend, slot);
+                        self.on_wake(now, backend as usize, slot as usize);
                     }
                 }
-                Event::BatchDone {
-                    backend,
-                    slot,
-                    requests,
-                    gen,
-                    batch,
-                    pslot,
-                    started,
-                    seq,
-                } => self.on_batch_done(
-                    now, backend, slot, requests, gen, batch, pslot, started, seq,
-                ),
+                Event::BatchDone { backend, job } => self.on_batch_done(now, backend as usize, job),
                 Event::EpochTick => self.on_epoch(now),
-                Event::Fault { index } => self.on_fault(now, index),
-                Event::FaultEnd { slot } => self.on_fault_end(now, slot),
+                Event::Fault { index } => self.on_fault(now, index as usize),
+                Event::FaultEnd { slot } => self.on_fault_end(now, slot as usize),
                 Event::HeartbeatCheck => self.on_heartbeat_check(now),
             }
         }
@@ -508,7 +605,12 @@ impl ClusterSim {
             let gen = &mut self.arrivals[class];
             gen.next_arrival(self.cfg.horizon, &mut self.arrival_rng[class])
         } {
-            self.events.push(t.max(now), Event::RootArrival { class });
+            self.events.push(
+                t.max(now),
+                Event::RootArrival {
+                    class: class as u32,
+                },
+            );
         }
 
         self.epoch_arrivals[class] += 1;
@@ -528,8 +630,15 @@ impl ClusterSim {
         deadline: Micros,
     ) {
         let variants = &self.stage_sessions[class][stage];
-        let vi = self.variant_cursor[class][stage] % variants.len();
-        self.variant_cursor[class][stage] += 1;
+        // Pre-wrapped cursor: the variant list is fixed for the whole run
+        // (`stage_sessions` is built once), so compare-and-reset walks the
+        // same sequence as the old `cursor % len` without the division.
+        let cursor = &mut self.variant_cursor[class][stage];
+        let vi = *cursor;
+        *cursor += 1;
+        if *cursor == variants.len() {
+            *cursor = 0;
+        }
         let session = variants[vi];
         let req = Request {
             id: RequestId(self.next_request),
@@ -547,8 +656,7 @@ impl ClusterSim {
                 session,
             });
         }
-        let fe = self.next_frontend;
-        self.next_frontend = (self.next_frontend + 1) % self.routes.len();
+        let fe = self.take_frontend();
         match self.routes[fe][session.0 as usize].pick(&mut self.route_rng) {
             Some(backend) => {
                 let slot = self.backends[backend]
@@ -574,9 +682,25 @@ impl ClusterSim {
         }
     }
 
+    /// Round-robin frontend cursor. The frontend count is fixed for the
+    /// whole run (`build_frontends` always makes `system.frontends`
+    /// routes), so a compare-and-reset cursor walks the same sequence the
+    /// old `% routes.len()` did without the division.
+    fn take_frontend(&mut self) -> usize {
+        let fe = self.next_frontend;
+        self.next_frontend += 1;
+        if self.next_frontend == self.routes.len() {
+            self.next_frontend = 0;
+        }
+        fe
+    }
+
     /// Arms a wake for the backend (coordinated) or slot (uncoordinated).
     fn arm(&mut self, now: Micros, backend: usize, slot: usize) {
-        if !self.slot_serving(backend) {
+        // `fault_mode` gate: with no faults configured every slot serves
+        // forever, so the fleet-health lookup is a constant `true` — skip
+        // it on the per-request path.
+        if self.fault_mode && !self.slot_serving(backend) {
             // Crashed or stalled: requests queue; a stall end re-arms, a
             // crash is detected by heartbeats and the queue re-dispatched.
             return;
@@ -591,14 +715,21 @@ impl ClusterSim {
                 self.events.push(
                     t,
                     Event::Wake {
-                        backend,
-                        slot: usize::MAX,
+                        backend: backend as u32,
+                        slot: u32::MAX,
                         gen,
                     },
                 );
             }
         } else if slot < b.slots.len() && !b.slots[slot].busy {
-            self.events.push(t, Event::Wake { backend, slot, gen });
+            self.events.push(
+                t,
+                Event::Wake {
+                    backend: backend as u32,
+                    slot: slot as u32,
+                    gen,
+                },
+            );
         }
     }
 
@@ -609,74 +740,13 @@ impl ClusterSim {
             // (`arm` dedups on `armed_wake`).
             self.backends[backend].armed_wake = Micros::MAX;
         }
-        if !self.slot_serving(backend) {
+        if self.fault_mode && !self.slot_serving(backend) {
             return;
         }
         if self.cfg.system.coordinated {
             self.serve_coordinated(now, backend);
         } else {
             self.serve_slot(now, backend, slot);
-        }
-    }
-
-    /// Inspects slot `si` of `backend`: readiness check and pull.
-    fn inspect_slot(&mut self, now: Micros, backend: usize, si: usize) -> SlotDecision {
-        let policy = self.cfg.system.drop_policy;
-        let slot = &mut self.backends[backend].slots[si];
-        if slot.queue.is_empty() || slot.busy {
-            return SlotDecision::Skip;
-        }
-        let queued = slot.queue.len() as u32;
-        // Jittered readiness threshold (phase decorrelation).
-        let span = (slot.target_batch / 6).max(1);
-        let eff_target = slot.target_batch - (slot.jitter_state % u64::from(span)) as u32;
-        if queued < eff_target {
-            // Wait for batch-mates, but no longer than one duty cycle past
-            // the oldest arrival and never past the latest safe start.
-            let gather_until = slot
-                .queue
-                .oldest_arrival()
-                .map_or(Micros::MAX, |a| a + slot.gather_limit);
-            let f = forced_start(slot).min(gather_until);
-            if now < f {
-                return SlotDecision::NotReady(f);
-            }
-        }
-        // The GPU scheduler executes the *planned* batch sizes (§6.3); an
-        // infinite reserve pins the early-drop window to the plan. Bursty
-        // child stages survive because their deadlines inherit ancestor
-        // slack, not because batches balloon.
-        slot.jitter_state = nexus_workload::splitmix64(slot.jitter_state);
-        slot.queue.pull_into(
-            now,
-            slot.target_batch,
-            &slot.profile,
-            policy,
-            Micros::MAX,
-            &mut self.scratch,
-        );
-        let duration = if self.scratch.batch.is_empty() {
-            Micros::ZERO
-        } else {
-            slot.profile
-                .latency_clamped(self.scratch.batch.len() as u32)
-        };
-        let pending_expiry = if self.scratch.batch.is_empty() {
-            slot.queue.oldest_deadline()
-        } else {
-            None
-        };
-        // Hand the filled batch out and put a recycled buffer back in the
-        // scratch slot — no allocation on either side of the swap.
-        let batch = std::mem::replace(
-            &mut self.scratch.batch,
-            self.batch_pool.pop().unwrap_or_default(),
-        );
-        SlotDecision::Pulled {
-            session: slot.session,
-            batch,
-            duration,
-            pending_expiry,
         }
     }
 
@@ -707,8 +777,9 @@ impl ClusterSim {
             .is_some()
             .then(|| now + self.backends[backend].slots[si].profile.latency_clamped(1));
         let mut dropped = std::mem::take(&mut self.scratch.dropped);
+        let tb = self.metrics.terminal_batch(session, now);
         for r in dropped.drain(..) {
-            self.metrics.record_drop(session, now);
+            self.metrics.record_drop_in(tb);
             if let Some(tr) = &mut self.trace {
                 tr.push(TraceEvent::Drop {
                     t: now,
@@ -742,8 +813,8 @@ impl ClusterSim {
                     self.events.push(
                         t,
                         Event::Wake {
-                            backend,
-                            slot: usize::MAX,
+                            backend: backend as u32,
+                            slot: u32::MAX,
                             gen,
                         },
                     );
@@ -755,75 +826,111 @@ impl ClusterSim {
         if n == 0 {
             return;
         }
+        let policy = self.cfg.system.drop_policy;
         let cursor = self.backends[backend].cursor;
         let mut earliest_wake: Option<Micros> = None;
-        for k in 0..n {
-            let si = (cursor + k) % n;
-            match self.inspect_slot(now, backend, si) {
-                SlotDecision::Skip => {}
-                SlotDecision::NotReady(f) => {
-                    earliest_wake = Some(earliest_wake.map_or(f, |e: Micros| e.min(f)));
-                }
-                SlotDecision::Pulled {
-                    session,
-                    batch,
-                    duration,
-                    pending_expiry,
-                } => {
-                    self.record_drops(now, session, backend, si);
-                    if !batch.is_empty() {
-                        // Straggler slowdown stretches the execution; the
-                        // gate keeps no-fault runs bit-identical (scale
-                        // rounds through f64).
-                        let slowdown = self.fleet.slowdown(self.backend_slot[backend]);
-                        let duration = if slowdown != 1.0 {
-                            duration.scale(slowdown)
-                        } else {
-                            duration
-                        };
-                        let seq = match &mut self.trace {
-                            Some(tr) => {
-                                let seq = tr.alloc_batch_seq();
-                                tr.push(TraceEvent::Batch {
-                                    t: now,
-                                    backend,
-                                    session,
-                                    size: batch.len() as u32,
-                                    duration,
-                                    seq,
-                                });
-                                seq
-                            }
-                            None => 0,
-                        };
-                        let (batch_id, pslot) = self.launch_bookkeeping(backend, &batch);
-                        let b = &mut self.backends[backend];
-                        b.busy = true;
-                        b.cursor = (si + 1) % n;
-                        b.gpu.execute(now, duration, batch.len() as u32);
-                        let gen = self.generation;
-                        self.events.push(
-                            now + duration,
-                            Event::BatchDone {
-                                backend,
-                                slot: si,
-                                requests: batch,
-                                gen,
-                                batch: batch_id,
-                                pslot,
-                                started: now,
-                                seq,
-                            },
-                        );
-                        return;
+        // `cursor < n` always (it is stored pre-wrapped below), so one
+        // conditional subtract replaces the per-slot modulo. The scan runs
+        // as an inner loop holding the backend borrow (see `inspect_slot`);
+        // it only drops out to `&mut self` territory on a pull — empty
+        // pulls (everything expired) re-enter the scan where it left off,
+        // exactly like the original single-level loop did.
+        let mut k = 0;
+        while k < n {
+            let pulled = {
+                let b = &mut self.backends[backend];
+                loop {
+                    if k >= n {
+                        break None;
                     }
-                    self.recycle(batch);
-                    if let Some(expiry) = pending_expiry {
-                        // Lazy-held requests: revisit at their expiry.
-                        let f = expiry.max(now + Micros(1));
-                        earliest_wake = Some(earliest_wake.map_or(f, |e: Micros| e.min(f)));
+                    let mut si = cursor + k;
+                    if si >= n {
+                        si -= n;
+                    }
+                    k += 1;
+                    match inspect_slot(
+                        &mut b.slots[si],
+                        now,
+                        policy,
+                        &mut self.scratch,
+                        &mut self.batch_pool,
+                    ) {
+                        SlotDecision::Skip => {}
+                        SlotDecision::NotReady(f) => {
+                            earliest_wake = Some(earliest_wake.map_or(f, |e: Micros| e.min(f)));
+                        }
+                        SlotDecision::Pulled {
+                            session,
+                            batch,
+                            duration,
+                            pending_expiry,
+                        } => break Some((si, session, batch, duration, pending_expiry)),
                     }
                 }
+            };
+            let Some((si, session, batch, duration, pending_expiry)) = pulled else {
+                break;
+            };
+            self.record_drops(now, session, backend, si);
+            if !batch.is_empty() {
+                // Straggler slowdown stretches the execution; the
+                // gate keeps no-fault runs bit-identical (scale
+                // rounds through f64). Without faults the factor is
+                // a constant 1.0 — skip the health lookup.
+                let slowdown = if self.fault_mode {
+                    self.fleet.slowdown(self.backend_slot[backend])
+                } else {
+                    1.0
+                };
+                let duration = if slowdown != 1.0 {
+                    duration.scale(slowdown)
+                } else {
+                    duration
+                };
+                let seq = match &mut self.trace {
+                    Some(tr) => {
+                        let seq = tr.alloc_batch_seq();
+                        tr.push(TraceEvent::Batch {
+                            t: now,
+                            backend,
+                            session,
+                            size: batch.len() as u32,
+                            duration,
+                            seq,
+                        });
+                        seq
+                    }
+                    None => 0,
+                };
+                let (batch_id, pslot) = self.launch_bookkeeping(backend, &batch);
+                let b = &mut self.backends[backend];
+                b.busy = true;
+                b.cursor = if si + 1 == n { 0 } else { si + 1 };
+                b.gpu.execute(now, duration, batch.len() as u32);
+                let gen = self.generation;
+                let job = self.alloc_job(BatchJob {
+                    requests: batch,
+                    slot: si,
+                    gen,
+                    batch: batch_id,
+                    pslot,
+                    started: now,
+                    seq,
+                });
+                self.events.push(
+                    now + duration,
+                    Event::BatchDone {
+                        backend: backend as u32,
+                        job,
+                    },
+                );
+                return;
+            }
+            self.recycle(batch);
+            if let Some(expiry) = pending_expiry {
+                // Lazy-held requests: revisit at their expiry.
+                let f = expiry.max(now + Micros(1));
+                earliest_wake = Some(earliest_wake.map_or(f, |e: Micros| e.min(f)));
             }
         }
         if let Some(f) = earliest_wake {
@@ -834,8 +941,8 @@ impl ClusterSim {
                 self.events.push(
                     f,
                     Event::Wake {
-                        backend,
-                        slot: usize::MAX,
+                        backend: backend as u32,
+                        slot: u32::MAX,
                         gen,
                     },
                 );
@@ -851,15 +958,35 @@ impl ClusterSim {
         if now < self.backends[backend].available_at {
             let t = self.backends[backend].available_at;
             let gen = self.generation;
-            self.events.push(t, Event::Wake { backend, slot, gen });
+            self.events.push(
+                t,
+                Event::Wake {
+                    backend: backend as u32,
+                    slot: slot as u32,
+                    gen,
+                },
+            );
             return;
         }
-        match self.inspect_slot(now, backend, slot) {
+        let policy = self.cfg.system.drop_policy;
+        match inspect_slot(
+            &mut self.backends[backend].slots[slot],
+            now,
+            policy,
+            &mut self.scratch,
+            &mut self.batch_pool,
+        ) {
             SlotDecision::Skip => {}
             SlotDecision::NotReady(f) => {
                 let gen = self.generation;
-                self.events
-                    .push(f.max(now), Event::Wake { backend, slot, gen });
+                self.events.push(
+                    f.max(now),
+                    Event::Wake {
+                        backend: backend as u32,
+                        slot: slot as u32,
+                        gen,
+                    },
+                );
             }
             SlotDecision::Pulled {
                 session,
@@ -870,7 +997,11 @@ impl ClusterSim {
                 self.record_drops(now, session, backend, slot);
                 if !batch.is_empty() {
                     let trace_size = batch.len() as u32;
-                    let slowdown = self.fleet.slowdown(self.backend_slot[backend]);
+                    let slowdown = if self.fault_mode {
+                        self.fleet.slowdown(self.backend_slot[backend])
+                    } else {
+                        1.0
+                    };
                     let b = &mut self.backends[backend];
                     // Interference from the peers that are executing right
                     // now (including ourselves): an idle co-located
@@ -906,17 +1037,20 @@ impl ClusterSim {
                     };
                     let (batch_id, pslot) = self.launch_bookkeeping(backend, &batch);
                     let gen = self.generation;
+                    let job = self.alloc_job(BatchJob {
+                        requests: batch,
+                        slot,
+                        gen,
+                        batch: batch_id,
+                        pslot,
+                        started: now,
+                        seq,
+                    });
                     self.events.push(
                         now + duration,
                         Event::BatchDone {
-                            backend,
-                            slot,
-                            requests: batch,
-                            gen,
-                            batch: batch_id,
-                            pslot,
-                            started: now,
-                            seq,
+                            backend: backend as u32,
+                            job,
                         },
                     );
                 } else {
@@ -925,7 +1059,11 @@ impl ClusterSim {
                         let gen = self.generation;
                         self.events.push(
                             expiry.max(now + Micros(1)),
-                            Event::Wake { backend, slot, gen },
+                            Event::Wake {
+                                backend: backend as u32,
+                                slot: slot as u32,
+                                gen,
+                            },
                         );
                     }
                 }
@@ -940,18 +1078,32 @@ impl ClusterSim {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn on_batch_done(
-        &mut self,
-        now: Micros,
-        backend: usize,
-        slot: usize,
-        requests: Vec<Request>,
-        gen: u64,
-        batch: u64,
-        pslot: usize,
-        started: Micros,
-        seq: u64,
-    ) {
+    /// Allocates a [`BatchJob`] pool slot (recycling freed ones) for an
+    /// in-flight batch; [`Self::on_batch_done`] takes it back out.
+    fn alloc_job(&mut self, job: BatchJob) -> u32 {
+        match self.free_jobs.pop() {
+            Some(i) => {
+                self.jobs[i as usize] = job;
+                i
+            }
+            None => {
+                self.jobs.push(job);
+                (self.jobs.len() - 1) as u32
+            }
+        }
+    }
+
+    fn on_batch_done(&mut self, now: Micros, backend: usize, job: u32) {
+        let BatchJob {
+            requests,
+            slot,
+            gen,
+            batch,
+            pslot,
+            started,
+            seq,
+        } = std::mem::take(&mut self.jobs[job as usize]);
+        self.free_jobs.push(job);
         if self.fault_mode {
             if let Some(pos) = self.lost_batches.iter().position(|&b| b == batch) {
                 // The GPU crashed mid-execution: the batch never finished.
@@ -966,10 +1118,34 @@ impl ClusterSim {
                 entries.remove(pos);
             }
         }
+        // Per-batch invariants: a batch is pulled from one slot's queue, so
+        // every request shares a session — hoist the session → (class,
+        // stage) → child-edge (+ deadline offset) lookups out of the
+        // per-request loop. Copy the edges into a reusable scratch so the
+        // loop below can call `submit` (needs `&mut self`) freely.
+        let mut class = 0usize;
+        let mut tb = None;
+        if let Some(first) = requests.first() {
+            let s = &self.control.sessions[first.session.0 as usize];
+            class = s.class;
+            let stage = s.stage;
+            let n = self.classes[class].app.stages[stage].children.len();
+            self.child_scratch.clear();
+            for k in 0..n {
+                let (child, gamma) = self.classes[class].app.stages[stage].children[k];
+                let offset = self.stage_offset(class, child);
+                self.child_scratch.push((child, gamma, offset));
+            }
+            // One session/bucket resolution for the whole batch (shared
+            // session, shared finish time).
+            tb = Some(self.metrics.terminal_batch(first.session, now));
+        }
+        let n_children = self.child_scratch.len();
         for &req in &requests {
+            debug_assert_eq!(req.session, requests[0].session);
             let good = now <= req.deadline;
             self.metrics
-                .record_completion(req.session, req.arrival, now, good);
+                .record_completion_in(tb.expect("nonempty batch"), req.arrival, good);
             if let Some(tr) = &mut self.trace {
                 tr.push(TraceEvent::Completion {
                     t: now,
@@ -982,10 +1158,6 @@ impl ClusterSim {
                 });
             }
             if let Some(query) = req.query {
-                let s = &self.control.sessions[req.session.0 as usize];
-                let (class, stage) = (s.class, s.stage);
-                // Child edges are Copy; index rather than clone the list.
-                let n_children = self.classes[class].app.stages[stage].children.len();
                 // One window lookup for the whole spawn loop: the query
                 // stays open throughout (this request's own terminal
                 // record happens after the loop), so its span is fixed.
@@ -995,7 +1167,7 @@ impl ClusterSim {
                     (now, Micros::MAX)
                 };
                 for k in 0..n_children {
-                    let (child, gamma) = self.classes[class].app.stages[stage].children[k];
+                    let (child, gamma, offset) = self.child_scratch[k];
                     let count = sample_gamma(gamma, &mut self.gamma_rng);
                     if count > 0 {
                         self.tracker.add_outstanding(query, count);
@@ -1003,7 +1175,6 @@ impl ClusterSim {
                         // from the query arrival — slack left by ancestors
                         // finishing early is inherited, the query SLO is the
                         // only hard wall.
-                        let offset = self.stage_offset(class, child);
                         let deadline = (q_arrival + offset).min(q_deadline).max(now);
                         for _ in 0..count {
                             self.submit(now, class, child, query, deadline);
@@ -1022,12 +1193,12 @@ impl ClusterSim {
         }
         if self.cfg.system.coordinated {
             self.backends[backend].busy = false;
-            if self.slot_serving(backend) {
+            if !self.fault_mode || self.slot_serving(backend) {
                 self.serve_coordinated(now, backend);
             }
         } else {
             self.backends[backend].slots[slot].busy = false;
-            if self.slot_serving(backend) {
+            if !self.fault_mode || self.slot_serving(backend) {
                 self.serve_slot(now, backend, slot);
             }
         }
@@ -1197,8 +1368,7 @@ impl ClusterSim {
         self.backend_slot = new_backend_slot;
         self.control = next;
         for req in orphans {
-            let fe = self.next_frontend;
-            self.next_frontend = (self.next_frontend + 1) % self.routes.len();
+            let fe = self.take_frontend();
             match self.routes[fe][req.session.0 as usize].pick(&mut self.route_rng) {
                 Some(backend) => {
                     let slot = self.backends[backend]
@@ -1263,11 +1433,13 @@ impl ClusterSim {
             FaultKind::Stall { duration } => {
                 self.fleet.stall(slot);
                 self.metrics.record_fault(slot, now);
-                self.events.push(now + duration, Event::FaultEnd { slot });
+                self.events
+                    .push(now + duration, Event::FaultEnd { slot: slot as u32 });
             }
             FaultKind::Slowdown { factor, duration } => {
                 self.fleet.slow(slot, factor);
-                self.events.push(now + duration, Event::FaultEnd { slot });
+                self.events
+                    .push(now + duration, Event::FaultEnd { slot: slot as u32 });
             }
             FaultKind::Rejoin => {
                 let was_out = self.fleet.crashed(slot) || self.fleet.is_dead(slot);
@@ -1384,8 +1556,7 @@ impl ClusterSim {
         let session = req.session;
         let exec = &self.control.sessions[session.0 as usize].exec_profile;
         if req.deadline >= now + exec.latency_clamped(1) {
-            let fe = self.next_frontend;
-            self.next_frontend = (self.next_frontend + 1) % self.routes.len();
+            let fe = self.take_frontend();
             if let Some(backend) = self.routes[fe][session.0 as usize].pick(&mut self.route_rng) {
                 if let Some(tr) = &mut self.trace {
                     tr.push(TraceEvent::Retry {
@@ -1557,6 +1728,72 @@ impl ClusterSim {
 
 /// Latest time a slot can start its next batch without missing the oldest
 /// request's deadline.
+/// Inspects one slot: readiness check and pull. A free function over split
+/// borrows (slot, scratch, pool) rather than a `&mut self` method, so the
+/// serve scans can hold their backend borrow across the whole slot loop —
+/// the compiler keeps the slot array pointer in a register instead of
+/// re-deriving `backends[backend].slots[si]` once per slot.
+#[inline]
+fn inspect_slot(
+    slot: &mut Slot,
+    now: Micros,
+    policy: DropPolicy,
+    scratch: &mut BatchPull,
+    batch_pool: &mut Vec<Vec<Request>>,
+) -> SlotDecision {
+    if slot.queue.is_empty() || slot.busy {
+        return SlotDecision::Skip;
+    }
+    let queued = slot.queue.len() as u32;
+    // Jittered readiness threshold (phase decorrelation).
+    let span = (slot.target_batch / 6).max(1);
+    let eff_target = slot.target_batch - (slot.jitter_state % u64::from(span)) as u32;
+    if queued < eff_target {
+        // Wait for batch-mates, but no longer than one duty cycle past
+        // the oldest arrival and never past the latest safe start.
+        let gather_until = slot
+            .queue
+            .oldest_arrival()
+            .map_or(Micros::MAX, |a| a + slot.gather_limit);
+        let f = forced_start(slot).min(gather_until);
+        if now < f {
+            return SlotDecision::NotReady(f);
+        }
+    }
+    // The GPU scheduler executes the *planned* batch sizes (§6.3); an
+    // infinite reserve pins the early-drop window to the plan. Bursty
+    // child stages survive because their deadlines inherit ancestor
+    // slack, not because batches balloon.
+    slot.jitter_state = nexus_workload::splitmix64(slot.jitter_state);
+    slot.queue.pull_into(
+        now,
+        slot.target_batch,
+        &slot.profile,
+        policy,
+        Micros::MAX,
+        scratch,
+    );
+    let duration = if scratch.batch.is_empty() {
+        Micros::ZERO
+    } else {
+        slot.profile.latency_clamped(scratch.batch.len() as u32)
+    };
+    let pending_expiry = if scratch.batch.is_empty() {
+        slot.queue.oldest_deadline()
+    } else {
+        None
+    };
+    // Hand the filled batch out and put a recycled buffer back in the
+    // scratch slot — no allocation on either side of the swap.
+    let batch = std::mem::replace(&mut scratch.batch, batch_pool.pop().unwrap_or_default());
+    SlotDecision::Pulled {
+        session: slot.session,
+        batch,
+        duration,
+        pending_expiry,
+    }
+}
+
 fn forced_start(slot: &Slot) -> Micros {
     // The dispatcher may serve the whole queue in one batch (bursts), so
     // the latest safe start accounts for that larger execution, using the
@@ -1741,6 +1978,7 @@ mod tests {
                 warmup: Micros::from_secs(5),
                 trace_capacity: 0,
                 faults: vec![],
+                shards: 1,
             },
             classes,
         )
@@ -1822,6 +2060,7 @@ mod tests {
                 warmup: Micros::from_secs(10),
                 trace_capacity: 0,
                 faults: vec![],
+                shards: 1,
             },
             classes,
         )
@@ -1861,6 +2100,7 @@ mod tests {
                     warmup: Micros::from_secs(4),
                     trace_capacity: 0,
                     faults: vec![],
+                    shards: 1,
                 },
                 classes,
             )
@@ -1893,6 +2133,7 @@ mod tests {
                 warmup: Micros::from_secs(5),
                 trace_capacity: 0,
                 faults,
+                shards: 1,
             },
             classes,
         )
@@ -2015,6 +2256,7 @@ mod tests {
                     slot: 9,
                     kind: FaultKind::Crash,
                 }],
+                shards: 1,
             },
             classes,
         )
@@ -2047,6 +2289,7 @@ mod tests {
                 warmup: Micros::from_secs(2),
                 trace_capacity: 0,
                 faults: vec![],
+                shards: 1,
             },
             classes,
         )

@@ -176,6 +176,7 @@ pub fn run_heterogeneous(
                         warmup,
                         trace_capacity: 0,
                         faults: vec![],
+                        shards: 1,
                     },
                     classes,
                 )

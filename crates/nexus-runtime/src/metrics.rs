@@ -87,6 +87,19 @@ impl FailureRecord {
     }
 }
 
+/// Pre-resolved recording slots for one pulled batch: every request in a
+/// batch shares a session and a finish time, so the session/timeline
+/// lookups can be done once and reused for each terminal record. Obtain
+/// via [`ClusterMetrics::terminal_batch`]; the indices stay valid for the
+/// rest of the run (the tables only ever grow) but only against the
+/// metrics instance that produced them.
+#[derive(Debug, Clone, Copy)]
+pub struct TerminalBatch {
+    session: usize,
+    bucket: usize,
+    finish: Micros,
+}
+
 /// Aggregated metrics for one simulation run.
 #[derive(Debug, Default)]
 pub struct ClusterMetrics {
@@ -111,7 +124,7 @@ impl ClusterMetrics {
         }
     }
 
-    fn bucket_mut(&mut self, t: Micros) -> &mut TimelineBucket {
+    fn bucket_idx(&mut self, t: Micros) -> usize {
         // One-second buckets are the only width the cluster uses; the
         // constant divisor lets the compiler strength-reduce the division
         // on a path hit several times per request.
@@ -128,14 +141,24 @@ impl ClusterMetrics {
             };
             self.timeline.resize(idx + 1, fill);
         }
+        idx
+    }
+
+    fn bucket_mut(&mut self, t: Micros) -> &mut TimelineBucket {
+        let idx = self.bucket_idx(t);
         &mut self.timeline[idx]
     }
 
-    fn session_mut(&mut self, session: SessionId) -> &mut SessionMetrics {
+    fn session_idx(&mut self, session: SessionId) -> usize {
         let idx = session.0 as usize;
         if idx >= self.per_session.len() {
             self.per_session.resize(idx + 1, SessionMetrics::default());
         }
+        idx
+    }
+
+    fn session_mut(&mut self, session: SessionId) -> &mut SessionMetrics {
+        let idx = self.session_idx(session);
         &mut self.per_session[idx]
     }
 
@@ -178,6 +201,42 @@ impl ClusterMetrics {
     pub fn record_drop(&mut self, session: SessionId, t: Micros) {
         self.session_mut(session).dropped += 1;
         self.bucket_mut(t).bad += 1;
+    }
+
+    /// Resolves the per-session and timeline slots for a run of terminal
+    /// records that share one session and one finish time — i.e. one pulled
+    /// batch. The grow-on-demand checks and the bucket division run once
+    /// per batch instead of once per request; the recorded state is
+    /// identical to the per-request calls.
+    pub fn terminal_batch(&mut self, session: SessionId, finish: Micros) -> TerminalBatch {
+        TerminalBatch {
+            session: self.session_idx(session),
+            bucket: self.bucket_idx(finish),
+            finish,
+        }
+    }
+
+    /// [`Self::record_completion`] against a pre-resolved [`TerminalBatch`].
+    pub fn record_completion_in(&mut self, tb: TerminalBatch, arrival: Micros, good: bool) {
+        let m = &mut self.per_session[tb.session];
+        if good {
+            m.good += 1;
+        } else {
+            m.late += 1;
+        }
+        m.latencies.record(tb.finish - arrival);
+        let b = &mut self.timeline[tb.bucket];
+        if good {
+            b.good += 1;
+        } else {
+            b.bad += 1;
+        }
+    }
+
+    /// [`Self::record_drop`] against a pre-resolved [`TerminalBatch`].
+    pub fn record_drop_in(&mut self, tb: TerminalBatch) {
+        self.per_session[tb.session].dropped += 1;
+        self.timeline[tb.bucket].bad += 1;
     }
 
     /// Records the current cluster allocation size (applies to this and all

@@ -8,19 +8,23 @@
 //! Fig. 14 comparisons ([`InterferenceModel`]), and CPU/GPU round timing
 //! with or without overlapped processing ([`round`]).
 
+pub mod calendar;
 pub mod engine;
 pub mod fault;
 pub mod gpu;
 pub mod interference;
 pub mod round;
 pub mod runner;
+pub mod shard;
 
 #[cfg(test)]
 mod proptests;
 
-pub use engine::EventQueue;
+pub use calendar::CalendarQueue;
+pub use engine::{EventQueue, HeapEventQueue};
 pub use fault::{FaultKind, FaultSchedule, FaultSpec, FleetHealth, PollOutcome};
 pub use gpu::{Execution, GpuError, ResidentKey, SimGpu};
 pub use interference::InterferenceModel;
 pub use round::{max_batch_within_round, round_timing, RoundTiming, DEFAULT_CPU_WORKERS};
 pub use runner::SimBatchRunner;
+pub use shard::ShardedEventQueue;

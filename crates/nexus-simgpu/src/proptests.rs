@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use nexus_profile::{BatchingProfile, Micros, GPU_GTX1080TI};
 
-use crate::engine::EventQueue;
+use crate::engine::{EventQueue, HeapEventQueue};
 use crate::gpu::{ResidentKey, SimGpu};
 use crate::interference::InterferenceModel;
 
@@ -30,6 +30,61 @@ proptest! {
                 prop_assert!(w[0].1 < w[1].1, "tie broke out of order");
             }
         }
+    }
+
+    /// Differential: the calendar-backed [`EventQueue`] pops in exactly
+    /// the `(time, seq)` order of the [`HeapEventQueue`] reference under
+    /// arbitrary push/pop interleavings — near-horizon pushes, same-time
+    /// tie floods, and far-future pushes that spill into the calendar's
+    /// overflow heap (deltas up to 2^36 µs dwarf the wheel span, so every
+    /// run exercises the spill/refill path).
+    #[test]
+    fn calendar_pops_in_heap_reference_order(
+        ops in prop::collection::vec((0u8..4, 0u64..(1 << 36), 1u8..24), 1..400)
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut id = 0u64;
+        for &(kind, delta, count) in &ops {
+            match kind {
+                0 => {
+                    // Near-horizon push: lands in the wheel.
+                    let d = Micros::from_micros(delta & 0xFFFF);
+                    cal.push_after(d, id);
+                    heap.push_after(d, id);
+                    id += 1;
+                }
+                1 => {
+                    // Far-future push: overflow-spill territory.
+                    let d = Micros::from_micros(delta);
+                    cal.push_after(d, id);
+                    heap.push_after(d, id);
+                    id += 1;
+                }
+                2 => {
+                    // Same-time tie flood: insertion order must survive.
+                    let d = Micros::from_micros(delta & 0xFFFF);
+                    for _ in 0..count {
+                        cal.push_after(d, id);
+                        heap.push_after(d, id);
+                        id += 1;
+                    }
+                }
+                _ => {
+                    // Interleaved pop: both must agree (also keeps the two
+                    // clocks in lockstep, so later `push_after`s match).
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                    prop_assert_eq!(cal.now(), heap.now());
+                }
+            }
+        }
+        prop_assert_eq!(cal.len(), heap.len());
+        let drained = cal.drain();
+        let mut expect = Vec::with_capacity(heap.len());
+        while let Some(item) = heap.pop() {
+            expect.push(item);
+        }
+        prop_assert_eq!(drained, expect);
     }
 
     /// GPU executions never overlap and busy time accumulates exactly.

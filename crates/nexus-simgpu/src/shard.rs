@@ -1,0 +1,427 @@
+//! Sharded event scheduling: per-backend-group calendar queues merged into
+//! one deterministic event stream.
+//!
+//! Each shard owns a disjoint set of GPUs/sessions and runs its own
+//! [`CalendarQueue`]; cross-shard events (control-plane epochs, frontend
+//! routing, reallocation) travel through a mailbox that is flushed before
+//! every pop. The merge key is `(time, seq)` with a *global* sequence
+//! counter assigned at schedule time — strictly stronger than the
+//! `(time, source_shard, seq)` order a per-shard counter would need,
+//! because the global counter embeds the exact schedule-call order of the
+//! whole simulation. Consequence: for a fixed schedule-call sequence, the
+//! pop stream is byte-identical at ANY shard count, including 1 — the
+//! shard map only decides which calendar an event waits in, never when it
+//! pops.
+//!
+//! Why shard at all if the merge is serial? Two reasons:
+//! 1. Smaller per-shard calendars keep each wheel dense around its own
+//!    cursor, so bucket scans stay short at 10k-GPU event populations.
+//! 2. The shard-local / cross-shard split makes the conservative-lookahead
+//!    structure of the simulation explicit (each backend group's next wake
+//!    is known a duty cycle ahead — DESIGN.md §13), which is the contract
+//!    a future parallel executor needs; the mailbox is that boundary, and
+//!    the determinism tests pin its semantics now.
+//!
+//! The merge itself is a staged N-way tournament: each shard keeps at most
+//! one popped-but-unconsumed head entry, and `pop` takes the minimum over
+//! heads. A later push that undercuts a shard's staged head swaps with it,
+//! so the staged entry is always that shard's true minimum.
+
+use nexus_profile::Micros;
+
+use crate::calendar::{CalendarQueue, Entry};
+
+/// A deterministic multi-shard virtual-time event queue.
+///
+/// API mirrors [`crate::EventQueue`] with an explicit destination shard on
+/// the scheduling calls. `shards == 1` degenerates to a single calendar
+/// queue with identical output.
+pub struct ShardedEventQueue<E> {
+    shards: Vec<CalendarQueue<E>>,
+    /// Per-shard head candidate: the shard's minimum `(time, seq)` entry,
+    /// already popped from its calendar.
+    staged: Vec<Option<Entry<E>>>,
+    /// Cross-shard posts awaiting flush: `(source_shard, dest_shard,
+    /// entry)`. Entries carry their globally-assigned seq, so flush order
+    /// cannot affect pop order.
+    mailbox: Vec<(usize, usize, Entry<E>)>,
+    /// Lifetime count of cross-shard posts (observability/tests).
+    posted: u64,
+    seq: u64,
+    now: Micros,
+    len: usize,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// Creates an empty queue with `shards` calendars (at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedEventQueue {
+            shards: (0..shards).map(|_| CalendarQueue::new()).collect(),
+            staged: (0..shards).map(|_| None).collect(),
+            mailbox: Vec::new(),
+            posted: 0,
+            seq: 0,
+            now: Micros::ZERO,
+            len: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Number of pending events across all shards and the mailbox.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lifetime count of cross-shard mailbox posts.
+    pub fn cross_shard_posts(&self) -> u64 {
+        self.posted
+    }
+
+    /// Pre-sizes every shard for roughly `n` total pending events.
+    pub fn reserve(&mut self, n: usize) {
+        let per = n / self.shards.len().max(1);
+        for s in &mut self.shards {
+            s.reserve(per);
+        }
+    }
+
+    /// Schedules `event` at `time` on `shard` (a shard-local push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — a simulation that schedules into
+    /// the past is broken and must fail loudly.
+    pub fn push_to(&mut self, shard: usize, time: Micros, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled at {time} before current time {}",
+            self.now
+        );
+        let entry = Entry {
+            time: time.0,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.place(shard, entry);
+        self.len += 1;
+    }
+
+    /// Schedules `event` `delay` after the current time on `shard`.
+    pub fn push_after_to(&mut self, shard: usize, delay: Micros, event: E) {
+        self.push_to(shard, self.now + delay, event);
+    }
+
+    /// Posts a cross-shard event from `source` into `dest`'s mailbox slot.
+    ///
+    /// The global seq is assigned *now* (post order), so the pop position
+    /// is fixed at post time; the mailbox merely defers the calendar
+    /// insertion until the next pop.
+    pub fn post(&mut self, source: usize, dest: usize, time: Micros, event: E) {
+        assert!(
+            time >= self.now,
+            "event posted at {time} before current time {}",
+            self.now
+        );
+        let entry = Entry {
+            time: time.0,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.mailbox.push((source, dest, entry));
+        self.posted += 1;
+        self.len += 1;
+    }
+
+    /// Routes a schedule request: shard-local push when `current == dest`,
+    /// mailbox post otherwise.
+    pub fn schedule_from(&mut self, current: usize, dest: usize, time: Micros, event: E) {
+        if current == dest {
+            self.push_to(dest, time, event);
+        } else {
+            self.post(current, dest, time, event);
+        }
+    }
+
+    /// Pops the globally earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(Micros, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        if !self.mailbox.is_empty() {
+            self.flush();
+        }
+        if self.shards.len() == 1 {
+            // Single shard: the tournament is trivial. Take the staged
+            // head if a peek left one, else pop the calendar directly —
+            // same entry either way, so the output is unchanged.
+            let e = match self.staged[0].take() {
+                Some(e) => e,
+                None => {
+                    let (t, seq, ev) = self.shards[0].pop().expect("len > 0");
+                    Entry {
+                        time: t.0,
+                        seq,
+                        event: ev,
+                    }
+                }
+            };
+            self.now = Micros(e.time);
+            self.len -= 1;
+            return Some((self.now, e.event));
+        }
+        let mut best: Option<usize> = None;
+        let mut best_key = (u64::MAX, u64::MAX);
+        for s in 0..self.shards.len() {
+            if self.staged[s].is_none() {
+                if let Some((t, seq, ev)) = self.shards[s].pop() {
+                    self.staged[s] = Some(Entry {
+                        time: t.0,
+                        seq,
+                        event: ev,
+                    });
+                }
+            }
+            if let Some(e) = &self.staged[s] {
+                let key = (e.time, e.seq);
+                if key < best_key {
+                    best_key = key;
+                    best = Some(s);
+                }
+            }
+        }
+        let s = best.expect("len > 0 guarantees a staged head");
+        let e = self.staged[s].take().expect("selected head");
+        self.now = Micros(e.time);
+        self.len -= 1;
+        Some((self.now, e.event))
+    }
+
+    /// Returns which shard currently stages the globally earliest event,
+    /// without popping it (`None` when empty). Flushes the mailbox.
+    pub fn peek_shard(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        self.flush();
+        let mut best: Option<usize> = None;
+        let mut best_key = (u64::MAX, u64::MAX);
+        for s in 0..self.shards.len() {
+            if self.staged[s].is_none() {
+                if let Some((t, seq, ev)) = self.shards[s].pop() {
+                    self.staged[s] = Some(Entry {
+                        time: t.0,
+                        seq,
+                        event: ev,
+                    });
+                }
+            }
+            if let Some(e) = &self.staged[s] {
+                let key = (e.time, e.seq);
+                if key < best_key {
+                    best_key = key;
+                    best = Some(s);
+                }
+            }
+        }
+        best
+    }
+
+    /// Moves mailbox entries into their destination calendars.
+    fn flush(&mut self) {
+        while let Some((_, dest, entry)) = self.mailbox.pop() {
+            self.place(dest, entry);
+        }
+    }
+
+    /// Inserts `entry` into `shard`, preserving the staged-head invariant:
+    /// `staged[shard]`, when present, is the shard's minimum.
+    fn place(&mut self, shard: usize, mut entry: Entry<E>) {
+        if let Some(head) = &mut self.staged[shard] {
+            // Swap so the head stays the shard minimum. The full
+            // `(time, seq)` key matters: a fresh push always carries the
+            // max seq, but `flush` places mailbox entries in LIFO order,
+            // so an earlier-seq entry can arrive after a later-seq entry
+            // at the same time — comparing times alone would leave the
+            // staged head stale and pop the tie out of seq order. The
+            // displaced head re-inserts at or after the shard calendar's
+            // cursor bucket (it was the last entry popped from it), so
+            // re-inserting is safe.
+            if (entry.time, entry.seq) < (head.time, head.seq) {
+                std::mem::swap(head, &mut entry);
+            }
+        }
+        let shard_q = &mut self.shards[shard];
+        shard_q.push(Micros(entry.time), entry.seq, entry.event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+
+    /// A deterministic scripted workload: schedule-call sequence is fixed,
+    /// destinations vary with the shard count — pop order must not.
+    fn script(n: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for i in 0..n as u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Mix near-horizon, tie floods, and far-future spills.
+            let t = match x % 10 {
+                0..=6 => x % 50_000,
+                7 | 8 => 777,
+                _ => 40_000_000 + x % 1_000_000_000,
+            };
+            out.push((t, i));
+        }
+        out
+    }
+
+    fn run_sharded(shards: usize, ops: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        let mut q = ShardedEventQueue::new(shards);
+        let mut out = Vec::new();
+        let mut current = 0usize;
+        for (i, &(dt, tag)) in ops.iter().enumerate() {
+            let dest = (tag as usize) % shards.max(1);
+            let t = Micros(q.now().0 + dt % 10_000_000);
+            q.schedule_from(current, dest, t, tag);
+            if i % 3 == 0 {
+                if let Some((now, _tag)) = q.pop() {
+                    out.push((now.0, _tag));
+                    current = (_tag as usize) % shards.max(1);
+                }
+            }
+        }
+        while let Some((t, tag)) = q.pop() {
+            out.push((t.0, tag));
+        }
+        out
+    }
+
+    #[test]
+    fn any_shard_count_pops_identically() {
+        let ops = script(5_000);
+        let one = run_sharded(1, &ops);
+        for shards in [2, 3, 4, 7] {
+            assert_eq!(run_sharded(shards, &ops), one, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn matches_single_event_queue() {
+        let ops = script(2_000);
+        let mut reference = EventQueue::new();
+        let mut sharded = ShardedEventQueue::new(4);
+        let mut expect = Vec::new();
+        let mut got = Vec::new();
+        for (i, &(dt, tag)) in ops.iter().enumerate() {
+            let t = Micros(reference.now().0 + dt % 10_000_000);
+            reference.push(t, tag);
+            sharded.schedule_from(0, (tag as usize) % 4, t, tag);
+            if i % 5 == 0 {
+                expect.push(reference.pop().unwrap());
+                got.push(sharded.pop().unwrap());
+            }
+        }
+        while let Some(e) = reference.pop() {
+            expect.push(e);
+        }
+        while let Some(e) = sharded.pop() {
+            got.push(e);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn late_undercut_swaps_with_staged_head() {
+        let mut q = ShardedEventQueue::new(2);
+        q.push_to(1, Micros(100), "far");
+        q.push_to(0, Micros(10), "near");
+        // Popping "near" forces shard 1 to stage "far" as a head
+        // candidate (tournament refill), with its calendar cursor parked
+        // at t=100's bucket.
+        assert_eq!(q.pop(), Some((Micros(10), "near")));
+        assert_eq!(q.peek_shard(), Some(1));
+        // A push at t=50 must still pop before the staged t=100.
+        q.push_to(1, Micros(50), "mid");
+        assert_eq!(q.pop(), Some((Micros(50), "mid")));
+        assert_eq!(q.pop(), Some((Micros(100), "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn mailbox_defers_insertion_but_not_order() {
+        let mut q = ShardedEventQueue::new(3);
+        q.post(0, 2, Micros(30), "b");
+        q.post(1, 2, Micros(30), "c");
+        q.push_to(0, Micros(30), "a-local-but-later-seq");
+        assert_eq!(q.cross_shard_posts(), 2);
+        assert_eq!(q.len(), 3);
+        // Same time: global seq (post/push call order) breaks the tie,
+        // regardless of mailbox vs. direct placement.
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "a-local-but-later-seq");
+    }
+
+    /// Regression: two same-time posts into a shard whose staged head sits
+    /// later. `flush` places mailbox entries in LIFO order, so the
+    /// earlier-seq post is placed *after* the later-seq one; the staged
+    /// head must still end up the true `(time, seq)` shard minimum or the
+    /// tie pops out of seq order.
+    #[test]
+    fn lifo_flush_of_same_time_posts_keeps_seq_order() {
+        let mut q = ShardedEventQueue::new(2);
+        q.push_to(1, Micros(100), "late");
+        q.push_to(0, Micros(10), "first");
+        // Stages shard 1's head ("late" at t=100).
+        assert_eq!(q.pop(), Some((Micros(10), "first")));
+        // Two same-time cross-shard posts undercutting the staged head;
+        // both flush (LIFO) on the next pop.
+        q.post(0, 1, Micros(50), "tie-a");
+        q.post(0, 1, Micros(50), "tie-b");
+        assert_eq!(q.pop(), Some((Micros(50), "tie-a")));
+        assert_eq!(q.pop(), Some((Micros(50), "tie-b")));
+        assert_eq!(q.pop(), Some((Micros(100), "late")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn single_shard_degenerates_cleanly() {
+        let mut q = ShardedEventQueue::new(1);
+        assert_eq!(q.shard_count(), 1);
+        q.push_to(0, Micros(5), 5);
+        q.push_after_to(0, Micros(2), 2);
+        assert_eq!(q.pop(), Some((Micros(2), 2)));
+        assert_eq!(q.pop(), Some((Micros(5), 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn posting_into_the_past_panics() {
+        let mut q = ShardedEventQueue::new(2);
+        q.push_to(0, Micros(100), ());
+        q.pop();
+        q.post(0, 1, Micros(50), ());
+    }
+}

@@ -1,0 +1,108 @@
+//! Sharding determinism: the event-loop shard count is a pure
+//! scheduling-state partition (DESIGN.md §13), so every observable output
+//! of a run — event counts, metrics, bad-rate bit patterns, even the
+//! execution trace — must be identical at any shard count.
+//!
+//! These tests compare the `Debug` rendering of the full [`SimResult`]:
+//! Rust formats `f64` as the shortest round-trippable string, so equal
+//! strings mean equal bit patterns for every float in the result, and the
+//! rendering covers the per-session/timeline metrics and captured trace
+//! wholesale. ci.sh enforces the same property end to end by byte-diffing
+//! simbench `--det-out` files at `--shards 1` vs `--shards 4` and the
+//! golden fig13 trace captured with `NEXUS_SIM_SHARDS=4`.
+
+use nexus::prelude::*;
+use nexus_runtime::{FaultKind, FaultSpec, SimConfig};
+use nexus_workload::apps;
+
+/// A small Fig. 13 deployment run (all seven applications, surge included)
+/// through the public `run_once_sharded` entry point.
+fn fig13_fingerprint(shards: usize) -> String {
+    let horizon = Micros::from_secs(6);
+    let result = run_once_sharded(
+        SystemConfig::nexus()
+            .with_epoch(Micros::from_secs(2))
+            .with_spread_factor(1.4),
+        GPU_K80,
+        8,
+        nexus::workloads::fig13_classes(horizon, 0.08),
+        42,
+        Micros::from_secs(2),
+        horizon,
+        shards,
+    );
+    format!("{result:?}")
+}
+
+#[test]
+fn fig13_results_are_identical_at_any_shard_count() {
+    let reference = fig13_fingerprint(1);
+    // Sanity: the run actually did work before we compare fingerprints.
+    assert!(
+        !reference.contains("events_processed: 0,"),
+        "reference run processed no events"
+    );
+    // 3 and 7 don't divide the backend count evenly — uneven shards must
+    // not change the merge order either.
+    for shards in [2, 3, 4, 7] {
+        assert_eq!(
+            fig13_fingerprint(shards),
+            reference,
+            "sharded run diverged at shards={shards}"
+        );
+    }
+}
+
+/// Fault injection plus execution tracing through `ClusterSim` directly:
+/// crash/rejoin events route through the sharded mailboxes and the trace
+/// records per-batch timestamps, so this exercises the paths
+/// `run_once_sharded` leaves dormant.
+fn faulted_traced_fingerprint(shards: usize) -> String {
+    let result = ClusterSim::new(
+        SimConfig {
+            system: SystemConfig::nexus().with_epoch(Micros::from_secs(2)),
+            device: GPU_GTX1080TI,
+            max_gpus: 6,
+            seed: 7,
+            horizon: Micros::from_secs(8),
+            warmup: Micros::from_secs(2),
+            trace_capacity: 200_000,
+            faults: vec![
+                FaultSpec {
+                    at: Micros::from_secs(3),
+                    slot: 0,
+                    kind: FaultKind::Crash,
+                },
+                FaultSpec {
+                    at: Micros::from_secs(5),
+                    slot: 0,
+                    kind: FaultKind::Rejoin,
+                },
+            ],
+            shards,
+        },
+        vec![TrafficClass::new(
+            apps::traffic(),
+            ArrivalKind::Poisson,
+            150.0,
+        )],
+    )
+    .run();
+    format!("{result:?}")
+}
+
+#[test]
+fn faulted_traced_run_is_identical_at_any_shard_count() {
+    let reference = faulted_traced_fingerprint(1);
+    assert!(
+        reference.contains("Batch {"),
+        "reference run captured no trace events"
+    );
+    for shards in [2, 3] {
+        assert_eq!(
+            faulted_traced_fingerprint(shards),
+            reference,
+            "faulted+traced run diverged at shards={shards}"
+        );
+    }
+}
