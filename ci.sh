@@ -29,33 +29,45 @@ else
   echo "(cargo-deny not installed; skipping — CI runs it)"
 fi
 
-echo "== perf smoke + shard determinism: simbench --quick =="
+echo "== perf smoke + shard/thread determinism: simbench --quick =="
 # Catches panics, determinism violations (simbench asserts repeat runs
 # bit-identical), and gross hangs. Timing numbers are informational only —
 # CI machines are too noisy to gate on them. The event-loop shard count is
-# a pure scheduling-state partition (DESIGN.md §13), so the deterministic
-# outputs (--det-out: event counts, bad-rate bit patterns) must be
-# byte-identical between --shards 1 and --shards 4.
+# a pure scheduling-state partition (DESIGN.md §13) and the worker-thread
+# count a pure execution knob over it (DESIGN.md §14), so the
+# deterministic outputs (--det-out: event counts, bad-rate bit patterns)
+# must be byte-identical between --shards 1 and --shards 4, and between
+# --threads 1 and --threads 4. (cargo test already ran the fine-grained
+# parallel determinism matrix — tests/shard_determinism.rs and the
+# nexus-simgpu parallel-executor tests; this is the end-to-end check.)
 tmp_det1="$(mktemp)"
 tmp_det4="$(mktemp)"
+tmp_det_thr="$(mktemp)"
 tmp_golden="$(mktemp)"
 tmp_golden_sharded="$(mktemp)"
-trap 'rm -f "$tmp_det1" "$tmp_det4" "$tmp_golden" "$tmp_golden_sharded"' EXIT
+tmp_golden_threaded="$(mktemp)"
+trap 'rm -f "$tmp_det1" "$tmp_det4" "$tmp_det_thr" "$tmp_golden" \
+  "$tmp_golden_sharded" "$tmp_golden_threaded"' EXIT
 cargo run --release -q -p bench --bin simbench -- --quick \
-  --shards 1 --det-out "$tmp_det1"
+  --shards 1 --threads 1 --det-out "$tmp_det1"
 cargo run --release -q -p bench --bin simbench -- --quick \
-  --shards 4 --det-out "$tmp_det4"
+  --shards 4 --threads 1 --det-out "$tmp_det4"
 diff "$tmp_det1" "$tmp_det4" \
   || { echo "simbench diverged between --shards 1 and --shards 4"; exit 1; }
+cargo run --release -q -p bench --bin simbench -- --quick \
+  --shards 4 --threads 4 --det-out "$tmp_det_thr"
+diff "$tmp_det1" "$tmp_det_thr" \
+  || { echo "simbench diverged between --threads 1 and --threads 4"; exit 1; }
 
-echo "== schema golden: fixed-seed trace capture (shards 1 and 4) =="
+echo "== schema golden: fixed-seed trace capture (serial, sharded, threaded) =="
 # The Fig. 13 mini-run must reproduce the committed golden byte-for-byte;
 # divergence means the trace schema or the simulation changed. Regenerate
 # deliberately with:
 #   cargo run -p nexus-obs --bin nexus-trace -- capture --golden \
 #     --out crates/nexus-obs/tests/golden/fig13_mini.trace.json
-# The sharded capture (NEXUS_SIM_SHARDS=4) must match the same golden:
-# sharding may never change the event stream.
+# The sharded capture (NEXUS_SIM_SHARDS=4) and the threaded capture
+# (NEXUS_SIM_THREADS=4) must match the same golden: neither sharding nor
+# the parallel executor may ever change the event stream.
 cargo run --release -q -p nexus-obs --bin nexus-trace -- \
   capture --golden --out "$tmp_golden" >/dev/null
 cargo run --release -q -p nexus-obs --bin nexus-trace -- \
@@ -64,5 +76,10 @@ NEXUS_SIM_SHARDS=4 cargo run --release -q -p nexus-obs --bin nexus-trace -- \
   capture --golden --out "$tmp_golden_sharded" >/dev/null
 cargo run --release -q -p nexus-obs --bin nexus-trace -- \
   diff "$tmp_golden_sharded" crates/nexus-obs/tests/golden/fig13_mini.trace.json
+NEXUS_SIM_SHARDS=4 NEXUS_SIM_THREADS=4 \
+  cargo run --release -q -p nexus-obs --bin nexus-trace -- \
+  capture --golden --out "$tmp_golden_threaded" >/dev/null
+cargo run --release -q -p nexus-obs --bin nexus-trace -- \
+  diff "$tmp_golden_threaded" crates/nexus-obs/tests/golden/fig13_mini.trace.json
 
 echo "CI OK"

@@ -59,7 +59,8 @@ fn main() {
             warmup,
             trace_capacity: 0,
             faults,
-            shards: 1,
+            shards: nexus::default_shards(),
+            threads: nexus::default_threads(),
         },
         classes,
     )

@@ -1,7 +1,9 @@
 //! `queue_churn`: wall-clock timing for the calendar-vs-heap event queue
-//! comparison (the hot_paths criterion benches run under a smoke-test
-//! stub offline, so this binary produces the committed numbers in
-//! `bench_results/hot_paths_event_queue.txt`).
+//! comparison. The hot_paths criterion benches time the same scenarios
+//! (the vendored stub measures best-of-5 with `Instant`), but this binary
+//! interleaves repetitions across scenarios and supports arbitrary
+//! `--reps`, so it produces the committed numbers in
+//! `bench_results/hot_paths_event_queue.txt`.
 //!
 //! Each scenario schedules 1M standing events, churns through 1M
 //! pop-and-reschedule rounds, then drains: the `near` mix keeps every

@@ -70,7 +70,8 @@ fn main() {
             warmup,
             trace_capacity: if trace_path.is_some() { 2_000_000 } else { 0 },
             faults,
-            shards: 1,
+            shards: nexus::default_shards(),
+            threads: nexus::default_threads(),
         },
         classes,
     )

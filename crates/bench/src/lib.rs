@@ -37,6 +37,11 @@ pub struct Args {
     /// scheduling-state partition: results are byte-identical at every
     /// value, which ci.sh exploits as a determinism gate.
     pub shards: usize,
+    /// Event-loop worker threads (`--threads N`, ≥ 1; defaults to
+    /// `NEXUS_SIM_THREADS`, else 1). Like shards, a pure execution knob:
+    /// the windowed parallel executor (DESIGN.md §14) is byte-identical
+    /// to the serial loop, and ci.sh diffs threads 1 vs 4 to prove it.
+    pub threads: usize,
     /// Optional deterministic-summary output path (`--det-out FILE`):
     /// only run outputs that must not vary between repeat runs (event
     /// counts, bad-rate bit patterns) — no wall-clock-derived numbers —
@@ -58,6 +63,7 @@ impl Args {
             out: None,
             trace: None,
             shards: 1,
+            threads: nexus::default_threads(),
             det_out: None,
         };
         let mut it = std::env::args().skip(1);
@@ -87,13 +93,20 @@ impl Args {
                         .filter(|&n| n >= 1)
                         .expect("--shards needs an integer >= 1")
                 }
+                "--threads" => {
+                    args.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .expect("--threads needs an integer >= 1")
+                }
                 "--det-out" => {
                     args.det_out = Some(PathBuf::from(it.next().expect("--det-out needs a path")))
                 }
                 other => panic!(
                     "unknown argument {other:?} \
                      (supported: --seed N --secs N --quick --shards N \
-                     --out FILE --det-out FILE --trace FILE)"
+                     --threads N --out FILE --det-out FILE --trace FILE)"
                 ),
             }
         }
@@ -166,8 +179,8 @@ pub fn write_json<T: Serialize>(args: &Args, value: &T) {
 /// `--det-out` (if given): GPU count, event count, and the exact bit
 /// pattern of the bad rate — no wall-clock-derived numbers. Any two runs
 /// of the same workload must produce byte-identical files regardless of
-/// machine noise or `--shards`; ci.sh diffs them as the shard-determinism
-/// gate.
+/// machine noise, `--shards`, or `--threads`; ci.sh diffs them as the
+/// shard- and thread-determinism gates.
 pub fn write_det_json(args: &Args, series: &[(u32, u64, f64, f64, f64)]) {
     if let Some(path) = &args.det_out {
         let det: Vec<serde_json::Value> = series

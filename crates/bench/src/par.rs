@@ -6,8 +6,15 @@
 //! results in input order, so a sweep's output is byte-identical whether it
 //! ran on one thread or sixteen — the parallelism lives strictly *between*
 //! simulations, never inside one.
+//!
+//! The fan-out rides the same [`WorkerPool`] that powers the simulator's
+//! windowed parallel executor (DESIGN.md §14): one process-wide pool,
+//! spawned on first use and reused across every sweep point and every
+//! `par_map` call, so a sweep binary never pays per-call thread spawns.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use nexus_simgpu::WorkerPool;
 
 /// Number of worker threads: `NEXUS_BENCH_THREADS` if set (0 or 1 forces
 /// serial), otherwise the machine's available parallelism.
@@ -24,17 +31,26 @@ pub fn thread_count() -> usize {
         .unwrap_or(1)
 }
 
+/// The process-wide sweep pool, sized once from [`thread_count`] on first
+/// use. `WorkerPool::run` already serializes overlapping calls; the outer
+/// `Mutex` only guards lazy construction and `&self` access.
+fn pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(thread_count()))
+}
+
 /// Applies `f` to every item, fanning across threads, and returns results
 /// in input order.
 ///
-/// Workers pull the next unclaimed index from a shared counter (cheap
-/// work-stealing: sweep points vary wildly in cost), tag each result with
-/// its index, and the merge sorts by index — the output is identical to
+/// Each item is one pool job (the pool's claim counter gives cheap
+/// work-stealing — sweep points vary wildly in cost) writing its result
+/// into a per-index slot, so the output is identical to
 /// `items.iter().map(f).collect()` for any thread count.
 ///
 /// # Panics
 ///
-/// Propagates a panic from any invocation of `f`.
+/// Propagates a panic from any invocation of `f` (as the pool's
+/// "parallel worker panicked").
 ///
 /// # Examples
 ///
@@ -43,32 +59,22 @@ pub fn thread_count() -> usize {
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = thread_count().min(items.len());
-    if threads <= 1 {
+    if thread_count() <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(item)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    pool().run(items.len(), &|i| {
+        let r = f(&items[i]);
+        *slots[i].lock().expect("unpoisoned result slot") = Some(r);
     });
-    tagged.sort_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("unpoisoned result slot")
+                .expect("pool ran every job")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -98,13 +104,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
+    fn pool_is_reused_across_calls() {
+        // Back-to-back sweeps share the process-wide pool; results stay
+        // order-exact on every reuse.
+        for round in 0u64..5 {
+            let items: Vec<u64> = (0..40).map(|i| i + round * 100).collect();
+            let serial: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+            assert_eq!(par_map(&items, |&x| x * 3), serial);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
     fn worker_panic_propagates() {
         // Enough items that workers actually spawn even on small machines.
         let items: Vec<u32> = (0..64).collect();
         if thread_count() < 2 {
             // Serial path panics inline; match the harness expectation.
-            panic!("sweep worker panicked");
+            panic!("parallel worker panicked");
         }
         par_map(&items, |&x| {
             assert!(x != 13, "boom");

@@ -35,6 +35,7 @@ pub struct NexusClusterBuilder {
     classes: Vec<TrafficClass>,
     faults: Vec<FaultSpec>,
     shards: usize,
+    threads: usize,
 }
 
 impl NexusCluster {
@@ -52,6 +53,7 @@ impl NexusCluster {
             classes: Vec::new(),
             faults: Vec::new(),
             shards: 1,
+            threads: 1,
         }
     }
 
@@ -152,6 +154,14 @@ impl NexusClusterBuilder {
         self
     }
 
+    /// Sets the event-loop worker-thread count (≥ 1). At ≥ 2 the windowed
+    /// parallel executor drains shard calendars concurrently (DESIGN.md
+    /// §14); results are byte-identical at every value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Finalizes the builder.
     ///
     /// # Panics
@@ -171,6 +181,7 @@ impl NexusClusterBuilder {
                 trace_capacity: self.trace_capacity,
                 faults: self.faults,
                 shards: self.shards,
+                threads: self.threads,
             },
             classes: self.classes,
         }

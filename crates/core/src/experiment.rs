@@ -7,7 +7,7 @@
 //! the query-level bad rate against the target.
 
 use nexus_profile::{DeviceType, Micros};
-use nexus_runtime::{ClusterSim, SimConfig, SimResult, SystemConfig, TrafficClass};
+use nexus_runtime::{ClusterSim, ExecStats, SimConfig, SimResult, SystemConfig, TrafficClass};
 
 /// Parameters of a max-goodput search.
 #[derive(Debug, Clone)]
@@ -71,6 +71,20 @@ pub fn default_shards() -> usize {
         .map_or(1, |n| n.max(1))
 }
 
+/// Default event-loop thread count for the convenience runners, taken
+/// from `NEXUS_SIM_THREADS` (≥ 1; unset or invalid ⇒ 1, the serial loop).
+///
+/// Like sharding, threading is a pure execution knob — the windowed
+/// parallel executor (DESIGN.md §14) produces byte-identical results at
+/// every thread count — so every experiment binary honors the override,
+/// and CI diffs threaded-vs-serial outputs end to end.
+pub fn default_threads() -> usize {
+    std::env::var("NEXUS_SIM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
 /// Convenience: one simulation run of `system` over `classes` on a cluster
 /// of `gpus` devices.
 pub fn run_once(
@@ -110,14 +124,16 @@ pub fn run_traced(
             trace_capacity,
             faults: vec![],
             shards: default_shards(),
+            threads: default_threads(),
         },
         classes,
     )
     .run()
 }
 
-/// [`run_once`] with an explicit event-loop shard count (simbench's
-/// `--shards`). Output is byte-identical to `run_once` at any value.
+/// [`run_once`] with explicit event-loop shard and thread counts
+/// (simbench's `--shards`/`--threads`). Output is byte-identical to
+/// `run_once` at any combination.
 #[allow(clippy::too_many_arguments)]
 pub fn run_once_sharded(
     system: SystemConfig,
@@ -128,7 +144,29 @@ pub fn run_once_sharded(
     warmup: Micros,
     horizon: Micros,
     shards: usize,
+    threads: usize,
 ) -> SimResult {
+    run_once_with_stats(
+        system, device, gpus, classes, seed, warmup, horizon, shards, threads,
+    )
+    .0
+}
+
+/// [`run_once_sharded`], also returning the parallel executor's
+/// work-partition statistics (`None` when `threads <= 1`) — simbench
+/// reports them alongside throughput, outside the deterministic result.
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_with_stats(
+    system: SystemConfig,
+    device: DeviceType,
+    gpus: u32,
+    classes: Vec<TrafficClass>,
+    seed: u64,
+    warmup: Micros,
+    horizon: Micros,
+    shards: usize,
+    threads: usize,
+) -> (SimResult, Option<ExecStats>) {
     ClusterSim::new(
         SimConfig {
             system,
@@ -140,10 +178,11 @@ pub fn run_once_sharded(
             trace_capacity: 0,
             faults: vec![],
             shards,
+            threads,
         },
         classes,
     )
-    .run()
+    .run_with_stats()
 }
 
 /// Measures a system's throughput (max 99%-good rate) for a workload

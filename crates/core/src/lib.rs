@@ -43,8 +43,8 @@ pub mod workloads;
 
 pub use builder::{NexusCluster, NexusClusterBuilder};
 pub use experiment::{
-    default_shards, max_rate_within, measure_throughput, run_once, run_once_sharded, run_traced,
-    ThroughputSearch,
+    default_shards, default_threads, max_rate_within, measure_throughput, run_once,
+    run_once_sharded, run_once_with_stats, run_traced, ThroughputSearch,
 };
 
 // Re-export the component crates under stable names.
@@ -60,7 +60,8 @@ pub use nexus_workload;
 pub mod prelude {
     pub use crate::builder::{NexusCluster, NexusClusterBuilder};
     pub use crate::experiment::{
-        measure_throughput, run_once, run_once_sharded, run_traced, ThroughputSearch,
+        measure_throughput, run_once, run_once_sharded, run_once_with_stats, run_traced,
+        ThroughputSearch,
     };
     pub use nexus_profile::{BatchingProfile, DeviceType, Micros, GPU_GTX1080TI, GPU_K80};
     pub use nexus_runtime::{

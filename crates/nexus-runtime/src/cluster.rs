@@ -21,7 +21,8 @@
 use nexus_profile::{DeviceType, Micros, SharedProfile};
 use nexus_scheduler::{assign_plans, GpuPlan, SessionId};
 use nexus_simgpu::{
-    FaultKind, FaultSpec, FleetHealth, PollOutcome, ResidentKey, ShardedEventQueue, SimGpu,
+    ExecStats, FaultKind, FaultSpec, FleetHealth, ParallelShardedQueue, PollOutcome, ResidentKey,
+    SimGpu,
 };
 use nexus_workload::{poisson_sample, rng_for, ArrivalGen, GammaSpec};
 use rand::rngs::StdRng;
@@ -63,6 +64,13 @@ pub struct SimConfig {
     /// shard count — this knob partitions scheduling state, never
     /// behavior.
     pub shards: usize,
+    /// Event-loop worker threads (≥ 1). At 1 the serial staged-tournament
+    /// loop runs untouched; at ≥ 2 the windowed parallel executor drains
+    /// shard calendars concurrently between rendezvous points (DESIGN.md
+    /// §14), with the drain window derived from the squishy plan's
+    /// duty-cycle bounds. Like `shards`, this is a pure execution knob:
+    /// every output is byte-identical at any `(shards, threads)` pair.
+    pub threads: usize,
 }
 
 /// Summary of one simulation run.
@@ -266,7 +274,7 @@ impl Route {
     }
 }
 
-/// Shard router over the engine's [`ShardedEventQueue`].
+/// Shard router over the engine's [`ParallelShardedQueue`].
 ///
 /// Classifies each event to its home shard — backend-owned events (wakes,
 /// batch completions) to the backend group's shard, control-plane events
@@ -277,7 +285,7 @@ impl Route {
 /// `(time, seq)` order, so the popped stream (and therefore the whole
 /// simulation) is byte-identical at every shard count.
 struct EventRouter {
-    q: ShardedEventQueue<Event>,
+    q: ParallelShardedQueue<Event>,
     /// Cached `q.shard_count()`; 1 short-circuits the shard map entirely
     /// (the common un-sharded configuration pays no classification cost).
     nshards: usize,
@@ -286,13 +294,24 @@ struct EventRouter {
 }
 
 impl EventRouter {
-    fn new(shards: usize) -> Self {
-        let q = ShardedEventQueue::new(shards);
+    fn new(shards: usize, threads: usize, window: Micros) -> Self {
+        let q = ParallelShardedQueue::new(shards, threads, window);
         EventRouter {
             nshards: q.shard_count(),
             q,
             cur: 0,
         }
+    }
+
+    /// Retunes the windowed executor's drain horizon; determinism-safe at
+    /// any time (the window never affects pop order).
+    fn set_window(&mut self, window: Micros) {
+        self.q.set_window(window);
+    }
+
+    /// Work-partition statistics (`None` when running serially).
+    fn stats(&self) -> Option<&ExecStats> {
+        self.q.stats()
     }
 
     fn shard_of(&self, ev: &Event) -> usize {
@@ -329,6 +348,25 @@ impl EventRouter {
     fn reserve(&mut self, n: usize) {
         self.q.reserve(n);
     }
+}
+
+/// Drain-window hint for the windowed executor, derived from the plan's
+/// duty-cycle bounds: each backend's wakes recur once per duty cycle, so
+/// the shortest duty cycle is the densest known event period — one such
+/// period per rendezvous keeps every shard's drain non-trivial without
+/// letting the side heap (in-window schedules) grow past a cycle's worth
+/// of zero-delay wakes. Clamped to [1 ms, 50 ms]; the value is purely a
+/// performance knob (any window yields byte-identical output), so the
+/// heuristic cannot affect results — only how often threads rendezvous.
+fn plan_window(plan: &ControlPlan) -> Micros {
+    let min_duty = plan
+        .allocation
+        .plans
+        .iter()
+        .map(|p| p.duty_cycle)
+        .filter(|d| *d > Micros::ZERO)
+        .min();
+    Micros(min_duty.map_or(10_000, |d| d.0).clamp(1_000, 50_000))
 }
 
 /// Outcome of inspecting one slot during a service scan.
@@ -468,7 +506,7 @@ impl ClusterSim {
             .iter()
             .map(|c| vec![0usize; c.app.stages.len()])
             .collect();
-        let mut events = EventRouter::new(cfg.shards);
+        let mut events = EventRouter::new(cfg.shards, cfg.threads, plan_window(&control));
         // Workload hint: pending events track armed wakes + in-flight
         // batches (O(backends)) plus one scheduled arrival per class.
         events.reserve(backends.len() * 2 + classes.len() + 16);
@@ -565,7 +603,17 @@ impl ClusterSim {
     }
 
     /// Runs to completion and summarizes.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        self.run_with_stats().0
+    }
+
+    /// [`run`](Self::run), also returning the parallel executor's
+    /// work-partition statistics (`None` when `threads <= 1`). The stats
+    /// ride outside [`SimResult`] on purpose: they describe *how* the
+    /// event loop executed (windows, drained-vs-side split, per-shard
+    /// balance) and legitimately differ across thread counts, while the
+    /// result itself must stay byte-identical.
+    pub fn run_with_stats(mut self) -> (SimResult, Option<ExecStats>) {
         while let Some((now, ev)) = self.events.pop() {
             self.events_processed += 1;
             match ev {
@@ -582,7 +630,8 @@ impl ClusterSim {
                 Event::HeartbeatCheck => self.on_heartbeat_check(now),
             }
         }
-        self.summarize()
+        let stats = self.events.stats().cloned();
+        (self.summarize(), stats)
     }
 
     /// Whether the physical slot under `backend` currently executes work.
@@ -1273,6 +1322,10 @@ impl ClusterSim {
     /// orphans, and wakes the new deployment. Shared by the epoch tick and
     /// the out-of-band emergency replan after a failure.
     fn swap_deployment(&mut self, now: Micros, next: ControlPlan) {
+        // Retune the parallel drain window to the incoming plan's
+        // duty-cycle bounds (a no-op when running serially; never affects
+        // pop order either way).
+        self.events.set_window(plan_window(&next));
         // Account allocated GPU-seconds under the *old* allocation.
         self.gpu_seconds_allocated += (now - self.last_alloc_change).as_secs_f64()
             * self.control.allocation.gpu_count() as f64;
@@ -1979,6 +2032,7 @@ mod tests {
                 trace_capacity: 0,
                 faults: vec![],
                 shards: 1,
+                threads: 1,
             },
             classes,
         )
@@ -2061,6 +2115,7 @@ mod tests {
                 trace_capacity: 0,
                 faults: vec![],
                 shards: 1,
+                threads: 1,
             },
             classes,
         )
@@ -2101,6 +2156,7 @@ mod tests {
                     trace_capacity: 0,
                     faults: vec![],
                     shards: 1,
+                    threads: 1,
                 },
                 classes,
             )
@@ -2134,6 +2190,7 @@ mod tests {
                 trace_capacity: 0,
                 faults,
                 shards: 1,
+                threads: 1,
             },
             classes,
         )
@@ -2257,6 +2314,7 @@ mod tests {
                     kind: FaultKind::Crash,
                 }],
                 shards: 1,
+                threads: 1,
             },
             classes,
         )
@@ -2290,6 +2348,7 @@ mod tests {
                 trace_capacity: 0,
                 faults: vec![],
                 shards: 1,
+                threads: 1,
             },
             classes,
         )

@@ -177,6 +177,7 @@ pub fn run_heterogeneous(
                         trace_capacity: 0,
                         faults: vec![],
                         shards: 1,
+                        threads: 1,
                     },
                     classes,
                 )

@@ -237,6 +237,7 @@ fn faulted_run(seed: u64, faults: Vec<FaultSpec>) -> crate::cluster::SimResult {
             trace_capacity: 0,
             faults,
             shards: 1,
+            threads: 1,
         },
         vec![TrafficClass::new(apps::dance(), ArrivalKind::Uniform, 20.0)],
     )

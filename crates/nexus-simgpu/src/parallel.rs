@@ -1,0 +1,855 @@
+//! Parallel shard execution: a conservative-lookahead multi-core event
+//! loop over per-shard calendar queues, byte-identical to the serial
+//! [`ShardedEventQueue`] at any `(shards, threads)` combination.
+//!
+//! # The executor (DESIGN.md §14)
+//!
+//! The simulation's handlers share global state (metrics, RNGs, routing
+//! tables), so the handlers themselves must stay serial. What *can* run in
+//! parallel is the queue machinery — the calendar-wheel cursor walks,
+//! bucket sorts, retune rebuilds, and overflow spills that dominate at
+//! 10k-GPU event populations. The windowed executor exploits exactly that
+//! split:
+//!
+//! 1. **Rendezvous / refill.** When the committed window is exhausted, the
+//!    executor computes the global frontier `T = min over shards of the
+//!    shard's next pending time` and a horizon `H = T + window`. Worker
+//!    threads (one per pool worker plus the caller) then drain every
+//!    shard's calendar of all entries with `time < H` — each producing a
+//!    sorted run — and the runs are tournament-merged by `(time, seq)`
+//!    into a committed deque. `staging_end` advances to `H`.
+//! 2. **Serial consumption.** `pop` takes the minimum of the committed
+//!    deque's front and a side min-heap. Handlers run serially over that
+//!    stream, exactly as before.
+//! 3. **In-window schedules.** An event scheduled *during* the window with
+//!    `time < staging_end` cannot go back into a drained calendar; it goes
+//!    to the side heap instead. Its freshly assigned global `seq` exceeds
+//!    every seq drained into the window (seqs are monotone in schedule
+//!    order), so merging the deque and the heap by `(time, seq)` recreates
+//!    the serial total order exactly — including the zero-delay
+//!    cross-shard wakes that make classic conservative PDES lookahead
+//!    degenerate here. Events at or beyond `staging_end` are pushed
+//!    straight into their destination shard's calendar (no mailbox
+//!    needed: the pop position is already fixed by `(time, seq)`).
+//!
+//! The window size is therefore a *pure performance knob*: any value
+//! produces the identical pop stream, so deriving it from the squishy
+//! plan's duty-cycle bounds (the known next-wake horizon of each backend
+//! group) can never perturb results — ci.sh and `tests/shard_determinism`
+//! enforce byte-identity across threads × shards end to end.
+//!
+//! `threads == 1` bypasses all of this and delegates to the serial
+//! [`ShardedEventQueue`] tournament untouched.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use nexus_profile::Micros;
+
+use crate::calendar::{CalendarQueue, Entry};
+use crate::shard::ShardedEventQueue;
+
+/// Locks a mutex, recovering from poisoning: pool state stays consistent
+/// across job panics (jobs run under `catch_unwind`, and `run` clears the
+/// published job before propagating), so a poisoned lock only means some
+/// *other* thread panicked after its work was accounted.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A lifetime-erased pointer to the job closure. Valid strictly for the
+/// duration of the [`WorkerPool::run`] call that published it; the
+/// per-epoch claim counters guarantee no thread dereferences it after
+/// `run` returns (a stale worker's first claim lands past `n` and it
+/// never touches `f`).
+#[derive(Clone, Copy)]
+struct JobFn(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` (shared invocation from many threads is
+// its contract) and outlives every dereference per the claim-counter
+// argument above.
+unsafe impl Send for JobFn {}
+unsafe impl Sync for JobFn {}
+
+/// One published batch of indexed jobs. Claim/finish counters live in the
+/// job itself (not the pool), so a worker that wakes late and grabs a
+/// stale epoch's job can only increment *that* epoch's exhausted counter
+/// and break — it can never steal indices from, or report completions to,
+/// a newer epoch.
+#[derive(Clone)]
+struct Job {
+    f: JobFn,
+    n: usize,
+    next: Arc<AtomicUsize>,
+    finished: Arc<AtomicUsize>,
+    panicked: Arc<AtomicBool>,
+}
+
+struct PoolState {
+    epoch: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// `run` waits here for `finished == n`.
+    done_cv: Condvar,
+}
+
+/// A persistent std-only worker pool dispatching indexed jobs.
+///
+/// `new(threads)` spawns `threads - 1` workers; the caller participates in
+/// every [`run`](WorkerPool::run), so `threads` is the true concurrency.
+/// Workers sleep on a condvar between runs — reusing one pool across many
+/// dispatches (a simulation's refill rendezvous, a sweep's points) costs
+/// no thread churn, which is what makes fine-grained windows affordable.
+///
+/// Used by both the windowed shard executor here and `bench::par_map`.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Serializes concurrent `run` calls (the published job slot is
+    /// single-occupancy).
+    run_lock: Mutex<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads - 1` background workers (so `threads`
+    /// includes the calling thread; `threads <= 1` spawns none and `run`
+    /// degenerates to a serial loop).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..threads.saturating_sub(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nexus-pool-{i}"))
+                    .spawn(move || Self::worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            run_lock: Mutex::new(()),
+            workers,
+        }
+    }
+
+    /// Number of background workers (total concurrency is this + 1).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f(0..n_jobs)` across the pool, the caller participating.
+    /// Indices are claimed from a shared counter (work stealing: jobs may
+    /// vary wildly in cost) and each executes exactly once. Returns after
+    /// every index has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `"parallel worker panicked"` after all indices settle
+    /// if any invocation of `f` panicked.
+    pub fn run(&self, n_jobs: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n_jobs == 0 {
+            return;
+        }
+        let _serial = lock(&self.run_lock);
+        let job = Job {
+            // SAFETY: `run` does not return until `finished == n_jobs`,
+            // and any later claim breaks before dereferencing, so the
+            // erased borrow never outlives `f`.
+            f: JobFn(unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+            }),
+            n: n_jobs,
+            next: Arc::new(AtomicUsize::new(0)),
+            finished: Arc::new(AtomicUsize::new(0)),
+            panicked: Arc::new(AtomicBool::new(false)),
+        };
+        {
+            let mut st = lock(&self.shared.state);
+            st.job = Some(job.clone());
+            st.epoch += 1;
+            self.shared.work_cv.notify_all();
+        }
+        Self::execute(&job);
+        {
+            let mut st = lock(&self.shared.state);
+            while job.finished.load(Ordering::Acquire) < n_jobs {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            st.job = None;
+        }
+        if job.panicked.load(Ordering::Acquire) {
+            panic!("parallel worker panicked");
+        }
+    }
+
+    /// The claim loop both workers and the caller run.
+    fn execute(job: &Job) {
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.n {
+                break;
+            }
+            // SAFETY: a claimed index proves the epoch is live (see `run`).
+            let f = unsafe { &*job.f.0 };
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                job.panicked.store(true, Ordering::Release);
+            }
+            job.finished.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = lock(&shared.state);
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch != seen {
+                        seen = st.epoch;
+                        if let Some(j) = &st.job {
+                            break j.clone();
+                        }
+                    }
+                    st = shared
+                        .work_cv
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            Self::execute(&job);
+            // Notify under the state lock so `run`'s recheck-then-wait
+            // cannot miss the wakeup.
+            let _guard = lock(&shared.state);
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Work-partition statistics of a windowed run. Deliberately *not* part of
+/// any simulation result: the counters differ between serial and windowed
+/// execution (that is their point), so folding them into `SimResult` would
+/// break the byte-identity the executor guarantees. `simbench` reports
+/// them through a side channel instead.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Refill rendezvous executed.
+    pub windows: u64,
+    /// Entries that moved through the parallel calendar drains.
+    pub drained: u64,
+    /// In-window schedules that bypassed the calendars via the side heap.
+    pub side_scheduled: u64,
+    /// Per-shard share of `drained` (the work the pool actually splits).
+    pub per_shard: Vec<u64>,
+    /// Configured concurrency (pool workers + caller).
+    pub threads: usize,
+    /// Drain window in µs at the end of the run (plans may retune it).
+    pub window_micros: u64,
+}
+
+/// The windowed (threads ≥ 2) state. All calendar entries are at or past
+/// `staging_end`; everything earlier lives in `committed` or `side`.
+struct Windowed<E> {
+    shards: Vec<CalendarQueue<E>>,
+    /// Exact minimum pending time per shard (`u64::MAX` when empty):
+    /// updated by drains (which report the first undrained time) and by
+    /// direct pushes. The refill frontier is the min over this vector, so
+    /// no `O(buckets)` peek runs on the refill path.
+    next_time: Vec<u64>,
+    /// Reusable per-shard drain buffers; each holds one sorted run after a
+    /// rendezvous and is consumed by the merge.
+    runs: Vec<Vec<Entry<E>>>,
+    /// The merged window, sorted ascending by `(time, seq)`.
+    committed: VecDeque<Entry<E>>,
+    /// In-window schedules. `Entry`'s `Ord` is reversed (min-heap).
+    side: BinaryHeap<Entry<E>>,
+    /// Exclusive upper bound of the drained window; monotone.
+    staging_end: u64,
+    window: u64,
+    pool: WorkerPool,
+    seq: u64,
+    now: Micros,
+    len: usize,
+    posted: u64,
+    stats: ExecStats,
+}
+
+impl<E: Send> Windowed<E> {
+    fn new(shards: usize, threads: usize, window: Micros) -> Self {
+        let shards = shards.max(1);
+        let threads = threads.max(2);
+        Windowed {
+            shards: (0..shards).map(|_| CalendarQueue::new()).collect(),
+            next_time: vec![u64::MAX; shards],
+            runs: (0..shards).map(|_| Vec::new()).collect(),
+            committed: VecDeque::new(),
+            side: BinaryHeap::new(),
+            staging_end: 0,
+            window: window.0.max(1),
+            pool: WorkerPool::new(threads),
+            seq: 0,
+            now: Micros::ZERO,
+            len: 0,
+            posted: 0,
+            stats: ExecStats {
+                per_shard: vec![0; shards],
+                threads,
+                window_micros: window.0.max(1),
+                ..ExecStats::default()
+            },
+        }
+    }
+
+    /// Places a freshly sequenced entry: side heap when it lands inside
+    /// the already-drained window, destination calendar otherwise.
+    fn place(&mut self, shard: usize, entry: Entry<E>) {
+        if entry.time < self.staging_end {
+            self.side.push(entry);
+            self.stats.side_scheduled += 1;
+        } else {
+            let nt = &mut self.next_time[shard];
+            *nt = (*nt).min(entry.time);
+            self.shards[shard].push(Micros(entry.time), entry.seq, entry.event);
+        }
+        self.len += 1;
+    }
+
+    /// The rendezvous: pick the frontier, drain every shard below
+    /// `frontier + window` in parallel, merge the sorted runs.
+    /// Only called with `committed` and `side` empty and `len > 0`.
+    fn refill(&mut self) {
+        let frontier = *self.next_time.iter().min().expect("at least one shard");
+        debug_assert!(frontier < u64::MAX, "refill with all calendars empty");
+        let horizon = frontier.saturating_add(self.window);
+        let active = self.next_time.iter().filter(|&&t| t < horizon).count();
+        let n = self.shards.len();
+        if active <= 1 || self.pool.workers() == 0 {
+            // One busy shard (or no helpers): drain inline, skip dispatch.
+            for i in 0..n {
+                if self.next_time[i] < horizon {
+                    self.runs[i].clear();
+                    self.next_time[i] = self.shards[i].drain_below(horizon, &mut self.runs[i]);
+                }
+            }
+        } else {
+            let jobs = DrainJobs {
+                shards: self.shards.as_mut_ptr(),
+                runs: self.runs.as_mut_ptr(),
+                next_time: self.next_time.as_mut_ptr(),
+                horizon,
+            };
+            self.pool.run(n, &|i| jobs.exec(i));
+        }
+        // Snapshot run sizes before the merge consumes the buffers.
+        for (count, run) in self.stats.per_shard.iter_mut().zip(&self.runs) {
+            *count += run.len() as u64;
+        }
+        // Tournament-merge the sorted runs into the committed deque.
+        let mut iters: Vec<_> = self
+            .runs
+            .iter_mut()
+            .filter(|r| !r.is_empty())
+            .map(|r| r.drain(..).peekable())
+            .collect();
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_key = (u64::MAX, u64::MAX);
+            for (i, it) in iters.iter_mut().enumerate() {
+                if let Some(e) = it.peek() {
+                    let key = (e.time, e.seq);
+                    if key < best_key {
+                        best_key = key;
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            self.committed
+                .push_back(iters[i].next().expect("peeked head"));
+        }
+        drop(iters);
+        self.staging_end = horizon;
+        self.stats.windows += 1;
+        self.stats.drained += self.committed.len() as u64;
+    }
+
+    fn pop(&mut self) -> Option<(Micros, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let take_side = match (self.committed.front(), self.side.peek()) {
+                (Some(c), Some(s)) => (s.time, s.seq) < (c.time, c.seq),
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (None, None) => {
+                    self.refill();
+                    continue;
+                }
+            };
+            let e = if take_side {
+                self.side.pop().expect("peeked")
+            } else {
+                self.committed.pop_front().expect("peeked")
+            };
+            self.now = Micros(e.time);
+            self.len -= 1;
+            return Some((self.now, e.event));
+        }
+    }
+}
+
+/// The disjoint-index drain job: thread `i` owns shard `i`'s calendar,
+/// run buffer, and next-time slot for the duration of the rendezvous.
+struct DrainJobs<E> {
+    shards: *mut CalendarQueue<E>,
+    runs: *mut Vec<Entry<E>>,
+    next_time: *mut u64,
+    horizon: u64,
+}
+// SAFETY: the pool executes each index exactly once, and index `i` only
+// touches offset `i` of each array — disjoint &mut access by construction.
+// `E: Send` bounds the public constructors, so moving entries across the
+// worker threads is sound.
+unsafe impl<E: Send> Sync for DrainJobs<E> {}
+
+impl<E> DrainJobs<E> {
+    fn exec(&self, i: usize) {
+        // SAFETY: see the `Sync` impl — `i` is claimed by exactly one
+        // thread and all three pointers index disjoint slots.
+        unsafe {
+            let shard = &mut *self.shards.add(i);
+            let run = &mut *self.runs.add(i);
+            let next = &mut *self.next_time.add(i);
+            if *next < self.horizon {
+                run.clear();
+                *next = shard.drain_below(self.horizon, run);
+            }
+        }
+    }
+}
+
+enum Mode<E> {
+    Serial(ShardedEventQueue<E>),
+    Windowed(Box<Windowed<E>>),
+}
+
+/// A [`ShardedEventQueue`] with an optional multi-core windowed executor.
+///
+/// `threads <= 1` delegates every call to the serial queue (bit-for-bit
+/// the PR 6 behavior, zero overhead); `threads >= 2` enables the windowed
+/// parallel drain documented at the module level. Both produce the
+/// identical pop stream for the identical schedule-call sequence.
+pub struct ParallelShardedQueue<E> {
+    mode: Mode<E>,
+}
+
+impl<E: Send> ParallelShardedQueue<E> {
+    /// Creates a queue with `shards` calendars executed by `threads`
+    /// (clamped to ≥ 1). `window` seeds the drain horizon; it is a pure
+    /// performance knob (see [`set_window`](Self::set_window)).
+    pub fn new(shards: usize, threads: usize, window: Micros) -> Self {
+        let mode = if threads <= 1 {
+            Mode::Serial(ShardedEventQueue::new(shards))
+        } else {
+            Mode::Windowed(Box::new(Windowed::new(shards, threads, window)))
+        };
+        ParallelShardedQueue { mode }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        match &self.mode {
+            Mode::Serial(q) => q.shard_count(),
+            Mode::Windowed(w) => w.shards.len(),
+        }
+    }
+
+    /// Configured concurrency (1 in serial mode).
+    pub fn threads(&self) -> usize {
+        match &self.mode {
+            Mode::Serial(_) => 1,
+            Mode::Windowed(w) => w.stats.threads,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> Micros {
+        match &self.mode {
+            Mode::Serial(q) => q.now(),
+            Mode::Windowed(w) => w.now,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match &self.mode {
+            Mode::Serial(q) => q.len(),
+            Mode::Windowed(w) => w.len,
+        }
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of cross-shard posts (`schedule_from` with
+    /// `current != dest`), matching the serial queue's accounting.
+    pub fn cross_shard_posts(&self) -> u64 {
+        match &self.mode {
+            Mode::Serial(q) => q.cross_shard_posts(),
+            Mode::Windowed(w) => w.posted,
+        }
+    }
+
+    /// Work-partition statistics (`None` in serial mode).
+    pub fn stats(&self) -> Option<&ExecStats> {
+        match &self.mode {
+            Mode::Serial(_) => None,
+            Mode::Windowed(w) => Some(&w.stats),
+        }
+    }
+
+    /// Retunes the drain window (µs, clamped to ≥ 1). Deterministically
+    /// safe at any point: the window only decides how far each rendezvous
+    /// drains ahead, never what order events pop in — so callers may
+    /// derive it from evolving plan state (duty cycles) freely.
+    pub fn set_window(&mut self, window: Micros) {
+        if let Mode::Windowed(w) = &mut self.mode {
+            w.window = window.0.max(1);
+            w.stats.window_micros = w.window;
+        }
+    }
+
+    /// Pre-sizes every shard for roughly `n` total pending events.
+    pub fn reserve(&mut self, n: usize) {
+        match &mut self.mode {
+            Mode::Serial(q) => q.reserve(n),
+            Mode::Windowed(w) => {
+                let per = n / w.shards.len().max(1);
+                for s in &mut w.shards {
+                    s.reserve(per);
+                }
+            }
+        }
+    }
+
+    /// Schedules `event` at `time` on `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current virtual time.
+    pub fn push_to(&mut self, shard: usize, time: Micros, event: E) {
+        match &mut self.mode {
+            Mode::Serial(q) => q.push_to(shard, time, event),
+            Mode::Windowed(w) => {
+                assert!(
+                    time >= w.now,
+                    "event scheduled at {time} before current time {}",
+                    w.now
+                );
+                let entry = Entry {
+                    time: time.0,
+                    seq: w.seq,
+                    event,
+                };
+                w.seq += 1;
+                w.place(shard, entry);
+            }
+        }
+    }
+
+    /// Schedules `event` `delay` after the current time on `shard`.
+    pub fn push_after_to(&mut self, shard: usize, delay: Micros, event: E) {
+        self.push_to(shard, self.now() + delay, event);
+    }
+
+    /// Posts a cross-shard event. In windowed mode this is a direct
+    /// placement — the global seq assigned here already fixes the pop
+    /// position, so no mailbox deferral is needed — but the post counter
+    /// keeps parity with the serial queue's accounting.
+    pub fn post(&mut self, source: usize, dest: usize, time: Micros, event: E) {
+        match &mut self.mode {
+            Mode::Serial(q) => q.post(source, dest, time, event),
+            Mode::Windowed(w) => {
+                assert!(
+                    time >= w.now,
+                    "event posted at {time} before current time {}",
+                    w.now
+                );
+                let entry = Entry {
+                    time: time.0,
+                    seq: w.seq,
+                    event,
+                };
+                w.seq += 1;
+                w.posted += 1;
+                w.place(dest, entry);
+            }
+        }
+    }
+
+    /// Routes a schedule request: shard-local push when `current == dest`,
+    /// cross-shard post otherwise.
+    pub fn schedule_from(&mut self, current: usize, dest: usize, time: Micros, event: E) {
+        if current == dest {
+            self.push_to(dest, time, event);
+        } else {
+            self.post(current, dest, time, event);
+        }
+    }
+
+    /// Pops the globally earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(Micros, E)> {
+        match &mut self.mode {
+            Mode::Serial(q) => q.pop(),
+            Mode::Windowed(w) => w.pop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 3);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        // Reuse across dispatches: the satellite contract is one persistent
+        // pool, not fresh threads per call.
+        for _ in 0..3 {
+            pool.run(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 3, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pool_with_one_thread_still_runs() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 0);
+        let sum = AtomicUsize::new(0);
+        pool.run(10, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn pool_propagates_job_panics() {
+        let pool = WorkerPool::new(3);
+        pool.run(64, &|i| assert!(i != 13, "boom"));
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_run() {
+        let pool = WorkerPool::new(3);
+        let bad = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| assert!(i != 2, "boom"));
+        }));
+        assert!(bad.is_err());
+        // The pool must still dispatch correctly afterwards.
+        let sum = AtomicUsize::new(0);
+        pool.run(100, &|i| {
+            sum.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    /// The shard tests' scripted workload: near-horizon bulk, same-time
+    /// tie floods, far-future overflow spills.
+    fn script(n: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for i in 0..n as u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = match x % 10 {
+                0..=6 => x % 50_000,
+                7 | 8 => 777,
+                _ => 40_000_000 + x % 1_000_000_000,
+            };
+            out.push((t, i));
+        }
+        out
+    }
+
+    /// Drives the same schedule-call sequence the serial shard tests use:
+    /// interleaved schedules and pops, destinations derived from the tag.
+    fn run_parallel(
+        shards: usize,
+        threads: usize,
+        window: u64,
+        ops: &[(u64, u64)],
+    ) -> Vec<(u64, u64)> {
+        let mut q = ParallelShardedQueue::new(shards, threads, Micros(window));
+        let mut out = Vec::new();
+        let mut current = 0usize;
+        for (i, &(dt, tag)) in ops.iter().enumerate() {
+            let dest = (tag as usize) % shards.max(1);
+            let t = Micros(q.now().0 + dt % 10_000_000);
+            q.schedule_from(current, dest, t, tag);
+            if i % 3 == 0 {
+                if let Some((now, tag)) = q.pop() {
+                    out.push((now.0, tag));
+                    current = (tag as usize) % shards.max(1);
+                }
+            }
+        }
+        while let Some((t, tag)) = q.pop() {
+            out.push((t.0, tag));
+        }
+        out
+    }
+
+    #[test]
+    fn any_thread_and_shard_count_pops_identically() {
+        let ops = script(5_000);
+        let reference = run_parallel(1, 1, 1_000, &ops);
+        for shards in [1, 2, 4, 7] {
+            for threads in [1, 2, 4] {
+                // Window sizes spanning sub-tick to way-past-horizon: the
+                // window is a pure performance knob, so every combination
+                // must reproduce the serial stream.
+                for window in [1, 100, 50_000, u64::MAX / 2] {
+                    assert_eq!(
+                        run_parallel(shards, threads, window, &ops),
+                        reference,
+                        "shards={shards} threads={threads} window={window}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The PR 6 bug class, under threading: floods of same-time cross-shard
+    /// posts landing inside an already-drained window must still pop in
+    /// global seq order.
+    #[test]
+    fn same_time_cross_shard_flood_inside_window_keeps_seq_order() {
+        for threads in [2, 4] {
+            let mut q: ParallelShardedQueue<u64> =
+                ParallelShardedQueue::new(4, threads, Micros(1_000_000));
+            // Seed events on every shard so the first pop drains a wide
+            // window across all calendars.
+            for s in 0..4usize {
+                q.push_to(s, Micros(10 + s as u64), s as u64);
+            }
+            for s in 0..4usize {
+                q.push_to(s, Micros(500_000 + s as u64), 100 + s as u64);
+            }
+            // First pop commits the window [10, 1_000_010).
+            assert_eq!(q.pop(), Some((Micros(10), 0)));
+            // Flood: 1000 same-time posts, rotating destination shards,
+            // all inside the committed window.
+            for i in 0..1000u64 {
+                q.schedule_from(0, (i % 4) as usize, Micros(777_777), 1000 + i);
+            }
+            // Remaining seeds below the flood time pop first.
+            for s in 1..4u64 {
+                assert_eq!(q.pop(), Some((Micros(10 + s), s)));
+            }
+            for s in 0..4u64 {
+                assert_eq!(q.pop(), Some((Micros(500_000 + s), 100 + s)));
+            }
+            // The flood pops strictly in post (seq) order.
+            for i in 0..1000u64 {
+                assert_eq!(q.pop(), Some((Micros(777_777), 1000 + i)), "tie {i}");
+            }
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.cross_shard_posts(), 750);
+        }
+    }
+
+    #[test]
+    fn windowed_mode_reports_partition_stats() {
+        let ops = script(3_000);
+        let mut q = ParallelShardedQueue::new(4, 2, Micros(10_000));
+        for &(t, tag) in &ops {
+            q.schedule_from(
+                0,
+                (tag as usize) % 4,
+                Micros(q.now().0 + t % 1_000_000),
+                tag,
+            );
+        }
+        let mut n = 0u64;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, ops.len() as u64);
+        let stats = q.stats().expect("windowed mode");
+        assert!(stats.windows > 0);
+        assert_eq!(
+            stats.drained + stats.side_scheduled,
+            n,
+            "every event either drained through a calendar or took the side heap"
+        );
+        assert_eq!(stats.per_shard.iter().sum::<u64>(), stats.drained);
+        assert_eq!(stats.threads, 2);
+    }
+
+    #[test]
+    fn serial_mode_delegates() {
+        let mut q = ParallelShardedQueue::new(2, 1, Micros(100));
+        assert!(q.stats().is_none());
+        assert_eq!(q.threads(), 1);
+        q.push_to(0, Micros(5), "a");
+        q.schedule_from(0, 1, Micros(3), "b");
+        assert_eq!(q.cross_shard_posts(), 1);
+        assert_eq!(q.pop(), Some((Micros(3), "b")));
+        assert_eq!(q.pop(), Some((Micros(5), "a")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn windowed_scheduling_into_the_past_panics() {
+        let mut q = ParallelShardedQueue::new(2, 2, Micros(10));
+        q.push_to(0, Micros(100), ());
+        q.pop();
+        q.push_to(1, Micros(50), ());
+    }
+}

@@ -19,8 +19,12 @@
 //! 2. The shard-local / cross-shard split makes the conservative-lookahead
 //!    structure of the simulation explicit (each backend group's next wake
 //!    is known a duty cycle ahead — DESIGN.md §13), which is the contract
-//!    a future parallel executor needs; the mailbox is that boundary, and
-//!    the determinism tests pin its semantics now.
+//!    the parallel executor builds on: [`crate::ParallelShardedQueue`]
+//!    (`parallel.rs`, DESIGN.md §14) drains these shards' calendars on a
+//!    worker pool inside a conservative window and commits a byte-identical
+//!    stream at any thread count. This serial queue remains both the
+//!    `threads <= 1` fast path and the reference the executor is tested
+//!    against.
 //!
 //! The merge itself is a staged N-way tournament: each shard keeps at most
 //! one popped-but-unconsumed head entry, and `pop` takes the minimum over

@@ -1,23 +1,27 @@
-//! Sharding determinism: the event-loop shard count is a pure
-//! scheduling-state partition (DESIGN.md §13), so every observable output
-//! of a run — event counts, metrics, bad-rate bit patterns, even the
-//! execution trace — must be identical at any shard count.
+//! Sharding and threading determinism: the event-loop shard count is a
+//! pure scheduling-state partition (DESIGN.md §13) and the worker-thread
+//! count is a pure execution knob over it (DESIGN.md §14), so every
+//! observable output of a run — event counts, metrics, bad-rate bit
+//! patterns, even the execution trace — must be identical at any
+//! `(shards, threads)` combination.
 //!
 //! These tests compare the `Debug` rendering of the full [`SimResult`]:
 //! Rust formats `f64` as the shortest round-trippable string, so equal
 //! strings mean equal bit patterns for every float in the result, and the
 //! rendering covers the per-session/timeline metrics and captured trace
 //! wholesale. ci.sh enforces the same property end to end by byte-diffing
-//! simbench `--det-out` files at `--shards 1` vs `--shards 4` and the
-//! golden fig13 trace captured with `NEXUS_SIM_SHARDS=4`.
+//! simbench `--det-out` files at `--shards 1` vs `--shards 4` and
+//! `--threads 1` vs `--threads 4`, and by re-capturing the golden fig13
+//! trace with `NEXUS_SIM_SHARDS=4` and `NEXUS_SIM_THREADS=4`.
 
 use nexus::prelude::*;
 use nexus_runtime::{FaultKind, FaultSpec, SimConfig};
+use nexus_simgpu::ParallelShardedQueue;
 use nexus_workload::apps;
 
 /// A small Fig. 13 deployment run (all seven applications, surge included)
 /// through the public `run_once_sharded` entry point.
-fn fig13_fingerprint(shards: usize) -> String {
+fn fig13_fingerprint(shards: usize, threads: usize) -> String {
     let horizon = Micros::from_secs(6);
     let result = run_once_sharded(
         SystemConfig::nexus()
@@ -30,13 +34,14 @@ fn fig13_fingerprint(shards: usize) -> String {
         Micros::from_secs(2),
         horizon,
         shards,
+        threads,
     );
     format!("{result:?}")
 }
 
 #[test]
 fn fig13_results_are_identical_at_any_shard_count() {
-    let reference = fig13_fingerprint(1);
+    let reference = fig13_fingerprint(1, 1);
     // Sanity: the run actually did work before we compare fingerprints.
     assert!(
         !reference.contains("events_processed: 0,"),
@@ -46,10 +51,30 @@ fn fig13_results_are_identical_at_any_shard_count() {
     // not change the merge order either.
     for shards in [2, 3, 4, 7] {
         assert_eq!(
-            fig13_fingerprint(shards),
+            fig13_fingerprint(shards, 1),
             reference,
             "sharded run diverged at shards={shards}"
         );
+    }
+}
+
+#[test]
+fn fig13_results_are_identical_at_any_thread_count() {
+    let reference = fig13_fingerprint(1, 1);
+    assert!(
+        !reference.contains("events_processed: 0,"),
+        "reference run processed no events"
+    );
+    // The full matrix of the acceptance gate: threads {1,2,4} across even
+    // and uneven shard counts (7 does not divide the backend count).
+    for shards in [1, 4, 7] {
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                fig13_fingerprint(shards, threads),
+                reference,
+                "parallel run diverged at shards={shards} threads={threads}"
+            );
+        }
     }
 }
 
@@ -57,7 +82,7 @@ fn fig13_results_are_identical_at_any_shard_count() {
 /// crash/rejoin events route through the sharded mailboxes and the trace
 /// records per-batch timestamps, so this exercises the paths
 /// `run_once_sharded` leaves dormant.
-fn faulted_traced_fingerprint(shards: usize) -> String {
+fn faulted_traced_fingerprint(shards: usize, threads: usize) -> String {
     let result = ClusterSim::new(
         SimConfig {
             system: SystemConfig::nexus().with_epoch(Micros::from_secs(2)),
@@ -80,6 +105,7 @@ fn faulted_traced_fingerprint(shards: usize) -> String {
                 },
             ],
             shards,
+            threads,
         },
         vec![TrafficClass::new(
             apps::traffic(),
@@ -93,16 +119,86 @@ fn faulted_traced_fingerprint(shards: usize) -> String {
 
 #[test]
 fn faulted_traced_run_is_identical_at_any_shard_count() {
-    let reference = faulted_traced_fingerprint(1);
+    let reference = faulted_traced_fingerprint(1, 1);
     assert!(
         reference.contains("Batch {"),
         "reference run captured no trace events"
     );
     for shards in [2, 3] {
         assert_eq!(
-            faulted_traced_fingerprint(shards),
+            faulted_traced_fingerprint(shards, 1),
             reference,
             "faulted+traced run diverged at shards={shards}"
         );
+    }
+}
+
+#[test]
+fn faulted_traced_run_is_identical_at_any_thread_count() {
+    let reference = faulted_traced_fingerprint(1, 1);
+    assert!(
+        reference.contains("Batch {"),
+        "reference run captured no trace events"
+    );
+    // Fault schedules route crash/rejoin through cross-shard posts; the
+    // windowed executor must commit them in exactly the serial order.
+    for (shards, threads) in [(2, 2), (3, 4), (4, 4), (7, 2)] {
+        assert_eq!(
+            faulted_traced_fingerprint(shards, threads),
+            reference,
+            "faulted+traced run diverged at shards={shards} threads={threads}"
+        );
+    }
+}
+
+/// Queue-level stress: flood same-timestamp cross-shard posts through the
+/// windowed executor at threads ≥ 2 and assert the committed pop stream
+/// matches the serial queue exactly. The cluster workloads above rarely
+/// produce long same-time runs; this test makes ties the common case.
+#[test]
+fn same_time_cross_shard_flood_matches_serial_order() {
+    for threads in [2, 4] {
+        let shards = 5;
+        let mut par: ParallelShardedQueue<u64> =
+            ParallelShardedQueue::new(shards, threads, Micros(100));
+        let mut serial: ParallelShardedQueue<u64> =
+            ParallelShardedQueue::new(shards, 1, Micros(100));
+
+        // Deterministic pseudo-random interleave of posts and pops, with
+        // heavy timestamp ties: only 4 distinct event times per wave.
+        let mut state = 0x9e37_79b9_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut payload = 0u64;
+        for wave in 0u64..40 {
+            let base = wave * 50;
+            for _ in 0..200 {
+                let shard = (rng() % shards as u64) as usize;
+                let time = Micros(base + rng() % 4);
+                par.push_to(shard, time, payload);
+                serial.push_to(shard, time, payload);
+                payload += 1;
+            }
+            // Drain roughly half the wave before posting the next one, so
+            // later posts land inside already-committed windows.
+            for _ in 0..100 {
+                let a = par.pop();
+                let b = serial.pop();
+                assert_eq!(a, b, "threads={threads}: pop diverged mid-wave");
+            }
+        }
+        loop {
+            let a = par.pop();
+            let b = serial.pop();
+            assert_eq!(a, b, "threads={threads}: pop diverged at drain");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(par.len(), 0);
     }
 }

@@ -1,5 +1,10 @@
-//! Minimal offline criterion stand-in: runs each benchmark closure once so
-//! bench targets compile and smoke-run; measures nothing.
+//! Minimal offline criterion stand-in: times each benchmark closure with
+//! `std::time::Instant` — one untimed warmup, then best-of-N samples — and
+//! prints the per-iteration minimum. No statistics, plots, or baselines;
+//! minima over a handful of samples are the only stable statistic on the
+//! shared 1-core VMs this workspace runs on.
+
+use std::time::Instant;
 
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
@@ -11,11 +16,26 @@ pub enum BatchSize {
     LargeInput,
 }
 
-pub struct Bencher;
+/// Samples actually timed per benchmark: enough for a stable minimum,
+/// few enough that second-scale closures (the 1M-event churn benches)
+/// keep the whole suite under a couple of minutes.
+const MAX_SAMPLES: usize = 5;
+
+pub struct Bencher {
+    samples: usize,
+    best: Option<f64>,
+}
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        black_box(f());
+        black_box(f()); // untimed warmup
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        self.best = Some(best);
     }
 
     pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
@@ -23,23 +43,58 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        black_box(routine(setup()));
+        black_box(routine(setup())); // untimed warmup
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let input = setup(); // setup cost stays outside the timing
+            let t0 = Instant::now();
+            black_box(routine(input));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        self.best = Some(best);
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
     }
 }
 
 #[derive(Default)]
 pub struct Criterion {
-    _private: (),
+    sample_size: Option<usize>,
 }
 
 impl Criterion {
-    pub fn sample_size(self, _n: usize) -> Self {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = Some(n);
         self
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        println!("bench {name}: 1 smoke iteration (criterion stub)");
-        f(&mut Bencher);
+        let samples = self
+            .sample_size
+            .unwrap_or(MAX_SAMPLES)
+            .clamp(1, MAX_SAMPLES);
+        let mut b = Bencher {
+            samples,
+            best: None,
+        };
+        f(&mut b);
+        match b.best {
+            Some(best) => println!(
+                "bench {name}: {} / iter (best of {samples}, criterion stub)",
+                format_time(best)
+            ),
+            None => println!("bench {name}: closure never called iter (criterion stub)"),
+        }
         self
     }
 }
