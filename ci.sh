@@ -59,6 +59,16 @@ cargo run --release -q -p bench --bin simbench -- --quick \
 diff "$tmp_det1" "$tmp_det_thr" \
   || { echo "simbench diverged between --threads 1 and --threads 4"; exit 1; }
 
+echo "== front-door smoke + chaos: nexus-serve over localhost TCP =="
+# Real sockets, real threads: 4 backend processes-worth of listeners, 200
+# concurrent client connections, backend 0 killed mid-run, a routing epoch
+# pushed mid-traffic. The binary exits nonzero unless every request is
+# accounted (completed + dropped == submitted), both pushed epochs were
+# applied in order, no request overran its deadline budget, and shutdown
+# joined every thread (zero leaks). Timing is never gated — only
+# accounting, ordering, and clean teardown.
+cargo run --release -q -p nexus-serve --bin nexus-serve
+
 echo "== schema golden: fixed-seed trace capture (serial, sharded, threaded) =="
 # The Fig. 13 mini-run must reproduce the committed golden byte-for-byte;
 # divergence means the trace schema or the simulation changed. Regenerate

@@ -5,17 +5,25 @@
 //! return to its pre-fault level after the emergency re-pack onto the 15
 //! survivors.
 //!
+//! A second scenario flaps the same GPU (crash/rejoin twice on a short
+//! period) and compares rejoin re-pack behaviour with and without the
+//! rejoin cooldown: the cooldown must cut the number of deployment
+//! swaps (no epoch thrash) while goodput after the second flap stays
+//! within 90% of the pre-fault baseline.
+//!
 //! Usage: `cargo run --release -p bench --bin fault_recovery
 //!         [--seed N] [--secs N] [--out FILE]`
 //!
 //! Writes a recovery timeline to `bench_results/fault_recovery.json`
-//! (override with `--out`).
+//! (override with `--out`) and the flap comparison to
+//! `bench_results/fault_flap.json`.
 
 use std::fmt::Write as _;
 
 use bench::{print_table, Args};
 use nexus::prelude::*;
 use nexus_profile::{Micros, GPU_GTX1080TI};
+use nexus_runtime::TraceEvent;
 use nexus_workload::apps;
 
 /// The scenario's fixed timing (seconds): crash after the warm-up window,
@@ -183,4 +191,128 @@ fn main() {
         .unwrap_or_else(|| "bench_results/fault_recovery.json".into());
     std::fs::write(&path, json).expect("writable output path");
     println!("(wrote {})", path.display());
+
+    run_flap(args.seed);
+}
+
+/// Flap timing (seconds): two crash/rejoin cycles after warm-up.
+const FLAP_EVENTS_S: [(u64, bool); 4] = [(15, true), (17, false), (19, true), (21, false)];
+const FLAP_HORIZON_S: u64 = 40;
+/// Minimum spacing between rejoin re-packs in the rate-limited run.
+const FLAP_COOLDOWN_S: u64 = 8;
+
+fn run_flap_once(seed: u64, cooldown: Micros) -> (SimResult, u64) {
+    let faults = FLAP_EVENTS_S
+        .iter()
+        .map(|&(at, crash)| FaultSpec {
+            at: Micros::from_secs(at),
+            slot: 0,
+            kind: if crash {
+                FaultKind::Crash
+            } else {
+                FaultKind::Rejoin
+            },
+        })
+        .collect();
+    let result = ClusterSim::try_new(
+        SimConfig {
+            system: SystemConfig::nexus()
+                .with_epoch(Micros::from_secs(EPOCH_S))
+                .with_rejoin_cooldown(cooldown),
+            device: GPU_GTX1080TI,
+            max_gpus: 16,
+            seed,
+            horizon: Micros::from_secs(FLAP_HORIZON_S),
+            warmup: Micros::from_secs(WARMUP_S),
+            trace_capacity: 1 << 21,
+            faults,
+            shards: nexus::default_shards(),
+            threads: nexus::default_threads(),
+        },
+        vec![TrafficClass::new(
+            apps::traffic(),
+            ArrivalKind::Uniform,
+            300.0,
+        )],
+    )
+    .expect("known models")
+    .run();
+    let swaps = result
+        .trace
+        .as_ref()
+        .expect("trace enabled")
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Reallocation { .. }))
+        .count() as u64;
+    (result, swaps)
+}
+
+/// The flapping-backend scenario: GPU 0 crashes and rejoins twice in
+/// quick succession. Without rate limiting every rejoin triggers an
+/// immediate emergency re-pack — paying model loads and queue
+/// migrations for capacity that vanishes two seconds later. The rejoin
+/// cooldown defers those re-packs; deaths still re-plan immediately.
+fn run_flap(seed: u64) {
+    println!();
+    println!("flapping-backend scenario: crash/rejoin x2 on gpu 0, 300 q/s");
+
+    let (free, swaps_free) = run_flap_once(seed, Micros::ZERO);
+    let (limited, swaps_limited) = run_flap_once(seed, Micros::from_secs(FLAP_COOLDOWN_S));
+
+    // Steady-state goodput before the first flap vs after the second.
+    let warmup = Micros::from_secs(WARMUP_S);
+    let first_flap = Micros::from_secs(FLAP_EVENTS_S[0].0);
+    let settle = Micros::from_secs(FLAP_EVENTS_S[3].0 + 4);
+    let horizon = Micros::from_secs(FLAP_HORIZON_S);
+    let baseline = limited.metrics.goodput(warmup, first_flap);
+    let after = limited.metrics.goodput(settle, horizon);
+
+    println!("deployment swaps  : {swaps_free} unthrottled, {swaps_limited} with {FLAP_COOLDOWN_S}s rejoin cooldown");
+    println!("goodput           : {baseline:.1} q/s pre-flap, {after:.1} q/s after second flap");
+
+    let thrash_ok = swaps_limited < swaps_free;
+    let goodput_ok = after >= 0.9 * baseline;
+    println!(
+        "re-packs rate-limited            : {}",
+        if thrash_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "goodput >=90% after second flap  : {}",
+        if goodput_ok { "PASS" } else { "FAIL" }
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"rate\": 300.0,");
+    let _ = writeln!(json, "  \"cooldown_secs\": {FLAP_COOLDOWN_S},");
+    let _ = writeln!(json, "  \"swaps_unthrottled\": {swaps_free},");
+    let _ = writeln!(json, "  \"swaps_limited\": {swaps_limited},");
+    let _ = writeln!(json, "  \"baseline_goodput\": {baseline:.2},");
+    let _ = writeln!(json, "  \"goodput_after_second_flap\": {after:.2},");
+    let _ = writeln!(
+        json,
+        "  \"bad_rate_unthrottled\": {:.5},",
+        free.query_bad_rate
+    );
+    let _ = writeln!(
+        json,
+        "  \"bad_rate_limited\": {:.5},",
+        limited.query_bad_rate
+    );
+    let _ = writeln!(json, "  \"pass_thrash\": {thrash_ok},");
+    let _ = writeln!(json, "  \"pass_goodput\": {goodput_ok}");
+    json.push_str("}\n");
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    std::fs::write("bench_results/fault_flap.json", json).expect("writable output path");
+    println!("(wrote bench_results/fault_flap.json)");
+
+    assert!(
+        thrash_ok,
+        "rejoin cooldown failed to reduce deployment swaps"
+    );
+    assert!(
+        goodput_ok,
+        "goodput after the second flap fell below 90% of baseline"
+    );
 }

@@ -227,6 +227,24 @@ impl WorkloadFile {
                         }
                     }
                     "rejoin" => FaultKind::Rejoin,
+                    "conn_drop" => FaultKind::ConnDrop {
+                        duration: duration()?,
+                    },
+                    "heartbeat_delay" => FaultKind::HeartbeatDelay {
+                        duration: duration()?,
+                    },
+                    "slow_loris" => {
+                        let factor = entry
+                            .factor
+                            .ok_or_else(|| WorkloadError("slow_loris needs factor".into()))?;
+                        if !(factor.is_finite() && factor >= 1.0) {
+                            return Err(WorkloadError("slow_loris factor must be >= 1.0".into()));
+                        }
+                        FaultKind::SlowLoris {
+                            factor,
+                            duration: duration()?,
+                        }
+                    }
                     other => return Err(WorkloadError(format!("unknown fault kind {other:?}"))),
                 };
                 Ok(FaultSpec {
@@ -282,11 +300,14 @@ mod tests {
                 {"at_secs": 10.0, "gpu": 0, "kind": "crash"},
                 {"at_secs": 12.0, "gpu": 1, "kind": "stall", "secs": 0.5},
                 {"at_secs": 14.0, "gpu": 2, "kind": "slowdown", "secs": 2.0, "factor": 3.0},
-                {"at_secs": 20.0, "gpu": 0, "kind": "rejoin"}
+                {"at_secs": 20.0, "gpu": 0, "kind": "rejoin"},
+                {"at_secs": 22.0, "gpu": 3, "kind": "conn_drop", "secs": 0.4},
+                {"at_secs": 24.0, "gpu": 4, "kind": "heartbeat_delay", "secs": 1.0},
+                {"at_secs": 26.0, "gpu": 5, "kind": "slow_loris", "secs": 2.0, "factor": 4.0}
             ]}"#;
         let w = WorkloadFile::from_json(json).unwrap();
         let faults = w.faults().expect("faults resolve");
-        assert_eq!(faults.len(), 4);
+        assert_eq!(faults.len(), 7);
         assert_eq!(faults[0].kind, FaultKind::Crash);
         assert_eq!(faults[0].at, Micros::from_secs(10));
         assert_eq!(
@@ -303,6 +324,25 @@ mod tests {
             }
         );
         assert_eq!(faults[3].kind, FaultKind::Rejoin);
+        assert_eq!(
+            faults[4].kind,
+            FaultKind::ConnDrop {
+                duration: Micros::from_millis(400)
+            }
+        );
+        assert_eq!(
+            faults[5].kind,
+            FaultKind::HeartbeatDelay {
+                duration: Micros::from_secs(1)
+            }
+        );
+        assert_eq!(
+            faults[6].kind,
+            FaultKind::SlowLoris {
+                factor: 4.0,
+                duration: Micros::from_secs(2)
+            }
+        );
     }
 
     #[test]

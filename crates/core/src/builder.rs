@@ -38,6 +38,20 @@ pub struct NexusClusterBuilder {
     threads: usize,
 }
 
+/// Per-session serving parameters derived from a control plan — what a
+/// networked front door ([`nexus_serve`]) needs to admit and route for a
+/// deployment planned by this crate's scheduler. Produced by
+/// [`NexusCluster::serve_specs`].
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// One [`nexus_serve::SessionSlo`] per planned session, indexed by
+    /// the session ids routing tables use.
+    pub slos: Vec<nexus_serve::SessionSlo>,
+    /// `routes[session]` = backend (GPU) indices hosting the session in
+    /// the initial allocation — the natural epoch-1 routing table.
+    pub routes: Vec<Vec<u32>>,
+}
+
 impl NexusCluster {
     /// Starts building a cluster with full-Nexus defaults on GTX 1080Ti
     /// devices (the paper's 16-GPU case-study hardware).
@@ -66,6 +80,48 @@ impl NexusCluster {
     /// before running).
     pub fn into_sim(self) -> ClusterSim {
         ClusterSim::new(self.config, self.classes)
+    }
+
+    /// Derives the serving front door's per-session parameters from the
+    /// scheduler's control plan: the SLO and execution latencies feed the
+    /// admission gate, the initial allocation becomes the epoch-1 routing
+    /// table. This is the bridge from "planned in simulation" to "served
+    /// over the network" — the same plan that drives the simulator
+    /// configures `nexus-serve` frontends.
+    pub fn serve_specs(self) -> ServeSpec {
+        let sim = self.into_sim();
+        let plan = sim.control_plan();
+        let slos = plan
+            .sessions
+            .iter()
+            .map(|s| {
+                // The batch the packer chose for this session (largest
+                // across hosting GPUs), falling back to the SLO-feasible
+                // maximum when the allocation does not host it.
+                let planned_batch = plan
+                    .allocation
+                    .plans
+                    .iter()
+                    .flat_map(|p| &p.entries)
+                    .filter(|e| e.session == s.id)
+                    .map(|e| e.batch)
+                    .max()
+                    .unwrap_or_else(|| s.exec_profile.max_batch_for_slo(s.budget).max(1));
+                nexus_serve::SessionSlo {
+                    slo: s.budget,
+                    ell1: s.exec_profile.latency(1),
+                    ell_b: s.exec_profile.latency(planned_batch.max(1)),
+                    batch: planned_batch.max(1),
+                }
+            })
+            .collect();
+        let mut routes = vec![Vec::new(); plan.sessions.len()];
+        for (gpu, p) in plan.allocation.plans.iter().enumerate() {
+            for e in &p.entries {
+                routes[e.session.0 as usize].push(gpu as u32);
+            }
+        }
+        ServeSpec { slos, routes }
     }
 }
 
@@ -261,5 +317,28 @@ mod tests {
     #[should_panic(expected = "add at least one app")]
     fn empty_builder_panics() {
         let _ = NexusCluster::builder().build();
+    }
+
+    #[test]
+    fn serve_specs_cover_every_planned_session() {
+        let spec = NexusCluster::builder()
+            .gpus(4)
+            .app(apps::dance(), 20.0)
+            .horizon_secs(8)
+            .seed(3)
+            .build()
+            .serve_specs();
+        assert!(!spec.slos.is_empty());
+        assert_eq!(spec.slos.len(), spec.routes.len());
+        for (s, routes) in spec.slos.iter().zip(&spec.routes) {
+            // The admission gate's inputs must be coherent: a planned
+            // session has positive latencies, a batch its SLO can hold,
+            // and at least one backend hosting it.
+            assert!(s.ell1 > nexus_profile::Micros::ZERO);
+            assert!(s.ell_b >= s.ell1);
+            assert!(s.batch >= 1);
+            assert!(s.slo > nexus_profile::Micros::ZERO);
+            assert!(!routes.is_empty(), "planned session with no backend");
+        }
     }
 }

@@ -41,7 +41,7 @@ pub mod builder;
 pub mod experiment;
 pub mod workloads;
 
-pub use builder::{NexusCluster, NexusClusterBuilder};
+pub use builder::{NexusCluster, NexusClusterBuilder, ServeSpec};
 pub use experiment::{
     default_shards, default_threads, max_rate_within, measure_throughput, run_once,
     run_once_sharded, run_once_with_stats, run_traced, ThroughputSearch,
@@ -53,12 +53,13 @@ pub use nexus_model;
 pub use nexus_profile;
 pub use nexus_runtime;
 pub use nexus_scheduler;
+pub use nexus_serve;
 pub use nexus_simgpu;
 pub use nexus_workload;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
-    pub use crate::builder::{NexusCluster, NexusClusterBuilder};
+    pub use crate::builder::{NexusCluster, NexusClusterBuilder, ServeSpec};
     pub use crate::experiment::{
         measure_throughput, run_once, run_once_sharded, run_once_with_stats, run_traced,
         ThroughputSearch,

@@ -30,20 +30,25 @@ pub struct RequestSpan {
 }
 
 impl RequestSpan {
-    /// Time spent queued: `[arrival, exec_start)`.
+    /// Time spent queued: `[arrival, exec_start)`. Saturating — a corrupt
+    /// or hand-edited trace must degrade to zero-width phases, not panic
+    /// the analysis tooling.
     pub fn queue_wait(&self) -> Micros {
-        self.exec_start - self.arrival
+        self.exec_start.saturating_sub(self.arrival)
     }
 
-    /// Time spent executing: `[exec_start, completion)`.
+    /// Time spent executing: `[exec_start, completion)`. Saturating, like
+    /// [`RequestSpan::queue_wait`].
     pub fn exec(&self) -> Micros {
-        self.completion - self.exec_start
+        self.completion.saturating_sub(self.exec_start)
     }
 
     /// Arrival-to-completion latency; equals `queue_wait() + exec()` by
-    /// construction (the partition property the proptests pin down).
+    /// construction (the partition property the proptests pin down —
+    /// [`reconstruct`] clamps `exec_start` into `[arrival, completion]`
+    /// so the identity survives even corrupt inputs).
     pub fn total(&self) -> Micros {
-        self.completion - self.arrival
+        self.completion.saturating_sub(self.arrival)
     }
 }
 
@@ -82,15 +87,23 @@ pub fn reconstruct(events: &[TraceEvent]) -> Phases {
                 exec_start,
                 batch_seq,
                 good,
-            } => phases.spans.push(RequestSpan {
-                request,
-                session,
-                arrival: t - latency,
-                exec_start,
-                completion: t,
-                batch_seq,
-                good,
-            }),
+            } => {
+                // A well-formed trace satisfies arrival <= exec_start <=
+                // t; a truncated or bit-flipped file may not. Saturate and
+                // clamp instead of panicking — the span degrades to
+                // zero-width phases while the partition identity
+                // (queue + exec == total) still holds.
+                let arrival = t.saturating_sub(latency);
+                phases.spans.push(RequestSpan {
+                    request,
+                    session,
+                    arrival,
+                    exec_start: exec_start.clamp(arrival, t),
+                    completion: t,
+                    batch_seq,
+                    good,
+                })
+            }
             TraceEvent::Drop {
                 t,
                 request,
@@ -167,6 +180,26 @@ mod tests {
         assert_eq!(s.queue_wait(), Micros::from_micros(40));
         assert_eq!(s.exec(), Micros::from_micros(60));
         assert_eq!(s.total(), Micros::from_micros(100));
+    }
+
+    #[test]
+    fn corrupt_completions_degrade_instead_of_panicking() {
+        // latency > t (arrival would underflow) and exec_start after the
+        // completion time: both clamp to zero-width phases.
+        let events = vec![TraceEvent::Completion {
+            t: Micros::from_micros(100),
+            request: 9,
+            session: SessionId(0),
+            latency: Micros::from_micros(5_000),
+            exec_start: Micros::from_micros(700),
+            batch_seq: 0,
+            good: false,
+        }];
+        let p = reconstruct(&events);
+        let s = p.spans[0];
+        assert_eq!(s.arrival, Micros::ZERO);
+        assert_eq!(s.exec_start, Micros::from_micros(100));
+        assert_eq!(s.queue_wait() + s.exec(), s.total());
     }
 
     #[test]

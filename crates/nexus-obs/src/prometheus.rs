@@ -6,7 +6,19 @@
 
 use std::fmt::Write as _;
 
-use nexus_runtime::SimResult;
+use nexus_runtime::{DropCause, SimResult, TraceEvent};
+
+/// Every drop cause, in a fixed exposition order so scrape output is
+/// byte-stable run to run (absent causes render as explicit zeros).
+const ALL_CAUSES: [DropCause; 7] = [
+    DropCause::NoRoute,
+    DropCause::EarlySacrifice,
+    DropCause::Expired,
+    DropCause::Orphaned,
+    DropCause::Stranded,
+    DropCause::RunEnd,
+    DropCause::AdmissionRejected,
+];
 
 fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
     let _ = writeln!(out, "# HELP {name} {help}");
@@ -90,6 +102,42 @@ pub fn render(result: &SimResult) -> String {
         result.trace_truncated
     );
 
+    // Drop-cause and retry counters come from the trace; without one the
+    // section is omitted (the counts are unknowable, not zero).
+    if let Some(trace) = &result.trace {
+        let mut by_cause = [0u64; ALL_CAUSES.len()];
+        let mut retries = 0u64;
+        for ev in trace.events() {
+            match ev {
+                TraceEvent::Drop { cause, .. } => {
+                    if let Some(i) = ALL_CAUSES.iter().position(|c| c == cause) {
+                        by_cause[i] += 1;
+                    }
+                }
+                TraceEvent::Retry { .. } => retries += 1,
+                _ => {}
+            }
+        }
+        counter_header(
+            &mut out,
+            "nexus_drops_total",
+            "Dropped requests by cause (edge admission rejects included).",
+        );
+        for (cause, n) in ALL_CAUSES.iter().zip(by_cause) {
+            let _ = writeln!(
+                out,
+                "nexus_drops_total{{cause=\"{}\"}} {n}",
+                crate::raw::drop_cause_name(*cause)
+            );
+        }
+        counter_header(
+            &mut out,
+            "nexus_retries_total",
+            "Requests re-dispatched to a different backend after a failure.",
+        );
+        let _ = writeln!(out, "nexus_retries_total {retries}");
+    }
+
     gauge_header(
         &mut out,
         "nexus_session_bad_rate",
@@ -159,7 +207,7 @@ mod tests {
 
     #[test]
     fn exposition_is_well_formed() {
-        let result = nexus::run_once(
+        let result = nexus::run_traced(
             SystemConfig::nexus(),
             GPU_GTX1080TI,
             2,
@@ -171,6 +219,7 @@ mod tests {
             1,
             Micros::from_secs(2),
             Micros::from_secs(6),
+            1 << 16,
         );
         let text = render(&result);
         let mut samples = 0;
@@ -186,5 +235,30 @@ mod tests {
         }
         assert!(samples >= 8, "got {samples} samples:\n{text}");
         assert!(text.contains("nexus_gpu_busy_fraction{backend=\"0\"}"));
+        // With a trace attached, every drop cause gets an explicit row
+        // (zeros included) plus the retry counter.
+        assert!(text.contains("nexus_drops_total{cause=\"AdmissionRejected\"}"));
+        assert!(text.contains("nexus_drops_total{cause=\"Expired\"}"));
+        assert!(text.contains("nexus_retries_total"));
+    }
+
+    #[test]
+    fn drop_and_retry_counters_require_a_trace() {
+        let result = nexus::run_once(
+            SystemConfig::nexus(),
+            GPU_GTX1080TI,
+            2,
+            vec![TrafficClass::new(
+                apps::traffic(),
+                ArrivalKind::Uniform,
+                30.0,
+            )],
+            1,
+            Micros::from_secs(1),
+            Micros::from_secs(3),
+        );
+        let text = render(&result);
+        assert!(!text.contains("nexus_drops_total"));
+        assert!(!text.contains("nexus_retries_total"));
     }
 }

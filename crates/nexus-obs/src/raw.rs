@@ -113,7 +113,7 @@ fn tagged(tag: &str, body: Json) -> Json {
     Json::Object(vec![(tag.to_string(), body)])
 }
 
-fn drop_cause_name(cause: DropCause) -> &'static str {
+pub(crate) fn drop_cause_name(cause: DropCause) -> &'static str {
     match cause {
         DropCause::NoRoute => "NoRoute",
         DropCause::EarlySacrifice => "EarlySacrifice",
@@ -121,6 +121,7 @@ fn drop_cause_name(cause: DropCause) -> &'static str {
         DropCause::Orphaned => "Orphaned",
         DropCause::Stranded => "Stranded",
         DropCause::RunEnd => "RunEnd",
+        DropCause::AdmissionRejected => "AdmissionRejected",
     }
 }
 
@@ -132,6 +133,7 @@ fn drop_cause_from(name: &str) -> Result<DropCause, SchemaError> {
         "Orphaned" => DropCause::Orphaned,
         "Stranded" => DropCause::Stranded,
         "RunEnd" => DropCause::RunEnd,
+        "AdmissionRejected" => DropCause::AdmissionRejected,
         other => return Err(err(format!("unknown drop cause {other:?}"))),
     })
 }
@@ -145,6 +147,19 @@ fn fault_kind_to_json(kind: &FaultKind) -> Json {
         }
         FaultKind::Slowdown { factor, duration } => tagged(
             "Slowdown",
+            obj(vec![
+                ("factor", Json::Float(*factor)),
+                ("duration", micros(*duration)),
+            ]),
+        ),
+        FaultKind::ConnDrop { duration } => {
+            tagged("ConnDrop", obj(vec![("duration", micros(*duration))]))
+        }
+        FaultKind::HeartbeatDelay { duration } => {
+            tagged("HeartbeatDelay", obj(vec![("duration", micros(*duration))]))
+        }
+        FaultKind::SlowLoris { factor, duration } => tagged(
+            "SlowLoris",
             obj(vec![
                 ("factor", Json::Float(*factor)),
                 ("duration", micros(*duration)),
@@ -172,6 +187,25 @@ fn fault_kind_from_json(j: &Json) -> Result<FaultKind, SchemaError> {
                 .get("factor")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| err("Slowdown.factor"))?,
+            duration: field_micros(body, "duration")?,
+        });
+    }
+    if let Some(body) = j.get("ConnDrop") {
+        return Ok(FaultKind::ConnDrop {
+            duration: field_micros(body, "duration")?,
+        });
+    }
+    if let Some(body) = j.get("HeartbeatDelay") {
+        return Ok(FaultKind::HeartbeatDelay {
+            duration: field_micros(body, "duration")?,
+        });
+    }
+    if let Some(body) = j.get("SlowLoris") {
+        return Ok(FaultKind::SlowLoris {
+            factor: body
+                .get("factor")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err("SlowLoris.factor"))?,
             duration: field_micros(body, "duration")?,
         });
     }

@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use nexus_runtime::{DropCause, SimResult};
+use nexus_runtime::{DropCause, SimResult, TraceEvent};
 
 use crate::phases::{self, phase_stats};
 
@@ -66,6 +66,17 @@ pub fn render(result: &SimResult) -> String {
                 let parts: Vec<String> =
                     by_cause.iter().map(|(c, n)| format!("{c:?}={n}")).collect();
                 let _ = writeln!(out, "Drops: {} ({})", ph.drops.len(), parts.join(" "));
+            }
+            let retries = trace
+                .events()
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Retry { .. }))
+                .count();
+            if retries > 0 {
+                let _ = writeln!(
+                    out,
+                    "Retries: {retries} re-dispatched to a surviving backend"
+                );
             }
         }
         None => {

@@ -415,6 +415,10 @@ pub struct ClusterSim {
     planned_rates: Vec<f64>,
     /// When the deployment was last replaced.
     last_replan: Micros,
+    /// A rejoin wanted a re-pack but landed inside the rejoin cooldown;
+    /// the deferred replan runs on the first heartbeat tick at or after
+    /// this time (cleared by any deployment swap happening first).
+    pending_replan: Option<Micros>,
     gpu_seconds_allocated: f64,
     last_alloc_change: Micros,
     generation: u64,
@@ -575,6 +579,7 @@ impl ClusterSim {
             epoch_started: Micros::ZERO,
             planned_rates: est_rates.clone(),
             last_replan: Micros::ZERO,
+            pending_replan: None,
             est_rates,
             gpu_seconds_allocated: 0.0,
             last_alloc_change: Micros::ZERO,
@@ -1322,6 +1327,9 @@ impl ClusterSim {
     /// orphans, and wakes the new deployment. Shared by the epoch tick and
     /// the out-of-band emergency replan after a failure.
     fn swap_deployment(&mut self, now: Micros, next: ControlPlan) {
+        // Any swap re-packs on current capacity, so a rejoin-deferred
+        // replan that is still pending becomes moot.
+        self.pending_replan = None;
         // Retune the parallel drain window to the incoming plan's
         // duty-cycle bounds (a no-op when running serially; never affects
         // pop order either way).
@@ -1494,6 +1502,31 @@ impl ClusterSim {
                 self.events
                     .push(now + duration, Event::FaultEnd { slot: slot as u32 });
             }
+            FaultKind::ConnDrop { duration } => {
+                // Network path down: dispatch and heartbeats fail, the
+                // device is fine. Same controller-visible silhouette as a
+                // stall — detection cannot tell them apart, by design.
+                self.fleet.disconnect(slot);
+                self.metrics.record_fault(slot, now);
+                self.events
+                    .push(now + duration, Event::FaultEnd { slot: slot as u32 });
+            }
+            FaultKind::HeartbeatDelay { duration } => {
+                // Control plane goes blind while the data plane serves. A
+                // delay outlasting the detection window yields a false-
+                // positive death and a needless re-pack.
+                self.fleet.mute(slot);
+                self.metrics.record_fault(slot, now);
+                self.events
+                    .push(now + duration, Event::FaultEnd { slot: slot as u32 });
+            }
+            FaultKind::SlowLoris { factor, duration } => {
+                // Starving network path: latency stretches, heartbeats
+                // stay timely — degrades without tripping detection.
+                self.fleet.slow(slot, factor);
+                self.events
+                    .push(now + duration, Event::FaultEnd { slot: slot as u32 });
+            }
             FaultKind::Rejoin => {
                 let was_out = self.fleet.crashed(slot) || self.fleet.is_dead(slot);
                 self.fleet.revive(slot);
@@ -1501,8 +1534,10 @@ impl ClusterSim {
                     tr.push(TraceEvent::Rejoin { t: now, gpu: slot });
                 }
                 if was_out {
-                    // Regained capacity: re-pack so the fleet uses it.
-                    self.emergency_replan(now);
+                    // Regained capacity: re-pack so the fleet uses it
+                    // (rate-limited — a flapping slot must not thrash the
+                    // deployment).
+                    self.rejoin_replan(now);
                 }
                 return;
             }
@@ -1526,7 +1561,7 @@ impl ClusterSim {
             if let Some(tr) = &mut self.trace {
                 tr.push(TraceEvent::Rejoin { t: now, gpu: slot });
             }
-            self.emergency_replan(now);
+            self.rejoin_replan(now);
             return;
         }
         self.fleet.end_fault(slot);
@@ -1545,6 +1580,12 @@ impl ClusterSim {
     /// The controller pings every deployed backend; `heartbeat_misses`
     /// consecutive silent polls declare the slot dead and trigger recovery.
     fn on_heartbeat_check(&mut self, now: Micros) {
+        // A rejoin re-pack deferred by the cooldown runs here once due —
+        // the heartbeat tick is the controller's only periodic foothold,
+        // so no extra event variant (or shard-routing rule) is needed.
+        if self.pending_replan.is_some_and(|due| due <= now) {
+            self.emergency_replan(now);
+        }
         let threshold = self.cfg.system.heartbeat_misses;
         let mut newly_dead: Vec<usize> = Vec::new();
         for backend in 0..self.backends.len() {
@@ -1639,6 +1680,23 @@ impl ClusterSim {
             self.tracker.record(q, RequestOutcome::Dropped(now));
         }
         false
+    }
+
+    /// A rejoin wants its regained capacity packed in. Deaths re-pack
+    /// immediately (delay loses requests), but rejoins are rate-limited
+    /// by `SystemConfig::rejoin_cooldown`: within the cooldown of the
+    /// last swap the re-pack is deferred to the first heartbeat tick
+    /// after it elapses, so a flapping slot produces at most one
+    /// deployment swap per cooldown instead of one per flap.
+    fn rejoin_replan(&mut self, now: Micros) {
+        let cooldown = self.cfg.system.rejoin_cooldown;
+        if cooldown == Micros::ZERO || now.saturating_sub(self.last_replan) >= cooldown {
+            self.emergency_replan(now);
+        } else {
+            let due = self.last_replan + cooldown;
+            // Keep the earliest due time if several rejoins queue up.
+            self.pending_replan = Some(self.pending_replan.map_or(due, |d| d.min(due)));
+        }
     }
 
     /// The out-of-band emergency epoch: re-plans on the capacity the
@@ -2270,6 +2328,178 @@ mod tests {
         assert_eq!(a.metrics.bad_rate(), b.metrics.bad_rate());
         assert_eq!(a.metrics.failures(), b.metrics.failures());
         assert_eq!(a.metrics.timeline(), b.metrics.timeline());
+    }
+
+    /// [`faulted_sim`] with a custom system config and trace capture.
+    fn faulted_sim_traced(
+        system: SystemConfig,
+        faults: Vec<FaultSpec>,
+        seed: u64,
+        horizon_s: u64,
+    ) -> SimResult {
+        let classes = vec![TrafficClass::new(
+            apps::traffic(),
+            ArrivalKind::Uniform,
+            100.0,
+        )];
+        ClusterSim::new(
+            SimConfig {
+                system,
+                device: GPU_GTX1080TI,
+                max_gpus: 16,
+                seed,
+                horizon: Micros::from_secs(horizon_s),
+                warmup: Micros::from_secs(5),
+                trace_capacity: 1 << 20,
+                faults,
+                shards: 1,
+                threads: 1,
+            },
+            classes,
+        )
+        .run()
+    }
+
+    fn count_reallocations(r: &SimResult) -> usize {
+        r.trace
+            .as_ref()
+            .expect("traced run")
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Reallocation { .. }))
+            .count()
+    }
+
+    #[test]
+    fn network_faults_inject_heal_and_trace() {
+        // A connection drop that heals before detection, a slow-loris
+        // stretch that never trips detection, and a heartbeat delay long
+        // enough to cause a false-positive death on a healthy backend.
+        let r = faulted_sim_traced(
+            SystemConfig::nexus().with_static_allocation(),
+            vec![
+                FaultSpec {
+                    at: Micros::from_secs(8),
+                    slot: 0,
+                    kind: FaultKind::ConnDrop {
+                        duration: Micros::from_millis(150),
+                    },
+                },
+                FaultSpec {
+                    at: Micros::from_secs(9),
+                    slot: 1,
+                    kind: FaultKind::SlowLoris {
+                        factor: 3.0,
+                        duration: Micros::from_secs(2),
+                    },
+                },
+                FaultSpec {
+                    at: Micros::from_secs(12),
+                    slot: 2,
+                    kind: FaultKind::HeartbeatDelay {
+                        duration: Micros::from_secs(1),
+                    },
+                },
+            ],
+            17,
+            20,
+        );
+        let trace = r.trace.as_ref().expect("traced");
+        let kinds: Vec<FaultKind> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Fault { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, FaultKind::ConnDrop { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, FaultKind::SlowLoris { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, FaultKind::HeartbeatDelay { .. })));
+        // The 150 ms drop spans at most two 100 ms polls: never declared.
+        let f0 = r.metrics.failures().iter().find(|f| f.gpu == 0).unwrap();
+        assert_eq!(f0.detected_at, None, "conn drop healed before detection");
+        // The 1 s heartbeat delay crosses the 3-miss threshold: a false-
+        // positive death, then the slot rejoins when beats resume.
+        let f2 = r.metrics.failures().iter().find(|f| f.gpu == 2).unwrap();
+        assert!(
+            f2.detected_at.is_some(),
+            "heartbeat delay must trip detection"
+        );
+        assert!(
+            trace
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Rejoin { gpu: 2, .. })),
+            "muted slot rejoins when its beats resume"
+        );
+        // Degraded-but-serving cluster: the run still mostly meets SLOs.
+        assert!(r.query_bad_rate < 0.15, "bad={}", r.query_bad_rate);
+    }
+
+    #[test]
+    fn flapping_rejoins_are_rate_limited_by_cooldown() {
+        // Slot 0 flaps: crash/rejoin on a 2 s period. Without a cooldown
+        // every rejoin triggers an emergency re-pack; with one, rejoin
+        // re-packs collapse to at most one per cooldown window.
+        let flaps = || {
+            let mut f = Vec::new();
+            for (i, t) in [(0u64, 6u64), (1, 7), (2, 8), (3, 9), (4, 10), (5, 11)] {
+                f.push(FaultSpec {
+                    at: Micros::from_secs(t),
+                    slot: 0,
+                    kind: if i % 2 == 0 {
+                        FaultKind::Crash
+                    } else {
+                        FaultKind::Rejoin
+                    },
+                });
+            }
+            f
+        };
+        let free = faulted_sim_traced(
+            SystemConfig::nexus().with_static_allocation(),
+            flaps(),
+            23,
+            20,
+        );
+        let limited = faulted_sim_traced(
+            SystemConfig::nexus()
+                .with_static_allocation()
+                .with_rejoin_cooldown(Micros::from_secs(5)),
+            flaps(),
+            23,
+            20,
+        );
+        let free_swaps = count_reallocations(&free);
+        let limited_swaps = count_reallocations(&limited);
+        assert!(
+            limited_swaps < free_swaps,
+            "cooldown must reduce deployment swaps ({limited_swaps} vs {free_swaps})"
+        );
+        // Deaths still re-pack immediately — the first crash's emergency
+        // replan is never deferred.
+        let first_detect = limited
+            .metrics
+            .failures()
+            .iter()
+            .filter_map(|f| f.detected_at)
+            .min()
+            .expect("first crash detected");
+        assert!(first_detect <= Micros::from_secs(6) + Micros::from_millis(500));
+        // The deferred re-pack eventually runs: the rejoined slot serves
+        // again and goodput survives the flapping.
+        assert!(
+            limited.query_bad_rate < 0.2,
+            "bad={}",
+            limited.query_bad_rate
+        );
     }
 
     #[test]

@@ -56,6 +56,17 @@ pub struct SystemConfig {
     pub heartbeat_interval: Micros,
     /// Consecutive missed heartbeats before a backend is declared dead.
     pub heartbeat_misses: u32,
+    /// Minimum spacing between *rejoin-triggered* re-packs. A flapping
+    /// backend (crash/rejoin on a short period) would otherwise thrash
+    /// the deployment with an emergency replan per flap, paying model
+    /// loads and queue migrations each time for capacity that is about
+    /// to vanish again. Deaths always replan immediately — delaying
+    /// those loses requests; delaying a rejoin only defers spare
+    /// capacity (the deferred re-pack runs on the next heartbeat tick
+    /// once the cooldown elapses). `Micros::ZERO` disables rate
+    /// limiting (a rejoin re-packs immediately, the historical
+    /// behavior).
+    pub rejoin_cooldown: Micros,
 }
 
 impl SystemConfig {
@@ -76,6 +87,7 @@ impl SystemConfig {
             interference: InterferenceModel::default(),
             heartbeat_interval: Micros::from_millis(100),
             heartbeat_misses: 3,
+            rejoin_cooldown: Micros::ZERO,
         }
     }
 
@@ -152,6 +164,7 @@ impl SystemConfig {
             interference: InterferenceModel::default(),
             heartbeat_interval: Micros::from_millis(100),
             heartbeat_misses: 3,
+            rejoin_cooldown: Micros::ZERO,
         }
     }
 
@@ -174,6 +187,7 @@ impl SystemConfig {
             interference: InterferenceModel::default(),
             heartbeat_interval: Micros::from_millis(100),
             heartbeat_misses: 3,
+            rejoin_cooldown: Micros::ZERO,
         }
     }
 
@@ -227,6 +241,13 @@ impl SystemConfig {
         );
         self.heartbeat_interval = interval;
         self.heartbeat_misses = misses;
+        self
+    }
+
+    /// Sets the minimum spacing between rejoin-triggered re-packs (see
+    /// [`SystemConfig::rejoin_cooldown`]). Deaths are never rate-limited.
+    pub fn with_rejoin_cooldown(mut self, cooldown: Micros) -> Self {
+        self.rejoin_cooldown = cooldown;
         self
     }
 }

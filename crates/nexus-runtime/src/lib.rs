@@ -23,7 +23,7 @@ pub use config::{SchedulerPolicy, SystemConfig};
 pub use control::{
     build_sessions, plan, ControlPlan, PlanError, RouteTarget, RuntimeSession, TrafficClass,
 };
-pub use dispatch::{classify_drop, BatchPull, DropPolicy, SessionQueue};
+pub use dispatch::{classify_drop, classify_edge_drop, BatchPull, DropPolicy, SessionQueue};
 pub use hetero::{place_classes, run_heterogeneous, DevicePool, HeteroResult, Placement};
 pub use histogram::LatencyHistogram;
 pub use live::{run_live, LiveConfig, LiveOutcome, LiveSession, LiveSessionOutcome};

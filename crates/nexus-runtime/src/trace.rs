@@ -41,6 +41,12 @@ pub enum DropCause {
     Stranded,
     /// Still queued when the run ended.
     RunEnd,
+    /// The edge admission controller rejected it before it was enqueued:
+    /// the analytic overload gate (predicted p99 vs. arrival rate)
+    /// decided admitting it would push the session past its SLO. Unlike
+    /// [`DropCause::Expired`] the request itself still had budget — the
+    /// *queue* did not.
+    AdmissionRejected,
 }
 
 /// One traced event.

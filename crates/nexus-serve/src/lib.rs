@@ -1,0 +1,39 @@
+//! Networked serving front door (§5 of the Nexus paper, made concrete).
+//!
+//! The simulator crates model the cluster's *scheduling*; this crate
+//! supplies the piece a real deployment stands on: frontends that
+//! accept requests over TCP, route them to backends under
+//! epoch-versioned tables, detect backend failure, retry within the
+//! deadline budget, and shed doomed or unservable load at the door.
+//! Everything runs on `std::net` with blocking sockets and plain
+//! threads — no async runtime — so the crate builds offline and the
+//! control flow reads linearly.
+//!
+//! Module map:
+//! - [`proto`]: the framed wire protocol (length-prefixed, typed errors);
+//! - [`registry`]: the health-checked backend registry (healthy →
+//!   suspect → dead → rejoining);
+//! - [`routing`]: epoch-versioned routing tables with atomic swap and
+//!   drain-under-old-epoch semantics;
+//! - [`admission`]: §5.2 early drop plus the analytic overload gate;
+//! - [`backend`]: a killable backend executor for tests and soaks;
+//! - [`frontend`]: the frontend proper — accept, admit, route, dispatch,
+//!   retry, probe;
+//! - [`soak`]: the smoke-and-chaos harness the CI gate and the
+//!   `nexus-serve` binary both run.
+
+pub mod admission;
+pub mod backend;
+pub mod frontend;
+pub mod proto;
+pub mod registry;
+pub mod routing;
+pub mod soak;
+
+pub use admission::{AdmissionGate, Decision, SessionSlo};
+pub use backend::{spawn_backend, BackendHandle, BackendModel, InstantModel, ScaledSleepModel};
+pub use frontend::{spawn_frontend, Clock, FrontendConfig, FrontendHandle, StatsSnapshot};
+pub use proto::{Msg, ProtoError, Verdict};
+pub use registry::{BackendRegistry, Liveness, RegistryConfig, Transition};
+pub use routing::{EpochRouter, RouteTable};
+pub use soak::{run_soak, SoakConfig, SoakReport};

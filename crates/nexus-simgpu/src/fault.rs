@@ -39,6 +39,35 @@ pub enum FaultKind {
     /// A crashed (or declared-dead) slot comes back empty, ready to be
     /// re-packed by the next scheduling round.
     Rejoin,
+    /// Network fault: the connection to the slot drops for `duration`.
+    /// From the controller's seat this is indistinguishable from a stall —
+    /// no new work can be dispatched and heartbeats go unanswered — but it
+    /// is a *network* failure: the device underneath is fine and resumes
+    /// with state intact the instant the path heals.
+    ConnDrop {
+        /// How long the connection stays down.
+        duration: Micros,
+    },
+    /// Network fault: heartbeat replies are delayed/lost for `duration`
+    /// while the data path keeps working. The slot serves batches the
+    /// whole time; only the control plane goes blind. Delays longer than
+    /// the detection window produce a *false-positive* death: the
+    /// controller re-packs around a perfectly healthy backend.
+    HeartbeatDelay {
+        /// How long heartbeats go missing.
+        duration: Micros,
+    },
+    /// Network fault: a slow-loris backend — responses trickle back
+    /// stretched by `factor` for `duration` while heartbeats stay timely.
+    /// Like [`FaultKind::Slowdown`] it degrades latency without tripping
+    /// fail-stop detection, but models a starving network path rather
+    /// than a busy device.
+    SlowLoris {
+        /// Multiplier applied to execution durations (≥ 1.0).
+        factor: f64,
+        /// How long the trickle lasts.
+        duration: Micros,
+    },
 }
 
 /// One scheduled fault.
@@ -134,6 +163,12 @@ enum SlotHealth {
     Slowed(f64),
     /// Alive but unresponsive; resumes when the stall ends.
     Stalled,
+    /// Network path down: no new work reaches the slot and heartbeats go
+    /// unanswered, but the device is fine (resumes instantly on heal).
+    Disconnected,
+    /// Serving normally, but heartbeat replies are lost — the control
+    /// plane sees silence while the data plane keeps working.
+    Muted,
     /// Fail-stopped; model state lost until rejoin.
     Crashed,
 }
@@ -191,11 +226,12 @@ impl FleetHealth {
         self.slots.is_empty()
     }
 
-    /// Whether the slot executes work (healthy or merely slowed).
+    /// Whether the slot executes work (healthy, merely slowed, or muted —
+    /// a muted slot's data path works even though its heartbeats do not).
     pub fn serving(&self, slot: usize) -> bool {
         matches!(
             self.slots[slot].health,
-            SlotHealth::Healthy | SlotHealth::Slowed(_)
+            SlotHealth::Healthy | SlotHealth::Slowed(_) | SlotHealth::Muted
         )
     }
 
@@ -248,8 +284,25 @@ impl FleetHealth {
         }
     }
 
-    /// Ends a timed fault (stall/slowdown). Crashes persist until
-    /// [`FleetHealth::revive`].
+    /// Drops the network path to the slot (kept until
+    /// [`FleetHealth::end_fault`]). A crashed slot stays crashed.
+    pub fn disconnect(&mut self, slot: usize) {
+        if self.slots[slot].health != SlotHealth::Crashed {
+            self.slots[slot].health = SlotHealth::Disconnected;
+        }
+    }
+
+    /// Mutes the slot's heartbeats while its data path keeps serving
+    /// (kept until [`FleetHealth::end_fault`]). A crashed slot stays
+    /// crashed.
+    pub fn mute(&mut self, slot: usize) {
+        if self.slots[slot].health != SlotHealth::Crashed {
+            self.slots[slot].health = SlotHealth::Muted;
+        }
+    }
+
+    /// Ends a timed fault (stall/slowdown/disconnect/mute). Crashes
+    /// persist until [`FleetHealth::revive`].
     pub fn end_fault(&mut self, slot: usize) {
         if self.slots[slot].health != SlotHealth::Crashed {
             self.slots[slot].health = SlotHealth::Healthy;
@@ -402,7 +455,38 @@ mod tests {
         fleet.crash(0);
         fleet.stall(0);
         fleet.slow(0, 2.0);
+        fleet.disconnect(0);
+        fleet.mute(0);
         assert!(fleet.crashed(0));
         assert_eq!(fleet.slowdown(0), 1.0);
+        assert!(!fleet.serving(0));
+    }
+
+    #[test]
+    fn disconnect_stops_serving_and_misses_beats() {
+        let mut fleet = FleetHealth::new(1);
+        fleet.disconnect(0);
+        assert!(!fleet.serving(0));
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Missed(1));
+        // The path heals before detection: instant resumption.
+        fleet.end_fault(0);
+        assert!(fleet.serving(0));
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Alive);
+    }
+
+    #[test]
+    fn muted_slot_serves_but_trips_detection() {
+        let mut fleet = FleetHealth::new(1);
+        fleet.mute(0);
+        // Data path up the whole time...
+        assert!(fleet.serving(0));
+        assert_eq!(fleet.slowdown(0), 1.0);
+        // ...yet the controller sees silence and declares it dead: the
+        // canonical false-positive failure.
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Missed(1));
+        assert_eq!(fleet.poll(0, 3), PollOutcome::Missed(2));
+        assert_eq!(fleet.poll(0, 3), PollOutcome::NewlyDead);
+        assert!(fleet.serving(0));
+        assert!(fleet.is_dead(0));
     }
 }
