@@ -59,6 +59,13 @@ cargo run --release -q -p bench --bin simbench -- --quick \
 diff "$tmp_det1" "$tmp_det_thr" \
   || { echo "simbench diverged between --threads 1 and --threads 4"; exit 1; }
 
+echo "== goodput smoke: fig14 k=5 ladder point at 98% of committed baseline =="
+# Replays the committed fig14 nexus #models=5 configuration (5 Inception
+# copies, one GPU, 100 ms SLO, batch-plan ladders) at 98% of the committed
+# throughput and fails if the bad rate exceeds the figure's own 1%
+# criterion — a fast tripwire for ladder planning/dispatch regressions.
+cargo run --release -q -p bench --bin goodput_smoke -- --quick
+
 echo "== front-door smoke + chaos: nexus-serve over localhost TCP =="
 # Real sockets, real threads: 4 backend processes-worth of listeners, 200
 # concurrent client connections, backend 0 killed mid-run, a routing epoch

@@ -147,6 +147,7 @@ fn interference_delta(args: &Args) -> Vec<Vec<String>> {
                     horizon: args.horizon(),
                     warmup: args.warmup(),
                     strict_batches: false,
+                    ladder: false,
                     trace_capacity: 0,
                 },
                 &sessions,
@@ -169,6 +170,102 @@ fn interference_delta(args: &Args) -> Vec<Vec<String>> {
         })
         .collect()
 }
+
+/// 5. Batch-plan ladders (DESIGN.md §16) on/off across the occupancy
+///    range: 4 Inception copies on one GPU under a 100 ms SLO — the
+///    Fig. 14 k=4 point — offered 10–90% of the measured nexus capacity.
+///    At low occupancy ladder slots execute a small rung immediately
+///    instead of billing the full planned batch, which shows up as a
+///    lower tail; near saturation the rotated rung plan holds goodput
+///    where the static fit starts shedding.
+fn ladder_occupancy(args: &Args) -> Vec<Vec<String>> {
+    // Measured fig14(a) nexus point at k=4 (bench_results/fig14.json).
+    const CAPACITY: f64 = 620.0;
+    let profile = nexus_profile::catalog::INCEPTION3
+        .profile_1080ti()
+        .effective(true, 4);
+    let measure = |ladder: bool, total: f64| {
+        let sessions: Vec<NodeSession> = (0..4)
+            .map(|_| NodeSession {
+                profile: profile.clone(),
+                slo: Micros::from_millis(100),
+                rate: total / 4.0,
+                arrival: ArrivalKind::Uniform,
+            })
+            .collect();
+        let out = simulate_node(
+            &NodeConfig {
+                coordinated: true,
+                drop_policy: DropPolicy::Early,
+                interference: InterferenceModel::default(),
+                gpu_memory: 11 << 30,
+                seed: args.seed,
+                horizon: args.horizon(),
+                warmup: args.warmup(),
+                strict_batches: false,
+                ladder,
+                trace_capacity: 1 << 21,
+            },
+            &sessions,
+        );
+        let warmup = args.warmup();
+        let mut lat: Vec<u64> = out
+            .trace
+            .as_ref()
+            .expect("tracing enabled")
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                nexus_runtime::TraceEvent::Completion { t, latency, .. } if *t >= warmup => {
+                    Some(latency.as_micros())
+                }
+                _ => None,
+            })
+            .collect();
+        lat.sort_unstable();
+        let q = |f: f64| {
+            if lat.is_empty() {
+                0.0
+            } else {
+                lat[((lat.len() - 1) as f64 * f) as usize] as f64 / 1_000.0
+            }
+        };
+        (out.bad_rate, out.goodput, q(0.5), q(0.99))
+    };
+    [10u32, 30, 50, 70, 80, 90, 95, 100]
+        .iter()
+        .map(|&pct| {
+            let total = CAPACITY * f64::from(pct) / 100.0;
+            let (off_bad, off_good, off_p50, off_p99) = measure(false, total);
+            let (on_bad, on_good, on_p50, on_p99) = measure(true, total);
+            vec![
+                format!("{pct}%"),
+                format!("{off_p50:.1}"),
+                format!("{on_p50:.1}"),
+                format!("{off_p99:.1}"),
+                format!("{on_p99:.1}"),
+                format!("{:.2}%", off_bad * 100.0),
+                format!("{:.2}%", on_bad * 100.0),
+                format!("{off_good:.0}"),
+                format!("{on_good:.0}"),
+            ]
+        })
+        .collect()
+}
+
+const LADDER_TITLE: &str =
+    "Ablation 5: batch-plan ladders vs occupancy (4 Inception models, 1 GPU, 100 ms SLO)";
+const LADDER_HEADER: [&str; 9] = [
+    "occupancy",
+    "p50 off",
+    "p50 on",
+    "p99 off",
+    "p99 on",
+    "bad off",
+    "bad on",
+    "goodput off",
+    "goodput on",
+];
 
 fn main() {
     let args = Args::parse(10);
@@ -201,4 +298,18 @@ fn main() {
         &["δ", "coordinated", "uncoordinated", "gap"],
         &rows,
     );
+
+    let rows = ladder_occupancy(&args);
+    let table = bench::render_table(LADDER_TITLE, &LADDER_HEADER, &rows);
+    print!("{table}");
+    // The ladder section is its own committed artifact (latency in ms,
+    // quantiles over the measurement window): ladder.{json,txt} beside
+    // whatever --out names.
+    if let Some(out) = &args.out {
+        let dir = out.parent().unwrap_or_else(|| std::path::Path::new("."));
+        std::fs::write(dir.join("ladder.txt"), table.trim_start()).expect("writable out dir");
+        let json = serde_json::to_string_pretty(&(&LADDER_HEADER, &rows)).expect("serializable");
+        std::fs::write(dir.join("ladder.json"), json).expect("writable out dir");
+        println!("(wrote {})", dir.join("ladder.{json,txt}").display());
+    }
 }

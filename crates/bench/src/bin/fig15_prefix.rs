@@ -28,6 +28,7 @@ fn node_cfg(args: &Args) -> NodeConfig {
         horizon: args.horizon(),
         warmup: args.warmup(),
         strict_batches: true,
+        ladder: false,
         trace_capacity: 0,
     }
 }

@@ -29,6 +29,7 @@ fn bad_rate(alpha: f64, arrival: ArrivalKind, args: &Args) -> f64 {
             horizon: args.horizon(),
             warmup: args.warmup(),
             strict_batches: false,
+            ladder: false,
             trace_capacity: 0,
         },
         &[session],

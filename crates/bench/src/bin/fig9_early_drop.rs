@@ -22,6 +22,7 @@ fn max_goodput(alpha: f64, policy: DropPolicy, args: &Args) -> f64 {
                 horizon: args.horizon(),
                 warmup: args.warmup(),
                 strict_batches: false,
+                ladder: false,
                 trace_capacity: 0,
             },
             &[NodeSession {

@@ -141,9 +141,12 @@ impl Args {
     }
 }
 
-/// Prints an aligned table: a header row, then rows of cells.
-pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
+/// Renders an aligned table — a header row, then rows of cells — as the
+/// string [`print_table`] prints (so a section can also be written to a
+/// committed `.txt` artifact).
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -156,14 +159,20 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     for (h, w) in header.iter().zip(&widths) {
         let _ = write!(line, "{h:>w$}  ");
     }
-    println!("{line}");
+    let _ = writeln!(out, "{line}");
     for row in rows {
         let mut line = String::new();
         for (cell, w) in row.iter().zip(&widths) {
             let _ = write!(line, "{cell:>w$}  ");
         }
-        println!("{line}");
+        let _ = writeln!(out, "{line}");
     }
+    out
+}
+
+/// Prints an aligned table: a header row, then rows of cells.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(title, header, rows));
 }
 
 /// Writes a serializable result to `--out` (if given) as pretty JSON.

@@ -109,7 +109,11 @@ impl NexusCluster {
                     .unwrap_or_else(|| s.exec_profile.max_batch_for_slo(s.budget).max(1));
                 nexus_serve::SessionSlo {
                     slo: s.budget,
-                    ell1: s.exec_profile.latency(1),
+                    // Smallest-feasible-rung latency from the execution
+                    // ladder (equals ℓ(1) while ladders keep a bottom rung
+                    // of one): the true execution floor for doomed checks.
+                    ell_min: nexus_profile::BatchLadder::from_profile(&s.exec_profile)
+                        .min_latency(),
                     ell_b: s.exec_profile.latency(planned_batch.max(1)),
                     batch: planned_batch.max(1),
                 }
@@ -334,8 +338,8 @@ mod tests {
             // The admission gate's inputs must be coherent: a planned
             // session has positive latencies, a batch its SLO can hold,
             // and at least one backend hosting it.
-            assert!(s.ell1 > nexus_profile::Micros::ZERO);
-            assert!(s.ell_b >= s.ell1);
+            assert!(s.ell_min > nexus_profile::Micros::ZERO);
+            assert!(s.ell_b >= s.ell_min);
             assert!(s.batch >= 1);
             assert!(s.slo > nexus_profile::Micros::ZERO);
             assert!(!routes.is_empty(), "planned session with no backend");

@@ -107,9 +107,11 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                 session,
                 size,
                 duration,
+                rung,
+                leftover,
                 seq,
             } => out.push(ev(vec![
-                ("name", s(&format!("batch b={size} s={}", session.0))),
+                ("name", s(&format!("batch b={size}/{rung} s={}", session.0))),
                 ("cat", s("exec")),
                 ("ph", s("X")),
                 ("ts", Json::UInt(t.as_micros())),
@@ -121,6 +123,8 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                     ev(vec![
                         ("seq", Json::UInt(*seq)),
                         ("size", Json::UInt(u64::from(*size))),
+                        ("rung", Json::UInt(u64::from(*rung))),
+                        ("leftover", Json::Bool(*leftover)),
                         ("session", Json::UInt(u64::from(session.0))),
                     ]),
                 ),
@@ -325,6 +329,8 @@ mod tests {
                 session: SessionId(0),
                 size: 4,
                 duration: Micros::from_micros(60),
+                rung: 4,
+                leftover: false,
                 seq: 1,
             },
             TraceEvent::Completion {

@@ -20,6 +20,46 @@ const ALL_CAUSES: [DropCause; 7] = [
     DropCause::AdmissionRejected,
 ];
 
+/// Occupancy histogram bucket upper bounds (`le` labels).
+const OCC_BUCKETS: [&str; 4] = ["0.25", "0.5", "0.75", "1"];
+
+/// Per-rung occupancy accumulator for the histogram exposition.
+struct RungStats {
+    rung: u32,
+    buckets: [u64; 4],
+    count: u64,
+    sum: f64,
+    leftovers: u64,
+}
+
+impl RungStats {
+    fn new(rung: u32) -> Self {
+        RungStats {
+            rung,
+            buckets: [0; 4],
+            count: 0,
+            sum: 0.0,
+            leftovers: 0,
+        }
+    }
+
+    fn record(&mut self, occ: f64, leftover: bool) {
+        let idx = if occ <= 0.25 {
+            0
+        } else if occ <= 0.5 {
+            1
+        } else if occ <= 0.75 {
+            2
+        } else {
+            3
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += occ;
+        self.leftovers += u64::from(leftover);
+    }
+}
+
 fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} gauge");
@@ -136,6 +176,76 @@ pub fn render(result: &SimResult) -> String {
             "Requests re-dispatched to a different backend after a failure.",
         );
         let _ = writeln!(out, "nexus_retries_total {retries}");
+
+        // Per-rung occupancy histogram: how full each executed ladder
+        // shape ran (size/rung). Classic execution reports rung == size,
+        // so everything lands in the top bucket; under-filled tail
+        // minibatches of ladder execution show up in the lower buckets.
+        let mut rungs: Vec<RungStats> = Vec::new();
+        for ev in trace.events() {
+            if let TraceEvent::Batch {
+                size,
+                rung,
+                leftover,
+                ..
+            } = ev
+            {
+                let r = (*rung).max(1);
+                let idx = match rungs.binary_search_by_key(&r, |s| s.rung) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        rungs.insert(i, RungStats::new(r));
+                        i
+                    }
+                };
+                rungs[idx].record(f64::from(*size) / f64::from(r), *leftover);
+            }
+        }
+        if !rungs.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP nexus_rung_occupancy Executed minibatch occupancy (size/rung) per ladder rung."
+            );
+            let _ = writeln!(out, "# TYPE nexus_rung_occupancy histogram");
+            for s in &rungs {
+                let mut cum = 0u64;
+                for (le, n) in OCC_BUCKETS.iter().zip(s.buckets) {
+                    cum += n;
+                    let _ = writeln!(
+                        out,
+                        "nexus_rung_occupancy_bucket{{rung=\"{}\",le=\"{le}\"}} {cum}",
+                        s.rung
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "nexus_rung_occupancy_bucket{{rung=\"{}\",le=\"+Inf\"}} {}",
+                    s.rung, s.count
+                );
+                let _ = writeln!(
+                    out,
+                    "nexus_rung_occupancy_sum{{rung=\"{}\"}} {}",
+                    s.rung, s.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "nexus_rung_occupancy_count{{rung=\"{}\"}} {}",
+                    s.rung, s.count
+                );
+            }
+            counter_header(
+                &mut out,
+                "nexus_rung_leftover_total",
+                "Leftover minibatches (after the first in a slot's rung-fill sequence) per rung.",
+            );
+            for s in &rungs {
+                let _ = writeln!(
+                    out,
+                    "nexus_rung_leftover_total{{rung=\"{}\"}} {}",
+                    s.rung, s.leftovers
+                );
+            }
+        }
     }
 
     gauge_header(
@@ -240,6 +350,22 @@ mod tests {
         assert!(text.contains("nexus_drops_total{cause=\"AdmissionRejected\"}"));
         assert!(text.contains("nexus_drops_total{cause=\"Expired\"}"));
         assert!(text.contains("nexus_retries_total"));
+        // The run executes batches, so the per-rung occupancy histogram
+        // renders with the Prometheus histogram invariants: cumulative
+        // buckets topped by +Inf == count, occupancy never above 1.
+        assert!(text.contains("nexus_rung_occupancy_bucket{"));
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("nexus_rung_occupancy_count{rung=\"") {
+                let (rung, count) = rest.split_once("\"} ").expect("count sample");
+                let inf =
+                    format!("nexus_rung_occupancy_bucket{{rung=\"{rung}\",le=\"+Inf\"}} {count}");
+                let top =
+                    format!("nexus_rung_occupancy_bucket{{rung=\"{rung}\",le=\"1\"}} {count}");
+                assert!(text.contains(&inf), "missing {inf}");
+                assert!(text.contains(&top), "occupancy above 1 for rung {rung}");
+            }
+        }
+        assert!(text.contains("nexus_rung_leftover_total{"));
     }
 
     #[test]

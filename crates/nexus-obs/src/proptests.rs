@@ -39,6 +39,8 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
                     session,
                     size: small,
                     duration: Micros::from_micros(b),
+                    rung: small.next_power_of_two(),
+                    leftover: a % 2 == 1,
                     seq: id,
                 },
                 2 => TraceEvent::Completion {
@@ -167,6 +169,7 @@ proptest! {
                 horizon: Micros::from_secs(3),
                 warmup: Micros::from_secs(1),
                 strict_batches: false,
+                ladder: false,
                 trace_capacity: 1 << 20,
             },
             &[NodeSession {

@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "truncated": 0,
 //!   "meta": { ... },            // free-form capture provenance
 //!   "events": [ {"Arrival": {"t": 12, "request": 0, "session": 3}}, ... ]
@@ -25,7 +25,7 @@ use crate::json::Json;
 
 /// Version stamp written into every trace file; bump on any event-schema
 /// change so `nexus-trace` can reject files it would misread.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A trace-file decode failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -250,6 +250,8 @@ pub fn event_to_json(e: &TraceEvent) -> Json {
             session,
             size,
             duration,
+            rung,
+            leftover,
             seq,
         } => tagged(
             "Batch",
@@ -259,6 +261,8 @@ pub fn event_to_json(e: &TraceEvent) -> Json {
                 ("session", Json::UInt(u64::from(session.0))),
                 ("size", Json::UInt(u64::from(*size))),
                 ("duration", micros(*duration)),
+                ("rung", Json::UInt(u64::from(*rung))),
+                ("leftover", Json::Bool(*leftover)),
                 ("seq", Json::UInt(*seq)),
             ]),
         ),
@@ -359,6 +363,11 @@ pub fn event_from_json(j: &Json) -> Result<TraceEvent, SchemaError> {
             session: field_session(body)?,
             size: u32::try_from(field_u64(body, "size")?).map_err(|_| err("size"))?,
             duration: field_micros(body, "duration")?,
+            rung: u32::try_from(field_u64(body, "rung")?).map_err(|_| err("rung"))?,
+            leftover: body
+                .get("leftover")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| err("leftover"))?,
             seq: field_u64(body, "seq")?,
         },
         "Completion" => TraceEvent::Completion {
@@ -429,8 +438,10 @@ mod tests {
                 t: ms(2),
                 backend: 3,
                 session: SessionId(1),
-                size: 8,
+                size: 5,
                 duration: ms(12),
+                rung: 8,
+                leftover: true,
                 seq: 1,
             },
             TraceEvent::Completion {
@@ -498,9 +509,10 @@ mod tests {
     #[test]
     fn malformed_events_are_rejected() {
         for bad in [
-            r#"{"schema":1,"events":[{"Arrival":{"t":1}}]}"#,
-            r#"{"schema":1,"events":[{"Mystery":{"t":1}}]}"#,
-            r#"{"schema":1,"events":[{"Drop":{"t":1,"request":1,"session":0,"cause":"Huh"}}]}"#,
+            r#"{"schema":2,"events":[{"Arrival":{"t":1}}]}"#,
+            r#"{"schema":2,"events":[{"Mystery":{"t":1}}]}"#,
+            r#"{"schema":2,"events":[{"Drop":{"t":1,"request":1,"session":0,"cause":"Huh"}}]}"#,
+            r#"{"schema":2,"events":[{"Batch":{"t":1,"backend":0,"session":0,"size":4,"duration":9,"seq":0}}]}"#,
         ] {
             let doc = crate::json::parse(bad).unwrap();
             assert!(decode(&doc).is_err(), "{bad}");

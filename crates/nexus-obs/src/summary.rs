@@ -78,6 +78,43 @@ pub fn render(result: &SimResult) -> String {
                     "Retries: {retries} re-dispatched to a surviving backend"
                 );
             }
+
+            // Per-rung occupancy: how full each executed ladder shape ran
+            // (size/rung). Classic execution reports rung == size, i.e. a
+            // single always-full pseudo-rung per batch size; under ladder
+            // execution partial tail minibatches pull the mean down.
+            let mut rungs: Vec<(u32, u64, f64, u64)> = Vec::new();
+            for e in trace.events() {
+                if let TraceEvent::Batch {
+                    size,
+                    rung,
+                    leftover,
+                    ..
+                } = e
+                {
+                    let r = (*rung).max(1);
+                    let i = match rungs.binary_search_by_key(&r, |e| e.0) {
+                        Ok(i) => i,
+                        Err(i) => {
+                            rungs.insert(i, (r, 0, 0.0, 0));
+                            i
+                        }
+                    };
+                    rungs[i].1 += 1;
+                    rungs[i].2 += f64::from(*size) / f64::from(r);
+                    rungs[i].3 += u64::from(*leftover);
+                }
+            }
+            if !rungs.is_empty() {
+                let _ = writeln!(out, "Rung occupancy (executed minibatch shapes):");
+                for (rung, count, occ_sum, leftovers) in &rungs {
+                    let _ = writeln!(
+                        out,
+                        "  rung {rung:>3}: {count:>6} batches, mean occupancy {:>5.1}%, {leftovers} leftover",
+                        100.0 * occ_sum / *count as f64,
+                    );
+                }
+            }
         }
         None => {
             let _ = writeln!(out, "Phases: tracing disabled (trace_capacity = 0)");
@@ -137,6 +174,7 @@ mod tests {
         assert!(text.contains("SLO attainment"), "{text}");
         assert!(text.contains("Phases ("), "{text}");
         assert!(text.contains("GPU occupancy"), "{text}");
+        assert!(text.contains("Rung occupancy"), "{text}");
         assert!(!text.contains("WARNING"), "{text}");
     }
 

@@ -9,6 +9,7 @@
 pub mod catalog;
 pub mod cost;
 pub mod gpu;
+pub mod ladder;
 pub mod profile;
 pub mod profiler;
 pub mod time;
@@ -18,6 +19,7 @@ mod proptests;
 
 pub use catalog::{by_name, ModelSpec, ALL_MODELS, TABLE1_MODELS};
 pub use gpu::{DeviceType, ALL_DEVICES, CPU_C5, GPU_GTX1080TI, GPU_K80, GPU_V100, TPU_V2};
+pub use ladder::BatchLadder;
 pub use profile::{repair_table, BatchingProfile, LinearFit, ProfileError, SharedProfile};
 pub use profiler::{profile_model, BatchRunner, ProfilerConfig};
 pub use time::Micros;

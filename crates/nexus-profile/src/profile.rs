@@ -289,6 +289,13 @@ impl BatchingProfile {
         self.throughput(self.max_batch())
     }
 
+    /// Derives this profile's batch-size ladder (powers of two topped by
+    /// `max_batch`) with cached per-rung latencies. See
+    /// [`crate::ladder::BatchLadder`].
+    pub fn ladder(&self) -> crate::ladder::BatchLadder {
+        crate::ladder::BatchLadder::from_profile(self)
+    }
+
     /// Largest batch size whose single-batch latency fits within `limit`,
     /// or 0 if even a batch of one does not fit.
     pub fn max_batch_within(&self, limit: Micros) -> u32 {

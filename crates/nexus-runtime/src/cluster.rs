@@ -18,7 +18,7 @@
 //! re-dispatches stranded requests whose deadline budget still covers one
 //! single-item execution (deadline-aware retry).
 
-use nexus_profile::{DeviceType, Micros, SharedProfile};
+use nexus_profile::{BatchLadder, DeviceType, Micros, SharedProfile};
 use nexus_scheduler::{assign_plans, GpuPlan, SessionId};
 use nexus_simgpu::{
     ExecStats, FaultKind, FaultSpec, FleetHealth, ParallelShardedQueue, PollOutcome, ResidentKey,
@@ -30,7 +30,7 @@ use rand::Rng;
 
 use crate::config::SystemConfig;
 use crate::control::{plan, ControlPlan, PlanError, TrafficClass};
-use crate::dispatch::{classify_drop, BatchPull, DropPolicy, SessionQueue};
+use crate::dispatch::{classify_drop, BatchPull, DropPolicy, MiniBatch, SessionQueue};
 use crate::metrics::ClusterMetrics;
 use crate::request::{QueryId, QueryTracker, Request, RequestId, RequestOutcome};
 use crate::trace::{DropCause, Trace, TraceEvent};
@@ -175,6 +175,10 @@ struct BatchJob {
     started: Micros,
     /// Trace batch id ([`Trace::alloc_batch_seq`]); 0 when tracing is off.
     seq: u64,
+    /// Whether this completion releases the backend (coordinated) or slot.
+    /// Ladder execution parks one job per minibatch of a slot's rung
+    /// sequence; only the final one frees the GPU for the next round.
+    last: bool,
 }
 
 /// A session slot within a backend.
@@ -200,6 +204,10 @@ struct Slot {
     /// Unstretched effective profile; actual execution duration scales
     /// this by the interference of the *actually concurrent* peers.
     base: SharedProfile,
+    /// Precomputed batch ladder of the effective profile: the rung shapes
+    /// ladder execution may run, with cached per-rung latencies
+    /// (DESIGN.md §16).
+    ladder: BatchLadder,
     queue: SessionQueue,
     busy: bool,
     /// Per-slot phase-jitter state: each round serves `target − (state %
@@ -450,6 +458,9 @@ pub struct ClusterSim {
     /// Reusable pull buffers: one batch/dropped pair refilled in place on
     /// every dispatch, so the hot path allocates nothing.
     scratch: BatchPull,
+    /// Reusable minibatch segmentation buffer for ladder pulls (cleared
+    /// and refilled per dispatch, like `scratch`).
+    mb_scratch: Vec<MiniBatch>,
     /// Reusable per-batch buffer of `(child stage, gamma, deadline
     /// offset)` edges, hoisted out of the completion loop (every request
     /// in a batch shares one session, hence one child-edge list).
@@ -593,6 +604,7 @@ impl ClusterSim {
             lost_batches: Vec::new(),
             limbo: vec![Vec::new(); max_gpus],
             scratch: BatchPull::default(),
+            mb_scratch: Vec::new(),
             child_scratch: Vec::new(),
             jobs: Vec::new(),
             free_jobs: Vec::new(),
@@ -829,7 +841,7 @@ impl ClusterSim {
         let min_start = self
             .trace
             .is_some()
-            .then(|| now + self.backends[backend].slots[si].profile.latency_clamped(1));
+            .then(|| now + self.backends[backend].slots[si].ladder.min_latency());
         let mut dropped = std::mem::take(&mut self.scratch.dropped);
         let tb = self.metrics.terminal_batch(session, now);
         for r in dropped.drain(..) {
@@ -881,6 +893,7 @@ impl ClusterSim {
             return;
         }
         let policy = self.cfg.system.drop_policy;
+        let ladder_on = self.cfg.system.ladder;
         let cursor = self.backends[backend].cursor;
         let mut earliest_wake: Option<Micros> = None;
         // `cursor < n` always (it is stored pre-wrapped below), so one
@@ -906,7 +919,9 @@ impl ClusterSim {
                         &mut b.slots[si],
                         now,
                         policy,
+                        ladder_on,
                         &mut self.scratch,
+                        &mut self.mb_scratch,
                         &mut self.batch_pool,
                     ) {
                         SlotDecision::Skip => {}
@@ -936,6 +951,91 @@ impl ClusterSim {
                 } else {
                     1.0
                 };
+                {
+                    let b = &mut self.backends[backend];
+                    b.busy = true;
+                    b.cursor = if si + 1 == n { 0 } else { si + 1 };
+                }
+                let gen = self.generation;
+                if ladder_on {
+                    // Ladder execution (DESIGN.md §16): the slot's rung
+                    // sequence runs back-to-back on the device; each
+                    // minibatch completes at its cumulative finish, and
+                    // only the last frees the backend for the next
+                    // duty-cycle round.
+                    {
+                        let b = &mut self.backends[backend];
+                        let slots = &b.slots;
+                        let parts = self.mb_scratch.iter().map(|mb| {
+                            let d = slots[si].ladder.rung_latency(mb.rung);
+                            let d = if slowdown != 1.0 {
+                                d.scale(slowdown)
+                            } else {
+                                d
+                            };
+                            (d, mb.len)
+                        });
+                        b.gpu.execute_sequence(now, parts);
+                    }
+                    let nmb = self.mb_scratch.len();
+                    let mut start = now;
+                    let mut rest = batch;
+                    for j in 0..nmb {
+                        let mb = self.mb_scratch[j];
+                        let d = self.backends[backend].slots[si]
+                            .ladder
+                            .rung_latency(mb.rung);
+                        let duration = if slowdown != 1.0 {
+                            d.scale(slowdown)
+                        } else {
+                            d
+                        };
+                        let part = if j + 1 == nmb {
+                            std::mem::take(&mut rest)
+                        } else {
+                            let mut p = self.batch_pool.pop().unwrap_or_default();
+                            p.extend(rest.drain(..mb.len as usize));
+                            p
+                        };
+                        let seq = match &mut self.trace {
+                            Some(tr) => {
+                                let seq = tr.alloc_batch_seq();
+                                tr.push(TraceEvent::Batch {
+                                    t: start,
+                                    backend,
+                                    session,
+                                    size: mb.len,
+                                    duration,
+                                    rung: mb.rung,
+                                    leftover: j > 0,
+                                    seq,
+                                });
+                                seq
+                            }
+                            None => 0,
+                        };
+                        let (batch_id, pslot) = self.launch_bookkeeping(backend, &part);
+                        let job = self.alloc_job(BatchJob {
+                            requests: part,
+                            slot: si,
+                            gen,
+                            batch: batch_id,
+                            pslot,
+                            started: start,
+                            seq,
+                            last: j + 1 == nmb,
+                        });
+                        self.events.push(
+                            start + duration,
+                            Event::BatchDone {
+                                backend: backend as u32,
+                                job,
+                            },
+                        );
+                        start += duration;
+                    }
+                    return;
+                }
                 let duration = if slowdown != 1.0 {
                     duration.scale(slowdown)
                 } else {
@@ -950,6 +1050,8 @@ impl ClusterSim {
                             session,
                             size: batch.len() as u32,
                             duration,
+                            rung: batch.len() as u32,
+                            leftover: false,
                             seq,
                         });
                         seq
@@ -957,11 +1059,9 @@ impl ClusterSim {
                     None => 0,
                 };
                 let (batch_id, pslot) = self.launch_bookkeeping(backend, &batch);
-                let b = &mut self.backends[backend];
-                b.busy = true;
-                b.cursor = if si + 1 == n { 0 } else { si + 1 };
-                b.gpu.execute(now, duration, batch.len() as u32);
-                let gen = self.generation;
+                self.backends[backend]
+                    .gpu
+                    .execute(now, duration, batch.len() as u32);
                 let job = self.alloc_job(BatchJob {
                     requests: batch,
                     slot: si,
@@ -970,6 +1070,7 @@ impl ClusterSim {
                     pslot,
                     started: now,
                     seq,
+                    last: true,
                 });
                 self.events.push(
                     now + duration,
@@ -1027,7 +1128,9 @@ impl ClusterSim {
             &mut self.backends[backend].slots[slot],
             now,
             policy,
+            false,
             &mut self.scratch,
+            &mut self.mb_scratch,
             &mut self.batch_pool,
         ) {
             SlotDecision::Skip => {}
@@ -1083,6 +1186,8 @@ impl ClusterSim {
                                 session,
                                 size: trace_size,
                                 duration,
+                                rung: trace_size,
+                                leftover: false,
                                 seq,
                             });
                             seq
@@ -1099,6 +1204,7 @@ impl ClusterSim {
                         pslot,
                         started: now,
                         seq,
+                        last: true,
                     });
                     self.events.push(
                         now + duration,
@@ -1156,6 +1262,7 @@ impl ClusterSim {
             pslot,
             started,
             seq,
+            last,
         } = std::mem::take(&mut self.jobs[job as usize]);
         self.free_jobs.push(job);
         if self.fault_mode {
@@ -1239,6 +1346,11 @@ impl ClusterSim {
             }
         }
         self.recycle(requests);
+        // A ladder minibatch before the last: the slot's rung sequence is
+        // still executing, so the backend stays held.
+        if !last {
+            return;
+        }
         // A stale generation means the deployment was replaced while this
         // batch executed; the work still counted, but the backend state it
         // referred to is gone.
@@ -1644,12 +1756,15 @@ impl ClusterSim {
     }
 
     /// Deadline-aware retry of one stranded request: re-dispatch only if
-    /// the remaining budget covers ℓ(1); otherwise it is already doomed
-    /// and counts as dropped without wasting survivor capacity.
+    /// the remaining budget covers the smallest feasible ladder rung
+    /// (ℓ(rung₁), which equals ℓ(1) for the current power-of-two ladders);
+    /// otherwise it is already doomed and counts as dropped without
+    /// wasting survivor capacity. Cold path — detection only — so deriving
+    /// the ladder here is fine.
     fn retry(&mut self, now: Micros, req: Request) -> bool {
         let session = req.session;
         let exec = &self.control.sessions[session.0 as usize].exec_profile;
-        if req.deadline >= now + exec.latency_clamped(1) {
+        if req.deadline >= now + BatchLadder::from_profile(exec).min_latency() {
             let fe = self.take_frontend();
             if let Some(backend) = self.routes[fe][session.0 as usize].pick(&mut self.route_rng) {
                 if let Some(tr) = &mut self.trace {
@@ -1849,7 +1964,9 @@ fn inspect_slot(
     slot: &mut Slot,
     now: Micros,
     policy: DropPolicy,
+    ladder_on: bool,
     scratch: &mut BatchPull,
+    minibatches: &mut Vec<MiniBatch>,
     batch_pool: &mut Vec<Vec<Request>>,
 ) -> SlotDecision {
     if slot.queue.is_empty() || slot.busy {
@@ -1876,16 +1993,41 @@ fn inspect_slot(
     // child stages survive because their deadlines inherit ancestor
     // slack, not because batches balloon.
     slot.jitter_state = nexus_workload::splitmix64(slot.jitter_state);
-    slot.queue.pull_into(
-        now,
-        slot.target_batch,
-        &slot.profile,
-        policy,
-        Micros::MAX,
-        scratch,
-    );
+    if ladder_on {
+        // Allowance = the planned slot length: the rung sequence may
+        // re-segment the slot (small rungs for tight fronts, a padded
+        // cover for short queues) but never stretch it, so the duty-cycle
+        // promises to co-located sessions hold. The planned batch is a
+        // rung by construction, so the allowance is exactly `ℓ(plan)`.
+        let allowance = slot.ladder.rung_latency(slot.target_batch);
+        slot.queue.pull_ladder_into(
+            now,
+            slot.target_batch,
+            allowance,
+            &slot.profile,
+            &slot.ladder,
+            policy,
+            Micros::MAX,
+            scratch,
+            minibatches,
+        );
+    } else {
+        slot.queue.pull_into(
+            now,
+            slot.target_batch,
+            &slot.profile,
+            policy,
+            Micros::MAX,
+            scratch,
+        );
+    }
     let duration = if scratch.batch.is_empty() {
         Micros::ZERO
+    } else if ladder_on {
+        minibatches
+            .iter()
+            .map(|mb| slot.ladder.rung_latency(mb.rung))
+            .sum()
     } else {
         slot.profile.latency_clamped(scratch.batch.len() as u32)
     };
@@ -1992,6 +2134,11 @@ fn build_backends(
                         reserve,
                         timing,
                         profile: exec.clone(),
+                        // The squishy-planned batch is materialised as a
+                        // rung so the slot's operating shape is compiled:
+                        // full pulls run exactly the planned size instead
+                        // of padding up to the next power of two.
+                        ladder: BatchLadder::from_profile(&exec).with_rung(e.batch.max(1), &exec),
                         base: exec,
                         queue: SessionQueue::new(),
                         busy: false,

@@ -35,6 +35,12 @@ pub struct SystemConfig {
     pub prefix_batching: bool,
     /// Optimize query latency splits (QA); `false` = even split baseline.
     pub query_analysis: bool,
+    /// Batch-plan ladders (DESIGN.md §16): plan batch sizes on each
+    /// profile's rung table and execute every coordinated slot as a greedy
+    /// sequence of rung-shaped minibatches, recursing on the leftover
+    /// instead of waiting a full duty cycle. Ladder choice is a pure
+    /// function of queue state and the plan, so determinism is unaffected.
+    pub ladder: bool,
     /// CPU worker threads per GPU.
     pub cpu_workers: u32,
     /// Frontend replicas (§5: "a distributed frontend that scales with
@@ -80,6 +86,7 @@ impl SystemConfig {
             coordinated: true,
             prefix_batching: true,
             query_analysis: true,
+            ladder: true,
             cpu_workers: DEFAULT_CPU_WORKERS,
             epoch: Micros::from_secs(30),
             frontends: 1,
@@ -157,6 +164,7 @@ impl SystemConfig {
             coordinated: false,
             prefix_batching: false,
             query_analysis: false,
+            ladder: false,
             cpu_workers: DEFAULT_CPU_WORKERS,
             epoch: Micros::from_secs(30),
             frontends: 1,
@@ -180,6 +188,7 @@ impl SystemConfig {
             coordinated: true,
             prefix_batching: false,
             query_analysis: false,
+            ladder: false,
             cpu_workers: DEFAULT_CPU_WORKERS,
             epoch: Micros::from_secs(30),
             frontends: 1,
@@ -200,6 +209,13 @@ impl SystemConfig {
             drop_policy: DropPolicy::Deprioritize,
             ..SystemConfig::nexus()
         }
+    }
+
+    /// Enables or disables batch-plan ladder execution (the `ladder`
+    /// ablation toggles this off to isolate the minibatch-recursion win).
+    pub fn with_ladder(mut self, ladder: bool) -> Self {
+        self.ladder = ladder;
+        self
     }
 
     /// Sets the number of frontend replicas.

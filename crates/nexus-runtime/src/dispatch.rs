@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use nexus_profile::{BatchingProfile, Micros};
+use nexus_profile::{BatchLadder, BatchingProfile, Micros};
 
 use crate::request::Request;
 use crate::trace::DropCause;
@@ -43,6 +43,18 @@ pub struct BatchPull {
     pub batch: Vec<Request>,
     /// Requests dropped by admission control.
     pub dropped: Vec<Request>,
+}
+
+/// One rung-shaped slot within a ladder pull: `len` requests executed in a
+/// slot compiled for `rung` inputs. `len ≤ rung` always; `len < rung` is a
+/// padded, partially-filled rung (the per-rung occupancy histograms in
+/// `nexus-obs` count these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiniBatch {
+    /// The rung (slot capacity) this minibatch executes in.
+    pub rung: u32,
+    /// Requests actually loaded into the slot.
+    pub len: u32,
 }
 
 /// Classifies a request the dispatcher just dropped, for the trace.
@@ -162,6 +174,173 @@ impl SessionQueue {
             DropPolicy::Lazy => self.pull_lazy(now, exec, out),
             DropPolicy::Early => self.pull_early(now, target_batch, exec, reserve, out),
             DropPolicy::Deprioritize => self.pull_deprioritize(now, target_batch, exec, out),
+        }
+    }
+
+    /// Ladder pull (ROADMAP item 5, DESIGN.md §16): assembles a *sequence*
+    /// of rung-shaped minibatches instead of one variable-sized batch.
+    ///
+    /// Greedy rung fill: each minibatch takes up to `target_batch` requests
+    /// into the smallest covering ladder rung, shrunk to the largest rung
+    /// whose latency still fits the front request's remaining SLO budget
+    /// (`deadline − now − acc`, where `acc` is the latency already
+    /// committed to earlier minibatches of this slot), then recurses on the
+    /// leftover instead of waiting a full duty cycle. The loop stops when
+    /// the front request's budget no longer admits any rung — leftover
+    /// requests stay queued for the next wake. A front request that is
+    /// doomed outright (`deadline < now + ℓ(rung₁)`) is dropped, mirroring
+    /// the early-drop prefix sacrifice.
+    ///
+    /// `allowance` caps the slot's *cumulative* execution time (`Σ ℓ(rungᵢ)
+    /// ≤ allowance`). Coordinated duty cycles pass the planned slot length
+    /// `ℓ(b_planned)` so ladder slots never run past what the shared-batch
+    /// fit promised co-located sessions; uncoordinated dispatch passes
+    /// `Micros::MAX`, leaving the recursion bounded by request budgets
+    /// alone. Padding (a minibatch with `len < rung`) is only used when the
+    /// covering rung's latency fits the remaining allowance *and* budget;
+    /// otherwise the largest affordable rung runs brim-full and the rest
+    /// stays queued.
+    ///
+    /// `out.batch` is the flat request sequence (minibatch order);
+    /// `minibatches` records the rung segmentation for per-rung execution
+    /// and tracing. Both are caller-owned scratch, cleared and refilled in
+    /// place, so the hot loop stays allocation-free. The result is a pure
+    /// function of queue state, `now`, and the plan — no RNG, no global
+    /// state — which keeps sharded/threaded runs byte-identical.
+    ///
+    /// Non-`Early` policies keep their classic pull (the ladder is an
+    /// early-drop refinement); their single batch executes as one covering
+    /// rung.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pull_ladder_into(
+        &mut self,
+        now: Micros,
+        target_batch: u32,
+        allowance: Micros,
+        exec: &BatchingProfile,
+        ladder: &BatchLadder,
+        policy: DropPolicy,
+        reserve: Micros,
+        out: &mut BatchPull,
+        minibatches: &mut Vec<MiniBatch>,
+    ) {
+        debug_assert!(target_batch >= 1);
+        minibatches.clear();
+        if policy != DropPolicy::Early {
+            self.pull_into(now, target_batch, exec, policy, reserve, out);
+            // Segment the classic batch into full top rungs plus one
+            // covering rung for the tail (a single covering rung when the
+            // batch fits the ladder, which it does whenever the target
+            // respects the profile's max batch).
+            let mut remaining = out.batch.len() as u32;
+            while remaining > 0 {
+                let (rung, _) = ladder.smallest_rung_geq(remaining);
+                let len = remaining.min(rung);
+                minibatches.push(MiniBatch { rung, len });
+                remaining -= len;
+            }
+            return;
+        }
+        out.batch.clear();
+        out.dropped.clear();
+        let min_start = now + ladder.min_latency();
+        if ladder.min_latency() == Micros::ZERO {
+            // Degenerate profile; the classic pull handles it without the
+            // risk of an unbounded minibatch loop.
+            self.pull_into(now, target_batch, exec, DropPolicy::Early, reserve, out);
+            if !out.batch.is_empty() {
+                let len = out.batch.len() as u32;
+                let (rung, _) = ladder.smallest_rung_geq(len);
+                minibatches.push(MiniBatch {
+                    rung,
+                    len: len.min(rung),
+                });
+            }
+            return;
+        }
+        // Picks the rung for `want` requests within `cap` time: the
+        // covering rung when affordable (padded if `want` is not a rung),
+        // else the largest affordable rung run brim-full (`fit < cover`
+        // implies `fit < want`, so the queue has enough to fill it).
+        let choose = |want: u32, cap: Micros| -> Option<(u32, Micros, u32)> {
+            let (cover, cover_lat) = ladder.smallest_rung_geq(want);
+            if cover_lat <= cap {
+                return Some((cover, cover_lat, want.min(cover)));
+            }
+            let (fit, fit_lat) = ladder.largest_rung_within(cap)?;
+            Some((fit, fit_lat, fit))
+        };
+        let mut acc = Micros::ZERO;
+        loop {
+            let a_free = allowance.saturating_sub(acc);
+            if a_free < ladder.min_latency() {
+                break; // the duty-cycle slot is spent
+            }
+            // A front request that can never complete — not even in the
+            // bottom rung starting right now — is sacrificed so the ones
+            // behind it batch efficiently (§4.3).
+            while let Some(front) = self.pending.front() {
+                if front.deadline < min_start {
+                    out.dropped
+                        .push(self.pending.pop_front().expect("front exists"));
+                } else {
+                    break;
+                }
+            }
+            if self.pending.is_empty() {
+                break;
+            }
+            let len = self.pending.len();
+            // The efficient window (the early-drop scan, rung-shaped): the
+            // first request whose budget absorbs the covering rung of
+            // everything we still want behind it.
+            let mut host = None;
+            for i in 0..len {
+                let want = target_batch.min((len - i) as u32);
+                let (_, cover_lat) = ladder.smallest_rung_geq(want);
+                if cover_lat <= a_free && self.pending[i].deadline >= now + acc + cover_lat {
+                    host = Some((i, want, cover_lat));
+                    break;
+                }
+            }
+            let front = self.pending.front().expect("non-empty");
+            let budget = front.deadline.saturating_sub(now).saturating_sub(acc);
+            let (rung, lat, take) = match host {
+                // The window starts at the front: run it.
+                Some((0, want, _)) => choose(want, a_free).expect("cover fits a_free"),
+                // A window exists behind a tight prefix. Salvage the
+                // prefix in a smaller rung only if it rides for free —
+                // within its own budget, the residual allowance after the
+                // window, and the slack the window's host has to spare.
+                // Otherwise the prefix is sacrificed (classic early drop)
+                // and the window runs at full size.
+                Some((i, _, cover_lat)) => {
+                    let host_slack = self.pending[i]
+                        .deadline
+                        .saturating_sub(now + acc + cover_lat);
+                    let cap = budget.min(a_free.saturating_sub(cover_lat)).min(host_slack);
+                    match choose(i as u32, cap) {
+                        Some(pick) => pick,
+                        None => {
+                            out.dropped.extend(self.pending.drain(..i));
+                            continue; // re-scan: the host is now the front
+                        }
+                    }
+                }
+                // No efficient window fits this slot: serve the front in
+                // the largest rung its budget and the allowance admit, or
+                // leave it for the next wake.
+                None => {
+                    let want = target_batch.min(len as u32);
+                    match choose(want, budget.min(a_free)) {
+                        Some(pick) => pick,
+                        None => break,
+                    }
+                }
+            };
+            out.batch.extend(self.pending.drain(..take as usize));
+            minibatches.push(MiniBatch { rung, len: take });
+            acc += lat;
         }
     }
 
@@ -579,6 +758,211 @@ mod tests {
         assert!(pull.batch.is_empty());
         assert_eq!(pull.dropped.len(), 2);
         assert!(q.is_empty());
+    }
+
+    fn ladder() -> BatchLadder {
+        BatchLadder::from_profile(&profile())
+    }
+
+    fn pull_ladder(
+        q: &mut SessionQueue,
+        now: Micros,
+        target: u32,
+        policy: DropPolicy,
+    ) -> (BatchPull, Vec<MiniBatch>) {
+        pull_ladder_bounded(q, now, target, Micros::MAX, policy)
+    }
+
+    fn pull_ladder_bounded(
+        q: &mut SessionQueue,
+        now: Micros,
+        target: u32,
+        allowance: Micros,
+        policy: DropPolicy,
+    ) -> (BatchPull, Vec<MiniBatch>) {
+        let mut out = BatchPull::default();
+        let mut mbs = Vec::new();
+        q.pull_ladder_into(
+            now,
+            target,
+            allowance,
+            &profile(),
+            &ladder(),
+            policy,
+            Micros::ZERO,
+            &mut out,
+            &mut mbs,
+        );
+        (out, mbs)
+    }
+
+    #[test]
+    fn ladder_single_window_matches_classic_pull() {
+        // Queue smaller than the target with generous budgets: the ladder
+        // pull serves everything in one covering rung, same membership as
+        // the classic early pull.
+        let build = || {
+            let mut q = SessionQueue::new();
+            for i in 0..4 {
+                q.push(req(i, 0, 100));
+            }
+            q
+        };
+        let mut classic_q = build();
+        let classic = classic_q.pull(ms(0), 8, &profile(), DropPolicy::Early, ms(0));
+        let mut ladder_q = build();
+        let (out, mbs) = pull_ladder(&mut ladder_q, ms(0), 8, DropPolicy::Early);
+        assert_eq!(out.batch, classic.batch);
+        assert!(out.dropped.is_empty());
+        assert_eq!(mbs, vec![MiniBatch { rung: 4, len: 4 }]);
+    }
+
+    #[test]
+    fn ladder_drops_doomed_prefix() {
+        let mut q = SessionQueue::new();
+        q.push(req(0, 0, 5)); // deadline < ℓ(1) = 12: doomed
+        q.push(req(1, 0, 11)); // doomed
+        for i in 2..6 {
+            q.push(req(i, 0, 100));
+        }
+        let (out, mbs) = pull_ladder(&mut q, ms(0), 8, DropPolicy::Early);
+        assert_eq!(out.dropped.len(), 2);
+        assert_eq!(out.batch.len(), 4);
+        assert_eq!(out.batch[0].id, RequestId(2));
+        assert_eq!(mbs, vec![MiniBatch { rung: 4, len: 4 }]);
+    }
+
+    #[test]
+    fn ladder_sacrifices_prefix_when_it_cannot_ride() {
+        // Every deadline admits only rung 2 (ℓ(2) = 14 ≤ 15 < ℓ(4) = 18).
+        // The window host (index 6, the first whose rung-2 window fits) has
+        // no slack to spare, so the six ahead of it are sacrificed exactly
+        // as classic early drop would, and the window runs.
+        let mut q = SessionQueue::new();
+        for i in 0..8 {
+            q.push(req(i, 0, 15));
+        }
+        let (out, mbs) = pull_ladder(&mut q, ms(0), 8, DropPolicy::Early);
+        assert_eq!(mbs, vec![MiniBatch { rung: 2, len: 2 }]);
+        assert_eq!(out.dropped.len(), 6);
+        assert_eq!(out.batch[0].id, RequestId(6));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ladder_recurses_on_leftover() {
+        // Target 4, ten queued with ample budget: two full rungs of 4 plus
+        // a rung-2 tail run back-to-back in the same slot instead of
+        // waiting a duty cycle each.
+        let mut q = SessionQueue::new();
+        for i in 0..10 {
+            q.push(req(i, 0, 300));
+        }
+        let (out, mbs) = pull_ladder(&mut q, ms(0), 4, DropPolicy::Early);
+        assert_eq!(
+            mbs,
+            vec![
+                MiniBatch { rung: 4, len: 4 },
+                MiniBatch { rung: 4, len: 4 },
+                MiniBatch { rung: 2, len: 2 },
+            ]
+        );
+        assert_eq!(out.batch.len(), 10);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ladder_stops_when_budget_exhausted() {
+        // First minibatch consumes the shared budget; the second front can
+        // no longer absorb even the bottom rung behind it and stays queued.
+        let mut q = SessionQueue::new();
+        for i in 0..4 {
+            q.push(req(i, 0, 20)); // ℓ(4) = 18 ≤ 20
+        }
+        for i in 4..8 {
+            q.push(req(i, 0, 25)); // 25 − 18 = 7 < ℓ(1) = 12
+        }
+        let (out, mbs) = pull_ladder(&mut q, ms(0), 4, DropPolicy::Early);
+        assert_eq!(mbs, vec![MiniBatch { rung: 4, len: 4 }]);
+        assert_eq!(out.batch.len(), 4);
+        assert!(out.dropped.is_empty());
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn ladder_allowance_caps_the_slot() {
+        // Coordinated duty cycles cap the slot at the planned length
+        // ℓ(4) = 18: one full rung of 4 fills it exactly, and the backlog
+        // waits for the next cycle instead of stretching the slot.
+        let mut q = SessionQueue::new();
+        for i in 0..10 {
+            q.push(req(i, 0, 300));
+        }
+        let (out, mbs) =
+            pull_ladder_bounded(&mut q, ms(0), 4, Micros::from_millis(18), DropPolicy::Early);
+        assert_eq!(mbs, vec![MiniBatch { rung: 4, len: 4 }]);
+        assert_eq!(out.batch.len(), 4);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn ladder_salvages_tight_prefix_when_it_rides_free() {
+        // Two tight requests (budget 15, only rung 2's ℓ = 14 fits) ahead
+        // of four fresh ones. The fresh window's host has 300 − ℓ(4) of
+        // slack, so whether the prefix is saved hinges on the slot
+        // allowance: at the planned ℓ(4) = 18 there is no residual time and
+        // the prefix is sacrificed; at ℓ(2) + ℓ(4) = 32 the prefix rides a
+        // leading rung-2 minibatch and nothing is dropped.
+        let build = || {
+            let mut q = SessionQueue::new();
+            q.push(req(0, 0, 15));
+            q.push(req(1, 0, 15));
+            for i in 2..6 {
+                q.push(req(i, 0, 300));
+            }
+            q
+        };
+        let (tight_out, tight) = pull_ladder_bounded(
+            &mut build(),
+            ms(0),
+            4,
+            Micros::from_millis(18),
+            DropPolicy::Early,
+        );
+        assert_eq!(tight, vec![MiniBatch { rung: 4, len: 4 }]);
+        assert_eq!(tight_out.dropped.len(), 2);
+        let (roomy_out, roomy) = pull_ladder_bounded(
+            &mut build(),
+            ms(0),
+            4,
+            Micros::from_millis(32),
+            DropPolicy::Early,
+        );
+        assert_eq!(
+            roomy,
+            vec![MiniBatch { rung: 2, len: 2 }, MiniBatch { rung: 4, len: 4 }]
+        );
+        assert!(roomy_out.dropped.is_empty());
+        assert_eq!(roomy_out.batch[0].id, RequestId(0), "prefix served first");
+    }
+
+    #[test]
+    fn ladder_non_early_policies_use_classic_pull() {
+        let mut q = SessionQueue::new();
+        for i in 0..5 {
+            q.push(req(i, 0, 100));
+        }
+        let (out, mbs) = pull_ladder(&mut q, ms(0), 8, DropPolicy::None);
+        assert_eq!(out.batch.len(), 5);
+        // One covering rung for the whole classic batch, padded 5-in-8.
+        assert_eq!(mbs, vec![MiniBatch { rung: 8, len: 5 }]);
+    }
+
+    #[test]
+    fn ladder_empty_queue_is_noop() {
+        let mut q = SessionQueue::new();
+        let (out, mbs) = pull_ladder(&mut q, ms(0), 8, DropPolicy::Early);
+        assert!(out.batch.is_empty() && out.dropped.is_empty() && mbs.is_empty());
     }
 
     #[test]

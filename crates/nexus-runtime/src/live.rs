@@ -330,6 +330,8 @@ pub fn run_live(cfg: &LiveConfig, sessions: &[LiveSession]) -> LiveOutcome {
                                 session: SessionId(si as u32),
                                 size: b,
                                 duration: s.profile.latency_clamped(b),
+                                rung: b,
+                                leftover: false,
                                 seq,
                             });
                             seq

@@ -188,6 +188,181 @@ proptest! {
         }
     }
 
+    /// Ladder decomposition of any queue depth up to `max_batch²` conserves
+    /// requests — every pushed request ends up in exactly one of batch,
+    /// dropped, or still-queued — and the minibatch segmentation tiles the
+    /// batch exactly with valid, never-overfilled rungs.
+    #[test]
+    fn ladder_pull_conserves_requests(
+        reqs in arb_requests(65), // max_batch = 8 ⇒ depths up to max_batch²
+        now_us in 0u64..500_000,
+        target in 1u32..32,
+        policy_idx in 0usize..4,
+        reserve_us in 0u64..100_000,
+        allowance_us in 0u64..150_000, // < 10 ms ⇒ unbounded
+    ) {
+        let policy = [
+            DropPolicy::None,
+            DropPolicy::Lazy,
+            DropPolicy::Early,
+            DropPolicy::Deprioritize,
+        ][policy_idx];
+        let profile = BatchingProfile::from_linear_ms(1.0, 8.0, 8);
+        let ladder = profile.ladder();
+        let mut q = SessionQueue::new();
+        let mut arrivals = reqs.clone();
+        arrivals.sort_by_key(|&(a, _)| a);
+        for (i, &(arrival, slack)) in arrivals.iter().enumerate() {
+            q.push(Request {
+                id: RequestId(i as u64),
+                session: SessionId(0),
+                arrival: Micros::from_micros(arrival),
+                deadline: Micros::from_micros(arrival + slack),
+                query: None,
+            });
+        }
+        let total = q.len();
+        let mut out = crate::dispatch::BatchPull::default();
+        let mut mbs = Vec::new();
+        let allowance = if allowance_us < 10_000 {
+            Micros::MAX
+        } else {
+            Micros::from_micros(allowance_us)
+        };
+        q.pull_ladder_into(
+            Micros::from_micros(now_us),
+            target,
+            allowance,
+            &profile,
+            &ladder,
+            policy,
+            Micros::from_micros(reserve_us),
+            &mut out,
+            &mut mbs,
+        );
+        prop_assert_eq!(out.batch.len() + out.dropped.len() + q.len(), total);
+        let mut seen = std::collections::HashSet::new();
+        for r in out.batch.iter().chain(&out.dropped).chain(q.drain().iter()) {
+            prop_assert!(seen.insert(r.id), "request {:?} duplicated", r.id);
+        }
+        // The minibatch sequence tiles the batch exactly in rung shapes.
+        let covered: u32 = mbs.iter().map(|m| m.len).sum();
+        prop_assert_eq!(covered as usize, out.batch.len());
+        for m in &mbs {
+            prop_assert!(m.len >= 1 && m.len <= m.rung, "overfilled rung {m:?}");
+            prop_assert!(ladder.rungs().contains(&m.rung), "non-rung {m:?}");
+        }
+    }
+
+    /// The ladder pull never commits a minibatch whose cumulative finish
+    /// time exceeds its front request's SLO budget, and only sacrifices
+    /// requests that were doomed outright (deadline below even a bottom-rung
+    /// execution started now).
+    #[test]
+    fn ladder_pull_respects_slo_budget(
+        reqs in arb_requests(65),
+        now_us in 0u64..500_000,
+        target in 1u32..32,
+        reserve_us in 0u64..100_000,
+        allowance_us in 0u64..150_000, // < 10 ms ⇒ unbounded
+    ) {
+        let profile = BatchingProfile::from_linear_ms(1.0, 8.0, 8);
+        let ladder = profile.ladder();
+        let mut q = SessionQueue::new();
+        let mut arrivals = reqs.clone();
+        arrivals.sort_by_key(|&(a, _)| a);
+        for (i, &(arrival, slack)) in arrivals.iter().enumerate() {
+            q.push(Request {
+                id: RequestId(i as u64),
+                session: SessionId(0),
+                arrival: Micros::from_micros(arrival),
+                deadline: Micros::from_micros(arrival + slack),
+                query: None,
+            });
+        }
+        let now = Micros::from_micros(now_us);
+        let allowance = if allowance_us < 10_000 {
+            Micros::MAX
+        } else {
+            Micros::from_micros(allowance_us)
+        };
+        let mut out = crate::dispatch::BatchPull::default();
+        let mut mbs = Vec::new();
+        q.pull_ladder_into(
+            now,
+            target,
+            allowance,
+            &profile,
+            &ladder,
+            DropPolicy::Early,
+            Micros::from_micros(reserve_us),
+            &mut out,
+            &mut mbs,
+        );
+        // Each minibatch's front meets its deadline at the cumulative
+        // finish of the rung sequence.
+        let mut acc = Micros::ZERO;
+        let mut idx = 0usize;
+        for m in &mbs {
+            acc += ladder.rung_latency(m.rung);
+            prop_assert!(
+                out.batch[idx].deadline >= now + acc,
+                "minibatch front misses deadline: {m:?} finish {:?}",
+                now + acc,
+            );
+            idx += m.len as usize;
+        }
+        // The slot never runs past its duty-cycle allowance.
+        prop_assert!(acc <= allowance, "slot {acc:?} exceeds allowance {allowance:?}");
+        // Drops are doomed requests, or early sacrifices made to let an
+        // efficient window behind them run — never a drop for nothing.
+        for r in &out.dropped {
+            prop_assert!(
+                r.deadline < now + ladder.min_latency() || !out.batch.is_empty(),
+                "feasible request dropped without a window served"
+            );
+        }
+    }
+
+    /// The ladder pull is a pure function of queue state, time, and plan:
+    /// identical inputs replay to identical `(batch, dropped, minibatches)`.
+    #[test]
+    fn ladder_pull_is_deterministic(
+        reqs in arb_requests(65),
+        now_us in 0u64..500_000,
+        target in 1u32..32,
+    ) {
+        let profile = BatchingProfile::from_linear_ms(1.0, 8.0, 8);
+        let ladder = profile.ladder();
+        let build = |reqs: &[(u64, u64)]| {
+            let mut q = SessionQueue::new();
+            let mut arrivals = reqs.to_vec();
+            arrivals.sort_by_key(|&(a, _)| a);
+            for (i, &(arrival, slack)) in arrivals.iter().enumerate() {
+                q.push(Request {
+                    id: RequestId(i as u64),
+                    session: SessionId(0),
+                    arrival: Micros::from_micros(arrival),
+                    deadline: Micros::from_micros(arrival + slack),
+                    query: None,
+                });
+            }
+            q
+        };
+        let now = Micros::from_micros(now_us);
+        let mut a_q = build(&reqs);
+        let mut b_q = build(&reqs);
+        let (mut a_out, mut a_mbs) = (crate::dispatch::BatchPull::default(), Vec::new());
+        let (mut b_out, mut b_mbs) = (crate::dispatch::BatchPull::default(), Vec::new());
+        a_q.pull_ladder_into(now, target, Micros::MAX, &profile, &ladder,
+            DropPolicy::Early, Micros::ZERO, &mut a_out, &mut a_mbs);
+        b_q.pull_ladder_into(now, target, Micros::MAX, &profile, &ladder,
+            DropPolicy::Early, Micros::ZERO, &mut b_out, &mut b_mbs);
+        prop_assert_eq!(a_out, b_out);
+        prop_assert_eq!(a_mbs, b_mbs);
+        prop_assert_eq!(a_q.len(), b_q.len());
+    }
+
     /// Query tracking closes exactly once per query with consistent
     /// goodness: good iff no drop and last completion ≤ deadline.
     #[test]

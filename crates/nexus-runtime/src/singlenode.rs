@@ -7,11 +7,11 @@
 //! synthetic profile, k copies of Inception multiplexed on one GPU, and
 //! prefix-batched variant serving.
 
-use nexus_profile::{BatchingProfile, Micros};
+use nexus_profile::{BatchLadder, BatchingProfile, Micros};
 use nexus_simgpu::{EventQueue, InterferenceModel};
 use nexus_workload::{rng_for, ArrivalGen, ArrivalKind};
 
-use crate::dispatch::{classify_drop, BatchPull, DropPolicy, SessionQueue};
+use crate::dispatch::{classify_drop, BatchPull, DropPolicy, MiniBatch, SessionQueue};
 use crate::request::{Request, RequestId};
 use crate::trace::{DropCause, Trace, TraceEvent};
 use nexus_scheduler::SessionId;
@@ -51,6 +51,12 @@ pub struct NodeConfig {
     /// scheduler) instead of letting the dispatcher grow windows into
     /// deadline slack. The Fig. 15 sub-batch comparison needs this.
     pub strict_batches: bool,
+    /// Batch-plan ladders (DESIGN.md §16): plan batch sizes on the
+    /// profile's rung table and execute each slot as a greedy sequence of
+    /// rung-shaped minibatches, recursing on the leftover instead of
+    /// waiting a full duty cycle. Off reproduces the classic
+    /// one-variable-batch-per-slot execution.
+    pub ladder: bool,
     /// Maximum trace events to capture (0 disables tracing).
     pub trace_capacity: usize,
 }
@@ -95,12 +101,21 @@ enum Ev {
         started: Micros,
         /// Trace batch id (0 when tracing is off).
         seq: u64,
+        /// Whether this completion releases the slot (and, coordinated,
+        /// the node). Ladder execution emits one `Done` per minibatch at
+        /// its cumulative finish; only the final one frees the GPU.
+        last: bool,
     },
 }
 
 struct NodeSlot {
     queue: SessionQueue,
     target: u32,
+    /// Cyclic batch-assignment ladder; pull `c` serves `plan[c % len]`.
+    /// A single-element plan is the classic static fit.
+    plan: Vec<u32>,
+    /// Completed pulls, indexing the assignment rotation.
+    serves: u32,
     gather: Micros,
     reserve: Micros,
     timing: nexus_profile::BatchingProfile,
@@ -141,6 +156,133 @@ pub fn fit_shared_batches(sessions: &[NodeSession]) -> Vec<u32> {
     }
 }
 
+/// Ladder-mode shared planning: a cyclic ladder of batch assignments per
+/// slot instead of one static size.
+///
+/// Starts from [`fit_shared_batches`], then groups interchangeable sessions
+/// (identical profile, SLO, and rate) and rotates each group's assignment
+/// multiset across its members, staggered so every cycle executes the same
+/// multiset. Rotation fixes the static fit's asymmetry — under a plan like
+/// `[10,10,9,9,9]` with equal offered load the 9-slots shed while the
+/// 10-slots idle; rotated, every member gets the same long-run capacity.
+///
+/// Because a slot's inter-pull gap is one full duty cycle no matter which
+/// assignment it serves, rotation also admits a mild upgrade: the group's
+/// largest assignment may overhang the worst-case bound `D + ℓ(b) ≤ L` by
+/// up to an eighth of the mean inter-arrival. The overhang only threatens
+/// the single oldest request in the upgraded pull, and only in the sliver
+/// of arrival phases where its age exceeds `L − ℓ(b)`; the early-drop
+/// host-window sacrifices exactly that request rather than serving it
+/// late, so the upgrade buys capacity at a vanishing shed rate.
+///
+/// Returns one assignment vector per slot; slot `i` serves
+/// `plan[i][serves % plan[i].len()]`. Singleton groups get their static
+/// fit back unchanged (no rotation partner, no upgrade slack).
+pub fn plan_shared_ladder(sessions: &[NodeSession]) -> Vec<Vec<u32>> {
+    let base = fit_shared_batches(sessions);
+    // Group interchangeable sessions, preserving first-seen order.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..sessions.len() {
+        let found = groups.iter_mut().find(|g| {
+            let s = &sessions[g[0]];
+            s.profile == sessions[i].profile
+                && s.slo == sessions[i].slo
+                && s.rate == sessions[i].rate
+        });
+        match found {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    // Assignment multiset per group, largest first.
+    let mut assign: Vec<Vec<u32>> = groups
+        .iter()
+        .map(|g| {
+            let mut v: Vec<u32> = g.iter().map(|&i| base[i]).collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v
+        })
+        .collect();
+    let duty_of = |assign: &[Vec<u32>]| -> Micros {
+        groups
+            .iter()
+            .zip(assign)
+            .flat_map(|(g, a)| {
+                let p = &sessions[g[0]].profile;
+                a.iter().map(move |&b| p.latency(b))
+            })
+            .sum()
+    };
+    let feasible = |assign: &[Vec<u32>]| -> bool {
+        let duty = duty_of(assign);
+        groups.iter().zip(assign).all(|(g, a)| {
+            let s = &sessions[g[0]];
+            let top = a[0];
+            let slack = if g.len() >= 2 && s.rate > 0.0 {
+                Micros::from_secs_f64(1.0 / (8.0 * s.rate))
+            } else {
+                Micros::ZERO
+            };
+            a.iter().all(|&b| {
+                let allow = if b == top { slack } else { Micros::ZERO };
+                duty + s.profile.latency(b) <= s.slo + allow
+            })
+        })
+    };
+    // Greedy upgrade: bump the smallest assignment of some rotating group
+    // by one while the plan stays feasible and capacity strictly rises —
+    // but only for groups whose offered rate exceeds their rotated
+    // capacity. Below that the static fit already clears the load, and a
+    // bigger gather target would only add latency for nothing.
+    loop {
+        let duty = duty_of(&assign);
+        let total: u32 = assign.iter().flatten().sum();
+        let capacity = f64::from(total) / duty.as_micros().max(1) as f64;
+        let mut upgraded = false;
+        for (gi, g) in groups.iter().enumerate() {
+            if g.len() < 2 {
+                continue;
+            }
+            // Per-session capacity of the rotated multiset: each member
+            // serves the whole multiset once every `len` duty cycles.
+            let served: u32 = assign[gi].iter().sum();
+            let per_session =
+                f64::from(served) / (g.len() as f64 * duty.as_micros().max(1) as f64 / 1e6);
+            if sessions[g[0]].rate <= per_session {
+                continue;
+            }
+            let max_b = sessions[g[0]].profile.max_batch();
+            let last = assign[gi].len() - 1;
+            if assign[gi][last] >= max_b {
+                continue;
+            }
+            let mut cand = assign.to_vec();
+            cand[gi][last] += 1;
+            cand[gi].sort_unstable_by(|a, b| b.cmp(a));
+            let cand_total: u32 = cand.iter().flatten().sum();
+            let cand_cap = f64::from(cand_total) / duty_of(&cand).as_micros().max(1) as f64;
+            if cand_cap > capacity && feasible(&cand) {
+                assign = cand;
+                upgraded = true;
+                break;
+            }
+        }
+        if !upgraded {
+            break;
+        }
+    }
+    // Stagger: member j of a group starts at offset j in the multiset, so
+    // each cycle executes exactly the multiset and the duty stays `D`.
+    let mut plan = vec![Vec::new(); sessions.len()];
+    for (gi, g) in groups.iter().enumerate() {
+        for (j, &si) in g.iter().enumerate() {
+            let a = &assign[gi];
+            plan[si] = (0..a.len()).map(|c| a[(j + c) % a.len()]).collect();
+        }
+    }
+    plan
+}
+
 /// Runs the node simulation.
 ///
 /// # Examples
@@ -160,6 +302,7 @@ pub fn fit_shared_batches(sessions: &[NodeSession]) -> Vec<u32> {
 ///         horizon: Micros::from_secs(10),
 ///         warmup: Micros::from_secs(2),
 ///         strict_batches: false,
+///         ladder: false,
 ///         trace_capacity: 0,
 ///     },
 ///     &[NodeSession {
@@ -173,19 +316,46 @@ pub fn fit_shared_batches(sessions: &[NodeSession]) -> Vec<u32> {
 /// ```
 pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome {
     let n = sessions.len();
-    let batches = if cfg.coordinated {
+    // The batch plan: a cyclic assignment ladder per slot under coordinated
+    // ladder mode, a single static size otherwise.
+    let plans: Vec<Vec<u32>> = if cfg.coordinated && cfg.ladder {
+        plan_shared_ladder(sessions)
+    } else if cfg.coordinated {
         fit_shared_batches(sessions)
+            .into_iter()
+            .map(|b| vec![b])
+            .collect()
     } else {
         sessions
             .iter()
-            .map(|s| s.profile.max_batch_for_slo(s.slo).max(1))
+            .map(|s| vec![s.profile.max_batch_for_slo(s.slo).max(1)])
             .collect()
     };
+    // Every planned assignment is materialised as a rung, so dispatch only
+    // ever executes compiled shapes.
+    let ladders: Vec<BatchLadder> = sessions
+        .iter()
+        .zip(&plans)
+        .map(|(s, plan)| {
+            let mut l = BatchLadder::from_profile(&s.profile);
+            for &b in plan {
+                l = l.with_rung(b, &s.profile);
+            }
+            l
+        })
+        .collect();
+    // Static target per slot (the largest assignment) for sizing and the
+    // classic path; staggered rotation executes exactly one multiset per
+    // cycle, so the duty is the sum over one cycle's assignments.
+    let batches: Vec<u32> = plans
+        .iter()
+        .map(|p| p.iter().copied().max().unwrap_or(1))
+        .collect();
     let duty: Micros = if cfg.coordinated {
         sessions
             .iter()
-            .zip(&batches)
-            .map(|(s, &b)| s.profile.latency(b))
+            .zip(&plans)
+            .map(|(s, p)| s.profile.latency(p[0]))
             .sum()
     } else {
         Micros::ZERO
@@ -196,8 +366,8 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
     let k = sessions.len().max(1);
     let mut slots: Vec<NodeSlot> = sessions
         .iter()
-        .zip(&batches)
-        .map(|(s, &target)| {
+        .zip(batches.iter().zip(&plans))
+        .map(|(s, (&target, plan))| {
             let fits = mem + s.profile.memory_bytes() <= cfg.gpu_memory;
             if fits {
                 mem += s.profile.memory_bytes();
@@ -219,6 +389,8 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
             NodeSlot {
                 queue: SessionQueue::new(),
                 target,
+                plan: plan.clone(),
+                serves: 0,
                 gather,
                 reserve,
                 timing,
@@ -244,6 +416,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
     let mut stats = vec![NodeSessionStats::default(); n];
     let mut trace: Option<Trace> = (cfg.trace_capacity > 0).then(|| Trace::new(cfg.trace_capacity));
     let mut scratch = BatchPull::default();
+    let mut mb_scratch: Vec<MiniBatch> = Vec::new();
     let mut pool: Vec<Vec<Request>> = Vec::new();
     let mut node_busy = false; // coordinated: whole-GPU mutex
     let mut cursor = 0usize;
@@ -268,6 +441,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
         now: Micros,
         slots: &mut [NodeSlot],
         sessions: &[NodeSession],
+        ladders: &[BatchLadder],
         cfg: &NodeConfig,
         cursor: usize,
         only: Option<usize>,
@@ -277,6 +451,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
         warmup: Micros,
         horizon: Micros,
         scratch: &mut BatchPull,
+        mb_scratch: &mut Vec<MiniBatch>,
         pool: &mut Vec<Vec<Request>>,
         trace: &mut Option<Trace>,
     ) -> Option<usize> {
@@ -296,13 +471,27 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
             if slot.busy || slot.queue.is_empty() || !slot.loaded {
                 continue;
             }
+            // This pull's batch assignment: the next step of the slot's
+            // cyclic assignment ladder (static plans have one step).
+            let assigned = if cfg.ladder {
+                slot.plan[(slot.serves as usize) % slot.plan.len()]
+            } else {
+                slot.target
+            };
             let queued = slot.queue.len() as u32;
-            if queued < slot.target {
+            if queued < assigned {
                 let oldest_arr = slot.queue.oldest_arrival().expect("non-empty");
                 let oldest_dl = slot.queue.oldest_deadline().expect("non-empty");
                 let n = queued.max(1);
+                // The latest safe start tracks the shape execution will
+                // pay: the covering rung in ladder mode, ℓ(n) otherwise.
+                let exec_est = if cfg.ladder {
+                    ladders[si].smallest_rung_geq(n).1
+                } else {
+                    slot.timing.latency_clamped(n)
+                };
                 let forced = oldest_dl
-                    .saturating_sub(slot.timing.latency_clamped(n))
+                    .saturating_sub(exec_est)
                     .saturating_sub(slot.reserve)
                     .min(oldest_arr + slot.gather);
                 if now < forced {
@@ -311,20 +500,48 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                 }
             }
             // Under strict batching an infinite reserve pins the early-drop
-            // window to the planned batch size.
+            // window to the planned batch size. Rotating plans re-split the
+            // worst case per pull: the reserve is the duty minus this
+            // pull's own execution share.
             let reserve = if cfg.strict_batches {
                 Micros::MAX
+            } else if cfg.ladder && cfg.coordinated {
+                slot.gather
+                    .saturating_sub(ladders[si].rung_latency(assigned))
             } else {
                 slot.reserve
             };
-            slot.queue.pull_into(
-                now,
-                slot.target,
-                &sessions[si].profile,
-                cfg.drop_policy,
-                reserve,
-                scratch,
-            );
+            if cfg.ladder {
+                // Coordinated slots are capped at the assigned slot length
+                // so the rung sequence never runs past what the shared plan
+                // promised co-located sessions; uncoordinated dispatch owns
+                // its container and recurses to the request budgets.
+                let allowance = if cfg.coordinated {
+                    ladders[si].rung_latency(assigned)
+                } else {
+                    Micros::MAX
+                };
+                slot.queue.pull_ladder_into(
+                    now,
+                    assigned,
+                    allowance,
+                    &sessions[si].profile,
+                    &ladders[si],
+                    cfg.drop_policy,
+                    reserve,
+                    scratch,
+                    mb_scratch,
+                );
+            } else {
+                slot.queue.pull_into(
+                    now,
+                    slot.target,
+                    &sessions[si].profile,
+                    cfg.drop_policy,
+                    reserve,
+                    scratch,
+                );
+            }
             let min_start = trace
                 .is_some()
                 .then(|| now + slot.timing.latency_clamped(1));
@@ -347,17 +564,62 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                 }
                 continue;
             }
-            // Hand the batch out and leave a recycled buffer in the scratch.
-            let batch = std::mem::replace(&mut scratch.batch, pool.pop().unwrap_or_default());
-            let b = batch.len() as u32;
             let concurrent = if cfg.coordinated {
                 1
             } else {
                 1 + slots.iter().filter(|s| s.busy).count()
             };
             let factor = cfg.interference.slowdown(concurrent);
-            let duration = sessions[si].profile.latency_clamped(b).scale(factor);
             slots[si].busy = true;
+            slots[si].serves = slots[si].serves.wrapping_add(1);
+            if cfg.ladder {
+                // Execute the rung sequence back-to-back in this slot: one
+                // `Done` per minibatch at its cumulative finish; only the
+                // last releases the GPU. A padded tail (len < rung) still
+                // pays — and is billed — the full rung latency.
+                let mb_count = mb_scratch.len();
+                let mut start = now;
+                for (j, mb) in mb_scratch.iter().enumerate() {
+                    let duration = ladders[si].rung_latency(mb.rung).scale(factor);
+                    let mut part = pool.pop().unwrap_or_default();
+                    part.extend(scratch.batch.drain(..mb.len as usize));
+                    *busy_us += duration.as_micros() / concurrent as u64;
+                    let seq = match trace {
+                        Some(tr) => {
+                            let seq = tr.alloc_batch_seq();
+                            tr.push(TraceEvent::Batch {
+                                t: start,
+                                backend: 0,
+                                session: SessionId(si as u32),
+                                size: mb.len,
+                                duration,
+                                rung: mb.rung,
+                                leftover: j > 0,
+                                seq,
+                            });
+                            seq
+                        }
+                        None => 0,
+                    };
+                    events.push(
+                        start + duration,
+                        Ev::Done {
+                            slot: si,
+                            batch: part,
+                            started: start,
+                            seq,
+                            last: j + 1 == mb_count,
+                        },
+                    );
+                    start += duration;
+                }
+                debug_assert!(scratch.batch.is_empty());
+                return Some(si);
+            }
+            // Hand the batch out and leave a recycled buffer in the scratch.
+            let batch = std::mem::replace(&mut scratch.batch, pool.pop().unwrap_or_default());
+            let b = batch.len() as u32;
+            let duration = sessions[si].profile.latency_clamped(b).scale(factor);
             *busy_us += duration.as_micros() / concurrent as u64;
             let seq = match trace {
                 Some(tr) => {
@@ -368,6 +630,8 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         session: SessionId(si as u32),
                         size: b,
                         duration,
+                        rung: b,
+                        leftover: false,
                         seq,
                     });
                     seq
@@ -381,6 +645,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                     batch,
                     started: now,
                     seq,
+                    last: true,
                 },
             );
             return Some(si);
@@ -435,6 +700,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                             now,
                             &mut slots,
                             sessions,
+                            &ladders,
                             cfg,
                             cursor,
                             None,
@@ -444,6 +710,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                             cfg.warmup,
                             cfg.horizon,
                             &mut scratch,
+                            &mut mb_scratch,
                             &mut pool,
                             &mut trace,
                         ) {
@@ -456,6 +723,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         now,
                         &mut slots,
                         sessions,
+                        &ladders,
                         cfg,
                         cursor,
                         Some(i),
@@ -465,6 +733,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         cfg.warmup,
                         cfg.horizon,
                         &mut scratch,
+                        &mut mb_scratch,
                         &mut pool,
                         &mut trace,
                     );
@@ -477,6 +746,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                             now,
                             &mut slots,
                             sessions,
+                            &ladders,
                             cfg,
                             cursor,
                             None,
@@ -486,6 +756,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                             cfg.warmup,
                             cfg.horizon,
                             &mut scratch,
+                            &mut mb_scratch,
                             &mut pool,
                             &mut trace,
                         ) {
@@ -498,6 +769,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         now,
                         &mut slots,
                         sessions,
+                        &ladders,
                         cfg,
                         cursor,
                         Some(i),
@@ -507,6 +779,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         cfg.warmup,
                         cfg.horizon,
                         &mut scratch,
+                        &mut mb_scratch,
                         &mut pool,
                         &mut trace,
                     );
@@ -517,6 +790,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                 mut batch,
                 started,
                 seq,
+                last,
             } => {
                 for req in &batch {
                     if now <= req.deadline {
@@ -538,6 +812,11 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                 }
                 batch.clear();
                 pool.push(batch);
+                if !last {
+                    // A ladder minibatch finished but the slot's rung
+                    // sequence is still executing; the GPU stays held.
+                    continue;
+                }
                 slots[slot].busy = false;
                 if cfg.coordinated {
                     node_busy = false;
@@ -545,6 +824,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         now,
                         &mut slots,
                         sessions,
+                        &ladders,
                         cfg,
                         cursor,
                         None,
@@ -554,6 +834,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         cfg.warmup,
                         cfg.horizon,
                         &mut scratch,
+                        &mut mb_scratch,
                         &mut pool,
                         &mut trace,
                     ) {
@@ -565,6 +846,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         now,
                         &mut slots,
                         sessions,
+                        &ladders,
                         cfg,
                         cursor,
                         Some(slot),
@@ -574,6 +856,7 @@ pub fn simulate_node(cfg: &NodeConfig, sessions: &[NodeSession]) -> NodeOutcome 
                         cfg.warmup,
                         cfg.horizon,
                         &mut scratch,
+                        &mut mb_scratch,
                         &mut pool,
                         &mut trace,
                     );
@@ -637,6 +920,7 @@ mod tests {
             horizon: Micros::from_secs(20),
             warmup: Micros::from_secs(5),
             strict_batches: false,
+            ladder: false,
             trace_capacity: 0,
         }
     }
@@ -708,6 +992,115 @@ mod tests {
         for (s, &bi) in sessions.iter().zip(&b) {
             assert!(cycle + s.profile.latency(bi) <= s.slo);
         }
+    }
+
+    #[test]
+    fn shared_ladder_plan_rotates_and_respects_slos() {
+        let sessions: Vec<NodeSession> = (0..5).map(|_| inception_session(115.0, 100)).collect();
+        let plan = plan_shared_ladder(&sessions);
+        // Interchangeable sessions rotate one shared multiset, staggered:
+        // every slot's ladder is a rotation of slot 0's, and each cycle
+        // (column) executes exactly the multiset.
+        let mut multiset = plan[0].clone();
+        multiset.sort_unstable();
+        for p in &plan {
+            assert_eq!(p.len(), sessions.len());
+            let mut m = p.clone();
+            m.sort_unstable();
+            assert_eq!(m, multiset, "same multiset on every slot");
+        }
+        for c in 0..plan[0].len() {
+            let mut col: Vec<u32> = plan.iter().map(|p| p[c]).collect();
+            col.sort_unstable();
+            assert_eq!(col, multiset, "every cycle serves the full multiset");
+        }
+        // Duty-cycle accounting: the worst case `D + ℓ(b)` holds strictly
+        // for all but the top assignment, which may use the phase slack of
+        // an eighth of the mean inter-arrival.
+        let duty: Micros = sessions
+            .iter()
+            .zip(&plan)
+            .map(|(s, p)| s.profile.latency(p[0]))
+            .sum();
+        let top = *multiset.last().expect("non-empty");
+        for (s, p) in sessions.iter().zip(&plan) {
+            for &b in p {
+                let slack = if b == top {
+                    Micros::from_secs_f64(1.0 / (8.0 * s.rate))
+                } else {
+                    Micros::ZERO
+                };
+                assert!(duty + s.profile.latency(b) <= s.slo + slack);
+            }
+        }
+        // Rotation never plans below the static fit's aggregate.
+        let static_sum: u32 = fit_shared_batches(&sessions).iter().sum();
+        let rotated_sum: u32 = multiset.iter().sum();
+        assert!(rotated_sum >= static_sum);
+        // Heterogeneous sessions fall back to their static fit (no
+        // rotation partner, no upgrade slack).
+        let mixed = vec![inception_session(100.0, 100), inception_session(100.0, 150)];
+        let mixed_plan = plan_shared_ladder(&mixed);
+        let static_fit = fit_shared_batches(&mixed);
+        assert_eq!(mixed_plan[0], vec![static_fit[0]]);
+        assert_eq!(mixed_plan[1], vec![static_fit[1]]);
+    }
+
+    #[test]
+    fn ladder_node_is_deterministic_and_competitive() {
+        let sessions: Vec<NodeSession> = (0..4).map(|_| inception_session(220.0, 100)).collect();
+        let mut lc = cfg(true, DropPolicy::Early, 11);
+        lc.ladder = true;
+        let a = simulate_node(&lc, &sessions);
+        let b = simulate_node(&lc, &sessions);
+        assert_eq!(a.sessions, b.sessions, "ladder runs replay identically");
+        let classic = simulate_node(&cfg(true, DropPolicy::Early, 11), &sessions);
+        // The ladder serves tight-budget fronts in smaller rungs instead of
+        // sacrificing them; goodput must not collapse relative to classic.
+        assert!(
+            a.goodput >= classic.goodput * 0.9,
+            "ladder {} vs classic {}",
+            a.goodput,
+            classic.goodput
+        );
+    }
+
+    #[test]
+    fn ladder_traces_rungs_and_leftovers() {
+        let sessions: Vec<NodeSession> = (0..3).map(|_| inception_session(400.0, 100)).collect();
+        let mut lc = cfg(true, DropPolicy::Early, 13);
+        lc.ladder = true;
+        lc.trace_capacity = 1 << 20;
+        let out = simulate_node(&lc, &sessions);
+        let plan = plan_shared_ladder(&sessions);
+        let ladders: Vec<BatchLadder> = sessions
+            .iter()
+            .zip(&plan)
+            .map(|(s, p)| {
+                let mut l = BatchLadder::from_profile(&s.profile);
+                for &b in p {
+                    l = l.with_rung(b, &s.profile);
+                }
+                l
+            })
+            .collect();
+        let tr = out.trace.expect("enabled");
+        let mut batches = 0u64;
+        for e in tr.events() {
+            if let TraceEvent::Batch {
+                session,
+                size,
+                rung,
+                ..
+            } = e
+            {
+                let l = &ladders[session.0 as usize];
+                assert!(l.rungs().contains(rung), "executed rung {rung} is a rung");
+                assert!(size <= rung, "slot never overfilled: {size} > {rung}");
+                batches += 1;
+            }
+        }
+        assert!(batches > 0);
     }
 
     #[test]

@@ -73,6 +73,15 @@ pub enum TraceEvent {
         size: u32,
         /// Execution duration.
         duration: Micros,
+        /// The ladder rung (slot capacity) the batch executed in. Equal to
+        /// `size` when the slot ran full; larger when the tail minibatch
+        /// was padded. Classic (non-ladder) execution reports the batch
+        /// size itself, i.e. occupancy 1.
+        rung: u32,
+        /// Whether this batch is a leftover sub-batch: a ladder minibatch
+        /// after the first in one slot's greedy rung-fill sequence
+        /// (DESIGN.md §16).
+        leftover: bool,
         /// Trace-unique batch id; completions reference it so a request
         /// can be tied to the batch that served it.
         seq: u64,
@@ -288,6 +297,8 @@ mod tests {
             session: SessionId(0),
             size: 4,
             duration: ms(10),
+            rung: 4,
+            leftover: false,
             seq: 1,
         });
         t.push(TraceEvent::Batch {
@@ -296,6 +307,8 @@ mod tests {
             session: SessionId(0),
             size: 8,
             duration: ms(14),
+            rung: 8,
+            leftover: false,
             seq: 2,
         });
         t.push(TraceEvent::Batch {
@@ -304,6 +317,8 @@ mod tests {
             session: SessionId(1),
             size: 2,
             duration: ms(5),
+            rung: 2,
+            leftover: true,
             seq: 3,
         });
         t.push(TraceEvent::Reallocation {

@@ -16,7 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use nexus_profile::Micros;
+use nexus_profile::{BatchLadder, Micros};
 
 use crate::session::{SessionId, SessionSpec};
 
@@ -151,6 +151,11 @@ pub fn squishy_bin_packing_with(
     let mut alloc = Allocation::default();
     let mut residuals: Vec<Residual> = Vec::new();
 
+    // Precomputed rung tables: every batch the packer hands out is a ladder
+    // rung, so a plan entry is always a shape the dispatcher can execute
+    // and duty-cycle accounting matches ladder execution exactly.
+    let ladders: Vec<BatchLadder> = sessions.iter().map(|s| s.profile.ladder()).collect();
+
     // Phase 1: ScheduleSaturate.
     for (idx, s) in sessions.iter().enumerate() {
         if s.rate <= 0.0 {
@@ -160,12 +165,10 @@ pub fn squishy_bin_packing_with(
             alloc.infeasible.push(s.id);
             continue;
         }
-        let big_b = s.max_batch();
-        if big_b == 0 {
+        let Some((big_b, exec)) = saturated_rung(&ladders[idx], s.slo) else {
             alloc.infeasible.push(s.id);
             continue;
-        }
-        let exec = s.profile.latency(big_b);
+        };
         let peak = f64::from(big_b) / exec.as_secs_f64();
         let full_nodes = (s.rate / peak).floor() as u32;
         for _ in 0..full_nodes {
@@ -183,7 +186,7 @@ pub fn squishy_bin_packing_with(
         }
         let residual_rate = s.rate - f64::from(full_nodes) * peak;
         if residual_rate > 1e-9 {
-            if let Some((batch, duty)) = residual_params(s, residual_rate) {
+            if let Some((batch, duty)) = residual_params(s, &ladders[idx], residual_rate) {
                 let occ = s.profile.latency(batch).as_micros() as f64 / duty.as_micros() as f64;
                 residuals.push(Residual {
                     session: s.id,
@@ -213,7 +216,7 @@ pub fn squishy_bin_packing_with(
     for r in &residuals {
         let mut best: Option<(usize, Node)> = None;
         for (ni, node) in nodes.iter().enumerate() {
-            if let Some(merged) = try_merge(node, r, sessions, gpu_memory) {
+            if let Some(merged) = try_merge(node, r, sessions, &ladders, gpu_memory) {
                 let better = match &best {
                     Some((_, b)) => merged.occ > b.occ,
                     None => true,
@@ -262,40 +265,55 @@ pub fn squishy_bin_packing_with(
     alloc
 }
 
+/// The saturated batch for a session: the largest ladder rung `B` with
+/// `2·ℓ(B) ≤ slo` (§4.1/§6.1 — a request that just misses one batch waits
+/// for the whole next batch). Rung-restricted so saturated nodes execute a
+/// shape the ladder dispatcher has; `None` when even the bottom rung is
+/// infeasible.
+fn saturated_rung(ladder: &BatchLadder, slo: Micros) -> Option<(u32, Micros)> {
+    ladder.largest_rung_within(Micros::from_micros(slo.as_micros() / 2))
+}
+
+/// Whether batch `b` at `rate` fits the session's SLO, returning the duty
+/// cycle `d = max(b/rate, ℓ(b))` when `ℓ(b) + d ≤ L` (Algorithm 1, lines
+/// 12–15 — the `ℓ(b)` floor covers fast-arriving residuals whose batch
+/// executes longer than it gathers, where the duty cycle is
+/// execution-bound rather than gather-bound).
+fn residual_duty(s: &SessionSpec, b: u32, rate: f64) -> Option<Micros> {
+    let exec = s.profile.latency(b);
+    let duty = Micros::from_secs_f64(f64::from(b) / rate).max(exec);
+    (exec + duty <= s.slo).then_some(duty)
+}
+
 /// Chooses the residual batch size and duty cycle for a session at `rate`:
-/// the largest `b` with `ℓ(b) + d ≤ L` where `d = max(b/rate, ℓ(b))`
-/// (Algorithm 1, lines 12–15 — the `ℓ(b)` floor covers fast-arriving
-/// residuals whose batch executes longer than it gathers, where the duty
-/// cycle is execution-bound rather than gather-bound). Low-rate sessions
-/// for which even `b = 1` violates the inequality run at `b = 1` with the
-/// duty cycle capped at `L − ℓ(1)`, which preserves the worst-case bound
-/// `d + ℓ(1) ≤ L`.
-fn residual_params(s: &SessionSpec, rate: f64) -> Option<(u32, Micros)> {
+/// the largest ladder *rung* `b` with `ℓ(b) + d ≤ L` where
+/// `d = max(b/rate, ℓ(b))`. The feasibility predicate is monotone in `b`
+/// (`ℓ` is non-decreasing and `b/rate` increasing), so the old linear
+/// `1..=max_batch` scan is replaced by a binary search over the
+/// precomputed rung table — `partition_point` finds the boundary exactly
+/// (differential-tested against the scan in `reference`). Low-rate
+/// sessions for which even `b = 1` violates the inequality run at `b = 1`
+/// with the duty cycle capped at `L − ℓ(1)`, which preserves the
+/// worst-case bound `d + ℓ(1) ≤ L`.
+fn residual_params(s: &SessionSpec, ladder: &BatchLadder, rate: f64) -> Option<(u32, Micros)> {
     debug_assert!(rate > 0.0);
-    let mut best: Option<(u32, Micros)> = None;
-    for b in 1..=s.profile.max_batch() {
-        let exec = s.profile.latency(b);
-        let duty = Micros::from_secs_f64(f64::from(b) / rate).max(exec);
-        if exec + duty <= s.slo {
-            best = Some((b, duty));
-        } else {
-            break;
-        }
-    }
-    if let Some((b, duty)) = best {
+    let rungs = ladder.rungs();
+    let cut = rungs.partition_point(|&b| residual_duty(s, b, rate).is_some());
+    if cut > 0 {
+        let b = rungs[cut - 1];
+        let duty = residual_duty(s, b, rate).expect("rung below the partition point is feasible");
         // An execution-bound duty cycle serves b/ℓ(b), which can fall short
         // of the rate when the feasible batch is small. Such a session
-        // needs a dedicated node running back-to-back at its SLO-max batch
+        // needs a dedicated node running back-to-back at its saturated rung
         // (throughput T ≥ rate holds because saturation already peeled off
         // whole multiples of T).
         if f64::from(b) / duty.as_secs_f64() + 1e-9 < rate {
-            let big = s.max_batch();
-            return Some((big, s.profile.latency(big)));
+            return saturated_rung(ladder, s.slo);
         }
         return Some((b, duty));
     }
     // Low-rate fallback: batch of at most 1 per cycle, maximal cycle.
-    let exec = s.profile.latency(1);
+    let exec = ladder.min_latency();
     if exec * 2 <= s.slo {
         return Some((1, s.slo - exec));
     }
@@ -303,10 +321,19 @@ fn residual_params(s: &SessionSpec, rate: f64) -> Option<(u32, Micros)> {
 }
 
 /// Attempts to merge residual `r` into `node` (Fig. 7): the new duty cycle
-/// is the smaller of the two, member batches shrink to `ceil(d·rate)`, and
-/// the merge is legal iff the batch executions fit in the duty cycle, every
-/// member still meets its SLO, and the models fit in memory together.
-fn try_merge(node: &Node, r: &Residual, sessions: &[SessionSpec], gpu_memory: u64) -> Option<Node> {
+/// is the smaller of the two, member batches shrink to `ceil(d·rate)`
+/// rounded up to the covering ladder rung, and the merge is legal iff the
+/// batch executions fit in the duty cycle, every member still meets its
+/// SLO, and the models fit in memory together. Rounding up to a rung
+/// preserves capacity (`b/d` only grows) but charges the rung's latency,
+/// so the legality checks see exactly what ladder execution will cost.
+fn try_merge(
+    node: &Node,
+    r: &Residual,
+    sessions: &[SessionSpec],
+    ladders: &[BatchLadder],
+    gpu_memory: u64,
+) -> Option<Node> {
     let memory = node.memory + sessions[r.spec_index].profile.memory_bytes();
     if memory > gpu_memory {
         return None;
@@ -322,12 +349,13 @@ fn try_merge(node: &Node, r: &Residual, sessions: &[SessionSpec], gpu_memory: u6
     for (idx, rate) in candidates {
         let s = &sessions[idx];
         // Shrinking the duty cycle shrinks the batch needed to sustain the
-        // member's rate: b' = ceil(d·r) ≤ b (Fig. 7).
-        let batch = ((duty.as_secs_f64() * rate).ceil() as u32).max(1);
-        if batch > s.profile.max_batch() {
+        // member's rate: b' = ceil(d·r) ≤ b (Fig. 7), rounded up to the
+        // rung the dispatcher will actually run.
+        let needed = ((duty.as_secs_f64() * rate).ceil() as u32).max(1);
+        if needed > s.profile.max_batch() {
             return None;
         }
-        let exec = s.profile.latency(batch);
+        let (batch, exec) = ladders[idx].smallest_rung_geq(needed);
         if duty + exec > s.slo {
             return None;
         }
@@ -360,10 +388,51 @@ pub fn lower_bound_gpus(sessions: &[SessionSpec]) -> f64 {
         .sum()
 }
 
+/// The pre-ladder linear scans, kept verbatim as oracles: the differential
+/// tests assert the `partition_point` binary searches find exactly the
+/// boundary the old `for b in 1..=max_batch` loops found.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// The original `residual_params` scan over every batch size.
+    pub fn residual_scan(s: &SessionSpec, rate: f64) -> Option<(u32, Micros)> {
+        let mut best: Option<(u32, Micros)> = None;
+        for b in 1..=s.profile.max_batch() {
+            let exec = s.profile.latency(b);
+            let duty = Micros::from_secs_f64(f64::from(b) / rate).max(exec);
+            if exec + duty <= s.slo {
+                best = Some((b, duty));
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// The same break-on-first-failure scan restricted to ladder rungs —
+    /// what the rung table's binary search must reproduce.
+    pub fn residual_rung_scan(
+        s: &SessionSpec,
+        ladder: &BatchLadder,
+        rate: f64,
+    ) -> Option<(u32, Micros)> {
+        let mut best = None;
+        for &b in ladder.rungs() {
+            match residual_duty(s, b, rate) {
+                Some(duty) => best = Some((b, duty)),
+                None => break,
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nexus_profile::BatchingProfile;
+    use proptest::prelude::*;
 
     /// Models A, B, C of Table 2 with the §4.1 SLOs.
     fn table2_sessions(rates: [f64; 3]) -> Vec<SessionSpec> {
@@ -566,6 +635,90 @@ mod tests {
         let lb = lower_bound_gpus(&sessions);
         assert!(lb <= alloc.gpu_count() as f64 + 1e-9);
         assert!(lb > 0.0);
+    }
+
+    proptest! {
+        /// The rung table's `partition_point` finds exactly the boundary the
+        /// old break-on-first-failure scan found, for any profile shape the
+        /// repair invariants allow.
+        #[test]
+        fn residual_binary_search_matches_linear_scan(
+            base_ms in 1u64..40,
+            slope_tenths in 1u64..30,
+            max_batch in 1u32..64,
+            slo_ms in 10u64..600,
+            rate in 0.5f64..2_000.0,
+        ) {
+            let profile = BatchingProfile::from_linear_ms(
+                slope_tenths as f64 / 10.0,
+                base_ms as f64,
+                max_batch,
+            );
+            let s = SessionSpec::new(
+                SessionId(0),
+                profile,
+                Micros::from_millis(slo_ms),
+                rate,
+            );
+            let ladder = s.profile.ladder();
+            // The feasibility boundary over the rung table.
+            let rungs = ladder.rungs();
+            let cut = rungs.partition_point(|&b| residual_duty(&s, b, rate).is_some());
+            let searched = (cut > 0).then(|| {
+                let b = rungs[cut - 1];
+                (b, residual_duty(&s, b, rate).unwrap())
+            });
+            prop_assert_eq!(searched, reference::residual_rung_scan(&s, &ladder, rate));
+            // And the scan restricted to rungs agrees with the full linear
+            // scan whenever the full scan's answer is itself a rung.
+            if let Some((b, duty)) = reference::residual_scan(&s, rate) {
+                if rungs.contains(&b) {
+                    prop_assert_eq!(reference::residual_rung_scan(&s, &ladder, rate), Some((b, duty)));
+                }
+            }
+        }
+
+        /// Every plan the rung-restricted packer emits uses ladder rungs
+        /// only, and the duty-cycle + SLO invariants hold as before.
+        #[test]
+        fn plans_use_ladder_rungs_exclusively(
+            rates in prop::collection::vec(0.0f64..400.0, 1..6),
+            slo_ms in 40u64..400,
+        ) {
+            let sessions: Vec<SessionSpec> = rates
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    SessionSpec::new(
+                        SessionId(i as u32),
+                        BatchingProfile::from_linear_ms(1.5, 6.0, 32),
+                        Micros::from_millis(slo_ms),
+                        r,
+                    )
+                })
+                .collect();
+            let alloc = squishy_bin_packing(&sessions, GPU_MEM);
+            for plan in &alloc.plans {
+                let exec_total: Micros = plan.entries.iter().map(|e| e.exec_latency).sum();
+                prop_assert!(exec_total <= plan.duty_cycle);
+                for e in &plan.entries {
+                    let spec = sessions.iter().find(|s| s.id == e.session).unwrap();
+                    let ladder = spec.profile.ladder();
+                    prop_assert!(
+                        ladder.rungs().contains(&e.batch),
+                        "batch {} is not a rung of {:?}",
+                        e.batch,
+                        ladder.rungs()
+                    );
+                    let worst = if plan.saturated {
+                        e.exec_latency * 2
+                    } else {
+                        plan.duty_cycle + e.exec_latency
+                    };
+                    prop_assert!(worst <= spec.slo);
+                }
+            }
+        }
     }
 
     #[test]

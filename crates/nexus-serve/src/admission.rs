@@ -38,8 +38,11 @@ use nexus_runtime::DropCause;
 pub struct SessionSlo {
     /// End-to-end deadline budget.
     pub slo: Micros,
-    /// Single-item execution latency ℓ(1) — the floor for a doomed check.
-    pub ell1: Micros,
+    /// Smallest-feasible-rung execution latency — the ladder floor for a
+    /// doomed check. Equals ℓ(1) while execution ladders keep a bottom
+    /// rung of one; a profile whose smallest compiled shape is larger
+    /// tightens the test accordingly.
+    pub ell_min: Micros,
     /// Batched execution latency ℓ(b) at the planned batch size.
     pub ell_b: Micros,
     /// Planned batch size b.
@@ -184,7 +187,7 @@ impl AdmissionGate {
         self.last_arrival = Some(now);
 
         // §5.2 doomed check against the execution floor.
-        if deadline < now + self.slo.ell1 {
+        if deadline < now + self.slo.ell_min {
             self.doomed += 1;
             return Decision::DropDoomed;
         }
@@ -214,7 +217,7 @@ mod tests {
     fn slo_100ms() -> SessionSlo {
         SessionSlo {
             slo: Micros::from_millis(100),
-            ell1: Micros::from_millis(10),
+            ell_min: Micros::from_millis(10),
             ell_b: Micros::from_millis(40),
             batch: 8,
         }
@@ -238,7 +241,7 @@ mod tests {
     fn impossible_slos_admit_nothing_sustainably() {
         let slo = SessionSlo {
             slo: Micros::from_millis(10),
-            ell1: Micros::from_millis(10),
+            ell_min: Micros::from_millis(10),
             ell_b: Micros::from_millis(40),
             batch: 8,
         };

@@ -411,7 +411,7 @@ fn handle_submit(core: &Core, request: u64, session: u32, budget_us: u64) -> Msg
     // Retry only if the remaining budget still covers an execution — a
     // retry that cannot finish in time is load without value.
     let now = core.clock.now();
-    if now + slo.ell1 > deadline {
+    if now + slo.ell_min > deadline {
         return done_drop(DropCause::Stranded, false);
     }
     let second = {
@@ -482,7 +482,7 @@ fn dispatch(
     let exec = Msg::Exec {
         request,
         session,
-        cost_us: slo.ell1.as_micros(),
+        cost_us: slo.ell_min.as_micros(),
     };
     if write_frame(&mut stream, &exec).is_err() {
         return false;

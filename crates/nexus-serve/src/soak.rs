@@ -77,7 +77,7 @@ impl SoakConfig {
     fn slo(&self) -> SessionSlo {
         SessionSlo {
             slo: self.budget,
-            ell1: Micros::from_micros(200),
+            ell_min: Micros::from_micros(200),
             ell_b: Micros::from_micros(400),
             batch: 32,
         }

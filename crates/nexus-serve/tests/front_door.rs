@@ -73,7 +73,7 @@ fn the_prober_walks_a_killed_backend_to_dead() {
         sunset_grace: Micros::from_millis(100),
         slos: vec![SessionSlo {
             slo: Micros::from_millis(100),
-            ell1: Micros::from_micros(200),
+            ell_min: Micros::from_micros(200),
             ell_b: Micros::from_micros(400),
             batch: 8,
         }],
@@ -123,7 +123,7 @@ fn submits_for_unknown_sessions_drop_with_no_route() {
         sunset_grace: Micros::from_millis(100),
         slos: vec![SessionSlo {
             slo: Micros::from_millis(100),
-            ell1: Micros::from_micros(200),
+            ell_min: Micros::from_micros(200),
             ell_b: Micros::from_micros(400),
             batch: 8,
         }],

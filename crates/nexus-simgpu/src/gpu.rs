@@ -170,6 +170,30 @@ impl SimGpu {
         }
     }
 
+    /// Executes a back-to-back sequence of rung-shaped minibatches in one
+    /// exclusive slot (ladder execution, DESIGN.md §16): `parts` yields
+    /// `(duration, items)` per minibatch. The device is busy from
+    /// `max(start, free_at)` for the summed duration with no idle gaps;
+    /// each minibatch counts as its own execution for the stats.
+    pub fn execute_sequence<I>(&mut self, start: Micros, parts: I) -> Execution
+    where
+        I: IntoIterator<Item = (Micros, u32)>,
+    {
+        let actual_start = start.max(self.busy_until);
+        let mut finish = actual_start;
+        for (duration, items) in parts {
+            finish += duration;
+            self.busy_total += duration;
+            self.executions += 1;
+            self.items_processed += u64::from(items);
+        }
+        self.busy_until = finish;
+        Execution {
+            start: actual_start,
+            finish,
+        }
+    }
+
     /// Accrues busy time without exclusive serialization — used for
     /// time-shared (uncoordinated container) execution where `duration` is
     /// this execution's fair-share device time.
@@ -274,6 +298,28 @@ mod tests {
         let e2 = g.execute(Micros::from_millis(5), Micros::from_millis(10), 4);
         assert_eq!(e2.start, Micros::from_millis(10));
         assert_eq!(e2.finish, Micros::from_millis(20));
+    }
+
+    #[test]
+    fn sequence_runs_back_to_back_and_serializes() {
+        let mut g = gpu();
+        g.execute(Micros::ZERO, Micros::from_millis(10), 4);
+        // Requested at t=5 but busy until t=10; three minibatches run
+        // gap-free after that.
+        let e = g.execute_sequence(
+            Micros::from_millis(5),
+            [
+                (Micros::from_millis(8), 8u32),
+                (Micros::from_millis(8), 8),
+                (Micros::from_millis(4), 2),
+            ],
+        );
+        assert_eq!(e.start, Micros::from_millis(10));
+        assert_eq!(e.finish, Micros::from_millis(30));
+        assert_eq!(g.free_at(), Micros::from_millis(30));
+        assert_eq!(g.executions(), 4);
+        assert_eq!(g.items_processed(), 22);
+        assert_eq!(g.busy_total(), Micros::from_millis(30));
     }
 
     #[test]

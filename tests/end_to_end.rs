@@ -169,6 +169,7 @@ fn early_drop_beats_lazy_in_max_goodput() {
                         horizon: Micros::from_secs(15),
                         warmup: Micros::from_secs(3),
                         strict_batches: false,
+                        ladder: false,
                         trace_capacity: 0,
                     },
                     &[NodeSession {
