@@ -4,21 +4,27 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# ci-step: fmt
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+# ci-step: build
 echo "== cargo build --release =="
 cargo build --release --workspace
 
+# ci-step: test
 echo "== cargo test =="
 cargo test -q --workspace
 
+# ci-step: clippy
 echo "== cargo clippy =="
 cargo clippy --all-targets --workspace -- -D warnings
 
+# ci-step: docs
 echo "== cargo doc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+# ci-step: deny
 echo "== cargo deny =="
 # The workflow runs cargo-deny via its action; locally it gates only when
 # installed (`cargo install cargo-deny`) so a bare toolchain can still run
@@ -29,6 +35,7 @@ else
   echo "(cargo-deny not installed; skipping — CI runs it)"
 fi
 
+# ci-step: simbench-determinism
 echo "== perf smoke + shard/thread determinism: simbench --quick =="
 # Catches panics, determinism violations (simbench asserts repeat runs
 # bit-identical), and gross hangs. Timing numbers are informational only —
@@ -59,6 +66,7 @@ cargo run --release -q -p bench --bin simbench -- --quick \
 diff "$tmp_det1" "$tmp_det_thr" \
   || { echo "simbench diverged between --threads 1 and --threads 4"; exit 1; }
 
+# ci-step: goodput-smoke
 echo "== goodput smoke: fig14 k=5 ladder point at 98% of committed baseline =="
 # Replays the committed fig14 nexus #models=5 configuration (5 Inception
 # copies, one GPU, 100 ms SLO, batch-plan ladders) at 98% of the committed
@@ -66,6 +74,7 @@ echo "== goodput smoke: fig14 k=5 ladder point at 98% of committed baseline =="
 # criterion — a fast tripwire for ladder planning/dispatch regressions.
 cargo run --release -q -p bench --bin goodput_smoke -- --quick
 
+# ci-step: front-door
 echo "== front-door smoke + chaos: nexus-serve over localhost TCP =="
 # Real sockets, real threads: 4 backend processes-worth of listeners, 200
 # concurrent client connections, backend 0 killed mid-run, a routing epoch
@@ -76,6 +85,7 @@ echo "== front-door smoke + chaos: nexus-serve over localhost TCP =="
 # accounting, ordering, and clean teardown.
 cargo run --release -q -p nexus-serve --bin nexus-serve
 
+# ci-step: schema-golden
 echo "== schema golden: fixed-seed trace capture (serial, sharded, threaded) =="
 # The Fig. 13 mini-run must reproduce the committed golden byte-for-byte;
 # divergence means the trace schema or the simulation changed. Regenerate
@@ -98,5 +108,20 @@ NEXUS_SIM_SHARDS=4 NEXUS_SIM_THREADS=4 \
   capture --golden --out "$tmp_golden_threaded" >/dev/null
 cargo run --release -q -p nexus-obs --bin nexus-trace -- \
   diff "$tmp_golden_threaded" crates/nexus-obs/tests/golden/fig13_mini.trace.json
+
+# ci-step: hetero-smoke
+echo "== hetero smoke: committed mixed-fleet goodput-per-dollar point =="
+# Replays the committed bench_results/hetero.json headline — the mixed
+# 1080Ti/K80/V100 fleet on the workload where it beats every homogeneous
+# equivalent-cost baseline — and fails if goodput per dollar drops more
+# than 1% below the committed point or any SLO-budget violation appears
+# (a session whose latency budget no available device class can hold).
+cargo run --release -q -p bench --bin hetero_smoke
+
+# ci-step: drift-check
+echo "== ci.sh <-> ci.yml drift check =="
+# Every gated step carries a `ci-step:` marker in both this script and the
+# workflow; the check fails if either file has a step the other lacks.
+scripts/ci_drift_check.sh
 
 echo "CI OK"

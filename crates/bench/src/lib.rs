@@ -5,6 +5,7 @@
 //! (`--seed`, `--secs`, `--quick`, `--out`), an aligned-table printer, JSON
 //! series output, and workload builders shared across experiments.
 
+pub mod hetero;
 pub mod par;
 pub mod workload_file;
 

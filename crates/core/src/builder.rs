@@ -99,9 +99,7 @@ impl NexusCluster {
                 // across hosting GPUs), falling back to the SLO-feasible
                 // maximum when the allocation does not host it.
                 let planned_batch = plan
-                    .allocation
-                    .plans
-                    .iter()
+                    .iter_plans()
                     .flat_map(|p| &p.entries)
                     .filter(|e| e.session == s.id)
                     .map(|e| e.batch)
@@ -120,7 +118,7 @@ impl NexusCluster {
             })
             .collect();
         let mut routes = vec![Vec::new(); plan.sessions.len()];
-        for (gpu, p) in plan.allocation.plans.iter().enumerate() {
+        for (gpu, p) in plan.iter_plans().enumerate() {
             for e in &p.entries {
                 routes[e.session.0 as usize].push(gpu as u32);
             }

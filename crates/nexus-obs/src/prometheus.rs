@@ -288,8 +288,8 @@ pub fn render(result: &SimResult) -> String {
     for occ in &result.gpu_occupancy {
         let _ = writeln!(
             out,
-            "nexus_gpu_busy_fraction{{backend=\"{}\"}} {}",
-            occ.backend, occ.busy_frac
+            "nexus_gpu_busy_fraction{{backend=\"{}\",pool=\"{}\"}} {}",
+            occ.backend, occ.pool, occ.busy_frac
         );
     }
     gauge_header(
@@ -300,8 +300,58 @@ pub fn render(result: &SimResult) -> String {
     for occ in &result.gpu_occupancy {
         let _ = writeln!(
             out,
-            "nexus_gpu_planned_fraction{{backend=\"{}\"}} {}",
-            occ.backend, occ.planned_frac
+            "nexus_gpu_planned_fraction{{backend=\"{}\",pool=\"{}\"}} {}",
+            occ.backend, occ.pool, occ.planned_frac
+        );
+    }
+
+    // Per-device-pool rollups (a homogeneous fleet exposes one pool).
+    gauge_header(
+        &mut out,
+        "nexus_pool_backends",
+        "Backends deployed per device pool at the end of the run.",
+    );
+    for p in &result.pool_stats {
+        let _ = writeln!(
+            out,
+            "nexus_pool_backends{{pool=\"{}\",device=\"{}\"}} {}",
+            p.pool, p.device, p.backends
+        );
+    }
+    gauge_header(
+        &mut out,
+        "nexus_pool_busy_fraction",
+        "Mean measured busy fraction across a pool's backends.",
+    );
+    for p in &result.pool_stats {
+        let _ = writeln!(
+            out,
+            "nexus_pool_busy_fraction{{pool=\"{}\",device=\"{}\"}} {}",
+            p.pool, p.device, p.busy_frac
+        );
+    }
+    gauge_header(
+        &mut out,
+        "nexus_pool_request_goodput",
+        "Good request completions per second on a pool's sessions (run-wide).",
+    );
+    for p in &result.pool_stats {
+        let _ = writeln!(
+            out,
+            "nexus_pool_request_goodput{{pool=\"{}\",device=\"{}\"}} {}",
+            p.pool, p.device, p.request_goodput
+        );
+    }
+    gauge_header(
+        &mut out,
+        "nexus_pool_request_bad_rate",
+        "Late-or-dropped fraction of a pool's terminal requests.",
+    );
+    for p in &result.pool_stats {
+        let _ = writeln!(
+            out,
+            "nexus_pool_request_bad_rate{{pool=\"{}\",device=\"{}\"}} {}",
+            p.pool, p.device, p.request_bad_rate
         );
     }
 
@@ -344,7 +394,10 @@ mod tests {
             samples += 1;
         }
         assert!(samples >= 8, "got {samples} samples:\n{text}");
-        assert!(text.contains("nexus_gpu_busy_fraction{backend=\"0\"}"));
+        assert!(text.contains("nexus_gpu_busy_fraction{backend=\"0\",pool=\"0\"}"));
+        // A homogeneous run still exposes its single pool's rollup.
+        assert!(text.contains("nexus_pool_backends{pool=\"0\",device=\"NVIDIA GTX 1080Ti\"}"));
+        assert!(text.contains("nexus_pool_request_goodput{pool=\"0\""));
         // With a trace attached, every drop cause gets an explicit row
         // (zeros included) plus the retry counter.
         assert!(text.contains("nexus_drops_total{cause=\"AdmissionRejected\"}"));

@@ -135,6 +135,24 @@ pub fn render(result: &SimResult) -> String {
         }
     }
 
+    // One line per device pool; a homogeneous fleet is a single pool, so
+    // the rollup only earns its space on mixed fleets.
+    if result.pool_stats.len() > 1 {
+        let _ = writeln!(out, "Device pools:");
+        for p in &result.pool_stats {
+            let _ = writeln!(
+                out,
+                "  pool {:>2} [{}]: {:>3} backends, busy {:>5.1}%, goodput {:>7.1} req/s, bad {:>5.2}%",
+                p.pool,
+                p.device,
+                p.backends,
+                p.busy_frac * 100.0,
+                p.request_goodput,
+                p.request_bad_rate * 100.0,
+            );
+        }
+    }
+
     if result.trace_truncated > 0 {
         let _ = writeln!(
             out,
@@ -176,6 +194,37 @@ mod tests {
         assert!(text.contains("GPU occupancy"), "{text}");
         assert!(text.contains("Rung occupancy"), "{text}");
         assert!(!text.contains("WARNING"), "{text}");
+    }
+
+    #[test]
+    fn summary_rolls_up_pools_on_mixed_fleets() {
+        use nexus_runtime::{run_heterogeneous, DevicePool};
+        let hetero = run_heterogeneous(
+            &SystemConfig::nexus().with_static_allocation(),
+            &[
+                DevicePool {
+                    device: GPU_GTX1080TI,
+                    gpus: 4,
+                },
+                DevicePool {
+                    device: nexus_profile::GPU_K80,
+                    gpus: 4,
+                },
+            ],
+            vec![TrafficClass::new(
+                apps::traffic(),
+                ArrivalKind::Uniform,
+                60.0,
+            )],
+            3,
+            Micros::from_secs(2),
+            Micros::from_secs(6),
+        )
+        .unwrap();
+        let text = render(&hetero.result);
+        assert!(text.contains("Device pools:"), "{text}");
+        assert!(text.contains("NVIDIA GTX 1080Ti"), "{text}");
+        assert!(text.contains("NVIDIA K80"), "{text}");
     }
 
     #[test]

@@ -29,8 +29,9 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::config::SystemConfig;
-use crate::control::{plan, ControlPlan, PlanError, TrafficClass};
+use crate::control::{plan, plan_pooled, ControlPlan, PlanError, TrafficClass};
 use crate::dispatch::{classify_drop, BatchPull, DropPolicy, MiniBatch, SessionQueue};
+use crate::hetero::DevicePool;
 use crate::metrics::ClusterMetrics;
 use crate::request::{QueryId, QueryTracker, Request, RequestId, RequestOutcome};
 use crate::trace::{DropCause, Trace, TraceEvent};
@@ -103,6 +104,9 @@ pub struct SimResult {
     /// over the last inter-reallocation window vs. the squishy plan's
     /// predicted duty-cycle occupancy.
     pub gpu_occupancy: Vec<GpuOccupancy>,
+    /// Per-device-pool rollup of the final deployment (one entry for a
+    /// homogeneous fleet).
+    pub pool_stats: Vec<PoolStats>,
 }
 
 /// Measured vs. planned occupancy of one backend GPU.
@@ -110,11 +114,32 @@ pub struct SimResult {
 pub struct GpuOccupancy {
     /// Backend index in the final deployment.
     pub backend: usize,
+    /// Device pool the backend belongs to (0 for homogeneous fleets).
+    pub pool: usize,
     /// Busy fraction observed since the last deployment swap.
     pub busy_frac: f64,
     /// The plan's predicted duty-cycle occupancy: Σ batch execution
     /// latencies over the duty cycle (§6.2 squishy bin packing).
     pub planned_frac: f64,
+}
+
+/// Rollup of one device pool's serving over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolStats {
+    /// Pool index (position in the planner's pool list).
+    pub pool: usize,
+    /// Device class name of the pool.
+    pub device: &'static str,
+    /// Backends deployed in the pool at the end of the run.
+    pub backends: usize,
+    /// Mean measured busy fraction across the pool's backends since the
+    /// last deployment swap.
+    pub busy_frac: f64,
+    /// Good request completions per second on this pool's sessions, over
+    /// the whole run.
+    pub request_goodput: f64,
+    /// Fraction of the pool's terminal requests that were late or dropped.
+    pub request_bad_rate: f64,
 }
 
 enum Event {
@@ -368,9 +393,7 @@ impl EventRouter {
 /// heuristic cannot affect results — only how often threads rendezvous.
 fn plan_window(plan: &ControlPlan) -> Micros {
     let min_duty = plan
-        .allocation
-        .plans
-        .iter()
+        .iter_plans()
         .map(|p| p.duty_cycle)
         .filter(|d| *d > Micros::ZERO)
         .min();
@@ -399,6 +422,17 @@ pub struct ClusterSim {
     cfg: SimConfig,
     classes: Vec<TrafficClass>,
     control: ControlPlan,
+    /// Device pools of a heterogeneous fleet (empty for homogeneous
+    /// deployments, which re-plan through the global single-device
+    /// planner and stay byte-identical to the pre-pool simulator).
+    pools: Vec<DevicePool>,
+    /// First physical GPU slot of each pool. Kept on the simulator, not
+    /// read from [`PoolPlan::gpus`]: a replan under dead slots caps the
+    /// plan below the physical pool size, but the slot ranges are fixed
+    /// hardware.
+    pool_bases: Vec<usize>,
+    /// Physical GPU slots per pool (sums to `cfg.max_gpus`).
+    pool_sizes: Vec<usize>,
     backends: Vec<Backend>,
     /// Routing state per frontend: `routes[frontend][session]`.
     routes: Vec<Vec<Route>>,
@@ -498,6 +532,35 @@ impl ClusterSim {
     /// input, so callers (e.g. the `simulate` binary) can report it
     /// cleanly instead of aborting.
     pub fn try_new(cfg: SimConfig, classes: Vec<TrafficClass>) -> Result<Self, PlanError> {
+        ClusterSim::construct(cfg, classes, Vec::new())
+    }
+
+    /// Builds a simulator over a heterogeneous fleet: one device pool per
+    /// class of GPU, planned jointly by the pool-aware planner
+    /// ([`crate::control::plan_pooled`]). Physical GPU slots are laid out
+    /// pool by pool (`pools[0]` owns slots `0..pools[0].gpus`, and so on);
+    /// `cfg.max_gpus` and `cfg.device` are ignored — the pools define the
+    /// fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] like [`ClusterSim::try_new`].
+    pub fn try_new_pooled(
+        mut cfg: SimConfig,
+        pools: Vec<DevicePool>,
+        classes: Vec<TrafficClass>,
+    ) -> Result<Self, PlanError> {
+        assert!(!pools.is_empty(), "need at least one device pool");
+        cfg.max_gpus = pools.iter().map(|p| p.gpus).sum();
+        ClusterSim::construct(cfg, classes, pools)
+    }
+
+    /// Shared construction body; `pools` empty means homogeneous.
+    fn construct(
+        cfg: SimConfig,
+        classes: Vec<TrafficClass>,
+        pools: Vec<DevicePool>,
+    ) -> Result<Self, PlanError> {
         for f in &cfg.faults {
             if f.slot >= cfg.max_gpus as usize {
                 return Err(PlanError::FaultSlot {
@@ -507,14 +570,30 @@ impl ClusterSim {
             }
         }
         let est_rates: Vec<f64> = classes.iter().map(|c| c.rate).collect();
-        let control = plan(
-            &classes,
-            &cfg.system,
-            &cfg.device,
-            cfg.max_gpus,
-            Some(&est_rates),
-        )?;
-        let backends = build_backends(&control, &cfg.system, &cfg.device);
+        let control = if pools.is_empty() {
+            plan(
+                &classes,
+                &cfg.system,
+                &cfg.device,
+                cfg.max_gpus,
+                Some(&est_rates),
+            )?
+        } else {
+            let avail: Vec<u32> = pools.iter().map(|p| p.gpus).collect();
+            plan_pooled(&classes, &cfg.system, &pools, &avail, Some(&est_rates))?
+        };
+        let (pool_bases, pool_sizes) = if pools.is_empty() {
+            (vec![0], vec![cfg.max_gpus as usize])
+        } else {
+            let mut bases = Vec::with_capacity(pools.len());
+            let mut base = 0usize;
+            for p in &pools {
+                bases.push(base);
+                base += p.gpus as usize;
+            }
+            (bases, pools.iter().map(|p| p.gpus as usize).collect())
+        };
+        let backends = build_backends(&control, &cfg.system);
         let routes = build_frontends(&control, cfg.system.frontends);
         let stage_sessions = index_sessions(&classes, &control);
         let variant_cursor = classes
@@ -560,19 +639,32 @@ impl ClusterSim {
             events.push(cfg.system.heartbeat_interval, Event::HeartbeatCheck);
         }
         let mut metrics = ClusterMetrics::new(Micros::from_secs(1));
-        metrics.record_allocation(Micros::ZERO, control.allocation.gpu_count() as u32);
+        metrics.record_allocation(Micros::ZERO, control.gpu_count() as u32);
         let gamma_rng = rng_for(cfg.seed, 0xFA_0000);
         let route_rng = rng_for(cfg.seed, 0xFB_0000);
         let n_classes = classes.len();
         let cfg2_trace = cfg.trace_capacity;
         let fleet = FleetHealth::new(cfg.max_gpus as usize);
-        let backend_slot: Vec<usize> = (0..backends.len()).collect();
+        // Initial physical placement: each pool's backends occupy its slot
+        // range from the bottom (identical to `(0..backends.len())` for the
+        // single homogeneous pool).
+        let backend_slot: Vec<usize> = control
+            .pools
+            .iter()
+            .flat_map(|pp| {
+                let base = pool_bases[pp.pool];
+                (0..pp.allocation.plans.len()).map(move |li| base + li)
+            })
+            .collect();
         let fault_mode = !cfg.faults.is_empty();
         let max_gpus = cfg.max_gpus as usize;
         Ok(ClusterSim {
             cfg,
             classes,
             control,
+            pools,
+            pool_bases,
+            pool_sizes,
             backends,
             routes,
             next_frontend: 0,
@@ -1419,14 +1511,7 @@ impl ClusterSim {
         self.last_replan = now;
         self.planned_rates = self.est_rates.clone();
 
-        let next = plan(
-            &self.classes,
-            &self.cfg.system,
-            &self.cfg.device,
-            self.available_gpus(),
-            Some(&self.est_rates),
-        )
-        .expect("models validated at construction");
+        let next = self.replan_control();
         self.swap_deployment(now, next);
         if now + tick < self.cfg.horizon {
             self.events.push(now + tick, Event::EpochTick);
@@ -1447,28 +1532,41 @@ impl ClusterSim {
         // pop order either way).
         self.events.set_window(plan_window(&next));
         // Account allocated GPU-seconds under the *old* allocation.
-        self.gpu_seconds_allocated += (now - self.last_alloc_change).as_secs_f64()
-            * self.control.allocation.gpu_count() as f64;
+        self.gpu_seconds_allocated +=
+            (now - self.last_alloc_change).as_secs_f64() * self.control.gpu_count() as f64;
         self.last_alloc_change = now;
 
         // Only backends on slots the controller trusts may be reused; a
         // declared-dead slot's model residency is gone with the hardware.
-        let reusable: Vec<usize> = (0..self.backends.len())
-            .filter(|&b| !self.fleet.is_dead(self.backend_slot[b]))
-            .collect();
-        let prev_plans: Vec<GpuPlan> = reusable
-            .iter()
-            .map(|&b| self.control.allocation.plans[b].clone())
-            .collect();
-        let assignment = assign_plans(&prev_plans, &next.allocation.plans);
-        let mut new_backends = build_backends(&next, &self.cfg.system, &self.cfg.device);
+        // Matching runs per pool — a backend's device class and physical
+        // slot range belong to its pool, so reuse never crosses pools. The
+        // single-pool case reduces to the old global matching exactly.
+        debug_assert_eq!(next.pools.len(), self.control.pools.len());
+        let next_count: usize = next.pools.iter().map(|p| p.allocation.plans.len()).sum();
+        let mut matched_prev: Vec<Option<usize>> = vec![None; next_count];
+        let mut model_loads = 0usize;
+        for (pp, opp) in next.pools.iter().zip(&self.control.pools) {
+            let old_range = opp.first_backend..opp.first_backend + opp.allocation.plans.len();
+            let reusable: Vec<usize> = old_range
+                .filter(|&b| !self.fleet.is_dead(self.backend_slot[b]))
+                .collect();
+            let prev_plans: Vec<GpuPlan> = reusable
+                .iter()
+                .map(|&b| self.control.plan_of(b).clone())
+                .collect();
+            let assignment = assign_plans(&prev_plans, &pp.allocation.plans);
+            model_loads += assignment.model_loads;
+            for (li, m) in assignment.backend_for.iter().enumerate() {
+                matched_prev[pp.first_backend + li] = m.map(|pos| reusable[pos]);
+            }
+        }
+        let mut new_backends = build_backends(&next, &self.cfg.system);
         // Charge model-load delay on backends that must load new models.
         for (ni, nb) in new_backends.iter_mut().enumerate() {
             let mut max_load = Micros::ZERO;
             for slot in &nb.slots {
-                let resident = assignment.backend_for[ni].is_some_and(|pos| {
-                    self.backends[reusable[pos]].slot_of(slot.session).is_some()
-                });
+                let resident = matched_prev[ni]
+                    .is_some_and(|pb| self.backends[pb].slot_of(slot.session).is_some());
                 if !resident {
                     let load = next.sessions[slot.session.0 as usize]
                         .exec_profile
@@ -1479,7 +1577,7 @@ impl ClusterSim {
             // Phase stagger matters only for brand-new backends; reused
             // ones already drifted out of phase and must not go dark for a
             // duty cycle at every reconfiguration.
-            let stagger = if assignment.backend_for[ni].is_some() {
+            let stagger = if matched_prev[ni].is_some() {
                 Micros::ZERO
             } else {
                 nb.available_at
@@ -1489,8 +1587,7 @@ impl ClusterSim {
         // Queues stay with backends that keep hosting their session (no
         // disruption); only requests whose host changed migrate.
         for (ni, nb) in new_backends.iter_mut().enumerate() {
-            if let Some(pos) = assignment.backend_for[ni] {
-                let pi = reusable[pos];
+            if let Some(pi) = matched_prev[ni] {
                 for slot in nb.slots.iter_mut() {
                     if let Some(psi) = self.backends[pi].slot_of(slot.session) {
                         for r in self.backends[pi].slots[psi].queue.drain() {
@@ -1507,23 +1604,25 @@ impl ClusterSim {
             }
         }
         // Physical placement: reused backends keep their slot; fresh ones
-        // take the lowest slot not declared dead and not already occupied.
-        // A crashed-but-undetected slot is eligible — the controller does
-        // not know better yet, and the misplaced sessions are rescued by
-        // the next detection.
+        // take the lowest slot in their *pool's* physical range not
+        // declared dead and not already occupied. A crashed-but-undetected
+        // slot is eligible — the controller does not know better yet, and
+        // the misplaced sessions are rescued by the next detection.
         let mut new_backend_slot = vec![usize::MAX; new_backends.len()];
         let mut occupied = vec![false; self.cfg.max_gpus as usize];
         for (ni, slot) in new_backend_slot.iter_mut().enumerate() {
-            if let Some(pos) = assignment.backend_for[ni] {
-                *slot = self.backend_slot[reusable[pos]];
+            if let Some(pb) = matched_prev[ni] {
+                *slot = self.backend_slot[pb];
                 occupied[*slot] = true;
             }
         }
-        for slot in new_backend_slot.iter_mut() {
+        for (ni, slot) in new_backend_slot.iter_mut().enumerate() {
             if *slot == usize::MAX {
-                let free = (0..self.cfg.max_gpus as usize)
+                let pool = next.pool_of(ni);
+                let base = self.pool_bases[pool];
+                let free = (base..base + self.pool_sizes[pool])
                     .find(|&s| !occupied[s] && !self.fleet.is_dead(s))
-                    .expect("plan count is capped at non-dead slot count");
+                    .expect("pool plan count is capped at non-dead slot count");
                 *slot = free;
                 occupied[free] = true;
             }
@@ -1566,12 +1665,12 @@ impl ClusterSim {
             }
         }
         self.metrics
-            .record_allocation(now, self.control.allocation.gpu_count() as u32);
+            .record_allocation(now, self.control.gpu_count() as u32);
         if let Some(tr) = &mut self.trace {
             tr.push(TraceEvent::Reallocation {
                 t: now,
-                gpus: self.control.allocation.gpu_count() as u32,
-                model_loads: assignment.model_loads,
+                gpus: self.control.gpu_count() as u32,
+                model_loads,
             });
         }
         // Wake everything to pick up the new schedule.
@@ -1820,16 +1919,45 @@ impl ClusterSim {
     /// allocation). Only moved sessions pay model-load cost, via the same
     /// incremental plan assignment as a regular epoch.
     fn emergency_replan(&mut self, now: Micros) {
-        let next = plan(
-            &self.classes,
-            &self.cfg.system,
-            &self.cfg.device,
-            self.available_gpus(),
-            Some(&self.est_rates),
-        )
-        .expect("models validated at construction");
+        let next = self.replan_control();
         self.swap_deployment(now, next);
         self.last_replan = now;
+    }
+
+    /// Re-plans on the capacity the controller currently trusts:
+    /// homogeneous fleets re-run the global single-device planner on the
+    /// live GPU count; pooled fleets re-run the pool-aware planner with
+    /// each pool capped at its count of non-declared-dead physical slots.
+    fn replan_control(&self) -> ControlPlan {
+        if self.pools.is_empty() {
+            plan(
+                &self.classes,
+                &self.cfg.system,
+                &self.cfg.device,
+                self.available_gpus(),
+                Some(&self.est_rates),
+            )
+            .expect("models validated at construction")
+        } else {
+            let avail: Vec<u32> = self
+                .pool_bases
+                .iter()
+                .zip(&self.pool_sizes)
+                .map(|(&base, &size)| {
+                    (base..base + size)
+                        .filter(|&s| !self.fleet.is_dead(s))
+                        .count() as u32
+                })
+                .collect();
+            plan_pooled(
+                &self.classes,
+                &self.cfg.system,
+                &self.pools,
+                &avail,
+                Some(&self.est_rates),
+            )
+            .expect("models validated at construction")
+        }
     }
 
     fn summarize(mut self) -> SimResult {
@@ -1867,8 +1995,8 @@ impl ClusterSim {
                 self.tracker.record(q, RequestOutcome::Dropped(end));
             }
         }
-        self.gpu_seconds_allocated += (end - self.last_alloc_change).as_secs_f64()
-            * self.control.allocation.gpu_count() as f64;
+        self.gpu_seconds_allocated +=
+            (end - self.last_alloc_change).as_secs_f64() * self.control.gpu_count() as f64;
 
         let window_start = self.cfg.warmup;
         let window_end = self.cfg.horizon;
@@ -1916,7 +2044,7 @@ impl ClusterSim {
             .iter()
             .enumerate()
             .map(|(bi, b)| {
-                let p = &self.control.allocation.plans[bi];
+                let p = self.control.plan_of(bi);
                 let exec_total: Micros = p.entries.iter().map(|e| e.exec_latency).sum();
                 let planned_frac = if p.duty_cycle > Micros::ZERO {
                     (exec_total.as_secs_f64() / p.duty_cycle.as_secs_f64()).min(1.0)
@@ -1930,8 +2058,52 @@ impl ClusterSim {
                 };
                 GpuOccupancy {
                     backend: bi,
+                    pool: self.control.pool_of(bi),
                     busy_frac,
                     planned_frac,
+                }
+            })
+            .collect();
+
+        // Per-pool rollup: occupancy from the slice of backends the pool
+        // owns, request counters joined through each session's planned
+        // pool. Run-wide (unwindowed) on purpose — an observability
+        // surface, not a measurement-window statistic.
+        let run_secs = end.as_secs_f64().max(1e-9);
+        let pool_stats: Vec<PoolStats> = self
+            .control
+            .pools
+            .iter()
+            .map(|pp| {
+                let nplans = pp.allocation.plans.len();
+                let occ = &gpu_occupancy[pp.first_backend..pp.first_backend + nplans];
+                let busy_frac = if occ.is_empty() {
+                    0.0
+                } else {
+                    occ.iter().map(|o| o.busy_frac).sum::<f64>() / occ.len() as f64
+                };
+                let (mut good, mut bad_reqs) = (0u64, 0u64);
+                for s in &self.control.sessions {
+                    if s.pool != pp.pool {
+                        continue;
+                    }
+                    if let Some(m) = self.metrics.session(s.id) {
+                        good += m.good;
+                        bad_reqs += m.late + m.dropped;
+                    }
+                }
+                let terminal = good + bad_reqs;
+                PoolStats {
+                    pool: pp.pool,
+                    device: pp.device.name,
+                    backends: nplans,
+                    busy_frac,
+                    request_goodput: good as f64 / run_secs,
+                    request_bad_rate: if terminal == 0 {
+                        0.0
+                    } else {
+                        bad_reqs as f64 / terminal as f64
+                    },
                 }
             })
             .collect();
@@ -1948,6 +2120,7 @@ impl ClusterSim {
             trace_truncated: self.trace.as_ref().map_or(0, |t| t.truncated),
             trace: self.trace,
             gpu_occupancy,
+            pool_stats,
         }
     }
 }
@@ -2072,22 +2245,24 @@ fn sample_gamma(gamma: GammaSpec, rng: &mut StdRng) -> u32 {
     }
 }
 
-fn build_backends(
-    control: &ControlPlan,
-    system: &SystemConfig,
-    device: &nexus_profile::DeviceType,
-) -> Vec<Backend> {
-    let n = control.allocation.plans.len().max(1) as u64;
-    control
-        .allocation
-        .plans
+fn build_backends(control: &ControlPlan, system: &SystemConfig) -> Vec<Backend> {
+    let total: usize = control
+        .pools
         .iter()
-        .enumerate()
-        .map(|(bi, p)| {
-            // Load every hosted model onto the simulated device; the
-            // squishy memory constraint guarantees this fits, and the
-            // device enforces it.
-            let mut gpu = SimGpu::new(*device);
+        .map(|pp| pp.allocation.plans.len())
+        .sum();
+    let mut backends = Vec::with_capacity(total);
+    for pp in &control.pools {
+        // Stagger and phase jitter are pool-local: replicas phase-lock with
+        // their own pool's duty cycles, and the single-pool case matches
+        // the old global indexing exactly (`li == bi`, `n` = plan count).
+        let n = pp.allocation.plans.len().max(1) as u64;
+        for (li, p) in pp.allocation.plans.iter().enumerate() {
+            let bi = pp.first_backend + li;
+            // Load every hosted model onto the simulated device (the
+            // *pool's* device class); the squishy memory constraint
+            // guarantees this fits, and the device enforces it.
+            let mut gpu = SimGpu::new(pp.device);
             for e in &p.entries {
                 let session = &control.sessions[e.session.0 as usize];
                 gpu.load(
@@ -2149,8 +2324,8 @@ fn build_backends(
             // Stagger backend start phases across one duty cycle:
             // replicas of a saturated session otherwise phase-lock and dump
             // synchronized downstream bursts every cycle.
-            let stagger = Micros::from_micros(p.duty_cycle.as_micros() * bi as u64 / n);
-            Backend {
+            let stagger = Micros::from_micros(p.duty_cycle.as_micros() * li as u64 / n);
+            backends.push(Backend {
                 slots,
                 cursor: 0,
                 busy: false,
@@ -2158,9 +2333,10 @@ fn build_backends(
                 armed_wake: Micros::MAX,
                 slot_index,
                 gpu,
-            }
-        })
-        .collect()
+            });
+        }
+    }
+    backends
 }
 
 fn build_routes(control: &ControlPlan) -> Vec<Route> {

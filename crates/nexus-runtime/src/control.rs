@@ -11,13 +11,15 @@
 use nexus_model::{zoo, PrefixPlan};
 use nexus_profile::{BatchingProfile, DeviceType, Micros, SharedProfile};
 use nexus_scheduler::{
-    even_latency_split, optimize_latency_split, squishy_bin_packing, Allocation, QueryDag,
-    QueryStage, SessionId, SessionSpec,
+    even_latency_split, optimize_hetero_split, optimize_latency_split, squishy_bin_packing,
+    Allocation, GpuPlan, HeteroQueryDag, HeteroQueryStage, QueryDag, QueryStage, SessionId,
+    SessionSpec, StageCandidate,
 };
 
 use nexus_workload::{AppSpec, ArrivalKind};
 
 use crate::config::{SchedulerPolicy, SystemConfig};
+use crate::hetero::DevicePool;
 
 /// Segments used to discretize latency-split DPs.
 const SPLIT_SEGMENTS: u32 = 50;
@@ -126,6 +128,8 @@ pub struct RuntimeSession {
     pub deadline_offset: Micros,
     /// Estimated request rate used at the last scheduling round.
     pub est_rate: f64,
+    /// Device pool this session is planned on (0 for homogeneous fleets).
+    pub pool: usize,
 }
 
 /// Routing target: a backend hosting the session, with its planned share.
@@ -138,17 +142,79 @@ pub struct RouteTarget {
     pub weight: f64,
 }
 
+/// One device pool's slice of a deployment: the squishy allocation packed
+/// against that pool's device class, plus where its backends sit in the
+/// cluster-wide backend numbering.
+#[derive(Debug, Clone)]
+pub struct PoolPlan {
+    /// Pool index (position in the planner's `DevicePool` list).
+    pub pool: usize,
+    /// Device class every GPU in this pool belongs to.
+    pub device: DeviceType,
+    /// Physical pool size in GPU slots (not the possibly-smaller replan
+    /// cap when slots are dead).
+    pub gpus: u32,
+    /// Global backend index of this pool's first plan; pool `p`'s plans
+    /// occupy backends `first_backend .. first_backend + plans.len()`.
+    pub first_backend: usize,
+    /// GPU plans from the per-pool squishy packing.
+    pub allocation: Allocation,
+}
+
 /// Everything the data plane needs for one epoch.
 #[derive(Debug, Clone)]
 pub struct ControlPlan {
     /// Session table; `sessions[i].id == SessionId(i)`.
     pub sessions: Vec<RuntimeSession>,
-    /// GPU plans from the scheduler.
-    pub allocation: Allocation,
-    /// Routing table per session id.
+    /// Per-pool GPU plans; homogeneous deployments have exactly one pool.
+    pub pools: Vec<PoolPlan>,
+    /// Routing table per session id (backend indices are cluster-global).
     pub routes: Vec<Vec<RouteTarget>>,
     /// Latency budgets per (class, stage) for inspection.
     pub budgets: Vec<Vec<Micros>>,
+}
+
+impl ControlPlan {
+    /// Total GPUs allocated across every pool.
+    pub fn gpu_count(&self) -> usize {
+        self.pools.iter().map(|p| p.allocation.gpu_count()).sum()
+    }
+
+    /// All GPU plans in global backend order.
+    pub fn iter_plans(&self) -> impl Iterator<Item = &GpuPlan> + '_ {
+        self.pools.iter().flat_map(|p| p.allocation.plans.iter())
+    }
+
+    /// The plan deployed on a global backend index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is out of range.
+    pub fn plan_of(&self, backend: usize) -> &GpuPlan {
+        let p = &self.pools[self.pool_of(backend)];
+        &p.allocation.plans[backend - p.first_backend]
+    }
+
+    /// The pool a global backend index belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is out of range.
+    pub fn pool_of(&self, backend: usize) -> usize {
+        self.pools
+            .iter()
+            .position(|p| {
+                backend >= p.first_backend && backend < p.first_backend + p.allocation.plans.len()
+            })
+            .expect("backend index within deployment")
+    }
+
+    /// Whether the scheduler declared a session infeasible in its pool.
+    pub fn is_infeasible(&self, id: SessionId) -> bool {
+        self.pools
+            .iter()
+            .any(|p| p.allocation.infeasible.contains(&id))
+    }
 }
 
 /// Builds the session table for `classes` (static part: profiles, splits,
@@ -167,60 +233,91 @@ pub fn build_sessions(
 ) -> Result<(Vec<RuntimeSession>, Vec<Vec<Micros>>), PlanError> {
     let mut sessions = Vec::new();
     let mut all_budgets = Vec::new();
+    let devices = [*device];
     for (ci, class) in classes.iter().enumerate() {
         let root_rate = rates.map_or(class.rate, |r| r[ci]);
         let budgets = stage_budgets(class, cfg, device, root_rate)?;
-        let offsets = deadline_offsets(&class.app, &budgets);
-        let stage_rates = class.app.stage_rates(root_rate);
-        for (si, stage) in class.app.stages.iter().enumerate() {
-            let spec =
-                nexus_profile::by_name(&stage.model).ok_or_else(|| PlanError::UnknownModel {
-                    model: stage.model.clone(),
-                })?;
-            let base = spec.profile_on(device);
-            let merged = cfg.prefix_batching && stage.variants > 1;
-            if merged {
-                let schema =
-                    zoo::by_name(&stage.model).ok_or_else(|| PlanError::UnknownSchema {
-                        model: stage.model.clone(),
-                    })?;
-                let plan = PrefixPlan::new(&schema, &base, schema.num_layers() - 1);
-                let profile = plan
-                    .merged_profile(stage.variants, base.max_batch())
-                    .with_preprocess(base.preprocess_per_item())
-                    .with_postprocess(base.postprocess_per_item())
-                    .with_load_time(base.load_time());
+        let stage_pools = vec![0usize; class.app.stages.len()];
+        build_class_sessions(
+            &mut sessions,
+            ci,
+            class,
+            cfg,
+            root_rate,
+            &budgets,
+            &stage_pools,
+            &devices,
+        )?;
+        all_budgets.push(budgets);
+    }
+    Ok((sessions, all_budgets))
+}
+
+/// Appends one class's sessions: each stage lands on `stage_pools[si]` and
+/// its profiles come from that pool's device. The homogeneous path passes a
+/// single device with every stage on pool 0.
+#[allow(clippy::too_many_arguments)]
+fn build_class_sessions(
+    sessions: &mut Vec<RuntimeSession>,
+    ci: usize,
+    class: &TrafficClass,
+    cfg: &SystemConfig,
+    root_rate: f64,
+    budgets: &[Micros],
+    stage_pools: &[usize],
+    devices: &[DeviceType],
+) -> Result<(), PlanError> {
+    let offsets = deadline_offsets(&class.app, budgets);
+    let stage_rates = class.app.stage_rates(root_rate);
+    for (si, stage) in class.app.stages.iter().enumerate() {
+        let pool = stage_pools[si];
+        let device = &devices[pool];
+        let spec = nexus_profile::by_name(&stage.model).ok_or_else(|| PlanError::UnknownModel {
+            model: stage.model.clone(),
+        })?;
+        let base = spec.profile_on(device);
+        let merged = cfg.prefix_batching && stage.variants > 1;
+        if merged {
+            let schema = zoo::by_name(&stage.model).ok_or_else(|| PlanError::UnknownSchema {
+                model: stage.model.clone(),
+            })?;
+            let plan = PrefixPlan::new(&schema, &base, schema.num_layers() - 1);
+            let profile = plan
+                .merged_profile(stage.variants, base.max_batch())
+                .with_preprocess(base.preprocess_per_item())
+                .with_postprocess(base.postprocess_per_item())
+                .with_load_time(base.load_time());
+            sessions.push(RuntimeSession {
+                id: SessionId(sessions.len() as u32),
+                class: ci,
+                stage: si,
+                variant: 0,
+                variant_count: 1,
+                exec_profile: profile.effective(cfg.overlap, cfg.cpu_workers).into(),
+                budget: budgets[si],
+                deadline_offset: offsets[si],
+                est_rate: stage_rates[si],
+                pool,
+            });
+        } else {
+            let v = stage.variants.max(1);
+            for variant in 0..v {
                 sessions.push(RuntimeSession {
                     id: SessionId(sessions.len() as u32),
                     class: ci,
                     stage: si,
-                    variant: 0,
-                    variant_count: 1,
-                    exec_profile: profile.effective(cfg.overlap, cfg.cpu_workers).into(),
+                    variant,
+                    variant_count: v,
+                    exec_profile: base.effective(cfg.overlap, cfg.cpu_workers).into(),
                     budget: budgets[si],
                     deadline_offset: offsets[si],
-                    est_rate: stage_rates[si],
+                    est_rate: stage_rates[si] / f64::from(v),
+                    pool,
                 });
-            } else {
-                let v = stage.variants.max(1);
-                for variant in 0..v {
-                    sessions.push(RuntimeSession {
-                        id: SessionId(sessions.len() as u32),
-                        class: ci,
-                        stage: si,
-                        variant,
-                        variant_count: v,
-                        exec_profile: base.effective(cfg.overlap, cfg.cpu_workers).into(),
-                        budget: budgets[si],
-                        deadline_offset: offsets[si],
-                        est_rate: stage_rates[si] / f64::from(v),
-                    });
-                }
             }
         }
-        all_budgets.push(budgets);
     }
-    Ok((sessions, all_budgets))
+    Ok(())
 }
 
 /// Splits a class's SLO across its stages (§6.2), falling back to an even
@@ -278,6 +375,142 @@ fn class_dag(
         })
         .collect::<Result<Vec<_>, PlanError>>()?;
     Ok(QueryDag::new(stages))
+}
+
+/// Jointly splits a class's SLO and places each stage on a device pool.
+/// Pools with estimated headroom get first refusal; if the DP cannot place
+/// the class within them it widens to every non-empty pool, and if no
+/// (pool, split) assignment is feasible it falls back to an even split with
+/// each stage on the cheapest pool that can meet its share.
+///
+/// Per-stage outcome of the pooled split: latency budgets, pool indices,
+/// and fractional-GPU demands, one entry per stage.
+type StagePlacement = (Vec<Micros>, Vec<usize>, Vec<f64>);
+
+/// Returns `(budgets, stage_pools, stage_gpus)`.
+fn pooled_stage_plan(
+    class: &TrafficClass,
+    cfg: &SystemConfig,
+    pools: &[DevicePool],
+    avail: &[u32],
+    pool_load: &[f64],
+    root_rate: f64,
+) -> Result<StagePlacement, PlanError> {
+    let all: Vec<usize> = (0..pools.len()).collect();
+    if cfg.query_analysis {
+        let open: Vec<usize> = (0..pools.len())
+            .filter(|&pi| avail[pi] > 0 && pool_load[pi] < f64::from(avail[pi]))
+            .collect();
+        let usable: Vec<usize> = (0..pools.len()).filter(|&pi| avail[pi] > 0).collect();
+        let mut tiers = vec![open, usable, all.clone()];
+        tiers.dedup();
+        for allowed in &tiers {
+            if allowed.is_empty() {
+                continue;
+            }
+            let dag = hetero_class_dag(class, cfg, pools, allowed)?;
+            if let Some(split) =
+                optimize_hetero_split(&dag, class.app.slo, root_rate.max(1.0), SPLIT_SEGMENTS)
+            {
+                let stage_pools: Vec<usize> = split.classes.iter().map(|&c| allowed[c]).collect();
+                return Ok((split.budgets, stage_pools, split.stage_gpus));
+            }
+        }
+    }
+    // Fallback: even split; each stage goes to the cheapest pool that can
+    // meet its share (else the highest-FLOPs pool, which misses by least).
+    let budgets = even_budgets(&class.app);
+    let mut by_price = all.clone();
+    by_price.sort_by(|&a, &b| {
+        pools[a]
+            .device
+            .hourly_price_usd
+            .total_cmp(&pools[b].device.hourly_price_usd)
+            .then(a.cmp(&b))
+    });
+    let fastest = all.iter().copied().fold(0usize, |best, pi| {
+        if pools[pi].device.effective_tflops > pools[best].device.effective_tflops {
+            pi
+        } else {
+            best
+        }
+    });
+    let mut stage_pools = Vec::with_capacity(class.app.stages.len());
+    for (si, stage) in class.app.stages.iter().enumerate() {
+        let spec = nexus_profile::by_name(&stage.model).ok_or_else(|| PlanError::UnknownModel {
+            model: stage.model.clone(),
+        })?;
+        let feasible = by_price.iter().copied().find(|&pi| {
+            let mut p = spec
+                .profile_on(&pools[pi].device)
+                .effective(cfg.overlap, cfg.cpu_workers);
+            if si > 0 {
+                p = stretch_profile(&p, CHILD_BURST_MARGIN);
+            }
+            p.max_throughput_for_slo(budgets[si]).is_some()
+        });
+        stage_pools.push(feasible.unwrap_or(fastest));
+    }
+    let stage_gpus = vec![0.0; class.app.stages.len()];
+    Ok((budgets, stage_pools, stage_gpus))
+}
+
+/// The even-split budgets of [`even_latency_split`] computed directly on an
+/// app spec: every stage on the deepest path gets an equal share.
+fn even_budgets(app: &AppSpec) -> Vec<Micros> {
+    let n = app.stages.len();
+    let mut below = vec![1usize; n];
+    for u in (0..n).rev() {
+        for (c, _) in &app.stages[u].children {
+            below[u] = below[u].max(1 + below[*c]);
+        }
+    }
+    let share = Micros::from_micros(app.slo.as_micros() / below[0] as u64);
+    vec![share; n]
+}
+
+/// The heterogeneous scheduler-facing DAG of a class: one profile candidate
+/// per allowed pool, priced at that pool's device hourly cost.
+fn hetero_class_dag(
+    class: &TrafficClass,
+    cfg: &SystemConfig,
+    pools: &[DevicePool],
+    allowed: &[usize],
+) -> Result<HeteroQueryDag, PlanError> {
+    let stages = class
+        .app
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(si, stage)| {
+            let spec =
+                nexus_profile::by_name(&stage.model).ok_or_else(|| PlanError::UnknownModel {
+                    model: stage.model.clone(),
+                })?;
+            let candidates = allowed
+                .iter()
+                .map(|&pi| {
+                    let mut profile = spec
+                        .profile_on(&pools[pi].device)
+                        .effective(cfg.overlap, cfg.cpu_workers);
+                    if si > 0 {
+                        profile = stretch_profile(&profile, CHILD_BURST_MARGIN);
+                    }
+                    StageCandidate {
+                        class: pools[pi].device.name.to_string(),
+                        profile,
+                        price: pools[pi].device.hourly_price_usd,
+                    }
+                })
+                .collect();
+            Ok(HeteroQueryStage {
+                name: stage.model.clone(),
+                candidates,
+                children: stage.children.iter().map(|&(c, g)| (c, g.mean())).collect(),
+            })
+        })
+        .collect::<Result<Vec<_>, PlanError>>()?;
+    Ok(HeteroQueryDag::new(stages))
 }
 
 /// Scales every entry of a latency table by `factor`.
@@ -373,74 +606,179 @@ pub fn plan(
     rates: Option<&[f64]>,
 ) -> Result<ControlPlan, PlanError> {
     let (sessions, budgets) = build_sessions(classes, cfg, device, rates)?;
+    let mut allocation = schedule_pool(&sessions, cfg, device, max_gpus, 0);
+    cap_allocation(&mut allocation, max_gpus);
+    let pools = vec![PoolPlan {
+        pool: 0,
+        device: *device,
+        gpus: max_gpus,
+        first_backend: 0,
+        allocation,
+    }];
+    let routes = build_route_table(sessions.len(), &pools);
+    Ok(ControlPlan {
+        sessions,
+        pools,
+        routes,
+        budgets,
+    })
+}
+
+/// Plans a heterogeneous deployment: one squishy packing per device pool,
+/// with every class's stages placed on pools by the joint class/split DP
+/// ([`optimize_hetero_split`]). `avail` caps each pool's usable slots (the
+/// replan path shrinks it below `pools[p].gpus` when slots are dead).
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when the traffic classes reference unknown models.
+///
+/// # Panics
+///
+/// Panics if `pools` is empty or `avail.len() != pools.len()`.
+pub fn plan_pooled(
+    classes: &[TrafficClass],
+    cfg: &SystemConfig,
+    pools: &[DevicePool],
+    avail: &[u32],
+    rates: Option<&[f64]>,
+) -> Result<ControlPlan, PlanError> {
+    assert!(!pools.is_empty(), "need at least one device pool");
+    assert_eq!(avail.len(), pools.len(), "one avail cap per pool");
+    let devices: Vec<DeviceType> = pools.iter().map(|p| p.device).collect();
+    let mut sessions = Vec::new();
+    let mut all_budgets = Vec::new();
+    // Fractional GPUs already committed per pool; steers later classes away
+    // from pools whose demand estimate has reached the slot cap.
+    let mut pool_load = vec![0.0f64; pools.len()];
+    for (ci, class) in classes.iter().enumerate() {
+        let root_rate = rates.map_or(class.rate, |r| r[ci]);
+        let (budgets, stage_pools, stage_gpus) =
+            pooled_stage_plan(class, cfg, pools, avail, &pool_load, root_rate)?;
+        for (si, &pi) in stage_pools.iter().enumerate() {
+            pool_load[pi] += stage_gpus[si];
+        }
+        build_class_sessions(
+            &mut sessions,
+            ci,
+            class,
+            cfg,
+            root_rate,
+            &budgets,
+            &stage_pools,
+            &devices,
+        )?;
+        all_budgets.push(budgets);
+    }
+
+    let mut pool_plans = Vec::with_capacity(pools.len());
+    let mut first_backend = 0usize;
+    for (pi, pool) in pools.iter().enumerate() {
+        let pool_sessions: Vec<RuntimeSession> =
+            sessions.iter().filter(|s| s.pool == pi).cloned().collect();
+        let mut allocation = schedule_pool(&pool_sessions, cfg, &pool.device, avail[pi], pi);
+        cap_allocation(&mut allocation, avail[pi]);
+        let plans = allocation.plans.len();
+        pool_plans.push(PoolPlan {
+            pool: pi,
+            device: pool.device,
+            gpus: pool.gpus,
+            first_backend,
+            allocation,
+        });
+        first_backend += plans;
+    }
+    let routes = build_route_table(sessions.len(), &pool_plans);
+    Ok(ControlPlan {
+        sessions,
+        pools: pool_plans,
+        routes,
+        budgets: all_budgets,
+    })
+}
+
+/// Runs the configured scheduler over the sessions of one pool.
+fn schedule_pool(
+    sessions: &[RuntimeSession],
+    cfg: &SystemConfig,
+    device: &DeviceType,
+    max_gpus: u32,
+    pool: usize,
+) -> Allocation {
     let specs: Vec<SessionSpec> = sessions
         .iter()
+        .filter(|s| s.pool == pool)
         .map(|s| SessionSpec::new(s.id, s.exec_profile.clone(), s.budget, s.est_rate))
         .collect();
-    let mut allocation = match cfg.scheduler {
+    match cfg.scheduler {
         SchedulerPolicy::Squishy => {
             squishy_spread(&specs, device.memory_bytes, max_gpus, cfg.spread_factor)
         }
         SchedulerPolicy::BatchOblivious => {
             nexus_baseline::batch_oblivious(&specs, device.memory_bytes, max_gpus)
         }
-    };
-    if allocation.plans.len() > max_gpus as usize {
-        // Keep the most productive plans, but cover every session with at
-        // least one replica first — dropping a session's only plan rejects
-        // 100% of its traffic and dooms every query through that stage.
-        let mut order: Vec<usize> = (0..allocation.plans.len()).collect();
-        order.sort_by(|&a, &b| {
-            let (pa, pb) = (&allocation.plans[a], &allocation.plans[b]);
-            pb.occupancy
-                .partial_cmp(&pa.occupancy)
-                .expect("finite occupancy")
-                .then(a.cmp(&b))
-        });
-        let mut covered: std::collections::HashSet<SessionId> = std::collections::HashSet::new();
-        let mut keep: Vec<usize> = Vec::with_capacity(max_gpus as usize);
-        let mut rest: Vec<usize> = Vec::new();
-        for i in order {
-            let plan = &allocation.plans[i];
-            let covers_new = plan.entries.iter().any(|e| !covered.contains(&e.session));
-            if covers_new && keep.len() < max_gpus as usize {
-                for e in &plan.entries {
-                    covered.insert(e.session);
-                }
-                keep.push(i);
-            } else {
-                rest.push(i);
-            }
-        }
-        for i in rest {
-            if keep.len() >= max_gpus as usize {
-                break;
+    }
+}
+
+/// Truncates an allocation to `max_gpus` plans, keeping the most productive
+/// ones but covering every session with at least one replica first —
+/// dropping a session's only plan rejects 100% of its traffic and dooms
+/// every query through that stage.
+fn cap_allocation(allocation: &mut Allocation, max_gpus: u32) {
+    if allocation.plans.len() <= max_gpus as usize {
+        return;
+    }
+    let mut order: Vec<usize> = (0..allocation.plans.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (pa, pb) = (&allocation.plans[a], &allocation.plans[b]);
+        pb.occupancy
+            .partial_cmp(&pa.occupancy)
+            .expect("finite occupancy")
+            .then(a.cmp(&b))
+    });
+    let mut covered: std::collections::HashSet<SessionId> = std::collections::HashSet::new();
+    let mut keep: Vec<usize> = Vec::with_capacity(max_gpus as usize);
+    let mut rest: Vec<usize> = Vec::new();
+    for i in order {
+        let plan = &allocation.plans[i];
+        let covers_new = plan.entries.iter().any(|e| !covered.contains(&e.session));
+        if covers_new && keep.len() < max_gpus as usize {
+            for e in &plan.entries {
+                covered.insert(e.session);
             }
             keep.push(i);
-        }
-        keep.sort_unstable();
-        allocation.plans = keep
-            .into_iter()
-            .map(|i| allocation.plans[i].clone())
-            .collect();
-    }
-
-    let mut routes: Vec<Vec<RouteTarget>> = vec![Vec::new(); sessions.len()];
-    for (bi, p) in allocation.plans.iter().enumerate() {
-        for e in &p.entries {
-            routes[e.session.0 as usize].push(RouteTarget {
-                backend: bi,
-                weight: f64::from(e.batch) / p.duty_cycle.as_secs_f64(),
-            });
+        } else {
+            rest.push(i);
         }
     }
+    for i in rest {
+        if keep.len() >= max_gpus as usize {
+            break;
+        }
+        keep.push(i);
+    }
+    keep.sort_unstable();
+    allocation.plans = keep
+        .into_iter()
+        .map(|i| allocation.plans[i].clone())
+        .collect();
+}
 
-    Ok(ControlPlan {
-        sessions,
-        allocation,
-        routes,
-        budgets,
-    })
+/// Builds the per-session routing table over cluster-global backend
+/// indices from the per-pool plans.
+fn build_route_table(nsessions: usize, pools: &[PoolPlan]) -> Vec<Vec<RouteTarget>> {
+    let mut routes: Vec<Vec<RouteTarget>> = vec![Vec::new(); nsessions];
+    for pp in pools {
+        for (li, p) in pp.allocation.plans.iter().enumerate() {
+            for e in &p.entries {
+                routes[e.session.0 as usize].push(RouteTarget {
+                    backend: pp.first_backend + li,
+                    weight: f64::from(e.batch) / p.duty_cycle.as_secs_f64(),
+                });
+            }
+        }
+    }
+    routes
 }
 
 #[cfg(test)]
@@ -516,10 +854,10 @@ mod tests {
         let cfg = SystemConfig::nexus();
         let classes = vec![class(100.0)];
         let plan = plan(&classes, &cfg, &GPU_GTX1080TI, 16, None).expect("known models");
-        assert!(plan.allocation.gpu_count() > 0);
-        assert!(plan.allocation.gpu_count() <= 16);
+        assert!(plan.gpu_count() > 0);
+        assert!(plan.gpu_count() <= 16);
         for s in &plan.sessions {
-            if s.est_rate > 0.0 && !plan.allocation.infeasible.contains(&s.id) {
+            if s.est_rate > 0.0 && !plan.is_infeasible(s.id) {
                 assert!(
                     !plan.routes[s.id.0 as usize].is_empty(),
                     "session {} unrouted",
@@ -544,9 +882,9 @@ mod tests {
         let cfg = SystemConfig::nexus();
         let classes = vec![class(5_000.0)];
         let capped = plan(&classes, &cfg, &GPU_GTX1080TI, 4, None).expect("known models");
-        assert_eq!(capped.allocation.gpu_count(), 4);
+        assert_eq!(capped.gpu_count(), 4);
         let free = plan(&classes, &cfg, &GPU_GTX1080TI, 1_000, None).expect("known models");
-        assert!(free.allocation.gpu_count() > 4);
+        assert!(free.gpu_count() > 4);
     }
 
     #[test]

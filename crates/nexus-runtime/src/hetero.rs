@@ -1,18 +1,21 @@
 //! Heterogeneous clusters: serving across pools of different device types.
 //!
 //! The paper deploys on homogeneous clusters (16× GTX 1080Ti, 100× K80);
-//! mixed fleets are the natural next step and a listed extension
-//! (DESIGN.md §5). The approach here keeps the paper's machinery intact:
-//! each device pool runs its own control plane and data plane, and a
-//! placement pass assigns whole traffic classes to pools by *cost
-//! effectiveness* — the estimated GPU-seconds a class needs on a device,
-//! weighted by the device's hourly price.
+//! mixed fleets are the realistic production case (DESIGN.md §17). A
+//! [`DevicePool`] list is a first-class planner input: the pool-aware
+//! planner ([`crate::control::plan_pooled`]) chooses the device class per
+//! pipeline *stage* jointly with the SLO split, squishy-packs each pool on
+//! its own device profiles, and the simulator deploys one control plane
+//! per pool with cross-pool handoffs for staged queries. The class-level
+//! placement pass here ([`place_classes`]) remains as a fast advisory
+//! estimate — which pool a whole class would land on by cost
+//! effectiveness — used for capacity sanity checks and reporting.
 
 use nexus_profile::{DeviceType, Micros};
 
 use crate::cluster::{ClusterSim, SimConfig, SimResult};
 use crate::config::SystemConfig;
-use crate::control::{build_sessions, TrafficClass};
+use crate::control::{build_sessions, PlanError, TrafficClass};
 
 /// One homogeneous slice of a mixed fleet.
 #[derive(Debug, Clone, Copy)]
@@ -34,47 +37,62 @@ pub struct Placement {
 
 /// Estimated GPU demand (GPU-seconds per second) of a class on a device:
 /// the sum of its sessions' peak-throughput demands under their SLO splits.
-pub fn class_demand(class: &TrafficClass, cfg: &SystemConfig, device: &DeviceType) -> f64 {
-    // A class referencing unknown models has no measurable demand; the
-    // error surfaces when the class is actually planned.
-    let Ok((sessions, _)) = build_sessions(std::slice::from_ref(class), cfg, device, None) else {
-        return 0.0;
-    };
-    sessions
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when the class references a model missing from
+/// the profile catalog (or its layer schema, under prefix batching) — the
+/// demand of an unplannable class is undefined, not zero.
+pub fn class_demand(
+    class: &TrafficClass,
+    cfg: &SystemConfig,
+    device: &DeviceType,
+) -> Result<f64, PlanError> {
+    let (sessions, _) = build_sessions(std::slice::from_ref(class), cfg, device, None)?;
+    Ok(sessions
         .iter()
         .filter_map(|s| {
             s.exec_profile
                 .max_throughput_for_slo(s.budget)
                 .map(|t| s.est_rate / t)
         })
-        .sum()
+        .sum())
 }
 
 /// Places classes onto pools: classes are taken in decreasing demand order
 /// and assigned to the pool where their *dollar cost* (demand × hourly
 /// price) is lowest among pools with remaining estimated capacity; if no
 /// pool has room, the least-loaded pool (relative to size) takes it.
+///
+/// The visit order ties break on intrinsic class keys (name, then rate),
+/// never on input position, so permuting the input permutes the placement
+/// identically.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when any class references an unknown model.
 pub fn place_classes(
     classes: &[TrafficClass],
     cfg: &SystemConfig,
     pools: &[DevicePool],
-) -> Placement {
+) -> Result<Placement, PlanError> {
     assert!(!pools.is_empty(), "need at least one pool");
     // Demand of every class on every pool's device.
-    let demand: Vec<Vec<f64>> = classes
-        .iter()
-        .map(|c| {
-            pools
-                .iter()
-                .map(|p| class_demand(c, cfg, &p.device))
-                .collect()
-        })
-        .collect();
+    let mut demand: Vec<Vec<f64>> = Vec::with_capacity(classes.len());
+    for c in classes {
+        let mut row = Vec::with_capacity(pools.len());
+        for p in pools {
+            row.push(class_demand(c, cfg, &p.device)?);
+        }
+        demand.push(row);
+    }
     let mut order: Vec<usize> = (0..classes.len()).collect();
     order.sort_by(|&a, &b| {
         demand[b][0]
             .partial_cmp(&demand[a][0])
             .expect("finite demand")
+            .then_with(|| classes[a].name.cmp(&classes[b].name))
+            .then_with(|| classes[b].rate.total_cmp(&classes[a].rate))
     });
 
     let mut pool_demand = vec![0.0f64; pools.len()];
@@ -106,45 +124,44 @@ pub fn place_classes(
         pool_of[ci] = pi;
         pool_demand[pi] += demand[ci][pi];
     }
-    Placement {
+    Ok(Placement {
         pool_of,
         pool_demand,
-    }
+    })
 }
 
-/// Outcome of a heterogeneous run: one result per pool plus the placement.
+/// Outcome of a heterogeneous run: the advisory class placement plus the
+/// pooled simulation result (per-pool rollups in
+/// [`SimResult::pool_stats`]).
 #[derive(Debug)]
 pub struct HeteroResult {
-    /// The placement used.
+    /// The advisory class-level placement (the pool-aware planner derives
+    /// the binding per-*stage* placement inside the split DP).
     pub placement: Placement,
-    /// Per-pool simulation results (pools with no classes are skipped as
-    /// `None`).
-    pub pools: Vec<Option<SimResult>>,
+    /// The pooled simulation result.
+    pub result: SimResult,
 }
 
 impl HeteroResult {
-    /// Fleet-wide query bad rate (weighted by finished queries).
+    /// Fleet-wide query bad rate.
     pub fn query_bad_rate(&self) -> f64 {
-        let (mut bad, mut total) = (0.0, 0u64);
-        for r in self.pools.iter().flatten() {
-            bad += r.query_bad_rate * r.queries_finished as f64;
-            total += r.queries_finished;
-        }
-        if total == 0 {
-            0.0
-        } else {
-            bad / total as f64
-        }
+        self.result.query_bad_rate
     }
 
     /// Fleet-wide good queries per second.
     pub fn query_goodput(&self) -> f64 {
-        self.pools.iter().flatten().map(|r| r.query_goodput).sum()
+        self.result.query_goodput
     }
 }
 
-/// Runs a mixed fleet: places classes, then simulates each pool with its
-/// own control and data plane.
+/// Runs a mixed fleet as one pooled simulation: the pool-aware planner
+/// splits each query's SLO across stages *and* device classes, packs each
+/// pool on its own profiles, and the event loop hands staged requests
+/// across pools.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when a class references an unknown model.
 pub fn run_heterogeneous(
     system: &SystemConfig,
     pools: &[DevicePool],
@@ -152,43 +169,28 @@ pub fn run_heterogeneous(
     seed: u64,
     warmup: Micros,
     horizon: Micros,
-) -> HeteroResult {
-    let placement = place_classes(&classes, system, pools);
-    let mut per_pool: Vec<Vec<TrafficClass>> = vec![Vec::new(); pools.len()];
-    for (ci, class) in classes.into_iter().enumerate() {
-        per_pool[placement.pool_of[ci]].push(class);
-    }
-    let results = per_pool
-        .into_iter()
-        .enumerate()
-        .map(|(pi, classes)| {
-            if classes.is_empty() {
-                return None;
-            }
-            Some(
-                ClusterSim::new(
-                    SimConfig {
-                        system: system.clone(),
-                        device: pools[pi].device,
-                        max_gpus: pools[pi].gpus,
-                        seed: seed.wrapping_add(pi as u64),
-                        horizon,
-                        warmup,
-                        trace_capacity: 0,
-                        faults: vec![],
-                        shards: 1,
-                        threads: 1,
-                    },
-                    classes,
-                )
-                .run(),
-            )
-        })
-        .collect();
-    HeteroResult {
+) -> Result<HeteroResult, PlanError> {
+    let placement = place_classes(&classes, system, pools)?;
+    let sim = ClusterSim::try_new_pooled(
+        SimConfig {
+            system: system.clone(),
+            device: pools[0].device,
+            max_gpus: 0, // derived from the pools
+            seed,
+            horizon,
+            warmup,
+            trace_capacity: 0,
+            faults: vec![],
+            shards: 1,
+            threads: 1,
+        },
+        pools.to_vec(),
+        classes,
+    )?;
+    Ok(HeteroResult {
         placement,
-        pools: results,
-    }
+        result: sim.run(),
+    })
 }
 
 #[cfg(test)]
@@ -214,9 +216,27 @@ mod tests {
     fn demand_is_higher_on_slower_devices() {
         let cfg = SystemConfig::nexus();
         let class = TrafficClass::new(apps::traffic(), ArrivalKind::Uniform, 100.0);
-        let fast = class_demand(&class, &cfg, &GPU_GTX1080TI);
-        let slow = class_demand(&class, &cfg, &GPU_K80);
+        let fast = class_demand(&class, &cfg, &GPU_GTX1080TI).unwrap();
+        let slow = class_demand(&class, &cfg, &GPU_K80).unwrap();
         assert!(slow > fast * 1.5, "K80 demand {slow} vs 1080Ti {fast}");
+    }
+
+    #[test]
+    fn unknown_model_demand_is_a_typed_error() {
+        let cfg = SystemConfig::nexus();
+        let mut app = apps::traffic();
+        app.stages[0].model = "no_such_model".to_string();
+        let class = TrafficClass::new(app, ArrivalKind::Uniform, 50.0);
+        let err = class_demand(&class, &cfg, &GPU_GTX1080TI)
+            .expect_err("unknown model must not be silent zero demand");
+        assert_eq!(
+            err,
+            PlanError::UnknownModel {
+                model: "no_such_model".to_string()
+            }
+        );
+        // And placement refuses the whole batch rather than misplacing it.
+        assert!(place_classes(std::slice::from_ref(&class), &cfg, &pools()).is_err());
     }
 
     #[test]
@@ -227,7 +247,7 @@ mod tests {
             TrafficClass::new(apps::game(), ArrivalKind::Uniform, 800.0),
             TrafficClass::new(apps::traffic(), ArrivalKind::Uniform, 80.0),
         ];
-        let placement = place_classes(&classes, &cfg, &pools());
+        let placement = place_classes(&classes, &cfg, &pools()).unwrap();
         assert_eq!(placement.pool_of[0], 0, "game needs the 1080Ti pool");
     }
 
@@ -245,15 +265,17 @@ mod tests {
             3,
             Micros::from_secs(3),
             Micros::from_secs(12),
-        );
+        )
+        .unwrap();
         assert!(result.query_goodput() > 500.0);
         assert!(
             result.query_bad_rate() < 0.03,
             "fleet bad rate {}",
             result.query_bad_rate()
         );
-        // Both pools were used or at least one carried everything.
-        assert!(result.pools.iter().flatten().count() >= 1);
+        // One rollup per pool, and at least one pool actually deployed.
+        assert_eq!(result.result.pool_stats.len(), 2);
+        assert!(result.result.pool_stats.iter().any(|p| p.backends > 0));
     }
 
     #[test]
@@ -263,7 +285,7 @@ mod tests {
         let classes: Vec<TrafficClass> = (0..6)
             .map(|_| TrafficClass::new(apps::traffic(), ArrivalKind::Uniform, 300.0))
             .collect();
-        let placement = place_classes(&classes, &cfg, &pools());
+        let placement = place_classes(&classes, &cfg, &pools()).unwrap();
         let on_fast = placement.pool_of.iter().filter(|&&p| p == 0).count();
         assert!(on_fast < 6, "overflow should spill to the second pool");
     }

@@ -18,13 +18,16 @@ pub mod trace;
 #[cfg(test)]
 mod proptests;
 
-pub use cluster::{ClusterSim, GpuOccupancy, SimConfig, SimResult};
+pub use cluster::{ClusterSim, GpuOccupancy, PoolStats, SimConfig, SimResult};
 pub use config::{SchedulerPolicy, SystemConfig};
 pub use control::{
-    build_sessions, plan, ControlPlan, PlanError, RouteTarget, RuntimeSession, TrafficClass,
+    build_sessions, plan, plan_pooled, ControlPlan, PlanError, PoolPlan, RouteTarget,
+    RuntimeSession, TrafficClass,
 };
 pub use dispatch::{classify_drop, classify_edge_drop, BatchPull, DropPolicy, SessionQueue};
-pub use hetero::{place_classes, run_heterogeneous, DevicePool, HeteroResult, Placement};
+pub use hetero::{
+    class_demand, place_classes, run_heterogeneous, DevicePool, HeteroResult, Placement,
+};
 pub use histogram::LatencyHistogram;
 pub use live::{run_live, LiveConfig, LiveOutcome, LiveSession, LiveSessionOutcome};
 pub use metrics::{ClusterMetrics, FailureRecord, SessionMetrics, TimelineBucket};

@@ -15,6 +15,7 @@
 
 use nexus_profile::Micros;
 
+use crate::query::{optimize_hetero_split, HeteroQueryDag, HeteroQueryStage};
 use crate::session::SessionSpec;
 
 /// A fixed-rate task of the FGSP: batch latency and latency bound.
@@ -223,9 +224,58 @@ fn search_residual(
     groups.pop();
 }
 
+/// Brute-force reference for the joint device-class DP
+/// ([`optimize_hetero_split`]): enumerates every per-stage class
+/// assignment, solves each as a single-candidate split, and returns the
+/// cheapest dollar cost. Exponential in stages × classes — an optimality
+/// cross-check for small instances, like the other solvers in this module.
+pub fn exhaustive_hetero_min_cost(
+    dag: &HeteroQueryDag,
+    slo: Micros,
+    root_rate: f64,
+    segments: u32,
+) -> Option<f64> {
+    let n = dag.stages.len();
+    let counts: Vec<usize> = dag.stages.iter().map(|s| s.candidates.len()).collect();
+    let mut assign = vec![0usize; n];
+    let mut best: Option<f64> = None;
+    loop {
+        let stages: Vec<HeteroQueryStage> = dag
+            .stages
+            .iter()
+            .zip(&assign)
+            .map(|(s, &ci)| HeteroQueryStage {
+                name: s.name.clone(),
+                candidates: vec![s.candidates[ci].clone()],
+                children: s.children.clone(),
+            })
+            .collect();
+        let restricted = HeteroQueryDag::new(stages);
+        if let Some(split) = optimize_hetero_split(&restricted, slo, root_rate, segments) {
+            if best.is_none_or(|b| split.cost < b) {
+                best = Some(split.cost);
+            }
+        }
+        // Advance the mixed-radix assignment counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            assign[i] += 1;
+            if assign[i] < counts[i] {
+                break;
+            }
+            assign[i] = 0;
+            i += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::StageCandidate;
     use crate::session::SessionId;
     use crate::squishy::squishy_bin_packing;
     use nexus_profile::BatchingProfile;
@@ -316,5 +366,57 @@ mod tests {
     #[test]
     fn exact_residual_handles_empty_input() {
         assert_eq!(exact_residual_min_gpus(&[], 1 << 30), Some(0));
+    }
+
+    /// Fig. 3 model X/Y profiles on a fast class plus the same models 3×
+    /// slower on a cheap class — the joint DP's smallest interesting case.
+    fn hetero_fixture() -> HeteroQueryDag {
+        let anchors = |scale: u64, a: [(u32, u64); 3]| {
+            BatchingProfile::from_anchors(&a.map(|(b, ms)| (b, Micros::from_millis(ms * scale))))
+        };
+        let x = [(4u32, 20u64), (6, 24), (9, 30)];
+        let y = [(6u32, 20u64), (10, 25), (15, 30)];
+        let cand = |p: BatchingProfile, class: &str, price: f64| StageCandidate {
+            class: class.into(),
+            profile: p,
+            price,
+        };
+        HeteroQueryDag::new(vec![
+            HeteroQueryStage {
+                name: "X".into(),
+                candidates: vec![
+                    cand(anchors(1, x), "fast", 3.0),
+                    cand(anchors(3, x), "cheap", 0.9),
+                ],
+                children: vec![(1, 1.5)],
+            },
+            HeteroQueryStage {
+                name: "Y".into(),
+                candidates: vec![
+                    cand(anchors(1, y), "fast", 3.0),
+                    cand(anchors(3, y), "cheap", 0.9),
+                ],
+                children: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn joint_hetero_dp_matches_exhaustive_enumeration() {
+        let dag = hetero_fixture();
+        for slo_ms in [120u64, 200, 300, 500] {
+            let slo = Micros::from_millis(slo_ms);
+            let joint = optimize_hetero_split(&dag, slo, 150.0, 60);
+            let brute = exhaustive_hetero_min_cost(&dag, slo, 150.0, 60);
+            match (joint, brute) {
+                (Some(j), Some(b)) => assert!(
+                    (j.cost - b).abs() < 1e-9,
+                    "slo {slo_ms} ms: joint {} vs exhaustive {b}",
+                    j.cost
+                ),
+                (None, None) => {}
+                (j, b) => panic!("slo {slo_ms} ms: joint {j:?} vs exhaustive {b:?}"),
+            }
+        }
     }
 }

@@ -12,11 +12,15 @@ pub mod squishy;
 #[cfg(test)]
 mod proptests;
 
-pub use exact::{exact_residual_min_gpus, fgsp_min_gpus, reduction_from_3partition, FgspTask};
+pub use exact::{
+    exact_residual_min_gpus, exhaustive_hetero_min_cost, fgsp_min_gpus, reduction_from_3partition,
+    FgspTask,
+};
 pub use incremental::{assign_plans, PlanAssignment};
 pub use query::{
-    even_latency_split, optimize_fork_join, optimize_latency_split, pipeline_avg_throughput,
-    ForkJoinQuery, ForkJoinSplit, LatencySplit, QueryDag, QueryStage,
+    even_latency_split, optimize_fork_join, optimize_hetero_split, optimize_latency_split,
+    pipeline_avg_throughput, ForkJoinQuery, ForkJoinSplit, HeteroQueryDag, HeteroQueryStage,
+    HeteroSplit, LatencySplit, QueryDag, QueryStage, StageCandidate,
 };
 pub use session::{SessionId, SessionSpec};
 pub use squishy::{

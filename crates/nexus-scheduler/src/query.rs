@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use nexus_profile::{BatchingProfile, Micros};
+use nexus_profile::{BatchLadder, BatchingProfile, Micros};
 
 /// One stage (model invocation) of a query dataflow graph.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -308,6 +308,216 @@ pub fn even_latency_split(dag: &QueryDag, slo: Micros) -> LatencySplit {
     }
 }
 
+/// One device-class candidate for a heterogeneous query stage: the stage's
+/// batching profile measured on that class, plus the class's dollar proxy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageCandidate {
+    /// Device-class name (for reporting).
+    pub class: String,
+    /// The stage's batching profile on this device class (`profile_on`).
+    pub profile: BatchingProfile,
+    /// Dollar-proxy price of one GPU of this class (e.g. hourly price).
+    pub price: f64,
+}
+
+/// One stage of a heterogeneous query DAG: like [`QueryStage`] but with one
+/// profile candidate per device class the pool planner may place it on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeteroQueryStage {
+    /// Stage name (model name, for reporting).
+    pub name: String,
+    /// Candidate device classes; indices are the planner's pool indices.
+    pub candidates: Vec<StageCandidate>,
+    /// Children: `(stage index, γ)`, as in [`QueryStage`].
+    pub children: Vec<(usize, f64)>,
+}
+
+/// A tree-shaped heterogeneous query DAG. Stage 0 is the root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeteroQueryDag {
+    /// The stages; parents precede children.
+    pub stages: Vec<HeteroQueryStage>,
+}
+
+impl HeteroQueryDag {
+    /// Creates a DAG, validating tree shape and non-empty candidate lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage list is empty, any stage has no candidates, or
+    /// the children are not a forward-pointing tree.
+    pub fn new(stages: Vec<HeteroQueryStage>) -> Self {
+        assert!(!stages.is_empty(), "query needs at least one stage");
+        let mut indegree = vec![0usize; stages.len()];
+        for (i, stage) in stages.iter().enumerate() {
+            assert!(
+                !stage.candidates.is_empty(),
+                "stage {i} needs at least one device-class candidate"
+            );
+            for &(c, gamma) in &stage.children {
+                assert!(c > i && c < stages.len(), "child index {c} invalid");
+                assert!(gamma.is_finite() && gamma >= 0.0, "invalid gamma");
+                indegree[c] += 1;
+            }
+        }
+        assert_eq!(indegree[0], 0, "root must have no parent");
+        for (i, &d) in indegree.iter().enumerate().skip(1) {
+            assert_eq!(d, 1, "stage {i} must have exactly one parent");
+        }
+        HeteroQueryDag { stages }
+    }
+
+    /// Per-stage request rates when the root receives `root_rate` req/s.
+    pub fn stage_rates(&self, root_rate: f64) -> Vec<f64> {
+        let mut rates = vec![0.0; self.stages.len()];
+        rates[0] = root_rate;
+        for (i, stage) in self.stages.iter().enumerate() {
+            for &(c, gamma) in &stage.children {
+                rates[c] = rates[i] * gamma;
+            }
+        }
+        rates
+    }
+}
+
+/// Result of the joint device-class + latency-split optimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroSplit {
+    /// Per-stage latency budgets; they sum to ≤ the query SLO along every
+    /// root-to-leaf path.
+    pub budgets: Vec<Micros>,
+    /// Per-stage chosen candidate index (the pool the stage lands on).
+    pub classes: Vec<usize>,
+    /// Per-stage estimated (fractional) GPUs of the chosen class.
+    pub stage_gpus: Vec<f64>,
+    /// Total dollar-proxy cost `Σ stage_gpus[u] · price(classes[u])`.
+    pub cost: f64,
+}
+
+/// Per-rung stage demand: the best throughput over the candidate's batch
+/// ladder rungs `b` with `2ℓ(b) ≤ window` (the same feasibility rule the
+/// runtime's duty-cycle execution uses), as `rate / (b/ℓ(b))` GPUs.
+/// `None` if even the bottom rung misses the window.
+fn ladder_stage_cost(ladder: &BatchLadder, rate: f64, window: Micros) -> Option<f64> {
+    if rate <= 0.0 {
+        return Some(0.0);
+    }
+    let mut best: Option<f64> = None;
+    for (i, &b) in ladder.rungs().iter().enumerate() {
+        let lat = ladder.latency_at(i);
+        if lat.as_micros().saturating_mul(2) <= window.as_micros() {
+            let throughput = f64::from(b) / lat.as_secs_f64();
+            if best.is_none_or(|t| throughput > t) {
+                best = Some(throughput);
+            }
+        }
+    }
+    best.map(|t| rate / t)
+}
+
+/// Jointly chooses a device class per stage and a latency split minimizing
+/// total dollar-proxy cost (`Σ gpus·price`) for a query stream of
+/// `root_rate` req/s — the §6.2 DP extended per PPipe so slow/cheap classes
+/// absorb stages with slack while tight stages land on fast silicon.
+///
+/// Each stage's feasible windows come from a [`BatchLadder`] built against
+/// that class's profile, so the plan bills exact per-rung `ℓ(b)` on the
+/// class the stage lands on.
+///
+/// Returns `None` if no (class, split) assignment satisfies the SLO.
+///
+/// # Panics
+///
+/// Panics if `segments` is zero.
+pub fn optimize_hetero_split(
+    dag: &HeteroQueryDag,
+    slo: Micros,
+    root_rate: f64,
+    segments: u32,
+) -> Option<HeteroSplit> {
+    assert!(segments >= 1, "need at least one budget segment");
+    let eps = (slo.as_micros() / u64::from(segments)).max(1);
+    let steps = (slo.as_micros() / eps) as usize;
+    let rates = dag.stage_rates(root_rate);
+    let n = dag.stages.len();
+
+    // Build each candidate's rung ladder once; the DP probes it per window.
+    let ladders: Vec<Vec<BatchLadder>> = dag
+        .stages
+        .iter()
+        .map(|s| {
+            s.candidates
+                .iter()
+                .map(|c| BatchLadder::from_profile(&c.profile))
+                .collect()
+        })
+        .collect();
+
+    // f[u][t] = min dollar cost for u's subtree within budget t·eps.
+    const INF: f64 = f64::INFINITY;
+    let mut f = vec![vec![INF; steps + 1]; n];
+    // choice[u][t] = (own window segments, candidate index) at the optimum.
+    let mut choice = vec![vec![(0usize, 0usize); steps + 1]; n];
+
+    for u in (0..n).rev() {
+        let stage = &dag.stages[u];
+        for t in 0..=steps {
+            let mut best = INF;
+            let mut best_kc = (0usize, 0usize);
+            for k in 1..=t {
+                let window = Micros::from_micros(k as u64 * eps);
+                let remaining = t - k;
+                let mut kids = 0.0;
+                for &(c, _) in &stage.children {
+                    kids += f[c][remaining];
+                }
+                if kids.is_infinite() {
+                    continue;
+                }
+                for (ci, cand) in stage.candidates.iter().enumerate() {
+                    let Some(own) = ladder_stage_cost(&ladders[u][ci], rates[u], window) else {
+                        continue;
+                    };
+                    let total = own * cand.price + kids;
+                    if total < best {
+                        best = total;
+                        best_kc = (k, ci);
+                    }
+                }
+            }
+            f[u][t] = best;
+            choice[u][t] = best_kc;
+        }
+    }
+
+    if f[0][steps].is_infinite() {
+        return None;
+    }
+
+    // Reconstruct: walk the tree handing each child the remaining budget.
+    let mut budgets = vec![Micros::ZERO; n];
+    let mut classes = vec![0usize; n];
+    let mut stage_gpus = vec![0.0; n];
+    let mut stack = vec![(0usize, steps)];
+    while let Some((u, t)) = stack.pop() {
+        let (k, ci) = choice[u][t];
+        let window = Micros::from_micros(k as u64 * eps);
+        budgets[u] = window;
+        classes[u] = ci;
+        stage_gpus[u] = ladder_stage_cost(&ladders[u][ci], rates[u], window)
+            .expect("chosen window is feasible");
+        for &(c, _) in &dag.stages[u].children {
+            stack.push((c, t - k));
+        }
+    }
+    Some(HeteroSplit {
+        budgets,
+        classes,
+        stage_gpus,
+        cost: f[0][steps],
+    })
+}
+
 /// Average pipeline throughput per GPU for a two-stage pipeline X→Y with
 /// fan-out γ, given per-GPU stage throughputs `tx`, `ty` (§4.2:
 /// `p·TX/(p+q)` with `γ·p·TX = q·TY`).
@@ -576,6 +786,95 @@ mod tests {
             join_gamma: 1.0,
         };
         assert!(optimize_fork_join(&q, Micros::from_millis(20), 100.0, 50).is_none());
+    }
+
+    /// Model X slowed 3× — a cheap, slow device class serving the same
+    /// model (K80-style: great $/throughput at big batches, hopeless at
+    /// tight windows).
+    fn slow_x() -> BatchingProfile {
+        BatchingProfile::from_anchors(&[
+            (4, Micros::from_millis(60)),
+            (6, Micros::from_millis(72)),
+            (9, Micros::from_millis(90)),
+        ])
+    }
+
+    fn slow_y() -> BatchingProfile {
+        BatchingProfile::from_anchors(&[
+            (6, Micros::from_millis(60)),
+            (10, Micros::from_millis(75)),
+            (15, Micros::from_millis(90)),
+        ])
+    }
+
+    fn cand(profile: BatchingProfile, class: &str, price: f64) -> StageCandidate {
+        StageCandidate {
+            class: class.into(),
+            profile,
+            price,
+        }
+    }
+
+    fn hetero_xy(gamma: f64) -> HeteroQueryDag {
+        HeteroQueryDag::new(vec![
+            HeteroQueryStage {
+                name: "X".into(),
+                candidates: vec![cand(model_x(), "fast", 3.0), cand(slow_x(), "cheap", 0.9)],
+                children: vec![(1, gamma)],
+            },
+            HeteroQueryStage {
+                name: "Y".into(),
+                candidates: vec![cand(model_y(), "fast", 3.0), cand(slow_y(), "cheap", 0.9)],
+                children: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn hetero_tight_slo_forces_fast_class() {
+        let dag = HeteroQueryDag::new(vec![HeteroQueryStage {
+            name: "X".into(),
+            candidates: vec![cand(model_x(), "fast", 3.0), cand(slow_x(), "cheap", 0.9)],
+            children: vec![],
+        }]);
+        // 60 ms: the slow class misses even batch 1 (2·ℓ(1) = 84 ms).
+        let tight = optimize_hetero_split(&dag, Micros::from_millis(60), 100.0, 60).unwrap();
+        assert_eq!(tight.classes, vec![0]);
+        // 400 ms: both classes reach their max batch; cheap wins on $/q.
+        let relaxed = optimize_hetero_split(&dag, Micros::from_millis(400), 100.0, 60).unwrap();
+        assert_eq!(relaxed.classes, vec![1]);
+        assert!(relaxed.cost < tight.cost);
+    }
+
+    #[test]
+    fn hetero_pipeline_puts_slack_stage_on_cheap_class() {
+        // 250 ms: too tight for both stages on the cheap class, but X can
+        // take a 180 ms window on it (full batch 9) with Y mopping up on
+        // fast silicon — cheaper than the all-fast split.
+        let slo = Micros::from_millis(250);
+        let split = optimize_hetero_split(&hetero_xy(1.0), slo, 100.0, 125).unwrap();
+        assert_eq!(
+            split.classes,
+            vec![1, 0],
+            "slack X on cheap, tight Y on fast"
+        );
+        assert!(split.budgets[0] > split.budgets[1]);
+        assert!(split.budgets[0] + split.budgets[1] <= slo);
+        assert!(split.stage_gpus.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn hetero_infeasible_slo_returns_none() {
+        assert!(
+            optimize_hetero_split(&hetero_xy(1.0), Micros::from_millis(20), 100.0, 50).is_none()
+        );
+    }
+
+    #[test]
+    fn hetero_zero_rate_costs_nothing() {
+        let split =
+            optimize_hetero_split(&hetero_xy(1.0), Micros::from_millis(250), 0.0, 50).unwrap();
+        assert_eq!(split.cost, 0.0);
     }
 
     #[test]

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Guards ci.sh and .github/workflows/ci.yml against silent divergence:
+# every gated step carries a `# ci-step: <slug>` marker in BOTH files, and
+# this check fails if a slug exists in one but not the other. Adding a gate
+# to one file without the other is exactly the drift this repo has been
+# bitten by before — the marker forces the pair to move in lockstep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+markers() {
+  grep -o 'ci-step: [a-z0-9-]*' "$1" | sed 's/ci-step: //' | sort -u
+}
+
+sh_steps="$(markers ci.sh)"
+yml_steps="$(markers .github/workflows/ci.yml)"
+
+if ! diff <(printf '%s\n' "$sh_steps") <(printf '%s\n' "$yml_steps") >&2; then
+  echo "FAIL: ci.sh and .github/workflows/ci.yml disagree on ci-step markers" >&2
+  echo "(lines prefixed '<' exist only in ci.sh, '>' only in ci.yml)" >&2
+  exit 1
+fi
+count="$(printf '%s\n' "$sh_steps" | wc -l | tr -d ' ')"
+echo "ci drift check OK: $count steps in lockstep"

@@ -151,6 +151,82 @@ fn faulted_traced_run_is_identical_at_any_thread_count() {
     }
 }
 
+/// Mixed-pool determinism: a heterogeneous fleet (1080Ti + K80 pools) with
+/// faults and tracing enabled. Cross-pool stage handoffs route through the
+/// same sharded mailboxes as everything else, and backends are globally
+/// indexed across pools, so the `(shards, threads)` partition must stay a
+/// pure execution knob here too.
+fn mixed_pool_fingerprint(shards: usize, threads: usize) -> String {
+    let pools = vec![
+        DevicePool {
+            device: GPU_GTX1080TI,
+            gpus: 5,
+        },
+        DevicePool {
+            device: GPU_K80,
+            gpus: 4,
+        },
+    ];
+    let result = ClusterSim::try_new_pooled(
+        SimConfig {
+            system: SystemConfig::nexus().with_epoch(Micros::from_secs(2)),
+            device: GPU_GTX1080TI,
+            max_gpus: 0, // derived from the pools
+            seed: 11,
+            horizon: Micros::from_secs(8),
+            warmup: Micros::from_secs(2),
+            trace_capacity: 200_000,
+            faults: vec![
+                FaultSpec {
+                    at: Micros::from_secs(3),
+                    slot: 1,
+                    kind: FaultKind::Crash,
+                },
+                FaultSpec {
+                    at: Micros::from_secs(5),
+                    slot: 1,
+                    kind: FaultKind::Rejoin,
+                },
+            ],
+            shards,
+            threads,
+        },
+        pools,
+        vec![
+            TrafficClass::new(apps::game(), ArrivalKind::Uniform, 400.0),
+            TrafficClass::new(apps::traffic(), ArrivalKind::Poisson, 60.0),
+            TrafficClass::new(apps::dance(), ArrivalKind::Uniform, 15.0),
+        ],
+    )
+    .expect("pooled plan")
+    .run();
+    format!("{result:?}")
+}
+
+#[test]
+fn mixed_pool_run_is_identical_at_any_shard_and_thread_count() {
+    let reference = mixed_pool_fingerprint(1, 1);
+    assert!(
+        reference.contains("Batch {"),
+        "reference run captured no trace events"
+    );
+    // Both pools must actually deploy backends, or the cross-pool paths
+    // under test were never exercised.
+    assert!(
+        reference.contains("PoolStats { pool: 1"),
+        "second pool missing from pool_stats"
+    );
+    // The acceptance matrix: shards {1,4} × threads {1,4}, plus an uneven
+    // shard count that does not divide the backend total.
+    for (shards, threads) in [(1, 4), (4, 1), (4, 4), (3, 2)] {
+        assert_eq!(
+            mixed_pool_fingerprint(shards, threads),
+            reference,
+            "mixed-pool run diverged at shards={shards} threads={threads}"
+        );
+    }
+}
+
 /// Queue-level stress: flood same-timestamp cross-shard posts through the
 /// windowed executor at threads ≥ 2 and assert the committed pop stream
 /// matches the serial queue exactly. The cluster workloads above rarely
